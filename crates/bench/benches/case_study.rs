@@ -1,0 +1,51 @@
+//! Criterion bench: the §IV case-study queries (Scenario 1 and 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scada_analyzer::casestudy::{five_bus_case_study, five_bus_fig4};
+use scada_analyzer::{Analyzer, Property, ResiliencySpec};
+use std::hint::black_box;
+
+fn bench_case_study(c: &mut Criterion) {
+    let fig3 = five_bus_case_study();
+    let fig4 = five_bus_fig4();
+    let mut group = c.benchmark_group("case_study");
+    group.sample_size(20);
+
+    group.bench_function("fig3_obs_1_1_unsat", |b| {
+        b.iter(|| {
+            let mut analyzer = Analyzer::new(black_box(&fig3));
+            analyzer.verify(Property::Observability, ResiliencySpec::split(1, 1))
+        })
+    });
+    group.bench_function("fig3_obs_2_1_sat", |b| {
+        b.iter(|| {
+            let mut analyzer = Analyzer::new(black_box(&fig3));
+            analyzer.verify(Property::Observability, ResiliencySpec::split(2, 1))
+        })
+    });
+    group.bench_function("fig3_secured_1_1_sat", |b| {
+        b.iter(|| {
+            let mut analyzer = Analyzer::new(black_box(&fig3));
+            analyzer.verify(Property::SecuredObservability, ResiliencySpec::split(1, 1))
+        })
+    });
+    group.bench_function("fig4_secured_0_1_sat", |b| {
+        b.iter(|| {
+            let mut analyzer = Analyzer::new(black_box(&fig4));
+            analyzer.verify(Property::SecuredObservability, ResiliencySpec::split(0, 1))
+        })
+    });
+    group.bench_function("fig3_baddata_1_1_r1", |b| {
+        b.iter(|| {
+            let mut analyzer = Analyzer::new(black_box(&fig3));
+            analyzer.verify(
+                Property::BadDataDetectability,
+                ResiliencySpec::split(1, 1).with_corrupted(1),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_study);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for Fig 7(a): the maximum-resiliency search on the
+//! 14-bus system at several measurement densities. The quantity under
+//! test is the incremental search itself (one encoding, assumption-based
+//! budget queries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scada_analyzer::{Analyzer, BudgetAxis, Property};
+use scada_bench::Workload;
+use std::hint::black_box;
+
+fn bench_fig7a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7a_max_resiliency");
+    group.sample_size(10);
+    for density_pct in [60u32, 80, 100] {
+        let input = Workload {
+            buses: 14,
+            density: density_pct as f64 / 100.0,
+            hierarchy: 1,
+            secure_fraction: 1.0,
+            seed: 0,
+            ..Default::default()
+        }
+        .build();
+        group.bench_with_input(
+            BenchmarkId::new("ied_axis", density_pct),
+            &density_pct,
+            |b, _| {
+                b.iter(|| {
+                    let mut analyzer = Analyzer::new(black_box(&input));
+                    analyzer.max_resiliency(
+                        Property::Observability,
+                        BudgetAxis::IedsOnly,
+                        1,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rtu_axis", density_pct),
+            &density_pct,
+            |b, _| {
+                b.iter(|| {
+                    let mut analyzer = Analyzer::new(black_box(&input));
+                    analyzer.max_resiliency(
+                        Property::Observability,
+                        BudgetAxis::RtusOnly,
+                        1,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7a);
+criterion_main!(benches);

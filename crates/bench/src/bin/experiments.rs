@@ -1,0 +1,400 @@
+//! Regenerates every table and figure of the DSN'16 evaluation.
+//!
+//! ```text
+//! cargo run --release -p scada-bench --bin experiments -- [--fig5a] [--fig5b]
+//!     [--fig6] [--fig7a] [--fig7b] [--case-study] [--headline] [--all]
+//!     [--runs N] [--seeds N]
+//! ```
+//!
+//! Each experiment prints a paper-style table and writes a CSV under
+//! `results/`. See EXPERIMENTS.md for the paper-vs-measured comparison.
+
+use std::path::Path;
+use std::time::Duration;
+
+use scada_analyzer::casestudy::{five_bus_case_study, five_bus_fig4};
+use scada_analyzer::{
+    enumerate_threats, Analyzer, BudgetAxis, Property, ResiliencySpec,
+};
+use scada_bench::csv::Table;
+use scada_bench::{mean, measure, resiliency_boundary, Workload};
+
+const OBS: Property = Property::Observability;
+const SEC: Property = Property::SecuredObservability;
+
+fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+struct Options {
+    runs: usize,
+    seeds: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name) || args.iter().any(|a| a == "--all");
+    let value = |name: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    if args.is_empty() {
+        eprintln!(
+            "usage: experiments [--case-study] [--fig5a] [--fig5b] [--fig6] \
+             [--fig7a] [--fig7b] [--headline] [--all] [--runs N] [--seeds N]"
+        );
+        std::process::exit(2);
+    }
+    let opts = Options {
+        runs: value("--runs", 5),
+        seeds: value("--seeds", 3) as u64,
+    };
+
+    if flag("--case-study") {
+        case_study();
+    }
+    if flag("--fig5a") {
+        fig5(OBS, "fig5a", &opts);
+    }
+    if flag("--fig5b") {
+        fig5(SEC, "fig5b", &opts);
+    }
+    if flag("--fig6") {
+        fig6(&opts);
+    }
+    if flag("--fig7a") {
+        fig7a(&opts);
+    }
+    if flag("--fig7b") {
+        fig7b(&opts);
+    }
+    if flag("--headline") {
+        headline();
+    }
+}
+
+/// §IV — both case-study scenarios, paper claim vs measured outcome.
+fn case_study() {
+    println!("== Case study (paper §IV) ==");
+    let fig3 = five_bus_case_study();
+    let fig4 = five_bus_fig4();
+    let mut table = Table::new(["experiment", "paper", "measured", "match"]);
+
+    let mut a3 = Analyzer::new(&fig3);
+    let mut a4 = Analyzer::new(&fig4);
+
+    let row = |table: &mut Table, name: &str, paper: &str, measured: String| {
+        let ok = paper == measured;
+        table.push([name, paper, &measured, if ok { "yes" } else { "NO" }]);
+    };
+
+    let v = a3.verify(OBS, ResiliencySpec::split(1, 1));
+    row(&mut table, "S1 fig3 (1,1) observability", "resilient", verdict_str(&v));
+    let space = enumerate_threats(&fig3, OBS, ResiliencySpec::split(2, 1), 64);
+    row(
+        &mut table,
+        "S1 fig3 (2,1) threat vectors",
+        "9",
+        space.len().to_string(),
+    );
+    let has = space.vectors.iter().any(|v| {
+        v.ieds.iter().map(|d| d.one_based()).collect::<Vec<_>>() == vec![2, 7]
+            && v.rtus.iter().map(|d| d.one_based()).collect::<Vec<_>>() == vec![11]
+    });
+    row(
+        &mut table,
+        "S1 fig3 {IED2,IED7,RTU11} found",
+        "yes",
+        if has { "yes" } else { "no" }.into(),
+    );
+    let max = a3.max_resiliency(OBS, BudgetAxis::IedsOnly, 1);
+    row(
+        &mut table,
+        "S1 fig3 max IED-only",
+        "3",
+        max.map_or("none".into(), |k| k.to_string()),
+    );
+    let v = a4.verify(OBS, ResiliencySpec::split(1, 1));
+    row(&mut table, "S1 fig4 (1,1) observability", "threat", verdict_str(&v));
+    let v = a4.verify(OBS, ResiliencySpec::split(0, 1));
+    row(&mut table, "S1 fig4 (0,1) observability", "threat", verdict_str(&v));
+    let max = a4.max_resiliency(OBS, BudgetAxis::IedsOnly, 1);
+    row(
+        &mut table,
+        "S1 fig4 max IED-only",
+        "3",
+        max.map_or("none".into(), |k| k.to_string()),
+    );
+
+    let v = a3.verify(SEC, ResiliencySpec::split(1, 1));
+    row(&mut table, "S2 fig3 (1,1) secured", "threat", verdict_str(&v));
+    let space = enumerate_threats(&fig3, SEC, ResiliencySpec::split(1, 1), 64);
+    row(
+        &mut table,
+        "S2 fig3 (1,1) secured vectors",
+        "5",
+        space.len().to_string(),
+    );
+    let v = a3.verify(SEC, ResiliencySpec::split(1, 0));
+    row(&mut table, "S2 fig3 (1,0) secured", "resilient", verdict_str(&v));
+    let v = a3.verify(SEC, ResiliencySpec::split(0, 1));
+    row(&mut table, "S2 fig3 (0,1) secured", "resilient", verdict_str(&v));
+    let space = enumerate_threats(&fig4, SEC, ResiliencySpec::split(0, 1), 64);
+    row(
+        &mut table,
+        "S2 fig4 (0,1) secured vectors",
+        "1",
+        space.len().to_string(),
+    );
+
+    print!("{}", table.to_aligned());
+    table
+        .write_to(Path::new("results/case_study.csv"))
+        .expect("write results/case_study.csv");
+    println!();
+}
+
+fn verdict_str(v: &scada_analyzer::Verdict) -> String {
+    if v.is_resilient() {
+        "resilient".into()
+    } else {
+        "threat".into()
+    }
+}
+
+/// Fig 5(a)/(b): execution time vs bus size, sat and unsat series.
+fn fig5(property: Property, name: &str, opts: &Options) {
+    println!("== {name}: time vs problem size ({property}) ==");
+    let mut table = Table::new([
+        "buses",
+        "field_devices",
+        "measurements",
+        "vars",
+        "clauses",
+        "k_unsat",
+        "k_sat",
+        "unsat_ms",
+        "sat_ms",
+    ]);
+    for buses in [14usize, 30, 57, 118] {
+        let mut unsat_times = Vec::new();
+        let mut sat_times = Vec::new();
+        let mut field = 0;
+        let mut meas = 0;
+        let mut vars = 0;
+        let mut clauses = 0;
+        let mut k_unsat_sum = 0.0;
+        let mut k_sat_sum = 0.0;
+        let mut boundaries: f64 = 0.0;
+        for seed in 0..opts.seeds {
+            let input = Workload {
+                buses,
+                density: 0.9,
+                hierarchy: 1,
+                secure_fraction: 0.9,
+                seed,
+                ..Default::default()
+            }
+            .build();
+            field = input.field_devices().len();
+            meas = input.measurements.len();
+            let Some((k_unsat, k_sat)) = resiliency_boundary(&input, property, 8) else {
+                continue;
+            };
+            k_unsat_sum += k_unsat as f64;
+            k_sat_sum += k_sat as f64;
+            boundaries += 1.0;
+            for _ in 0..opts.runs {
+                let m = measure(&input, property, ResiliencySpec::total(k_unsat));
+                assert!(m.resilient);
+                unsat_times.push(m.duration);
+                vars = m.variables;
+                clauses = m.clauses;
+                let m = measure(&input, property, ResiliencySpec::total(k_sat));
+                assert!(!m.resilient);
+                sat_times.push(m.duration);
+            }
+        }
+        let b = boundaries.max(1.0);
+        table.push([
+            buses.to_string(),
+            field.to_string(),
+            meas.to_string(),
+            vars.to_string(),
+            clauses.to_string(),
+            format!("{:.1}", k_unsat_sum / b),
+            format!("{:.1}", k_sat_sum / b),
+            ms(mean(&unsat_times)),
+            ms(mean(&sat_times)),
+        ]);
+    }
+    print!("{}", table.to_aligned());
+    table
+        .write_to(Path::new(&format!("results/{name}.csv")))
+        .expect("write csv");
+    println!();
+}
+
+/// Fig 6: execution time vs hierarchy level (14- and 57-bus).
+fn fig6(opts: &Options) {
+    println!("== fig6: time vs hierarchy level (observability) ==");
+    let mut table = Table::new(["buses", "hierarchy", "unsat_ms", "sat_ms"]);
+    for buses in [14usize, 57] {
+        for hierarchy in 1..=4 {
+            let mut unsat_times = Vec::new();
+            let mut sat_times = Vec::new();
+            for seed in 0..opts.seeds {
+                let input = Workload {
+                    buses,
+                    density: 0.9,
+                    hierarchy,
+                    secure_fraction: 0.9,
+                    seed,
+                    ..Default::default()
+                }
+                .build();
+                let Some((k_unsat, k_sat)) = resiliency_boundary(&input, OBS, 8) else {
+                    continue;
+                };
+                for _ in 0..opts.runs {
+                    let m = measure(&input, OBS, ResiliencySpec::total(k_unsat));
+                    unsat_times.push(m.duration);
+                    let m = measure(&input, OBS, ResiliencySpec::total(k_sat));
+                    sat_times.push(m.duration);
+                }
+            }
+            table.push([
+                buses.to_string(),
+                hierarchy.to_string(),
+                ms(mean(&unsat_times)),
+                ms(mean(&sat_times)),
+            ]);
+        }
+    }
+    print!("{}", table.to_aligned());
+    table
+        .write_to(Path::new("results/fig6.csv"))
+        .expect("write csv");
+    println!();
+}
+
+/// Fig 7a: maximum resiliency vs measurement density (14-bus).
+fn fig7a(opts: &Options) {
+    println!("== fig7a: max resiliency vs measurement density (14-bus) ==");
+    let mut table = Table::new(["density_pct", "avg_measurements", "max_ied", "max_rtu"]);
+    for density in [0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let mut ied_sum = 0.0;
+        let mut rtu_sum = 0.0;
+        let mut meas_sum = 0.0;
+        let mut n = 0.0;
+        for seed in 0..opts.seeds {
+            let input = Workload {
+                buses: 14,
+                density,
+                hierarchy: 1,
+                secure_fraction: 1.0,
+                seed,
+                ..Default::default()
+            }
+            .build();
+            let mut analyzer = Analyzer::new(&input);
+            let ied = analyzer
+                .max_resiliency(OBS, BudgetAxis::IedsOnly, 1)
+                .map_or(-1.0, |k| k as f64);
+            let rtu = analyzer
+                .max_resiliency(OBS, BudgetAxis::RtusOnly, 1)
+                .map_or(-1.0, |k| k as f64);
+            ied_sum += ied;
+            rtu_sum += rtu;
+            meas_sum += input.measurements.len() as f64;
+            n += 1.0;
+        }
+        table.push([
+            format!("{:.0}", density * 100.0),
+            format!("{:.1}", meas_sum / n),
+            format!("{:.2}", ied_sum / n),
+            format!("{:.2}", rtu_sum / n),
+        ]);
+    }
+    print!("{}", table.to_aligned());
+    table
+        .write_to(Path::new("results/fig7a.csv"))
+        .expect("write csv");
+    println!();
+}
+
+/// Fig 7b: threat-space size vs hierarchy level (14-bus).
+fn fig7b(opts: &Options) {
+    println!("== fig7b: threat vectors vs hierarchy level (14-bus) ==");
+    let mut table = Table::new(["hierarchy", "spec", "avg_threat_vectors"]);
+    for hierarchy in 1..=4usize {
+        for (k1, k2) in [(1, 1), (2, 1), (2, 2)] {
+            let mut total = 0.0;
+            let mut n = 0.0;
+            for seed in 0..opts.seeds {
+                let input = Workload {
+                    buses: 14,
+                    density: 0.7,
+                    hierarchy,
+                    secure_fraction: 0.9,
+                    seed: seed + 100,
+                    ..Default::default()
+                }
+                .build();
+                let space =
+                    enumerate_threats(&input, OBS, ResiliencySpec::split(k1, k2), 2000);
+                total += space.len() as f64;
+                n += 1.0;
+            }
+            table.push([
+                hierarchy.to_string(),
+                format!("({k1},{k2})"),
+                format!("{:.1}", total / n),
+            ]);
+        }
+    }
+    print!("{}", table.to_aligned());
+    table
+        .write_to(Path::new("results/fig7b.csv"))
+        .expect("write csv");
+    println!();
+}
+
+/// §VII headline: a ~400-field-device SCADA system verifies in bounded
+/// time (the paper: within 30 s on an i5).
+fn headline() {
+    println!("== headline: ~400-device SCADA system ==");
+    let input = Workload {
+        buses: 118,
+        density: 1.0,
+        hierarchy: 2,
+        secure_fraction: 0.9,
+        seed: 0,
+        ..Default::default()
+    }
+    .build();
+    let devices = input.field_devices().len();
+    println!("field devices: {devices}");
+    let mut table = Table::new(["property", "k", "verdict", "time_ms", "vars", "clauses"]);
+    for property in [OBS, SEC] {
+        for k in [1usize, 2, 3] {
+            let m = measure(&input, property, ResiliencySpec::total(k));
+            table.push([
+                property.to_string(),
+                k.to_string(),
+                if m.resilient { "unsat" } else { "sat" }.to_string(),
+                ms(m.duration),
+                m.variables.to_string(),
+                m.clauses.to_string(),
+            ]);
+        }
+    }
+    print!("{}", table.to_aligned());
+    table
+        .write_to(Path::new("results/headline.csv"))
+        .expect("write csv");
+    println!();
+}

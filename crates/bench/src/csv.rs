@@ -1,0 +1,149 @@
+//! Minimal CSV output for the experiment sweeps.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A CSV table under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header.
+    pub fn push<S: Display, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let row: Vec<String> = row.into_iter().map(|c| c.to_string()).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serializes as CSV (header + rows; fields with commas/quotes are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |field: &str| -> String {
+            if field.contains(',') || field.contains('"') || field.contains('\n') {
+                format!("\"{}\"", field.replace('"', "\"\""))
+            } else {
+                field.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut f = fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+
+    /// Renders as an aligned text table for stdout.
+    pub fn to_aligned(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let render = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = render(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_shape() {
+        let mut t = Table::new(["a", "b"]);
+        t.push([1, 2]);
+        t.push([3, 4]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(["x"]);
+        t.push(["has,comma"]);
+        t.push(["has\"quote"]);
+        assert_eq!(t.to_csv(), "x\n\"has,comma\"\n\"has\"\"quote\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.push([1]);
+    }
+
+    #[test]
+    fn aligned_output() {
+        let mut t = Table::new(["name", "v"]);
+        t.push(["long-name", "1"]);
+        let rendered = t.to_aligned();
+        assert!(rendered.contains("long-name"));
+        assert!(rendered.lines().count() == 3);
+    }
+}

@@ -1,0 +1,175 @@
+//! # scada-bench — evaluation harness
+//!
+//! Shared machinery for regenerating every table and figure of the
+//! DSN'16 evaluation: deterministic workload construction (IEEE-sized
+//! grids + synthetic SCADA), timed verification runs, small statistics,
+//! and CSV output. The `experiments` binary drives full sweeps;
+//! `benches/` holds the criterion targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+
+use std::time::{Duration, Instant};
+
+use powergrid::ieee::ieee14;
+use powergrid::synthetic::ieee_sized;
+use scada_analyzer::{Analyzer, AnalysisInput, Property, ResiliencySpec};
+use scadasim::{generate, ScadaGenConfig};
+
+/// Workload parameters for one generated SCADA system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// IEEE bus-system size (14 uses the real system, 30/57/118 the
+    /// IEEE-sized synthetic generator).
+    pub buses: usize,
+    /// Measurement density (fraction of `2L + B`).
+    pub density: f64,
+    /// RTU hierarchy level.
+    pub hierarchy: usize,
+    /// Fraction of hops with secured profiles.
+    pub secure_fraction: f64,
+    /// RNG seed (grid + SCADA).
+    pub seed: u64,
+}
+
+impl Default for Workload {
+    fn default() -> Workload {
+        Workload {
+            buses: 14,
+            density: 0.7,
+            hierarchy: 1,
+            secure_fraction: 0.8,
+            seed: 0,
+        }
+    }
+}
+
+impl Workload {
+    /// Builds the analysis input for this workload.
+    pub fn build(&self) -> AnalysisInput {
+        let system = if self.buses == 14 {
+            ieee14()
+        } else {
+            ieee_sized(self.buses, self.seed)
+        };
+        let scada = generate(
+            system,
+            &ScadaGenConfig {
+                measurement_density: self.density,
+                hierarchy_level: self.hierarchy,
+                secure_fraction: self.secure_fraction,
+                seed: self.seed,
+                ..Default::default()
+            },
+        );
+        AnalysisInput::new(scada.measurements, scada.topology, scada.ied_measurements)
+    }
+}
+
+/// One timed verification outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measured {
+    /// Whether the verdict was "resilient" (unsat).
+    pub resilient: bool,
+    /// Wall-clock time including encoding and solving.
+    pub duration: Duration,
+    /// Solver variables after the query.
+    pub variables: usize,
+    /// Clauses after the query.
+    pub clauses: usize,
+}
+
+/// Runs one verification from scratch (model construction + solve), the
+/// paper's notion of "execution time of the model".
+pub fn measure(input: &AnalysisInput, property: Property, spec: ResiliencySpec) -> Measured {
+    let start = Instant::now();
+    let mut analyzer = Analyzer::new(input);
+    let report = analyzer.verify_with_report(property, spec);
+    Measured {
+        resilient: report.verdict.is_resilient(),
+        duration: start.elapsed(),
+        variables: report.encoding.variables,
+        clauses: report.encoding.clauses,
+    }
+}
+
+/// Mean of a set of durations (zero if empty).
+pub fn mean(durations: &[Duration]) -> Duration {
+    if durations.is_empty() {
+        return Duration::ZERO;
+    }
+    durations.iter().sum::<Duration>() / durations.len() as u32
+}
+
+/// Finds, for one workload, a `(k_unsat, k_sat)` pair bracketing the
+/// resiliency boundary for a property: the largest `k` still resilient
+/// and the smallest `k` with a threat. Returns `None` when even `k = 0`
+/// has a threat (no unsat side exists).
+pub fn resiliency_boundary(
+    input: &AnalysisInput,
+    property: Property,
+    max_k: usize,
+) -> Option<(usize, usize)> {
+    let mut analyzer = Analyzer::new(input);
+    let mut last_resilient: Option<usize> = None;
+    for k in 0..=max_k {
+        if analyzer.verify(property, ResiliencySpec::total(k)).is_resilient() {
+            last_resilient = Some(k);
+        } else {
+            return last_resilient.map(|u| (u, k));
+        }
+    }
+    // Resilient all the way to max_k: treat (max_k, max_k + 1) as the
+    // boundary so callers still get an unsat sample.
+    last_resilient.map(|u| (u, u + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builds_for_every_size() {
+        for buses in [14, 30, 57] {
+            let input = Workload {
+                buses,
+                ..Default::default()
+            }
+            .build();
+            assert!(input.topology.ieds().count() > 0);
+            assert!(input.topology.validate().is_empty());
+        }
+    }
+
+    #[test]
+    fn measure_produces_sensible_numbers() {
+        let input = Workload::default().build();
+        let m = measure(&input, Property::Observability, ResiliencySpec::total(0));
+        assert!(m.variables > 0);
+        assert!(m.clauses > 0);
+        assert!(m.duration > Duration::ZERO);
+    }
+
+    #[test]
+    fn boundary_is_consistent() {
+        let input = Workload::default().build();
+        if let Some((unsat_k, sat_k)) =
+            resiliency_boundary(&input, Property::Observability, 6)
+        {
+            assert!(unsat_k < sat_k);
+            let mut analyzer = Analyzer::new(&input);
+            assert!(analyzer
+                .verify(Property::Observability, ResiliencySpec::total(unsat_k))
+                .is_resilient());
+        }
+    }
+
+    #[test]
+    fn mean_of_durations() {
+        assert_eq!(mean(&[]), Duration::ZERO);
+        let ds = [Duration::from_millis(2), Duration::from_millis(4)];
+        assert_eq!(mean(&ds), Duration::from_millis(3));
+    }
+}

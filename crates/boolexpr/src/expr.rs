@@ -1,0 +1,347 @@
+//! Hash-consed Boolean expressions.
+//!
+//! Expressions are built inside an [`ExprPool`], which deduplicates
+//! structurally identical nodes and performs light simplification at
+//! construction time (constant folding, flattening of nested
+//! conjunctions/disjunctions, complement detection). The pool keeps the
+//! SCADA model encodings compact: the same sub-formula — e.g. "RTU 9 and
+//! router 14 are up" — appears in many delivery paths but is encoded only
+//! once.
+
+use std::collections::HashMap;
+
+use satcore::Lit;
+
+/// A reference to an expression node inside an [`ExprPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef(u32);
+
+impl NodeRef {
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An expression node. `And`/`Or` children are sorted and deduplicated.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// The constant true.
+    True,
+    /// The constant false.
+    False,
+    /// A solver literal.
+    Lit(Lit),
+    /// Conjunction of at least two children.
+    And(Vec<NodeRef>),
+    /// Disjunction of at least two children.
+    Or(Vec<NodeRef>),
+    /// Negation.
+    Not(NodeRef),
+}
+
+/// A pool of hash-consed Boolean expressions.
+///
+/// # Examples
+///
+/// ```
+/// use boolexpr::ExprPool;
+/// use satcore::{Solver, CnfSink};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var().positive();
+/// let b = solver.new_var().positive();
+///
+/// let mut pool = ExprPool::new();
+/// let na = pool.lit(a);
+/// let nb = pool.lit(b);
+/// let conj = pool.and([na, nb]);
+/// let same = pool.and([nb, na]);
+/// assert_eq!(conj, same); // hash-consing is order-insensitive
+/// ```
+#[derive(Debug, Default)]
+pub struct ExprPool {
+    nodes: Vec<Node>,
+    cache: HashMap<Node, NodeRef>,
+}
+
+impl ExprPool {
+    /// Creates a pool containing the two constants.
+    pub fn new() -> ExprPool {
+        let mut p = ExprPool {
+            nodes: Vec::new(),
+            cache: HashMap::new(),
+        };
+        p.intern(Node::True);
+        p.intern(Node::False);
+        p
+    }
+
+    /// Number of distinct nodes in the pool.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the pool holds only the constants.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    /// The node behind a reference.
+    pub fn node(&self, r: NodeRef) -> &Node {
+        &self.nodes[r.index()]
+    }
+
+    fn intern(&mut self, n: Node) -> NodeRef {
+        if let Some(&r) = self.cache.get(&n) {
+            return r;
+        }
+        let r = NodeRef(self.nodes.len() as u32);
+        self.nodes.push(n.clone());
+        self.cache.insert(n, r);
+        r
+    }
+
+    /// The constant true.
+    pub fn tru(&self) -> NodeRef {
+        NodeRef(0)
+    }
+
+    /// The constant false.
+    pub fn fls(&self) -> NodeRef {
+        NodeRef(1)
+    }
+
+    /// A constant of the given value.
+    pub fn constant(&self, value: bool) -> NodeRef {
+        if value {
+            self.tru()
+        } else {
+            self.fls()
+        }
+    }
+
+    /// An expression equal to a solver literal.
+    pub fn lit(&mut self, l: Lit) -> NodeRef {
+        self.intern(Node::Lit(l))
+    }
+
+    /// Negation, with double negation and constants folded.
+    pub fn not(&mut self, r: NodeRef) -> NodeRef {
+        match self.nodes[r.index()].clone() {
+            Node::True => self.fls(),
+            Node::False => self.tru(),
+            Node::Lit(l) => self.intern(Node::Lit(!l)),
+            Node::Not(inner) => inner,
+            _ => self.intern(Node::Not(r)),
+        }
+    }
+
+    /// N-ary conjunction. Flattens nested conjunctions, drops `true`,
+    /// short-circuits on `false` and on complementary children.
+    pub fn and<I: IntoIterator<Item = NodeRef>>(&mut self, children: I) -> NodeRef {
+        let mut flat: Vec<NodeRef> = Vec::new();
+        for c in children {
+            match &self.nodes[c.index()] {
+                Node::True => {}
+                Node::False => return self.fls(),
+                Node::And(cs) => flat.extend(cs.iter().copied()),
+                _ => flat.push(c),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        // x ∧ ¬x → false
+        for &c in &flat {
+            let neg = self.not(c);
+            if flat.binary_search(&neg).is_ok() {
+                return self.fls();
+            }
+        }
+        match flat.len() {
+            0 => self.tru(),
+            1 => flat[0],
+            _ => self.intern(Node::And(flat)),
+        }
+    }
+
+    /// N-ary disjunction, the dual of [`ExprPool::and`].
+    pub fn or<I: IntoIterator<Item = NodeRef>>(&mut self, children: I) -> NodeRef {
+        let mut flat: Vec<NodeRef> = Vec::new();
+        for c in children {
+            match &self.nodes[c.index()] {
+                Node::False => {}
+                Node::True => return self.tru(),
+                Node::Or(cs) => flat.extend(cs.iter().copied()),
+                _ => flat.push(c),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        for &c in &flat {
+            let neg = self.not(c);
+            if flat.binary_search(&neg).is_ok() {
+                return self.tru();
+            }
+        }
+        match flat.len() {
+            0 => self.fls(),
+            1 => flat[0],
+            _ => self.intern(Node::Or(flat)),
+        }
+    }
+
+    /// Implication `a → b`.
+    pub fn implies(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        let na = self.not(a);
+        self.or([na, b])
+    }
+
+    /// Biconditional `a ↔ b`.
+    pub fn iff(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let l = self.or([na, b]);
+        let r = self.or([a, nb]);
+        self.and([l, r])
+    }
+
+    /// Exclusive or `a ⊕ b`.
+    pub fn xor(&mut self, a: NodeRef, b: NodeRef) -> NodeRef {
+        let eq = self.iff(a, b);
+        self.not(eq)
+    }
+
+    /// If-then-else `c ? t : e`.
+    pub fn ite(&mut self, c: NodeRef, t: NodeRef, e: NodeRef) -> NodeRef {
+        let nc = self.not(c);
+        let l = self.or([nc, t]);
+        let r = self.or([c, e]);
+        self.and([l, r])
+    }
+
+    /// Evaluates an expression under an assignment of solver literals.
+    ///
+    /// `value(lit)` must return the truth of the literal.
+    pub fn eval<F: Fn(Lit) -> bool + Copy>(&self, r: NodeRef, value: F) -> bool {
+        match &self.nodes[r.index()] {
+            Node::True => true,
+            Node::False => false,
+            Node::Lit(l) => value(*l),
+            Node::And(cs) => cs.iter().all(|&c| self.eval(c, value)),
+            Node::Or(cs) => cs.iter().any(|&c| self.eval(c, value)),
+            Node::Not(c) => !self.eval(*c, value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satcore::Var;
+
+    fn l(i: usize) -> Lit {
+        Var::from_index(i).positive()
+    }
+
+    #[test]
+    fn constants() {
+        let p = ExprPool::new();
+        assert_ne!(p.tru(), p.fls());
+        assert_eq!(p.constant(true), p.tru());
+        assert_eq!(p.constant(false), p.fls());
+    }
+
+    #[test]
+    fn not_folds() {
+        let mut p = ExprPool::new();
+        let t = p.tru();
+        assert_eq!(p.not(t), p.fls());
+        let a = p.lit(l(0));
+        let na = p.not(a);
+        assert_eq!(p.not(na), a);
+        // Literal negation stays a literal node.
+        assert!(matches!(p.node(na), Node::Lit(x) if x.is_negative()));
+    }
+
+    #[test]
+    fn and_simplifies() {
+        let mut p = ExprPool::new();
+        let a = p.lit(l(0));
+        let b = p.lit(l(1));
+        let t = p.tru();
+        let f = p.fls();
+        assert_eq!(p.and([a, t]), a);
+        assert_eq!(p.and([a, f]), p.fls());
+        assert_eq!(p.and([] as [NodeRef; 0]), p.tru());
+        assert_eq!(p.and([a, b]), p.and([b, a, a]));
+        let na = p.not(a);
+        assert_eq!(p.and([a, na]), p.fls());
+    }
+
+    #[test]
+    fn or_simplifies() {
+        let mut p = ExprPool::new();
+        let a = p.lit(l(0));
+        let b = p.lit(l(1));
+        let t = p.tru();
+        let f = p.fls();
+        assert_eq!(p.or([a, f]), a);
+        assert_eq!(p.or([a, t]), p.tru());
+        assert_eq!(p.or([] as [NodeRef; 0]), p.fls());
+        assert_eq!(p.or([a, b]), p.or([b, a]));
+        let na = p.not(a);
+        assert_eq!(p.or([a, na]), p.tru());
+    }
+
+    #[test]
+    fn flattening() {
+        let mut p = ExprPool::new();
+        let a = p.lit(l(0));
+        let b = p.lit(l(1));
+        let c = p.lit(l(2));
+        let ab = p.and([a, b]);
+        let abc1 = p.and([ab, c]);
+        let abc2 = p.and([a, b, c]);
+        assert_eq!(abc1, abc2);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut p = ExprPool::new();
+        let a = p.lit(l(0));
+        let b = p.lit(l(1));
+        let f = p.iff(a, b);
+        let x = p.xor(a, b);
+        let imp = p.implies(a, b);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let value = |lit: Lit| {
+                let base = if lit.var().index() == 0 { va } else { vb };
+                if lit.is_negative() {
+                    !base
+                } else {
+                    base
+                }
+            };
+            assert_eq!(p.eval(f, value), va == vb);
+            assert_eq!(p.eval(x, value), va != vb);
+            assert_eq!(p.eval(imp, value), !va || vb);
+        }
+    }
+
+    #[test]
+    fn ite_semantics() {
+        let mut p = ExprPool::new();
+        let c = p.lit(l(0));
+        let t = p.lit(l(1));
+        let e = p.lit(l(2));
+        let ite = p.ite(c, t, e);
+        for bits in 0..8u8 {
+            let value = |lit: Lit| {
+                let base = (bits >> lit.var().index()) & 1 == 1;
+                base != lit.is_negative()
+            };
+            let expected = if value(l(0)) { value(l(1)) } else { value(l(2)) };
+            assert_eq!(p.eval(ite, value), expected);
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Tseitin transformation from expressions to CNF.
+//!
+//! Every internal node is given a definition literal constrained to be
+//! *equivalent* to the node (full biconditional, both polarities). The
+//! paper writes its derived terms (`AssuredDelivery`, `D_Z`, `DE_X`, …)
+//! as one-directional implications; encoding them as equivalences is what
+//! makes the threat search sound — otherwise the solver could set a
+//! derived term false spuriously and report a fake threat vector.
+
+use std::collections::HashMap;
+
+use satcore::{CnfSink, Lit};
+
+use crate::expr::{ExprPool, Node, NodeRef};
+
+/// Translates pool expressions into clauses on a [`CnfSink`].
+///
+/// The encoder caches the definition literal of every node, so shared
+/// sub-expressions are defined once per [`Encoder`].
+///
+/// # Examples
+///
+/// ```
+/// use boolexpr::{Encoder, ExprPool};
+/// use satcore::{CnfSink, SolveResult, Solver};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var().positive();
+/// let b = solver.new_var().positive();
+///
+/// let mut pool = ExprPool::new();
+/// let na = pool.lit(a);
+/// let nb = pool.lit(b);
+/// let both = pool.and([na, nb]);
+///
+/// let mut enc = Encoder::new();
+/// enc.assert(&pool, both, &mut solver);
+/// assert_eq!(solver.solve(), SolveResult::Sat);
+/// assert_eq!(solver.value_of(a.var()), Some(true));
+/// assert_eq!(solver.value_of(b.var()), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct Encoder {
+    lit_of: HashMap<NodeRef, Lit>,
+    true_lit: Option<Lit>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// A literal constrained to be true (allocated lazily).
+    pub fn true_lit<S: CnfSink>(&mut self, sink: &mut S) -> Lit {
+        match self.true_lit {
+            Some(l) => l,
+            None => {
+                let l = sink.new_var().positive();
+                sink.add_clause(&[l]);
+                self.true_lit = Some(l);
+                l
+            }
+        }
+    }
+
+    /// Returns a literal equivalent to the expression, emitting defining
+    /// clauses for any nodes not yet translated.
+    pub fn literal<S: CnfSink>(&mut self, pool: &ExprPool, root: NodeRef, sink: &mut S) -> Lit {
+        if let Some(&l) = self.lit_of.get(&root) {
+            return l;
+        }
+        // Iterative post-order traversal (expressions can be deep).
+        let mut stack: Vec<(NodeRef, bool)> = vec![(root, false)];
+        while let Some((r, expanded)) = stack.pop() {
+            if self.lit_of.contains_key(&r) {
+                continue;
+            }
+            if !expanded {
+                stack.push((r, true));
+                match pool.node(r) {
+                    Node::And(cs) | Node::Or(cs) => {
+                        for &c in cs {
+                            stack.push((c, false));
+                        }
+                    }
+                    Node::Not(c) => stack.push((*c, false)),
+                    _ => {}
+                }
+            } else {
+                let lit = self.define(pool, r, sink);
+                self.lit_of.insert(r, lit);
+            }
+        }
+        self.lit_of[&root]
+    }
+
+    fn define<S: CnfSink>(&mut self, pool: &ExprPool, r: NodeRef, sink: &mut S) -> Lit {
+        match pool.node(r) {
+            Node::True => self.true_lit(sink),
+            Node::False => !self.true_lit(sink),
+            Node::Lit(l) => *l,
+            Node::Not(c) => !self.lit_of[c],
+            Node::And(cs) => {
+                let d = sink.new_var().positive();
+                let child_lits: Vec<Lit> = cs.iter().map(|c| self.lit_of[c]).collect();
+                // d → ci for all i
+                for &c in &child_lits {
+                    sink.add_clause(&[!d, c]);
+                }
+                // (∧ ci) → d
+                let mut clause: Vec<Lit> = child_lits.iter().map(|&c| !c).collect();
+                clause.push(d);
+                sink.add_clause(&clause);
+                d
+            }
+            Node::Or(cs) => {
+                let d = sink.new_var().positive();
+                let child_lits: Vec<Lit> = cs.iter().map(|c| self.lit_of[c]).collect();
+                // ci → d for all i
+                for &c in &child_lits {
+                    sink.add_clause(&[!c, d]);
+                }
+                // d → (∨ ci)
+                let mut clause: Vec<Lit> = child_lits.clone();
+                clause.push(!d);
+                sink.add_clause(&clause);
+                d
+            }
+        }
+    }
+
+    /// Asserts that the expression is true.
+    ///
+    /// The root connective is asserted structurally (no definition
+    /// variable for the root): a conjunction asserts each conjunct, a
+    /// disjunction becomes a single clause.
+    pub fn assert<S: CnfSink>(&mut self, pool: &ExprPool, root: NodeRef, sink: &mut S) {
+        match pool.node(root) {
+            Node::True => {}
+            Node::False => {
+                // Assert the empty clause: unsatisfiable.
+                sink.add_clause(&[]);
+            }
+            Node::And(cs) => {
+                for &c in cs {
+                    self.assert(pool, c, sink);
+                }
+            }
+            Node::Or(cs) => {
+                let clause: Vec<Lit> =
+                    cs.iter().map(|&c| self.literal(pool, c, sink)).collect();
+                sink.add_clause(&clause);
+            }
+            _ => {
+                let l = self.literal(pool, root, sink);
+                sink.add_clause(&[l]);
+            }
+        }
+    }
+
+    /// Asserts `root` is false (sugar for asserting the negation).
+    pub fn assert_not<S: CnfSink>(
+        &mut self,
+        pool: &mut ExprPool,
+        root: NodeRef,
+        sink: &mut S,
+    ) {
+        let neg = pool.not(root);
+        self.assert(pool, neg, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use satcore::{SolveResult, Solver};
+
+    fn fresh(solver: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| solver.new_var().positive()).collect()
+    }
+
+    #[test]
+    fn assert_conjunction_forces_children() {
+        let mut s = Solver::new();
+        let vs = fresh(&mut s, 3);
+        let mut p = ExprPool::new();
+        let ns: Vec<_> = vs.iter().map(|&l| p.lit(l)).collect();
+        let conj = p.and(ns.clone());
+        let mut e = Encoder::new();
+        e.assert(&p, conj, &mut s);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for v in &vs {
+            assert_eq!(s.value_of(v.var()), Some(true));
+        }
+    }
+
+    #[test]
+    fn assert_false_is_unsat() {
+        let mut s = Solver::new();
+        let p = ExprPool::new();
+        let f = p.fls();
+        let mut e = Encoder::new();
+        e.assert(&p, f, &mut s);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn iff_is_biconditional() {
+        let mut s = Solver::new();
+        let vs = fresh(&mut s, 2);
+        let mut p = ExprPool::new();
+        let a = p.lit(vs[0]);
+        let b = p.lit(vs[1]);
+        let iff = p.iff(a, b);
+        let mut e = Encoder::new();
+        e.assert(&p, iff, &mut s);
+        assert_eq!(s.solve_with_assumptions(&[vs[0]]), SolveResult::Sat);
+        assert_eq!(s.value_of(vs[1].var()), Some(true));
+        assert_eq!(s.solve_with_assumptions(&[!vs[0]]), SolveResult::Sat);
+        assert_eq!(s.value_of(vs[1].var()), Some(false));
+        assert_eq!(
+            s.solve_with_assumptions(&[vs[0], !vs[1]]),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    fn definition_literal_is_equivalence() {
+        // d := a ∨ b; forcing ¬a, ¬b must force ¬d (the reverse direction
+        // of the Tseitin definition).
+        let mut s = Solver::new();
+        let vs = fresh(&mut s, 2);
+        let mut p = ExprPool::new();
+        let a = p.lit(vs[0]);
+        let b = p.lit(vs[1]);
+        let or = p.or([a, b]);
+        let mut e = Encoder::new();
+        let d = e.literal(&p, or, &mut s);
+        assert_eq!(
+            s.solve_with_assumptions(&[!vs[0], !vs[1], d]),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            s.solve_with_assumptions(&[vs[0], !d]),
+            SolveResult::Unsat
+        );
+    }
+
+    #[test]
+    fn shared_subexpressions_reuse_definitions() {
+        let mut s = Solver::new();
+        let vs = fresh(&mut s, 2);
+        let mut p = ExprPool::new();
+        let a = p.lit(vs[0]);
+        let b = p.lit(vs[1]);
+        let ab = p.and([a, b]);
+        let mut e = Encoder::new();
+        let l1 = e.literal(&p, ab, &mut s);
+        let l2 = e.literal(&p, ab, &mut s);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn assert_not_negates() {
+        let mut s = Solver::new();
+        let vs = fresh(&mut s, 2);
+        let mut p = ExprPool::new();
+        let a = p.lit(vs[0]);
+        let b = p.lit(vs[1]);
+        let or = p.or([a, b]);
+        let mut e = Encoder::new();
+        e.assert_not(&mut p, or, &mut s);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value_of(vs[0].var()), Some(false));
+        assert_eq!(s.value_of(vs[1].var()), Some(false));
+    }
+}

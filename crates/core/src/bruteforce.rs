@@ -1,0 +1,388 @@
+//! Reference semantics by direct evaluation.
+//!
+//! [`DirectEvaluator`] computes delivery, secured delivery, and the three
+//! properties for a concrete failure set by walking precomputed paths —
+//! no SAT involved. It serves three purposes: minimizing threat vectors
+//! returned by the solver, cross-validating the SAT pipeline
+//! (property-tested in `tests/cross_validation.rs`), and providing an
+//! exhaustive baseline ([`DirectEvaluator::find_threat_exhaustive`])
+//! whose cost the benchmarks compare against the SAT encoding.
+
+use std::collections::HashSet;
+
+use powergrid::observability::boolean_observability;
+use scadasim::paths::{forwarding_paths, links_of_path, path_secured, ForwardingPath};
+use scadasim::DeviceId;
+
+use crate::input::AnalysisInput;
+use crate::spec::{FailureBudget, Property, ResiliencySpec};
+use crate::threat::ThreatVector;
+
+/// Direct (non-symbolic) evaluator for the three resiliency properties.
+#[derive(Debug)]
+pub struct DirectEvaluator<'a> {
+    input: &'a AnalysisInput,
+    /// Assured-delivery paths per device index (empty for non-IEDs).
+    assured_paths: Vec<Vec<ForwardingPath>>,
+    /// The subset of those paths whose every security hop is secured.
+    secured_paths: Vec<Vec<ForwardingPath>>,
+    /// Link indices per assured path (parallel to `assured_paths`).
+    assured_links: Vec<Vec<Vec<usize>>>,
+    /// Link indices per secured path.
+    secured_links: Vec<Vec<Vec<usize>>>,
+    /// Recording IED per measurement.
+    recorded_by: Vec<Option<DeviceId>>,
+}
+
+/// An empty link-failure set, for the device-only entry points.
+static NO_LINKS_SET: std::sync::LazyLock<HashSet<usize>> =
+    std::sync::LazyLock::new(HashSet::new);
+#[allow(non_upper_case_globals)]
+static NO_LINKS: &std::sync::LazyLock<HashSet<usize>> = &NO_LINKS_SET;
+
+impl<'a> DirectEvaluator<'a> {
+    /// Precomputes paths for every IED.
+    pub fn new(input: &'a AnalysisInput) -> DirectEvaluator<'a> {
+        let n = input.topology.num_devices();
+        let mut assured_paths = vec![Vec::new(); n];
+        let mut secured_paths = vec![Vec::new(); n];
+        let mut assured_links = vec![Vec::new(); n];
+        let mut secured_links = vec![Vec::new(); n];
+        for ied in input.topology.ieds() {
+            let paths = forwarding_paths(&input.topology, ied.id(), &input.path_limits);
+            let secured: Vec<ForwardingPath> = paths
+                .iter()
+                .filter(|p| path_secured(&input.topology, &input.policy, p))
+                .cloned()
+                .collect();
+            let idx = ied.id().index();
+            assured_links[idx] = paths
+                .iter()
+                .map(|p| links_of_path(&input.topology, p))
+                .collect();
+            secured_links[idx] = secured
+                .iter()
+                .map(|p| links_of_path(&input.topology, p))
+                .collect();
+            assured_paths[idx] = paths;
+            secured_paths[idx] = secured;
+        }
+        DirectEvaluator {
+            input,
+            assured_paths,
+            secured_paths,
+            assured_links,
+            secured_links,
+            recorded_by: input.recorded_by(),
+        }
+    }
+
+    fn path_alive(
+        path: &ForwardingPath,
+        links: &[usize],
+        failed: &HashSet<DeviceId>,
+        failed_links: &HashSet<usize>,
+    ) -> bool {
+        path.iter().all(|d| !failed.contains(d))
+            && links.iter().all(|li| !failed_links.contains(li))
+    }
+
+    /// The paper's `AssuredDelivery_I` for a concrete failure set.
+    pub fn assured_delivery(&self, ied: DeviceId, failed: &HashSet<DeviceId>) -> bool {
+        self.assured_delivery_full(ied, failed, NO_LINKS)
+    }
+
+    /// Assured delivery under device *and* link failures.
+    pub fn assured_delivery_full(
+        &self,
+        ied: DeviceId,
+        failed: &HashSet<DeviceId>,
+        failed_links: &HashSet<usize>,
+    ) -> bool {
+        self.assured_paths[ied.index()]
+            .iter()
+            .zip(self.assured_links[ied.index()].iter())
+            .any(|(p, ls)| Self::path_alive(p, ls, failed, failed_links))
+    }
+
+    /// The paper's `SecuredDelivery_I`.
+    pub fn secured_delivery(&self, ied: DeviceId, failed: &HashSet<DeviceId>) -> bool {
+        self.secured_delivery_full(ied, failed, NO_LINKS)
+    }
+
+    /// Secured delivery under device *and* link failures.
+    pub fn secured_delivery_full(
+        &self,
+        ied: DeviceId,
+        failed: &HashSet<DeviceId>,
+        failed_links: &HashSet<usize>,
+    ) -> bool {
+        self.secured_paths[ied.index()]
+            .iter()
+            .zip(self.secured_links[ied.index()].iter())
+            .any(|(p, ls)| Self::path_alive(p, ls, failed, failed_links))
+    }
+
+    /// Delivery flags per measurement (`D_Z`).
+    pub fn delivered(&self, failed: &HashSet<DeviceId>) -> Vec<bool> {
+        self.flags(failed, NO_LINKS, false)
+    }
+
+    /// Secured flags per measurement (`S_Z`).
+    pub fn secured(&self, failed: &HashSet<DeviceId>) -> Vec<bool> {
+        self.flags(failed, NO_LINKS, true)
+    }
+
+    fn flags(
+        &self,
+        failed: &HashSet<DeviceId>,
+        failed_links: &HashSet<usize>,
+        secured: bool,
+    ) -> Vec<bool> {
+        let mut delivery_of_ied = vec![false; self.input.topology.num_devices()];
+        for ied in self.input.topology.ieds() {
+            delivery_of_ied[ied.id().index()] = if secured {
+                self.secured_delivery_full(ied.id(), failed, failed_links)
+            } else {
+                self.assured_delivery_full(ied.id(), failed, failed_links)
+            };
+        }
+        self.recorded_by
+            .iter()
+            .map(|by| by.is_some_and(|ied| delivery_of_ied[ied.index()]))
+            .collect()
+    }
+
+    /// Whether the property *holds* under the failure set.
+    pub fn holds(&self, property: Property, r: usize, failed: &HashSet<DeviceId>) -> bool {
+        self.holds_full(property, r, failed, NO_LINKS)
+    }
+
+    /// Whether the property holds under device *and* link failures.
+    pub fn holds_full(
+        &self,
+        property: Property,
+        r: usize,
+        failed: &HashSet<DeviceId>,
+        failed_links: &HashSet<usize>,
+    ) -> bool {
+        match property {
+            Property::Observability => {
+                boolean_observability(
+                    &self.input.measurements,
+                    &self.flags(failed, failed_links, false),
+                )
+                .observable
+            }
+            Property::SecuredObservability => {
+                boolean_observability(
+                    &self.input.measurements,
+                    &self.flags(failed, failed_links, true),
+                )
+                .observable
+            }
+            Property::BadDataDetectability => {
+                let secured = self.flags(failed, failed_links, true);
+                let ms = &self.input.measurements;
+                (0..ms.num_states()).all(|x| {
+                    let count = ms
+                        .ids()
+                        .filter(|&z| secured[z.index()] && ms.state_set(z).contains(&x))
+                        .count();
+                    count >= r + 1
+                })
+            }
+        }
+    }
+
+    /// Whether the failure set *violates* the property.
+    pub fn violates(&self, property: Property, r: usize, failed: &HashSet<DeviceId>) -> bool {
+        !self.holds(property, r, failed)
+    }
+
+    /// Whether device and link failures together violate the property.
+    pub fn violates_full(
+        &self,
+        property: Property,
+        r: usize,
+        failed: &HashSet<DeviceId>,
+        failed_links: &HashSet<usize>,
+    ) -> bool {
+        !self.holds_full(property, r, failed, failed_links)
+    }
+
+    /// Shrinks a violating failure set to a minimal one (removing any
+    /// device stops the violation). Deterministic: devices are retried in
+    /// ascending id order.
+    pub fn minimize(
+        &self,
+        property: Property,
+        r: usize,
+        failed: &HashSet<DeviceId>,
+    ) -> ThreatVector {
+        self.minimize_full(property, r, failed, NO_LINKS)
+    }
+
+    /// Shrinks a violating device+link failure set to a minimal one.
+    pub fn minimize_full(
+        &self,
+        property: Property,
+        r: usize,
+        failed: &HashSet<DeviceId>,
+        failed_links: &HashSet<usize>,
+    ) -> ThreatVector {
+        debug_assert!(self.violates_full(property, r, failed, failed_links));
+        let mut devices: Vec<DeviceId> = failed.iter().copied().collect();
+        devices.sort();
+        let mut links: Vec<usize> = failed_links.iter().copied().collect();
+        links.sort_unstable();
+        // Drop gratuitous devices first, then gratuitous links.
+        let mut i = 0;
+        while i < devices.len() {
+            let without: HashSet<DeviceId> = devices
+                .iter()
+                .copied()
+                .filter(|&d| d != devices[i])
+                .collect();
+            let lset: HashSet<usize> = links.iter().copied().collect();
+            if self.violates_full(property, r, &without, &lset) {
+                devices.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        let dset: HashSet<DeviceId> = devices.iter().copied().collect();
+        let mut i = 0;
+        while i < links.len() {
+            let without: HashSet<usize> =
+                links.iter().copied().filter(|&l| l != links[i]).collect();
+            if self.violates_full(property, r, &dset, &without) {
+                links.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        ThreatVector::from_failed_with_links(&self.input.topology, devices, links)
+    }
+
+    /// Exhaustively searches for a threat vector within the budget
+    /// (baseline for benchmarks; exponential in the budget).
+    pub fn find_threat_exhaustive(
+        &self,
+        property: Property,
+        spec: ResiliencySpec,
+    ) -> Option<ThreatVector> {
+        let ieds: Vec<DeviceId> = self
+            .input
+            .topology
+            .ieds()
+            .map(|d| d.id())
+            .collect();
+        let rtus: Vec<DeviceId> = self
+            .input
+            .topology
+            .rtus()
+            .map(|d| d.id())
+            .collect();
+        let (max_ied, max_rtu, max_total) = match spec.budget {
+            FailureBudget::Split { ieds: a, rtus: b } => (a, b, a + b),
+            FailureBudget::Total(k) => (k, k, k),
+        };
+        // Enumerate subsets by increasing size so the first hit is
+        // cardinality-minimal.
+        let mut found: Option<ThreatVector> = None;
+        let mut best: Option<usize> = None;
+        self.search(
+            property,
+            spec,
+            &ieds,
+            &rtus,
+            max_ied.min(ieds.len()),
+            max_rtu.min(rtus.len()),
+            max_total,
+            &mut found,
+            &mut best,
+        );
+        found
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        &self,
+        property: Property,
+        spec: ResiliencySpec,
+        ieds: &[DeviceId],
+        rtus: &[DeviceId],
+        max_ied: usize,
+        max_rtu: usize,
+        max_total: usize,
+        found: &mut Option<ThreatVector>,
+        best: &mut Option<usize>,
+    ) {
+        // Iterate over total failure size.
+        for size in 0..=max_total.min(ieds.len() + rtus.len()) {
+            if best.is_some() {
+                return;
+            }
+            let mut subset: Vec<DeviceId> = Vec::with_capacity(size);
+            self.subsets_of_size(
+                property, spec, ieds, rtus, max_ied, max_rtu, size, 0, &mut subset, found,
+                best,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn subsets_of_size(
+        &self,
+        property: Property,
+        spec: ResiliencySpec,
+        ieds: &[DeviceId],
+        rtus: &[DeviceId],
+        max_ied: usize,
+        max_rtu: usize,
+        remaining: usize,
+        start: usize,
+        subset: &mut Vec<DeviceId>,
+        found: &mut Option<ThreatVector>,
+        best: &mut Option<usize>,
+    ) {
+        if best.is_some() {
+            return;
+        }
+        if remaining == 0 {
+            let n_ied = subset.iter().filter(|d| ieds.contains(d)).count();
+            let n_rtu = subset.len() - n_ied;
+            if n_ied > max_ied || n_rtu > max_rtu {
+                return;
+            }
+            let failed: HashSet<DeviceId> = subset.iter().copied().collect();
+            if self.violates(property, spec.corrupted, &failed) {
+                *best = Some(subset.len());
+                *found = Some(ThreatVector::from_failed(&self.input.topology, failed));
+            }
+            return;
+        }
+        let all: Vec<DeviceId> = ieds.iter().chain(rtus.iter()).copied().collect();
+        for i in start..all.len() {
+            subset.push(all[i]);
+            self.subsets_of_size(
+                property,
+                spec,
+                ieds,
+                rtus,
+                max_ied,
+                max_rtu,
+                remaining - 1,
+                i + 1,
+                subset,
+                found,
+                best,
+            );
+            subset.pop();
+            if best.is_some() {
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! The paper's 5-bus case study (§IV).
+
+mod fivebus;
+
+pub mod calibrate;
+
+pub use fivebus::{
+    default_labeling, five_bus_case_study, five_bus_fig4, five_bus_with_labeling,
+    FiveBusTopology,
+};

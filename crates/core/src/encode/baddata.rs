@@ -1,0 +1,69 @@
+//! Bad-data detectability encoding (§III-E).
+//!
+//! `SE_{X,Z} ⟺ S_Z` for each `X ∈ StateSet_Z`; a state with fewer than
+//! `r + 1` secured measurements makes bad data undetectable:
+//! `¬BadDataDetectability ⟺ ∃X (Σ_Z SE_{X,Z} < r + 1)`.
+//!
+//! Per-state unary counters over the covering `S_Z` literals are built
+//! once; the undetectability literal for each `r` is then a disjunction
+//! of counter outputs, cached per `r`.
+
+use boolexpr::{Encoder, ExprPool, UnaryCounter};
+use satcore::{Lit, Solver};
+
+use crate::input::AnalysisInput;
+
+/// Per-state secured-coverage counters.
+#[derive(Debug)]
+pub(crate) struct BadDataEncoding {
+    /// One counter per state over the `S_Z` of covering measurements.
+    state_counters: Vec<UnaryCounter>,
+}
+
+impl BadDataEncoding {
+    /// Builds the per-state counters from the secured-measurement
+    /// literals (`S_Z`).
+    pub(crate) fn build(
+        input: &AnalysisInput,
+        solver: &mut Solver,
+        secured_meas: &[Lit],
+    ) -> BadDataEncoding {
+        let ms = &input.measurements;
+        let mut per_state: Vec<Vec<Lit>> = vec![Vec::new(); ms.num_states()];
+        for z in ms.ids() {
+            for x in ms.state_set(z) {
+                per_state[x].push(secured_meas[z.index()]);
+            }
+        }
+        let state_counters = per_state
+            .into_iter()
+            .map(|lits| UnaryCounter::build(solver, &lits))
+            .collect();
+        BadDataEncoding { state_counters }
+    }
+
+    /// A literal equivalent to `¬BadDataDetectability` at tolerance `r`.
+    pub(crate) fn not_detectable_lit(
+        &self,
+        pool: &mut ExprPool,
+        enc: &mut Encoder,
+        solver: &mut Solver,
+        r: usize,
+    ) -> Lit {
+        let disjuncts: Vec<_> = self
+            .state_counters
+            .iter()
+            .map(|counter| {
+                // count ≤ r  ⟺  ¬(count ≥ r+1)
+                match counter.leq_lit(r) {
+                    Some(l) => pool.lit(l),
+                    // r ≥ number of covering measurements: corrupting all
+                    // of them is within budget — undetectable regardless.
+                    None => pool.tru(),
+                }
+            })
+            .collect();
+        let expr = pool.or(disjuncts);
+        enc.literal(pool, expr, solver)
+    }
+}

@@ -1,0 +1,91 @@
+//! Delivery constraints (§III-C, §III-D).
+//!
+//! `AssuredDelivery_I` holds iff some forwarding path from IED `I` to the
+//! MTU has every device available (links are static; statically
+//! incompatible hops were already excluded during path enumeration).
+//! `SecuredDelivery_I` additionally requires every security hop of the
+//! path to be authenticated and integrity-protected under the policy.
+//!
+//! Both are built as pool expressions over the per-device availability
+//! literals, so the Tseitin encoder defines them as biconditionals — the
+//! soundness fix described in DESIGN.md.
+
+use boolexpr::{ExprPool, NodeRef};
+use satcore::Lit;
+use scadasim::paths::{forwarding_paths, links_of_path, path_secured, ForwardingPath};
+use scadasim::{DeviceId, Topology};
+
+use crate::input::AnalysisInput;
+
+/// The enumerated paths of one IED, split by security.
+#[derive(Debug, Clone)]
+pub(crate) struct IedPaths {
+    /// All forwarding paths (assured delivery).
+    pub all: Vec<ForwardingPath>,
+    /// Paths whose every security hop is secured (secured delivery).
+    pub secured: Vec<ForwardingPath>,
+}
+
+/// Enumerates paths for every device (non-IEDs get empty entries).
+pub(crate) fn enumerate_paths(input: &AnalysisInput) -> Vec<IedPaths> {
+    let n = input.topology.num_devices();
+    let mut out = vec![
+        IedPaths {
+            all: Vec::new(),
+            secured: Vec::new(),
+        };
+        n
+    ];
+    for ied in input.topology.ieds() {
+        let all = forwarding_paths(&input.topology, ied.id(), &input.path_limits);
+        let secured = all
+            .iter()
+            .filter(|p| path_secured(&input.topology, &input.policy, p))
+            .cloned()
+            .collect();
+        out[ied.id().index()] = IedPaths { all, secured };
+    }
+    out
+}
+
+/// `∨_paths (∧_{devices on path} Node_d ∧ ∧_{links on path} LinkUp_l)`
+/// over availability literals.
+pub(crate) fn delivery_expr(
+    topology: &Topology,
+    pool: &mut ExprPool,
+    node: &[Lit],
+    link_up: &[Lit],
+    paths: &[ForwardingPath],
+) -> NodeRef {
+    let path_exprs: Vec<NodeRef> = paths
+        .iter()
+        .map(|p| {
+            let mut lits: Vec<NodeRef> =
+                p.iter().map(|d| pool.lit(node[d.index()])).collect();
+            lits.extend(
+                links_of_path(topology, p)
+                    .into_iter()
+                    .map(|li| pool.lit(link_up[li])),
+            );
+            pool.and(lits)
+        })
+        .collect();
+    pool.or(path_exprs)
+}
+
+/// Per-measurement delivery expressions: the recording IED's delivery
+/// expression, or constant false for unrecorded measurements.
+pub(crate) fn measurement_exprs(
+    input: &AnalysisInput,
+    pool: &mut ExprPool,
+    per_ied: &[NodeRef],
+) -> Vec<NodeRef> {
+    let recorded_by: Vec<Option<DeviceId>> = input.recorded_by();
+    recorded_by
+        .iter()
+        .map(|by| match by {
+            Some(ied) => per_ied[ied.index()],
+            None => pool.fls(),
+        })
+        .collect()
+}

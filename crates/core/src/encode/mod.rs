@@ -1,0 +1,317 @@
+//! The formal model encoder.
+//!
+//! [`ModelEncoder`] translates an [`AnalysisInput`] into CNF on the
+//! [`satcore::Solver`], mirroring §III of the paper with one systematic
+//! strengthening: every derived term (`AssuredDelivery_I`,
+//! `SecuredDelivery_I`, `D_Z`, `S_Z`, `DE_X`, `DelUMsr_E`,
+//! `Observable`, …) is defined as a biconditional, not a one-directional
+//! implication, so that satisfying assignments are exactly the real
+//! threat scenarios (see DESIGN.md, "Encoding notes").
+//!
+//! Encodings are built lazily per property: an observability-only
+//! workload never pays for the secured chain or the bad-data counters —
+//! this keeps the Fig 5(a)/5(b) time comparison faithful to the paper's
+//! "the secured model is bigger, hence slower" observation.
+
+mod baddata;
+mod delivery;
+mod observability;
+mod resilience;
+
+use std::collections::HashMap;
+
+use boolexpr::{Encoder, ExprPool, NodeRef, UnaryCounter};
+use satcore::{Lit, SolveResult, Solver};
+use scadasim::{DeviceId, DeviceKind};
+
+use crate::input::AnalysisInput;
+use crate::spec::{Property, ResiliencySpec};
+
+use baddata::BadDataEncoding;
+use observability::ObservabilityLits;
+use resilience::FailureCounters;
+
+/// Sizes of the encoded model, for the scalability evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EncodingStats {
+    /// Solver variables allocated.
+    pub variables: usize,
+    /// Clauses added.
+    pub clauses: usize,
+}
+
+/// A satisfying assignment of the threat search: the failed devices and
+/// links exhibited by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Unavailable field devices.
+    pub devices: Vec<DeviceId>,
+    /// Downed links (indices into the topology's link list).
+    pub links: Vec<usize>,
+}
+
+/// The symbolic model of one SCADA system.
+#[derive(Debug)]
+pub struct ModelEncoder {
+    solver: Solver,
+    pool: ExprPool,
+    enc: Encoder,
+    /// Availability literal per device (`Node_i`).
+    node: Vec<Lit>,
+    /// Availability literal per link (`LinkStatus_l`).
+    link_up: Vec<Lit>,
+    counters: FailureCounters,
+    /// Counter over link failures, built on the first query that grants
+    /// a link budget.
+    link_counter: Option<UnaryCounter>,
+    /// Per-device delivery expressions (built with the plain chain).
+    plain: Option<ObservabilityLits>,
+    secured: Option<ObservabilityLits>,
+    baddata: Option<BadDataEncoding>,
+    not_detectable_cache: HashMap<usize, Lit>,
+    /// Cached per-IED path sets (shared by plain/secured/baddata).
+    paths: Vec<delivery::IedPaths>,
+}
+
+impl ModelEncoder {
+    /// Builds the base encoding: availability variables and failure
+    /// counters. Property chains are added on first use.
+    pub fn new(input: &AnalysisInput) -> ModelEncoder {
+        use satcore::CnfSink;
+        let mut solver = Solver::new();
+        let node: Vec<Lit> = input
+            .topology
+            .devices()
+            .iter()
+            .map(|_| solver.new_var().positive())
+            .collect();
+        // Pin devices outside the failure model as available.
+        for d in input.topology.devices() {
+            let pinned = match d.kind() {
+                DeviceKind::Mtu => true,
+                DeviceKind::Router => !input.routers_can_fail,
+                DeviceKind::Ied | DeviceKind::Rtu => false,
+            };
+            if pinned {
+                solver.add_clause(&[node[d.id().index()]]);
+            }
+        }
+        let ieds: Vec<DeviceId> = input.topology.ieds().map(|d| d.id()).collect();
+        let mut rtus: Vec<DeviceId> = input.topology.rtus().map(|d| d.id()).collect();
+        if input.routers_can_fail {
+            rtus.extend(
+                input
+                    .topology
+                    .devices_of_kind(DeviceKind::Router)
+                    .map(|d| d.id()),
+            );
+            rtus.sort();
+        }
+        let counters = FailureCounters::build(&mut solver, &node, ieds, rtus);
+        // One availability variable per link. Links that are statically
+        // down never appear on enumerated paths; their variables are
+        // simply unconstrained.
+        let link_up: Vec<Lit> = input
+            .topology
+            .links()
+            .iter()
+            .map(|_| solver.new_var().positive())
+            .collect();
+        let paths = delivery::enumerate_paths(input);
+        ModelEncoder {
+            solver,
+            pool: ExprPool::new(),
+            enc: Encoder::new(),
+            node,
+            link_up,
+            counters,
+            link_counter: None,
+            plain: None,
+            secured: None,
+            baddata: None,
+            not_detectable_cache: HashMap::new(),
+            paths,
+        }
+    }
+
+    /// The availability literal of a device.
+    pub fn node_lit(&self, d: DeviceId) -> Lit {
+        self.node[d.index()]
+    }
+
+    /// Current encoding sizes.
+    pub fn stats(&self) -> EncodingStats {
+        use satcore::CnfSink;
+        EncodingStats {
+            variables: self.solver.num_vars(),
+            clauses: self.solver.num_original_clauses(),
+        }
+    }
+
+    /// Direct access to the underlying solver (e.g. for blocking clauses
+    /// during threat enumeration).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    fn per_ied_exprs(&mut self, input: &AnalysisInput, secured: bool) -> Vec<NodeRef> {
+        let n = input.topology.num_devices();
+        let mut out = vec![self.pool.fls(); n];
+        for ied in input.topology.ieds() {
+            let paths = &self.paths[ied.id().index()];
+            let set = if secured { &paths.secured } else { &paths.all };
+            out[ied.id().index()] = delivery::delivery_expr(
+                &input.topology,
+                &mut self.pool,
+                &self.node,
+                &self.link_up,
+                set,
+            );
+        }
+        out
+    }
+
+    fn plain_chain(&mut self, input: &AnalysisInput) -> &ObservabilityLits {
+        if self.plain.is_none() {
+            let per_ied = self.per_ied_exprs(input, false);
+            let meas = delivery::measurement_exprs(input, &mut self.pool, &per_ied);
+            let lits = observability::encode_observability(
+                input,
+                &mut self.pool,
+                &mut self.enc,
+                &mut self.solver,
+                &meas,
+            );
+            self.plain = Some(lits);
+        }
+        self.plain.as_ref().expect("just built")
+    }
+
+    fn secured_chain(&mut self, input: &AnalysisInput) -> &ObservabilityLits {
+        if self.secured.is_none() {
+            let per_ied = self.per_ied_exprs(input, true);
+            let meas = delivery::measurement_exprs(input, &mut self.pool, &per_ied);
+            let lits = observability::encode_observability(
+                input,
+                &mut self.pool,
+                &mut self.enc,
+                &mut self.solver,
+                &meas,
+            );
+            self.secured = Some(lits);
+        }
+        self.secured.as_ref().expect("just built")
+    }
+
+    /// `D_Z` literals (building the plain chain if needed).
+    pub fn delivered_lits(&mut self, input: &AnalysisInput) -> Vec<Lit> {
+        self.plain_chain(input).per_measurement.clone()
+    }
+
+    /// `S_Z` literals (building the secured chain if needed).
+    pub fn secured_lits(&mut self, input: &AnalysisInput) -> Vec<Lit> {
+        self.secured_chain(input).per_measurement.clone()
+    }
+
+    /// A literal equivalent to the *violation* of the property: the
+    /// paper's `~Observability`, `~SecuredObservability`, or
+    /// `~BadDataDetectability(r)`.
+    pub fn violation_lit(
+        &mut self,
+        input: &AnalysisInput,
+        property: Property,
+        r: usize,
+    ) -> Lit {
+        match property {
+            Property::Observability => !self.plain_chain(input).observable,
+            Property::SecuredObservability => !self.secured_chain(input).observable,
+            Property::BadDataDetectability => {
+                if let Some(&l) = self.not_detectable_cache.get(&r) {
+                    return l;
+                }
+                if self.baddata.is_none() {
+                    let secured = self.secured_chain(input).per_measurement.clone();
+                    self.baddata =
+                        Some(BadDataEncoding::build(input, &mut self.solver, &secured));
+                }
+                let bd = self.baddata.as_ref().expect("just built");
+                let l = bd.not_detectable_lit(
+                    &mut self.pool,
+                    &mut self.enc,
+                    &mut self.solver,
+                    r,
+                );
+                self.not_detectable_cache.insert(r, l);
+                l
+            }
+        }
+    }
+
+    /// Assumption literals imposing the failure budget (device budgets
+    /// plus, when granted, the link budget).
+    pub fn budget_assumptions(&mut self, spec: ResiliencySpec) -> Vec<Lit> {
+        let mut assumptions = self.counters.assumptions(spec.budget);
+        if spec.link_failures == 0 {
+            // The paper's semantics: links do not fail. Assume each link
+            // up individually — cheap, and keeps the encoding free of a
+            // link counter until a query actually grants a link budget.
+            assumptions.extend(self.link_up.iter().copied());
+        } else {
+            if self.link_counter.is_none() {
+                let down: Vec<Lit> = self.link_up.iter().map(|&l| !l).collect();
+                self.link_counter = Some(UnaryCounter::build(&mut self.solver, &down));
+            }
+            let counter = self.link_counter.as_ref().expect("just built");
+            if let Some(l) = counter.leq_lit(spec.link_failures) {
+                assumptions.push(l);
+            }
+        }
+        assumptions
+    }
+
+    /// Solves for a property violation within the budget. Returns the
+    /// failed devices and links if a threat exists.
+    pub fn find_violation(
+        &mut self,
+        input: &AnalysisInput,
+        property: Property,
+        spec: ResiliencySpec,
+    ) -> Option<Violation> {
+        let violation = self.violation_lit(input, property, spec.corrupted);
+        let mut assumptions = self.budget_assumptions(spec);
+        assumptions.push(violation);
+        match self.solver.solve_with_assumptions(&assumptions) {
+            SolveResult::Sat => {
+                let devices = self
+                    .counters
+                    .ieds
+                    .iter()
+                    .chain(self.counters.rtus.iter())
+                    .copied()
+                    .filter(|d| self.solver.value_of(self.node[d.index()].var()) == Some(false))
+                    .collect();
+                let links = self
+                    .link_up
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, l)| self.solver.value_of(l.var()) == Some(false))
+                    .map(|(i, _)| i)
+                    .collect();
+                Some(Violation { devices, links })
+            }
+            SolveResult::Unsat => None,
+            SolveResult::Unknown => unreachable!("no conflict budget is set"),
+        }
+    }
+
+    /// The availability literal of a link (by index into the topology's
+    /// link list).
+    pub fn link_lit(&self, index: usize) -> Lit {
+        self.link_up[index]
+    }
+
+    /// Solver statistics.
+    pub fn solver_stats(&self) -> satcore::SolverStats {
+        self.solver.stats()
+    }
+}

@@ -1,0 +1,66 @@
+//! Failure budgets (the `k` / `(k1, k2)` constraints of §III-C).
+//!
+//! Device unavailability counts are unary counters over the negated
+//! availability literals. Budgets are imposed as *assumptions* on the
+//! counter outputs rather than asserted clauses, so one encoding answers
+//! queries at every `k` — this is what makes the maximum-resiliency
+//! search (Fig 7a) and threat-space sweeps (Fig 7b) incremental.
+
+use boolexpr::UnaryCounter;
+use satcore::{Lit, Solver};
+use scadasim::DeviceId;
+
+use crate::spec::FailureBudget;
+
+/// Unary failure counters over the field devices.
+#[derive(Debug)]
+pub(crate) struct FailureCounters {
+    pub ieds: Vec<DeviceId>,
+    pub rtus: Vec<DeviceId>,
+    ied_counter: UnaryCounter,
+    rtu_counter: UnaryCounter,
+    total_counter: UnaryCounter,
+}
+
+impl FailureCounters {
+    /// Builds counters over `¬Node_i` for IEDs, RTUs, and their union.
+    pub(crate) fn build(
+        solver: &mut Solver,
+        node: &[Lit],
+        ieds: Vec<DeviceId>,
+        rtus: Vec<DeviceId>,
+    ) -> FailureCounters {
+        let ied_fail: Vec<Lit> = ieds.iter().map(|d| !node[d.index()]).collect();
+        let rtu_fail: Vec<Lit> = rtus.iter().map(|d| !node[d.index()]).collect();
+        let all_fail: Vec<Lit> = ied_fail.iter().chain(rtu_fail.iter()).copied().collect();
+        FailureCounters {
+            ieds,
+            rtus,
+            ied_counter: UnaryCounter::build(solver, &ied_fail),
+            rtu_counter: UnaryCounter::build(solver, &rtu_fail),
+            total_counter: UnaryCounter::build(solver, &all_fail),
+        }
+    }
+
+    /// Assumption literals imposing the budget (empty entries for
+    /// trivially satisfied bounds).
+    pub(crate) fn assumptions(&self, budget: FailureBudget) -> Vec<Lit> {
+        let mut out = Vec::new();
+        match budget {
+            FailureBudget::Total(k) => {
+                if let Some(l) = self.total_counter.leq_lit(k) {
+                    out.push(l);
+                }
+            }
+            FailureBudget::Split { ieds, rtus } => {
+                if let Some(l) = self.ied_counter.leq_lit(ieds) {
+                    out.push(l);
+                }
+                if let Some(l) = self.rtu_counter.leq_lit(rtus) {
+                    out.push(l);
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,143 @@
+//! Threat-vector enumeration (the paper's "there are another 8 different
+//! threat vectors").
+//!
+//! Repeatedly solves for a violation, minimizes the model's failure set
+//! with the direct evaluator, records the minimal vector, and adds a
+//! *blocking clause* `∨_{d ∈ V} Node_d` ("at least one of these devices
+//! stays up"), which excludes exactly the supersets of `V`. Distinct
+//! minimal vectors are incomparable, so this enumerates all of them.
+
+use std::collections::HashSet;
+
+use crate::input::AnalysisInput;
+use crate::spec::{Property, ResiliencySpec};
+use crate::threat::ThreatVector;
+use crate::verify::Analyzer;
+
+/// Result of an enumeration run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreatSpace {
+    /// All minimal threat vectors within the budget, in discovery order.
+    pub vectors: Vec<ThreatVector>,
+    /// Whether enumeration stopped at the cap rather than exhausting the
+    /// space.
+    pub truncated: bool,
+}
+
+impl ThreatSpace {
+    /// Number of vectors found.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether no threat vector exists (the system is resilient).
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Ranks devices by *criticality*: the number of minimal threat
+    /// vectors each device participates in, descending (ties broken by
+    /// device id). A device at the top of this list is the most
+    /// effective single hardening target — protecting it invalidates the
+    /// most attack options.
+    pub fn criticality_ranking(&self) -> Vec<(scadasim::DeviceId, usize)> {
+        let mut counts: std::collections::HashMap<scadasim::DeviceId, usize> =
+            std::collections::HashMap::new();
+        for v in &self.vectors {
+            for d in v.devices() {
+                *counts.entry(d).or_default() += 1;
+            }
+        }
+        let mut ranking: Vec<(scadasim::DeviceId, usize)> = counts.into_iter().collect();
+        ranking.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranking
+    }
+}
+
+/// Enumerates all minimal threat vectors for a property within a budget.
+///
+/// Blocking clauses are added permanently to the encoder, so this
+/// constructs a fresh [`Analyzer`] internally; `cap` bounds the number of
+/// vectors returned.
+pub fn enumerate_threats(
+    input: &AnalysisInput,
+    property: Property,
+    spec: ResiliencySpec,
+    cap: usize,
+) -> ThreatSpace {
+    let mut analyzer = Analyzer::new(input);
+    enumerate_threats_with(&mut analyzer, property, spec, cap)
+}
+
+/// Enumeration over an existing analyzer.
+///
+/// The blocking clauses stay in the analyzer's solver afterwards: later
+/// queries on the same analyzer will not see the enumerated vectors (or
+/// their supersets) as threats. Use a dedicated analyzer unless that is
+/// intended.
+pub fn enumerate_threats_with(
+    analyzer: &mut Analyzer<'_>,
+    property: Property,
+    spec: ResiliencySpec,
+    cap: usize,
+) -> ThreatSpace {
+    let input: &AnalysisInput = analyzer.input();
+    let mut vectors: Vec<ThreatVector> = Vec::new();
+    loop {
+        if vectors.len() >= cap {
+            return ThreatSpace {
+                vectors,
+                truncated: true,
+            };
+        }
+        let violation = {
+            let encoder = analyzer.encoder_mut();
+            encoder.find_violation(input, property, spec)
+        };
+        let Some(violation) = violation else {
+            return ThreatSpace {
+                vectors,
+                truncated: false,
+            };
+        };
+        let failed: HashSet<_> = violation.devices.into_iter().collect();
+        let failed_link_idx: Vec<usize> = violation.links.clone();
+        let failed_links: HashSet<usize> = violation.links.into_iter().collect();
+        let minimal = analyzer.evaluator().minimize_full(
+            property,
+            spec.corrupted,
+            &failed,
+            &failed_links,
+        );
+        // Block all supersets of the minimal vector (its devices and the
+        // surviving minimal links).
+        let minimal_links: Vec<usize> = failed_link_idx
+            .iter()
+            .copied()
+            .filter(|&li| {
+                let l = input.topology.links()[li];
+                minimal
+                    .links
+                    .binary_search(&(l.a.min(l.b), l.a.max(l.b)))
+                    .is_ok()
+            })
+            .collect();
+        let mut clause: Vec<satcore::Lit> = Vec::with_capacity(minimal.len());
+        {
+            let encoder = analyzer.encoder_mut();
+            clause.extend(minimal.devices().map(|d| encoder.node_lit(d)));
+            clause.extend(minimal_links.iter().map(|&li| encoder.link_lit(li)));
+        }
+        analyzer.encoder_mut().solver_mut().add_clause_checked(&clause);
+        if clause.is_empty() {
+            // The empty vector violates the property: the system is
+            // broken with zero failures and the space is just {∅}.
+            vectors.push(minimal);
+            return ThreatSpace {
+                vectors,
+                truncated: false,
+            };
+        }
+        vectors.push(minimal);
+    }
+}

@@ -1,0 +1,142 @@
+//! Properties and resiliency specifications.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The property whose resiliency is being verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Property {
+    /// k-resilient observability (§III-C).
+    Observability,
+    /// k-resilient *secured* observability (§III-D): only measurements
+    /// delivered over authenticated and integrity-protected hops count.
+    SecuredObservability,
+    /// (k, r)-resilient bad-data detectability (§III-E): every state must
+    /// be covered by at least `r + 1` secured measurements.
+    BadDataDetectability,
+}
+
+impl fmt::Display for Property {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Property::Observability => "observability",
+            Property::SecuredObservability => "secured observability",
+            Property::BadDataDetectability => "bad-data detectability",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How device failures are budgeted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureBudget {
+    /// At most `k` field devices (IEDs and RTUs together) fail — the
+    /// paper's `k`-resiliency.
+    Total(usize),
+    /// At most `k1` IEDs and `k2` RTUs fail — the paper's
+    /// `(k1, k2)`-resiliency.
+    Split {
+        /// Maximum IED failures.
+        ieds: usize,
+        /// Maximum RTU failures.
+        rtus: usize,
+    },
+}
+
+impl fmt::Display for FailureBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureBudget::Total(k) => write!(f, "k={k}"),
+            FailureBudget::Split { ieds, rtus } => write!(f, "(k1={ieds}, k2={rtus})"),
+        }
+    }
+}
+
+/// A resiliency specification: a failure budget plus (for bad-data
+/// detectability) the number of simultaneously corrupted measurements.
+///
+/// # Examples
+///
+/// ```
+/// use scada_analyzer::ResiliencySpec;
+/// let spec = ResiliencySpec::split(1, 1).with_corrupted(1);
+/// assert_eq!(spec.corrupted, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ResiliencySpec {
+    /// The failure budget.
+    pub budget: FailureBudget,
+    /// The paper's `r`: tolerated corrupted measurements (only used by
+    /// [`Property::BadDataDetectability`]).
+    pub corrupted: usize,
+    /// Additional budget of *link* failures (cut wires / jammed media),
+    /// an extension beyond the paper's device-only budgets; 0 keeps the
+    /// paper's semantics.
+    pub link_failures: usize,
+}
+
+impl ResiliencySpec {
+    /// `k`-resiliency over all field devices.
+    pub fn total(k: usize) -> ResiliencySpec {
+        ResiliencySpec {
+            budget: FailureBudget::Total(k),
+            corrupted: 1,
+            link_failures: 0,
+        }
+    }
+
+    /// `(k1, k2)`-resiliency: separate IED and RTU budgets.
+    pub fn split(ieds: usize, rtus: usize) -> ResiliencySpec {
+        ResiliencySpec {
+            budget: FailureBudget::Split { ieds, rtus },
+            corrupted: 1,
+            link_failures: 0,
+        }
+    }
+
+    /// Sets `r` for bad-data detectability.
+    pub fn with_corrupted(mut self, r: usize) -> ResiliencySpec {
+        self.corrupted = r;
+        self
+    }
+
+    /// Additionally tolerates up to `l` link failures.
+    pub fn with_link_failures(mut self, l: usize) -> ResiliencySpec {
+        self.link_failures = l;
+        self
+    }
+}
+
+impl fmt::Display for ResiliencySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}, r={}", self.budget, self.corrupted)?;
+        if self.link_failures > 0 {
+            write!(f, ", links={}", self.link_failures)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(ResiliencySpec::total(3).budget, FailureBudget::Total(3));
+        assert_eq!(
+            ResiliencySpec::split(1, 2).budget,
+            FailureBudget::Split { ieds: 1, rtus: 2 }
+        );
+        assert_eq!(ResiliencySpec::split(0, 0).corrupted, 1);
+        assert_eq!(ResiliencySpec::total(1).with_corrupted(2).corrupted, 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ResiliencySpec::split(2, 1).to_string(), "(k1=2, k2=1), r=1");
+        assert_eq!(ResiliencySpec::total(4).to_string(), "k=4, r=1");
+        assert_eq!(Property::SecuredObservability.to_string(), "secured observability");
+    }
+}

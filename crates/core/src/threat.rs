@@ -1,0 +1,165 @@
+//! Threat vectors.
+
+use std::fmt;
+
+use scadasim::{DeviceId, DeviceKind, Topology};
+use serde::{Deserialize, Serialize};
+
+/// A threat vector: a set of devices whose simultaneous unavailability
+/// violates the verified property (the paper's `V`, `∀ i ∈ V: ¬Node_i`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ThreatVector {
+    /// Failed IEDs, ascending.
+    pub ieds: Vec<DeviceId>,
+    /// Failed RTUs, ascending.
+    pub rtus: Vec<DeviceId>,
+    /// Failed other devices (only when router failures are enabled).
+    pub others: Vec<DeviceId>,
+    /// Failed links, as device endpoint pairs (only when the spec
+    /// grants a link-failure budget).
+    pub links: Vec<(DeviceId, DeviceId)>,
+}
+
+impl ThreatVector {
+    /// Classifies a raw failed-device set against a topology.
+    pub fn from_failed(topology: &Topology, failed: impl IntoIterator<Item = DeviceId>) -> ThreatVector {
+        let mut ieds = Vec::new();
+        let mut rtus = Vec::new();
+        let mut others = Vec::new();
+        for d in failed {
+            match topology.device(d).kind() {
+                DeviceKind::Ied => ieds.push(d),
+                DeviceKind::Rtu => rtus.push(d),
+                _ => others.push(d),
+            }
+        }
+        ieds.sort();
+        rtus.sort();
+        others.sort();
+        ThreatVector {
+            ieds,
+            rtus,
+            others,
+            links: Vec::new(),
+        }
+    }
+
+    /// Like [`ThreatVector::from_failed`], with failed links (given by
+    /// index into the topology's link list).
+    pub fn from_failed_with_links(
+        topology: &Topology,
+        failed: impl IntoIterator<Item = DeviceId>,
+        failed_links: impl IntoIterator<Item = usize>,
+    ) -> ThreatVector {
+        let mut v = ThreatVector::from_failed(topology, failed);
+        let all = topology.links();
+        v.links = failed_links
+            .into_iter()
+            .map(|li| {
+                let l = all[li];
+                (l.a.min(l.b), l.a.max(l.b))
+            })
+            .collect();
+        v.links.sort();
+        v
+    }
+
+    /// All failed devices.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.ieds
+            .iter()
+            .chain(self.rtus.iter())
+            .chain(self.others.iter())
+            .copied()
+    }
+
+    /// Total failure count (devices plus links).
+    pub fn len(&self) -> usize {
+        self.ieds.len() + self.rtus.len() + self.others.len() + self.links.len()
+    }
+
+    /// Whether the vector is empty (the property fails with no failures
+    /// at all — the system is broken as configured).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `self` is a subset of `other`.
+    pub fn is_subset_of(&self, other: &ThreatVector) -> bool {
+        self.devices().all(|d| {
+            other.ieds.binary_search(&d).is_ok()
+                || other.rtus.binary_search(&d).is_ok()
+                || other.others.binary_search(&d).is_ok()
+        }) && self
+            .links
+            .iter()
+            .all(|l| other.links.binary_search(l).is_ok())
+    }
+}
+
+impl fmt::Display for ThreatVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("{} (property violated with no failures)");
+        }
+        let mut parts: Vec<String> = Vec::new();
+        parts.extend(self.ieds.iter().map(|d| format!("IED {}", d.one_based())));
+        parts.extend(self.rtus.iter().map(|d| format!("RTU {}", d.one_based())));
+        parts.extend(self.others.iter().map(|d| format!("dev {}", d.one_based())));
+        parts.extend(
+            self.links
+                .iter()
+                .map(|(a, b)| format!("link {}-{}", a.one_based(), b.one_based())),
+        );
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scadasim::{Device, Link};
+
+    fn topo() -> Topology {
+        Topology::new(
+            vec![
+                Device::new(DeviceId(0), DeviceKind::Ied),
+                Device::new(DeviceId(1), DeviceKind::Ied),
+                Device::new(DeviceId(2), DeviceKind::Rtu),
+                Device::new(DeviceId(3), DeviceKind::Mtu),
+            ],
+            vec![
+                Link::new(DeviceId(0), DeviceId(2)),
+                Link::new(DeviceId(1), DeviceId(2)),
+                Link::new(DeviceId(2), DeviceId(3)),
+            ],
+        )
+    }
+
+    #[test]
+    fn classification_and_order() {
+        let v = ThreatVector::from_failed(&topo(), [DeviceId(2), DeviceId(1), DeviceId(0)]);
+        assert_eq!(v.ieds, vec![DeviceId(0), DeviceId(1)]);
+        assert_eq!(v.rtus, vec![DeviceId(2)]);
+        assert!(v.others.is_empty());
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn display_uses_one_based_numbers() {
+        let v = ThreatVector::from_failed(&topo(), [DeviceId(0), DeviceId(2)]);
+        assert_eq!(v.to_string(), "{IED 1, RTU 3}");
+        let empty = ThreatVector::from_failed(&topo(), []);
+        assert!(empty.to_string().contains("no failures"));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let small = ThreatVector::from_failed(&topo(), [DeviceId(0)]);
+        let big = ThreatVector::from_failed(&topo(), [DeviceId(0), DeviceId(2)]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(small.is_subset_of(&small));
+    }
+}

@@ -1,0 +1,145 @@
+//! The verification engine.
+//!
+//! [`Analyzer`] owns a symbolic model ([`crate::encode::ModelEncoder`])
+//! and a concrete evaluator ([`crate::bruteforce::DirectEvaluator`]).
+//! Verification queries are solved incrementally under assumptions; a
+//! `sat` answer yields a threat vector, which is then *minimized* against
+//! the direct evaluator so reported vectors never contain gratuitous
+//! failures. `unsat` certifies resiliency, exactly as in §IV-A.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use crate::bruteforce::DirectEvaluator;
+use crate::encode::{EncodingStats, ModelEncoder};
+use crate::input::AnalysisInput;
+use crate::spec::{Property, ResiliencySpec};
+use crate::threat::ThreatVector;
+
+/// The outcome of a verification query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// `unsat`: no failure set within the budget violates the property.
+    Resilient,
+    /// `sat`: the returned (minimal) threat vector violates the property.
+    Threat(ThreatVector),
+}
+
+impl Verdict {
+    /// Whether the system met the specification.
+    pub fn is_resilient(&self) -> bool {
+        matches!(self, Verdict::Resilient)
+    }
+}
+
+/// A verification result with measurements, for the evaluation harness.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// The property verified.
+    pub property: Property,
+    /// The specification verified against.
+    pub spec: ResiliencySpec,
+    /// The outcome.
+    pub verdict: Verdict,
+    /// Wall-clock time of the query (encode-on-demand + solve).
+    pub duration: Duration,
+    /// Encoding sizes after the query.
+    pub encoding: EncodingStats,
+    /// Solver conflicts spent on this query.
+    pub conflicts: u64,
+}
+
+/// The SCADA resiliency analyzer.
+///
+/// # Examples
+///
+/// ```
+/// use scada_analyzer::casestudy::five_bus_case_study;
+/// use scada_analyzer::{Analyzer, Property, ResiliencySpec};
+///
+/// let input = five_bus_case_study();
+/// let mut analyzer = Analyzer::new(&input);
+/// let verdict = analyzer.verify(Property::Observability, ResiliencySpec::split(1, 1));
+/// assert!(verdict.is_resilient());
+/// ```
+#[derive(Debug)]
+pub struct Analyzer<'a> {
+    input: &'a AnalysisInput,
+    encoder: ModelEncoder,
+    evaluator: DirectEvaluator<'a>,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Builds the analyzer (encodes the base model, enumerates paths).
+    pub fn new(input: &'a AnalysisInput) -> Analyzer<'a> {
+        Analyzer {
+            encoder: ModelEncoder::new(input),
+            evaluator: DirectEvaluator::new(input),
+            input,
+        }
+    }
+
+    /// The input under analysis (with the input's own lifetime, so the
+    /// reference does not hold a borrow of the analyzer).
+    pub fn input(&self) -> &'a AnalysisInput {
+        self.input
+    }
+
+    /// The direct evaluator (reference semantics).
+    pub fn evaluator(&self) -> &DirectEvaluator<'a> {
+        &self.evaluator
+    }
+
+    /// Mutable access to the symbolic model (threat enumeration adds
+    /// blocking clauses through this).
+    pub(crate) fn encoder_mut(&mut self) -> &mut ModelEncoder {
+        &mut self.encoder
+    }
+
+    /// Verifies a property against a specification.
+    pub fn verify(&mut self, property: Property, spec: ResiliencySpec) -> Verdict {
+        self.verify_with_report(property, spec).verdict
+    }
+
+    /// Verifies and returns timing/size measurements.
+    pub fn verify_with_report(
+        &mut self,
+        property: Property,
+        spec: ResiliencySpec,
+    ) -> VerificationReport {
+        let start = Instant::now();
+        let conflicts_before = self.encoder.solver_stats().conflicts;
+        let verdict = match self.encoder.find_violation(self.input, property, spec) {
+            None => Verdict::Resilient,
+            Some(violation) => {
+                let failed: HashSet<_> = violation.devices.into_iter().collect();
+                let failed_links: HashSet<usize> =
+                    violation.links.into_iter().collect();
+                debug_assert!(
+                    self.evaluator.violates_full(
+                        property,
+                        spec.corrupted,
+                        &failed,
+                        &failed_links
+                    ),
+                    "solver threat not confirmed by direct evaluation"
+                );
+                let minimal = self.evaluator.minimize_full(
+                    property,
+                    spec.corrupted,
+                    &failed,
+                    &failed_links,
+                );
+                Verdict::Threat(minimal)
+            }
+        };
+        VerificationReport {
+            property,
+            spec,
+            verdict,
+            duration: start.elapsed(),
+            encoding: self.encoder.stats(),
+            conflicts: self.encoder.solver_stats().conflicts - conflicts_before,
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Bad-data detection.
+//!
+//! The classical residual-based detector behind the paper's
+//! `(k, r)`-resilient bad-data detectability property: after WLS
+//! estimation, the weighted sum of squared residuals `J(θ̂)` follows a
+//! chi-square distribution with `m − (n−1)` degrees of freedom; an
+//! outlier measurement inflates it. If a measurement is *critical* (no
+//! redundant measurement observes the same state), its residual is
+//! structurally zero and bad data on it cannot be detected — hence the
+//! paper's requirement of `r + 1` secured measurements per state.
+
+use crate::estimation::{DcEstimator, Estimate, EstimateError};
+use crate::measurement::MeasurementSet;
+
+/// Outcome of a bad-data test.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BadDataVerdict {
+    /// `J(θ̂)` is below the chi-square threshold: data accepted.
+    Clean,
+    /// Bad data suspected; the index (into the delivered-row list) and
+    /// measurement-set index of the largest normalized residual.
+    Suspect {
+        /// Position within the delivered rows.
+        position: usize,
+        /// Measurement index in the measurement set.
+        measurement: usize,
+        /// The value of the largest normalized residual.
+        normalized_residual: f64,
+    },
+}
+
+/// The standard normal quantile (Acklam's rational approximation;
+/// absolute error below 1.2e-9 over (0, 1)).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -normal_quantile(1.0 - p)
+    }
+}
+
+/// The chi-square quantile via the Wilson–Hilferty approximation.
+pub fn chi_square_quantile(p: f64, dof: usize) -> f64 {
+    assert!(dof >= 1, "degrees of freedom must be positive");
+    let k = dof as f64;
+    let z = normal_quantile(p);
+    let t = 1.0 - 2.0 / (9.0 * k) + z * (2.0 / (9.0 * k)).sqrt();
+    k * t * t * t
+}
+
+/// A chi-square + largest-normalized-residual bad-data detector.
+#[derive(Debug, Clone)]
+pub struct BadDataDetector {
+    estimator: DcEstimator,
+    confidence: f64,
+    n_states: usize,
+}
+
+impl BadDataDetector {
+    /// Creates a detector at the given confidence level (e.g. `0.95`).
+    pub fn new(ms: &MeasurementSet, confidence: f64) -> BadDataDetector {
+        BadDataDetector {
+            estimator: DcEstimator::new(ms),
+            confidence,
+            n_states: ms.num_states(),
+        }
+    }
+
+    /// Estimates the state and applies the chi-square test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation failures (unobservable selection, dimension
+    /// mismatch).
+    pub fn test(
+        &self,
+        z: &[f64],
+        delivered: &[bool],
+        sigma: f64,
+    ) -> Result<(Estimate, BadDataVerdict), EstimateError> {
+        let est = self.estimator.estimate(z, delivered, sigma)?;
+        let m = est.delivered_rows.len();
+        let dof = m.saturating_sub(self.n_states - 1);
+        if dof == 0 {
+            // No redundancy: residuals are structurally zero and bad data
+            // is undetectable — report clean, which is exactly the danger
+            // the resiliency property guards against.
+            return Ok((est, BadDataVerdict::Clean));
+        }
+        let threshold = chi_square_quantile(self.confidence, dof);
+        if est.objective <= threshold {
+            return Ok((est, BadDataVerdict::Clean));
+        }
+        let (position, nr) = est
+            .residuals
+            .iter()
+            .map(|r| (r / sigma).abs())
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .expect("dof > 0 implies residuals");
+        let verdict = BadDataVerdict::Suspect {
+            position,
+            measurement: est.delivered_rows[position],
+            normalized_residual: nr,
+        };
+        Ok((est, verdict))
+    }
+
+    /// Iteratively removes suspect measurements until the test passes or
+    /// the selection becomes unobservable. Returns the indices removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the estimation error if elimination makes the system
+    /// unobservable before the data is clean.
+    pub fn eliminate(
+        &self,
+        z: &[f64],
+        delivered: &[bool],
+        sigma: f64,
+    ) -> Result<(Estimate, Vec<usize>), EstimateError> {
+        let mut current = delivered.to_vec();
+        let mut removed = Vec::new();
+        loop {
+            let (est, verdict) = self.test(z, &current, sigma)?;
+            match verdict {
+                BadDataVerdict::Clean => return Ok((est, removed)),
+                BadDataVerdict::Suspect { measurement, .. } => {
+                    current[measurement] = false;
+                    removed.push(measurement);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimation::synthesize_measurements;
+    use crate::ieee::case5;
+    use crate::measurement::MeasurementKind;
+    use crate::system::BusId;
+
+    #[test]
+    fn quantiles_match_tables() {
+        // Known values: z(0.95) ≈ 1.6449, z(0.975) ≈ 1.9600.
+        assert!((normal_quantile(0.95) - 1.6449).abs() < 1e-3);
+        assert!((normal_quantile(0.975) - 1.9600).abs() < 1e-3);
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        // chi2(0.95, 10) ≈ 18.307; chi2(0.95, 1) ≈ 3.841.
+        assert!((chi_square_quantile(0.95, 10) - 18.307).abs() < 0.1);
+        assert!((chi_square_quantile(0.95, 1) - 3.841).abs() < 0.15);
+    }
+
+    #[test]
+    fn clean_data_passes() {
+        let ms = MeasurementSet::full(case5());
+        let sigma = 0.01;
+        let (z, _) = synthesize_measurements(&ms, sigma, 21);
+        let det = BadDataDetector::new(&ms, 0.99);
+        let all = vec![true; ms.len()];
+        let (_, verdict) = det.test(&z, &all, sigma).unwrap();
+        assert_eq!(verdict, BadDataVerdict::Clean);
+    }
+
+    #[test]
+    fn injected_bad_data_is_flagged_and_located() {
+        let ms = MeasurementSet::full(case5());
+        let sigma = 0.01;
+        let (mut z, _) = synthesize_measurements(&ms, sigma, 22);
+        let bad_index = 3;
+        z[bad_index] += 1.0; // gross error, 100 sigma
+        let det = BadDataDetector::new(&ms, 0.95);
+        let all = vec![true; ms.len()];
+        let (_, verdict) = det.test(&z, &all, sigma).unwrap();
+        match verdict {
+            BadDataVerdict::Suspect { measurement, .. } => {
+                assert_eq!(measurement, bad_index, "LNR should point at the bad row");
+            }
+            BadDataVerdict::Clean => panic!("gross error went undetected"),
+        }
+    }
+
+    #[test]
+    fn elimination_recovers_truth() {
+        let ms = MeasurementSet::full(case5());
+        let sigma = 0.01;
+        let (mut z, truth) = synthesize_measurements(&ms, sigma, 23);
+        z[5] -= 2.0;
+        let det = BadDataDetector::new(&ms, 0.95);
+        let all = vec![true; ms.len()];
+        let (est, removed) = det.eliminate(&z, &all, sigma).unwrap();
+        assert!(removed.contains(&5));
+        for (got, want) in est.angles.iter().zip(truth.iter()) {
+            assert!((got - want).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn bad_data_on_critical_measurement_is_undetectable() {
+        // Exactly n-1 = 4 measurements observing case5: zero redundancy.
+        let sys = case5();
+        let pairs = [(1, 2), (2, 3), (3, 4), (4, 5)];
+        let kinds: Vec<MeasurementKind> = pairs
+            .iter()
+            .map(|&(a, b)| {
+                MeasurementKind::FlowForward(
+                    sys.branch_between(
+                        BusId::from_one_based(a),
+                        BusId::from_one_based(b),
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect();
+        let ms = MeasurementSet::new(sys, kinds);
+        let sigma = 0.01;
+        let (mut z, _) = synthesize_measurements(&ms, sigma, 24);
+        z[2] += 5.0; // massive corruption
+        let det = BadDataDetector::new(&ms, 0.95);
+        let (_, verdict) = det.test(&z, &[true; 4], sigma).unwrap();
+        // The residual space is empty: the corruption is invisible. This
+        // is precisely the failure mode (k, r)-detectability prevents.
+        assert_eq!(verdict, BadDataVerdict::Clean);
+    }
+}

@@ -1,0 +1,113 @@
+//! IEEE test systems.
+//!
+//! [`ieee14`] is the real IEEE 14-bus network (20 branches, reactances
+//! from the standard test-case data). [`case5`] is the 5-bus subsystem
+//! (buses 1–5 of the 14-bus system) used by the paper's case study; its
+//! seven line susceptances (16.90, 4.48, 5.05, 5.67, 5.75, 5.85, 23.75)
+//! are exactly the values legible in the paper's Table II Jacobian.
+//!
+//! Larger sizes (30/57/118) are produced by
+//! [`crate::synthetic::ieee_sized`], since the evaluation only exercises
+//! topology shape and scale — see DESIGN.md for the substitution note.
+
+use crate::system::{Branch, BusId, PowerSystem};
+
+/// `(from, to, reactance)` rows of the IEEE 14-bus test case.
+const IEEE14_BRANCHES: [(usize, usize, f64); 20] = [
+    (1, 2, 0.05917),
+    (1, 5, 0.22304),
+    (2, 3, 0.19797),
+    (2, 4, 0.17632),
+    (2, 5, 0.17388),
+    (3, 4, 0.17103),
+    (4, 5, 0.04211),
+    (4, 7, 0.20912),
+    (4, 9, 0.55618),
+    (5, 6, 0.25202),
+    (6, 11, 0.19890),
+    (6, 12, 0.25581),
+    (6, 13, 0.13027),
+    (7, 8, 0.17615),
+    (7, 9, 0.11001),
+    (9, 10, 0.08450),
+    (9, 14, 0.27038),
+    (10, 11, 0.19207),
+    (12, 13, 0.19988),
+    (13, 14, 0.34802),
+];
+
+/// The IEEE 14-bus test system.
+pub fn ieee14() -> PowerSystem {
+    let branches = IEEE14_BRANCHES
+        .iter()
+        .map(|&(f, t, x)| {
+            Branch::new(
+                BusId::from_one_based(f),
+                BusId::from_one_based(t),
+                1.0 / x,
+            )
+        })
+        .collect();
+    PowerSystem::new("ieee14", 14, branches)
+}
+
+/// The paper's 5-bus case-study system: buses 1–5 of the IEEE 14-bus
+/// network with the seven lines among them.
+pub fn case5() -> PowerSystem {
+    let branches = IEEE14_BRANCHES
+        .iter()
+        .filter(|&&(f, t, _)| f <= 5 && t <= 5)
+        .map(|&(f, t, x)| {
+            Branch::new(
+                BusId::from_one_based(f),
+                BusId::from_one_based(t),
+                1.0 / x,
+            )
+        })
+        .collect();
+    PowerSystem::new("case5", 5, branches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ieee14_shape() {
+        let s = ieee14();
+        assert_eq!(s.num_buses(), 14);
+        assert_eq!(s.num_branches(), 20);
+        assert!(s.is_connected());
+        // Known degrees: bus 4 has 5 lines (2,3,5,7,9); bus 8 has 1 (7).
+        assert_eq!(s.degree(BusId::from_one_based(4)), 5);
+        assert_eq!(s.degree(BusId::from_one_based(8)), 1);
+        assert!((s.average_degree() - 20.0 * 2.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case5_shape_and_susceptances() {
+        let s = case5();
+        assert_eq!(s.num_buses(), 5);
+        assert_eq!(s.num_branches(), 7);
+        assert!(s.is_connected());
+        // The paper's Table II susceptances, to two decimals.
+        let mut sus: Vec<f64> = s.branches().iter().map(|b| b.susceptance).collect();
+        sus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected = [4.48, 5.05, 5.67, 5.75, 5.85, 16.90, 23.75];
+        for (got, want) in sus.iter().zip(expected.iter()) {
+            assert!(
+                (got - want).abs() < 0.01,
+                "susceptance {got} does not match Table II value {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn case5_is_subgraph_of_ieee14() {
+        let small = case5();
+        let big = ieee14();
+        for b in small.branches() {
+            assert!(big.branch_between(b.from, b.to).is_some());
+        }
+    }
+}

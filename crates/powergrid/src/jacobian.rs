@@ -1,0 +1,112 @@
+//! The DC measurement Jacobian.
+//!
+//! Under the DC power-flow model, measurements are linear in the bus
+//! voltage angles: `z = H·θ + e`. Row `Z` of `H` is the paper's mapping
+//! from measurement `Z` to the states in `StateSet_Z`; the non-zero
+//! pattern drives the Boolean observability abstraction, the values drive
+//! the numeric rank test and state estimation.
+
+use crate::linalg::Matrix;
+use crate::measurement::{MeasurementKind, MeasurementSet};
+
+/// Builds the full `m × n` Jacobian of a measurement set
+/// (`n` = number of buses; no reference column removed).
+pub fn jacobian(ms: &MeasurementSet) -> Matrix {
+    let n = ms.system().num_buses();
+    let mut h = Matrix::zeros(ms.len(), n);
+    for id in ms.ids() {
+        let row = id.index();
+        match ms.kind(id) {
+            MeasurementKind::FlowForward(b) => {
+                let br = ms.system().branch(b);
+                h[(row, br.from.index())] = br.susceptance;
+                h[(row, br.to.index())] = -br.susceptance;
+            }
+            MeasurementKind::FlowBackward(b) => {
+                let br = ms.system().branch(b);
+                h[(row, br.from.index())] = -br.susceptance;
+                h[(row, br.to.index())] = br.susceptance;
+            }
+            MeasurementKind::Injection(bus) => {
+                // Injection = Σ flows out of the bus.
+                for &bid in ms.system().branches_at(bus) {
+                    let br = ms.system().branch(bid);
+                    let other = br.other_end(bus);
+                    h[(row, bus.index())] += br.susceptance;
+                    h[(row, other.index())] -= br.susceptance;
+                }
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ieee::case5;
+    use crate::measurement::MeasurementId;
+
+    #[test]
+    fn sparsity_matches_state_sets() {
+        let ms = MeasurementSet::full(case5());
+        let h = jacobian(&ms);
+        for id in ms.ids() {
+            let expected = ms.state_set(id);
+            let actual: Vec<usize> = (0..h.cols())
+                .filter(|&j| h[(id.index(), j)].abs() > 1e-12)
+                .collect();
+            assert_eq!(actual, expected, "row {id}");
+        }
+    }
+
+    #[test]
+    fn rows_sum_to_zero() {
+        // Every DC Jacobian row sums to zero (angles are relative).
+        let ms = MeasurementSet::full(case5());
+        let h = jacobian(&ms);
+        for i in 0..h.rows() {
+            let s: f64 = (0..h.cols()).map(|j| h[(i, j)]).sum();
+            assert!(s.abs() < 1e-9, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_are_negatives() {
+        let ms = MeasurementSet::full(case5());
+        let h = jacobian(&ms);
+        let lines = ms.system().num_branches();
+        for l in 0..lines {
+            let fwd = MeasurementId(l);
+            let bwd = MeasurementId(lines + l);
+            for j in 0..h.cols() {
+                assert!(
+                    (h[(fwd.index(), j)] + h[(bwd.index(), j)]).abs() < 1e-12,
+                    "line {l} col {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bus2_injection_row_matches_paper() {
+        // The paper's Table II bus-2 injection row:
+        // [-16.9, 33.37, -5.05, -5.67, -5.75].
+        let ms = MeasurementSet::full(case5());
+        let h = jacobian(&ms);
+        let inj2 = ms
+            .ids()
+            .find(|&id| {
+                matches!(ms.kind(id), MeasurementKind::Injection(b) if b.index() == 1)
+            })
+            .unwrap();
+        let expected = [-16.90, 33.37, -5.05, -5.67, -5.75];
+        for (j, want) in expected.iter().enumerate() {
+            assert!(
+                (h[(inj2.index(), j)] - want).abs() < 0.01,
+                "col {j}: got {} want {want}",
+                h[(inj2.index(), j)]
+            );
+        }
+    }
+}

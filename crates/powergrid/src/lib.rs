@@ -1,0 +1,51 @@
+//! # powergrid — power network and measurement substrate
+//!
+//! The electrical side of the SCADA resiliency analyzer (DSN'16
+//! reproduction): network topologies, the DC measurement model with its
+//! Jacobian structure, observability analysis in both the paper's Boolean
+//! abstraction and the numeric rank sense, weighted-least-squares state
+//! estimation, and residual-based bad-data detection.
+//!
+//! The paper's formal model consumes three things from this crate:
+//!
+//! * `StateSet_Z` — which states each measurement constrains
+//!   ([`measurement::MeasurementSet::state_set`]),
+//! * `UMsrSet_E` — which measurements observe the same electrical
+//!   component ([`measurement::MeasurementSet::unique_components`]),
+//! * the observability predicate
+//!   ([`observability::boolean_observability`]).
+//!
+//! The estimator and detector exist so examples can demonstrate the
+//! *consequences* of losing observability or redundancy, which is what
+//! the resiliency properties are for.
+//!
+//! # Examples
+//!
+//! ```
+//! use powergrid::ieee::ieee14;
+//! use powergrid::measurement::MeasurementSet;
+//! use powergrid::observability::{boolean_observability, numeric_observable};
+//!
+//! let ms = MeasurementSet::full(ieee14());
+//! let all = vec![true; ms.len()];
+//! assert!(boolean_observability(&ms, &all).observable);
+//! assert!(numeric_observable(&ms, &all));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baddata;
+pub mod estimation;
+pub mod ieee;
+pub mod jacobian;
+pub mod linalg;
+pub mod measurement;
+pub mod observability;
+pub mod synthetic;
+mod system;
+
+pub use measurement::{
+    ElectricalComponent, MeasurementId, MeasurementKind, MeasurementSet,
+};
+pub use system::{Branch, BranchId, BusId, PowerSystem};

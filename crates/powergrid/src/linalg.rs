@@ -1,0 +1,391 @@
+//! Minimal dense linear algebra: just enough for Jacobian rank tests and
+//! DC weighted-least-squares state estimation.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from nested rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged row {i}");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A new matrix keeping only the given rows, in order.
+    pub fn select_rows(&self, keep: &[usize]) -> Matrix {
+        let mut m = Matrix::zeros(keep.len(), self.cols);
+        for (i, &r) in keep.iter().enumerate() {
+            for j in 0..self.cols {
+                m[(i, j)] = self[(r, j)];
+            }
+        }
+        m
+    }
+
+    /// A new matrix dropping one column.
+    pub fn drop_col(&self, col: usize) -> Matrix {
+        assert!(col < self.cols);
+        let mut m = Matrix::zeros(self.rows, self.cols - 1);
+        for i in 0..self.rows {
+            let mut jj = 0;
+            for j in 0..self.cols {
+                if j != col {
+                    m[(i, jj)] = self[(i, j)];
+                    jj += 1;
+                }
+            }
+        }
+        m
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "dimension mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect()
+    }
+
+    /// Numerical rank via Gaussian elimination with partial pivoting.
+    pub fn rank(&self, tol: f64) -> usize {
+        let mut a = self.clone();
+        let mut rank = 0;
+        let mut row = 0;
+        for col in 0..a.cols {
+            if row >= a.rows {
+                break;
+            }
+            // Find pivot.
+            let mut pivot = row;
+            for r in (row + 1)..a.rows {
+                if a[(r, col)].abs() > a[(pivot, col)].abs() {
+                    pivot = r;
+                }
+            }
+            if a[(pivot, col)].abs() <= tol {
+                continue;
+            }
+            if pivot != row {
+                for j in 0..a.cols {
+                    let tmp = a[(row, j)];
+                    a[(row, j)] = a[(pivot, j)];
+                    a[(pivot, j)] = tmp;
+                }
+            }
+            let p = a[(row, col)];
+            for r in (row + 1)..a.rows {
+                let factor = a[(r, col)] / p;
+                if factor != 0.0 {
+                    for j in col..a.cols {
+                        a[(r, j)] -= factor * a[(row, j)];
+                    }
+                }
+            }
+            rank += 1;
+            row += 1;
+        }
+        rank
+    }
+
+    /// Solves the square system `self · x = b` by Gaussian elimination
+    /// with partial pivoting. Returns `None` if the matrix is singular
+    /// (pivot below `tol`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b` has the wrong length.
+    pub fn solve(&self, b: &[f64], tol: f64) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            let mut pivot = col;
+            for r in (col + 1)..n {
+                if a[(r, col)].abs() > a[(pivot, col)].abs() {
+                    pivot = r;
+                }
+            }
+            if a[(pivot, col)].abs() <= tol {
+                return None;
+            }
+            if pivot != col {
+                for j in 0..n {
+                    let tmp = a[(col, j)];
+                    a[(col, j)] = a[(pivot, j)];
+                    a[(pivot, j)] = tmp;
+                }
+                x.swap(col, pivot);
+            }
+            let p = a[(col, col)];
+            for r in (col + 1)..n {
+                let factor = a[(r, col)] / p;
+                if factor != 0.0 {
+                    for j in col..n {
+                        a[(r, j)] -= factor * a[(col, j)];
+                    }
+                    x[r] -= factor * x[col];
+                }
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            x[col] /= a[(col, col)];
+            for r in 0..col {
+                x[r] -= a[(r, col)] * x[col];
+            }
+        }
+        Some(x)
+    }
+}
+
+impl Matrix {
+    /// An orthogonal-free basis of the null space `{x : A·x = 0}`,
+    /// one basis vector per returned row, computed via reduced row
+    /// echelon form with partial pivoting.
+    pub fn null_space_basis(&self, tol: f64) -> Vec<Vec<f64>> {
+        let mut a = self.clone();
+        let n = a.cols;
+        // Forward elimination to row echelon form, tracking pivot cols.
+        let mut pivot_cols: Vec<usize> = Vec::new();
+        let mut row = 0;
+        for col in 0..n {
+            if row >= a.rows {
+                break;
+            }
+            let mut pivot = row;
+            for r in (row + 1)..a.rows {
+                if a[(r, col)].abs() > a[(pivot, col)].abs() {
+                    pivot = r;
+                }
+            }
+            if a[(pivot, col)].abs() <= tol {
+                continue;
+            }
+            if pivot != row {
+                for j in 0..n {
+                    let tmp = a[(row, j)];
+                    a[(row, j)] = a[(pivot, j)];
+                    a[(pivot, j)] = tmp;
+                }
+            }
+            let p = a[(row, col)];
+            for j in col..n {
+                a[(row, j)] /= p;
+            }
+            for r in 0..a.rows {
+                if r != row && a[(r, col)].abs() > 0.0 {
+                    let factor = a[(r, col)];
+                    for j in col..n {
+                        a[(r, j)] -= factor * a[(row, j)];
+                    }
+                }
+            }
+            pivot_cols.push(col);
+            row += 1;
+        }
+        // Free columns parameterize the null space.
+        let is_pivot: Vec<bool> = {
+            let mut v = vec![false; n];
+            for &c in &pivot_cols {
+                v[c] = true;
+            }
+            v
+        };
+        let mut basis = Vec::new();
+        for free in 0..n {
+            if is_pivot[free] {
+                continue;
+            }
+            let mut x = vec![0.0; n];
+            x[free] = 1.0;
+            for (r, &pc) in pivot_cols.iter().enumerate() {
+                x[pc] = -a[(r, free)];
+            }
+            basis.push(x);
+        }
+        basis
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>10.4} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_of_identity_and_singular() {
+        let id = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert_eq!(id.rank(1e-9), 2);
+        let singular = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(singular.rank(1e-9), 1);
+        let zero = Matrix::zeros(3, 3);
+        assert_eq!(zero.rank(1e-9), 0);
+    }
+
+    #[test]
+    fn rank_wide_and_tall() {
+        let wide = Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]]);
+        assert_eq!(wide.rank(1e-9), 2);
+        let tall = wide.transpose();
+        assert_eq!(tall.rank(1e-9), 2);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x - y = 1  → x = 2, y = 1
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, -1.0]]);
+        let x = a.solve(&[5.0, 1.0], 1e-12).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(a.solve(&[1.0, 2.0], 1e-12).is_none());
+    }
+
+    #[test]
+    fn matmul_and_matvec() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]));
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn select_and_drop() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s, Matrix::from_rows(&[vec![7.0, 8.0, 9.0], vec![1.0, 2.0, 3.0]]));
+        let d = a.drop_col(1);
+        assert_eq!(
+            d,
+            Matrix::from_rows(&[vec![1.0, 3.0], vec![4.0, 6.0], vec![7.0, 9.0]])
+        );
+    }
+
+    #[test]
+    fn solve_random_round_trip() {
+        // a · x = b with known x; recover x.
+        let a = Matrix::from_rows(&[
+            vec![3.0, 1.0, 0.5],
+            vec![1.0, 4.0, 1.0],
+            vec![0.5, 1.0, 5.0],
+        ]);
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b, 1e-12).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! The measurement model.
+//!
+//! A measurement is a line power flow (in either direction) or a bus
+//! power injection. Two notions from the paper live here:
+//!
+//! * **StateSet(Z)** — the state variables with non-zero Jacobian entries
+//!   in measurement Z's row: the line endpoints for a flow, the bus plus
+//!   its neighbors for an injection ([`MeasurementSet::state_set`]);
+//! * **UMsrSet(E)** — the grouping of measurements by the *electrical
+//!   component* they observe: forward and backward flow on the same line
+//!   are one component ([`MeasurementSet::unique_components`]).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::system::{BranchId, BusId, PowerSystem};
+
+/// Index of a measurement within a [`MeasurementSet`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MeasurementId(pub usize);
+
+impl MeasurementId {
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MeasurementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "z{}", self.0 + 1)
+    }
+}
+
+/// What a measurement observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MeasurementKind {
+    /// Power flow on a line, measured at the `from` end (`P_ij`).
+    FlowForward(BranchId),
+    /// Power flow on a line, measured at the `to` end (`P_ji`).
+    FlowBackward(BranchId),
+    /// Net power injection (consumption) at a bus.
+    Injection(BusId),
+}
+
+/// The electrical component a measurement observes; measurements sharing
+/// a component are redundant with one another (the paper's `UMsrSet_E`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ElectricalComponent {
+    /// A transmission line (observed by its forward/backward flows).
+    Line(BranchId),
+    /// A bus (observed by its injection).
+    Bus(BusId),
+}
+
+impl MeasurementKind {
+    /// The electrical component this measurement observes.
+    pub fn component(self) -> ElectricalComponent {
+        match self {
+            MeasurementKind::FlowForward(b) | MeasurementKind::FlowBackward(b) => {
+                ElectricalComponent::Line(b)
+            }
+            MeasurementKind::Injection(b) => ElectricalComponent::Bus(b),
+        }
+    }
+}
+
+impl fmt::Display for MeasurementKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasurementKind::FlowForward(b) => write!(f, "P({b})"),
+            MeasurementKind::FlowBackward(b) => write!(f, "P'({b})"),
+            MeasurementKind::Injection(b) => write!(f, "inj({b})"),
+        }
+    }
+}
+
+/// A power system together with an ordered list of measurements taken on
+/// it.
+///
+/// # Examples
+///
+/// ```
+/// use powergrid::ieee::case5;
+/// use powergrid::measurement::MeasurementSet;
+///
+/// let ms = MeasurementSet::full(case5());
+/// // 7 lines × 2 directions + 5 injections.
+/// assert_eq!(ms.len(), 19);
+/// assert_eq!(ms.num_states(), 5);
+/// // Forward and backward flows pair up into line components.
+/// assert_eq!(ms.unique_components().len(), 12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementSet {
+    system: PowerSystem,
+    kinds: Vec<MeasurementKind>,
+}
+
+impl MeasurementSet {
+    /// Creates a measurement set with an explicit list of kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kind references a branch/bus outside the system or if
+    /// the same kind appears twice.
+    pub fn new(system: PowerSystem, kinds: Vec<MeasurementKind>) -> MeasurementSet {
+        let mut seen = std::collections::HashSet::new();
+        for k in &kinds {
+            match *k {
+                MeasurementKind::FlowForward(b) | MeasurementKind::FlowBackward(b) => {
+                    assert!(b.index() < system.num_branches(), "unknown branch {b}");
+                }
+                MeasurementKind::Injection(b) => {
+                    assert!(b.index() < system.num_buses(), "unknown bus {b}");
+                }
+            }
+            assert!(seen.insert(*k), "duplicate measurement {k}");
+        }
+        MeasurementSet { system, kinds }
+    }
+
+    /// The maximal measurement set: both flow directions on every line
+    /// plus every bus injection (`2·L + B` measurements, the "100%"
+    /// density of the paper's Fig 7a).
+    pub fn full(system: PowerSystem) -> MeasurementSet {
+        let mut kinds = Vec::with_capacity(2 * system.num_branches() + system.num_buses());
+        for i in 0..system.num_branches() {
+            kinds.push(MeasurementKind::FlowForward(BranchId(i)));
+        }
+        for i in 0..system.num_branches() {
+            kinds.push(MeasurementKind::FlowBackward(BranchId(i)));
+        }
+        for b in 0..system.num_buses() {
+            kinds.push(MeasurementKind::Injection(BusId(b)));
+        }
+        MeasurementSet::new(system, kinds)
+    }
+
+    /// A random sample of the maximal set at the given density
+    /// (fraction of `2·L + B`, clamped to `[0, 1]`), deterministic in
+    /// `seed`. Forward flows are preferred first so low densities still
+    /// resemble realistic meter placements.
+    pub fn sampled(system: PowerSystem, density: f64, seed: u64) -> MeasurementSet {
+        let density = density.clamp(0.0, 1.0);
+        let max = 2 * system.num_branches() + system.num_buses();
+        let target = ((max as f64) * density).round() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut fwd: Vec<MeasurementKind> = (0..system.num_branches())
+            .map(|i| MeasurementKind::FlowForward(BranchId(i)))
+            .collect();
+        let mut rest: Vec<MeasurementKind> = (0..system.num_buses())
+            .map(|b| MeasurementKind::Injection(BusId(b)))
+            .chain(
+                (0..system.num_branches()).map(|i| MeasurementKind::FlowBackward(BranchId(i))),
+            )
+            .collect();
+        fwd.shuffle(&mut rng);
+        rest.shuffle(&mut rng);
+        let kinds: Vec<MeasurementKind> =
+            fwd.into_iter().chain(rest).take(target).collect();
+        MeasurementSet::new(system, kinds)
+    }
+
+    /// The underlying power system.
+    pub fn system(&self) -> &PowerSystem {
+        &self.system
+    }
+
+    /// Number of measurements.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether there are no measurements.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Number of state variables (bus angles; the Boolean abstraction
+    /// keeps all buses as states, matching the paper's 5-state 5-bus
+    /// example).
+    pub fn num_states(&self) -> usize {
+        self.system.num_buses()
+    }
+
+    /// Iterator over measurement ids.
+    pub fn ids(&self) -> impl Iterator<Item = MeasurementId> {
+        (0..self.kinds.len()).map(MeasurementId)
+    }
+
+    /// The kind of a measurement.
+    pub fn kind(&self, id: MeasurementId) -> MeasurementKind {
+        self.kinds[id.index()]
+    }
+
+    /// All kinds in order.
+    pub fn kinds(&self) -> &[MeasurementKind] {
+        &self.kinds
+    }
+
+    /// The paper's `StateSet_Z`: state variables (bus indices) with
+    /// non-zero entries in this measurement's Jacobian row.
+    pub fn state_set(&self, id: MeasurementId) -> Vec<usize> {
+        match self.kinds[id.index()] {
+            MeasurementKind::FlowForward(b) | MeasurementKind::FlowBackward(b) => {
+                let br = self.system.branch(b);
+                vec![br.from.index(), br.to.index()]
+            }
+            MeasurementKind::Injection(bus) => {
+                let mut s: Vec<usize> = self
+                    .system
+                    .neighbors(bus)
+                    .into_iter()
+                    .map(|n| n.index())
+                    .collect();
+                s.push(bus.index());
+                s.sort_unstable();
+                s
+            }
+        }
+    }
+
+    /// The paper's `UMsrSet` grouping: measurements partitioned by the
+    /// electrical component they observe, in first-appearance order.
+    pub fn unique_components(&self) -> Vec<Vec<MeasurementId>> {
+        let mut order: Vec<ElectricalComponent> = Vec::new();
+        let mut groups: std::collections::HashMap<ElectricalComponent, Vec<MeasurementId>> =
+            std::collections::HashMap::new();
+        for id in self.ids() {
+            let comp = self.kind(id).component();
+            let entry = groups.entry(comp).or_default();
+            if entry.is_empty() {
+                order.push(comp);
+            }
+            entry.push(id);
+        }
+        order.into_iter().map(|c| groups.remove(&c).unwrap()).collect()
+    }
+
+    /// Index of the component group of each measurement (parallel to the
+    /// grouping returned by [`MeasurementSet::unique_components`]).
+    pub fn component_of(&self) -> Vec<usize> {
+        let groups = self.unique_components();
+        let mut of = vec![usize::MAX; self.len()];
+        for (gi, g) in groups.iter().enumerate() {
+            for &m in g {
+                of[m.index()] = gi;
+            }
+        }
+        of
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ieee::case5;
+    use crate::system::Branch;
+
+    #[test]
+    fn state_sets() {
+        let sys = case5();
+        // Find the branch 1-2 and the injection at bus 2.
+        let b12 = sys
+            .branch_between(BusId::from_one_based(1), BusId::from_one_based(2))
+            .unwrap();
+        let ms = MeasurementSet::new(
+            sys,
+            vec![
+                MeasurementKind::FlowForward(b12),
+                MeasurementKind::Injection(BusId::from_one_based(2)),
+            ],
+        );
+        assert_eq!(ms.state_set(MeasurementId(0)), vec![0, 1]);
+        // Bus 2 neighbors in case5: 1, 3, 4, 5 → states {0,1,2,3,4}.
+        assert_eq!(ms.state_set(MeasurementId(1)), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unique_components_pair_flows() {
+        let ms = MeasurementSet::full(case5());
+        let groups = ms.unique_components();
+        assert_eq!(groups.len(), 12); // 7 lines + 5 buses
+        let line_groups = groups.iter().filter(|g| g.len() == 2).count();
+        assert_eq!(line_groups, 7);
+        let comp = ms.component_of();
+        assert!(comp.iter().all(|&c| c < groups.len()));
+    }
+
+    #[test]
+    fn sampled_density() {
+        let full = MeasurementSet::full(case5());
+        let half = MeasurementSet::sampled(case5(), 0.5, 42);
+        assert_eq!(half.len(), (full.len() as f64 * 0.5).round() as usize);
+        let all = MeasurementSet::sampled(case5(), 1.0, 42);
+        assert_eq!(all.len(), full.len());
+        // Deterministic in the seed.
+        let again = MeasurementSet::sampled(case5(), 0.5, 42);
+        assert_eq!(half, again);
+        let other = MeasurementSet::sampled(case5(), 0.5, 43);
+        assert_ne!(half, other);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate measurement")]
+    fn rejects_duplicates() {
+        let sys = case5();
+        MeasurementSet::new(
+            sys,
+            vec![
+                MeasurementKind::Injection(BusId(0)),
+                MeasurementKind::Injection(BusId(0)),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown bus")]
+    fn rejects_out_of_range() {
+        MeasurementSet::new(case5(), vec![MeasurementKind::Injection(BusId(99))]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let sys = PowerSystem::new(
+            "two",
+            2,
+            vec![Branch::new(BusId(0), BusId(1), 1.0)],
+        );
+        let ms = MeasurementSet::full(sys);
+        let rendered: Vec<String> = ms.kinds().iter().map(|k| k.to_string()).collect();
+        assert_eq!(rendered, vec!["P(line1)", "P'(line1)", "inj(bus1)", "inj(bus2)"]);
+    }
+}

@@ -1,0 +1,372 @@
+//! Observability analysis.
+//!
+//! Two semantics are provided:
+//!
+//! * [`boolean_observability`] — the paper's Boolean abstraction: the
+//!   delivered measurements must (i) cover every state variable and
+//!   (ii) number at least `n` *distinct electrical components*
+//!   (`Σ DelUMsr_E ≥ n`). This is what the formal model encodes.
+//! * [`numeric_observable`] — the textbook numeric criterion: the
+//!   delivered rows of the Jacobian have rank `n − 1` (angles are
+//!   relative, so one reference bus is fixed). This is strictly stronger
+//!   and is used in tests to sanity-check the abstraction.
+
+use crate::jacobian::jacobian;
+use crate::measurement::{MeasurementId, MeasurementSet};
+
+/// Result of the paper's Boolean observability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BooleanObservability {
+    /// Whether both conditions hold.
+    pub observable: bool,
+    /// Per-state coverage: `covered[x]` iff some delivered measurement
+    /// has state `x` in its `StateSet`.
+    pub covered: Vec<bool>,
+    /// Number of distinct electrical components among delivered
+    /// measurements (`Σ DelUMsr_E`).
+    pub unique_delivered: usize,
+}
+
+impl BooleanObservability {
+    /// States not covered by any delivered measurement.
+    pub fn uncovered_states(&self) -> Vec<usize> {
+        self.covered
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| !c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Evaluates the paper's observability abstraction for a delivery vector
+/// (`delivered[z]` = measurement `z` reached the MTU).
+///
+/// # Panics
+///
+/// Panics if `delivered` is not exactly one flag per measurement.
+pub fn boolean_observability(ms: &MeasurementSet, delivered: &[bool]) -> BooleanObservability {
+    assert_eq!(delivered.len(), ms.len(), "one flag per measurement");
+    let n = ms.num_states();
+    let mut covered = vec![false; n];
+    for id in ms.ids() {
+        if delivered[id.index()] {
+            for x in ms.state_set(id) {
+                covered[x] = true;
+            }
+        }
+    }
+    let unique_delivered = ms
+        .unique_components()
+        .iter()
+        .filter(|group| group.iter().any(|m| delivered[m.index()]))
+        .count();
+    let observable = covered.iter().all(|&c| c) && unique_delivered >= n;
+    BooleanObservability {
+        observable,
+        covered,
+        unique_delivered,
+    }
+}
+
+/// Numeric observability: delivered Jacobian rows span the angle space
+/// relative to a reference bus (rank `n − 1` after dropping column 0).
+pub fn numeric_observable(ms: &MeasurementSet, delivered: &[bool]) -> bool {
+    assert_eq!(delivered.len(), ms.len());
+    let n = ms.num_states();
+    if n <= 1 {
+        return true;
+    }
+    let keep: Vec<usize> = (0..ms.len()).filter(|&i| delivered[i]).collect();
+    if keep.len() < n - 1 {
+        return false;
+    }
+    let h = jacobian(ms).select_rows(&keep).drop_col(0);
+    h.rank(1e-9) == n - 1
+}
+
+/// Partitions the state variables into *observable islands*: groups of
+/// buses whose relative angles are determined by the delivered
+/// measurements. Two states belong to the same island iff every
+/// null-space direction of the delivered Jacobian moves them together
+/// (so their difference is fixed). A fully observable system is one
+/// island; a blind system is one island per bus.
+pub fn observable_islands(ms: &MeasurementSet, delivered: &[bool]) -> Vec<Vec<usize>> {
+    assert_eq!(delivered.len(), ms.len());
+    let n = ms.num_states();
+    let keep: Vec<usize> = (0..ms.len()).filter(|&i| delivered[i]).collect();
+    let h = jacobian(ms).select_rows(&keep);
+    let basis = h.null_space_basis(1e-9);
+    // Group states by their signature across basis vectors.
+    let mut islands: Vec<Vec<usize>> = Vec::new();
+    let mut assigned = vec![false; n];
+    for i in 0..n {
+        if assigned[i] {
+            continue;
+        }
+        let mut island = vec![i];
+        assigned[i] = true;
+        for j in (i + 1)..n {
+            if assigned[j] {
+                continue;
+            }
+            let together = basis.iter().all(|v| (v[i] - v[j]).abs() < 1e-6);
+            if together {
+                island.push(j);
+                assigned[j] = true;
+            }
+        }
+        islands.push(island);
+    }
+    islands
+}
+
+/// Measurements that are *critical* under the numeric criterion: removing
+/// any one of them makes the (otherwise fully delivered) system
+/// unobservable. Bad data on a critical measurement is undetectable,
+/// which is why the paper's `r`-detectability requires redundancy.
+pub fn critical_measurements(ms: &MeasurementSet) -> Vec<MeasurementId> {
+    let all = vec![true; ms.len()];
+    if !numeric_observable(ms, &all) {
+        return Vec::new();
+    }
+    ms.ids()
+        .filter(|&id| {
+            let mut delivered = all.clone();
+            delivered[id.index()] = false;
+            !numeric_observable(ms, &delivered)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ieee::case5;
+    use crate::measurement::MeasurementKind;
+    use crate::system::{BranchId, BusId};
+
+    #[test]
+    fn full_set_is_observable_both_ways() {
+        let ms = MeasurementSet::full(case5());
+        let all = vec![true; ms.len()];
+        let b = boolean_observability(&ms, &all);
+        assert!(b.observable);
+        assert_eq!(b.unique_delivered, 12);
+        assert!(b.uncovered_states().is_empty());
+        assert!(numeric_observable(&ms, &all));
+    }
+
+    #[test]
+    fn nothing_delivered_is_unobservable() {
+        let ms = MeasurementSet::full(case5());
+        let none = vec![false; ms.len()];
+        let b = boolean_observability(&ms, &none);
+        assert!(!b.observable);
+        assert_eq!(b.unique_delivered, 0);
+        assert_eq!(b.uncovered_states().len(), 5);
+        assert!(!numeric_observable(&ms, &none));
+    }
+
+    #[test]
+    fn coverage_failure_detected() {
+        // Only flows on line 1-2: states 3,4,5 uncovered.
+        let sys = case5();
+        let b12 = sys
+            .branch_between(BusId::from_one_based(1), BusId::from_one_based(2))
+            .unwrap();
+        let ms = MeasurementSet::new(
+            sys,
+            vec![
+                MeasurementKind::FlowForward(b12),
+                MeasurementKind::FlowBackward(b12),
+            ],
+        );
+        let b = boolean_observability(&ms, &[true, true]);
+        assert!(!b.observable);
+        assert_eq!(b.uncovered_states(), vec![2, 3, 4]);
+        // The two flows are one component.
+        assert_eq!(b.unique_delivered, 1);
+    }
+
+    #[test]
+    fn count_failure_detected() {
+        // Injections at buses 2 and 4 cover all five states of case5 but
+        // are only two unique components (< 5): Boolean-unobservable.
+        let ms = MeasurementSet::new(
+            case5(),
+            vec![
+                MeasurementKind::Injection(BusId::from_one_based(2)),
+                MeasurementKind::Injection(BusId::from_one_based(4)),
+            ],
+        );
+        let b = boolean_observability(&ms, &[true, true]);
+        assert!(b.uncovered_states().is_empty(), "coverage holds");
+        assert_eq!(b.unique_delivered, 2);
+        assert!(!b.observable, "count condition fails");
+    }
+
+    #[test]
+    fn numeric_observability_with_spanning_flows() {
+        // Flows on a spanning tree of case5 observe the system.
+        let sys = case5();
+        let tree_pairs = [(1, 2), (2, 3), (2, 4), (4, 5)];
+        let kinds: Vec<MeasurementKind> = tree_pairs
+            .iter()
+            .map(|&(a, b)| {
+                MeasurementKind::FlowForward(
+                    sys.branch_between(
+                        BusId::from_one_based(a),
+                        BusId::from_one_based(b),
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect();
+        let ms = MeasurementSet::new(sys, kinds);
+        assert!(numeric_observable(&ms, &[true; 4]));
+        // Dropping any tree edge loses observability.
+        for i in 0..4 {
+            let mut d = vec![true; 4];
+            d[i] = false;
+            assert!(!numeric_observable(&ms, &d), "tree edge {i} is critical");
+        }
+    }
+
+    #[test]
+    fn boolean_is_weaker_than_numeric_on_flows() {
+        // A flow-only set that is Boolean-observable must also satisfy
+        // coverage, but the count condition with n=5 needs 5 line
+        // components: flows on 5 of the 7 lines.
+        let sys = case5();
+        let kinds: Vec<MeasurementKind> = (0..5)
+            .map(|i| MeasurementKind::FlowForward(BranchId(i)))
+            .collect();
+        let ms = MeasurementSet::new(sys, kinds);
+        let d = vec![true; ms.len()];
+        let b = boolean_observability(&ms, &d);
+        // Whatever the verdicts, Boolean-observable must imply numeric
+        // needs at least rank 4 of these rows — check consistency.
+        if b.observable {
+            assert!(numeric_observable(&ms, &d) || b.unique_delivered >= 5);
+        }
+    }
+
+    #[test]
+    fn critical_measurements_on_tree() {
+        let sys = case5();
+        let tree_pairs = [(1, 2), (2, 3), (2, 4), (4, 5)];
+        let kinds: Vec<MeasurementKind> = tree_pairs
+            .iter()
+            .map(|&(a, b)| {
+                MeasurementKind::FlowForward(
+                    sys.branch_between(
+                        BusId::from_one_based(a),
+                        BusId::from_one_based(b),
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect();
+        let ms = MeasurementSet::new(sys, kinds);
+        // Every measurement of a spanning tree is critical.
+        assert_eq!(critical_measurements(&ms).len(), 4);
+        // The full set has no critical measurements.
+        let full = MeasurementSet::full(case5());
+        assert!(critical_measurements(&full).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod island_tests {
+    use super::*;
+    use crate::ieee::case5;
+    use crate::measurement::MeasurementKind;
+    use crate::system::BusId;
+
+    fn flows(pairs: &[(usize, usize)]) -> MeasurementSet {
+        let sys = case5();
+        let kinds: Vec<MeasurementKind> = pairs
+            .iter()
+            .map(|&(a, b)| {
+                MeasurementKind::FlowForward(
+                    sys.branch_between(
+                        BusId::from_one_based(a),
+                        BusId::from_one_based(b),
+                    )
+                    .unwrap(),
+                )
+            })
+            .collect();
+        MeasurementSet::new(sys, kinds)
+    }
+
+    #[test]
+    fn full_delivery_is_one_island() {
+        let ms = MeasurementSet::full(case5());
+        let islands = observable_islands(&ms, &vec![true; ms.len()]);
+        assert_eq!(islands.len(), 1);
+        assert_eq!(islands[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn no_delivery_is_all_singletons() {
+        let ms = MeasurementSet::full(case5());
+        let islands = observable_islands(&ms, &vec![false; ms.len()]);
+        assert_eq!(islands.len(), 5);
+        assert!(islands.iter().all(|i| i.len() == 1));
+    }
+
+    #[test]
+    fn flow_components_form_islands() {
+        // Flows on 1-2 and 4-5 only: islands {1,2}, {3}, {4,5}.
+        let ms = flows(&[(1, 2), (4, 5)]);
+        let mut islands = observable_islands(&ms, &[true, true]);
+        islands.sort();
+        assert_eq!(islands, vec![vec![0, 1], vec![2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn spanning_tree_yields_single_island() {
+        let ms = flows(&[(1, 2), (2, 3), (2, 4), (4, 5)]);
+        let islands = observable_islands(&ms, &[true; 4]);
+        assert_eq!(islands.len(), 1);
+    }
+
+    #[test]
+    fn injection_glues_neighborhood() {
+        // A single injection at bus 2 ties bus 2 to all its neighbors …
+        // but one equation over five unknowns cannot fix four angle
+        // differences: islands remain fine-grained, yet fewer than with
+        // nothing delivered is not guaranteed. What must hold: island
+        // structure is consistent with numeric observability.
+        let sys = case5();
+        let ms = MeasurementSet::new(
+            sys,
+            vec![MeasurementKind::Injection(BusId::from_one_based(2))],
+        );
+        let islands = observable_islands(&ms, &[true]);
+        // One equation removes exactly one degree of freedom: n-1 = 4
+        // independent differences remain undetermined, so we still see
+        // more than one island.
+        assert!(islands.len() > 1);
+    }
+
+    #[test]
+    fn islands_refine_unobservability() {
+        // If the system is numerically observable, there is one island.
+        let ms = MeasurementSet::full(case5());
+        let mut delivered = vec![true; ms.len()];
+        assert!(numeric_observable(&ms, &delivered));
+        assert_eq!(observable_islands(&ms, &delivered).len(), 1);
+        // Drop everything touching bus 5 except one line: island split.
+        for id in ms.ids() {
+            if ms.state_set(id).contains(&4) {
+                delivered[id.index()] = false;
+            }
+        }
+        if !numeric_observable(&ms, &delivered) {
+            assert!(observable_islands(&ms, &delivered).len() > 1);
+        }
+    }
+}

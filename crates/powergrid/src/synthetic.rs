@@ -1,0 +1,180 @@
+//! Synthetic "IEEE-sized" power networks.
+//!
+//! The paper's scalability evaluation runs on IEEE 14/30/57/118-bus test
+//! systems. This repo embeds the real 14-bus data ([`crate::ieee`]); the
+//! larger sizes are generated here with the same bus/branch counts and
+//! the structural property the paper highlights (§V-B): the average
+//! nodal degree of power grids stays ≈ 3 regardless of size. Generation
+//! is deterministic in the seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::system::{Branch, BusId, PowerSystem};
+
+/// Branch counts of the standard IEEE test cases.
+const IEEE_SIZES: [(usize, usize); 4] = [(14, 20), (30, 41), (57, 80), (118, 186)];
+
+/// Generates a connected random power network.
+///
+/// A random spanning tree guarantees connectivity; the remaining
+/// branches are random chords with a per-bus degree cap of 9 (IEEE
+/// systems max out around there). Susceptances are uniform in [2, 26],
+/// the range spanned by the IEEE 14-bus lines.
+///
+/// # Panics
+///
+/// Panics if `n_branches < n_buses − 1` (a connected network needs a
+/// spanning tree) or the branch count exceeds what the degree cap and
+/// simple-graph constraint allow.
+pub fn synthetic_system(
+    name: impl Into<String>,
+    n_buses: usize,
+    n_branches: usize,
+    seed: u64,
+) -> PowerSystem {
+    assert!(n_buses >= 2, "need at least two buses");
+    assert!(
+        n_branches >= n_buses - 1,
+        "connected network needs at least {} branches",
+        n_buses - 1
+    );
+    assert!(
+        n_branches <= n_buses * (n_buses - 1) / 2,
+        "too many branches for a simple graph"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut degree = vec![0usize; n_buses];
+    let mut used = std::collections::HashSet::new();
+    let mut branches = Vec::with_capacity(n_branches);
+    let add = |a: usize,
+                   b: usize,
+                   rng: &mut StdRng,
+                   degree: &mut Vec<usize>,
+                   used: &mut std::collections::HashSet<(usize, usize)>,
+                   branches: &mut Vec<Branch>| {
+        let key = (a.min(b), a.max(b));
+        if a == b || used.contains(&key) {
+            return false;
+        }
+        used.insert(key);
+        degree[a] += 1;
+        degree[b] += 1;
+        let susceptance = rng.random_range(2.0..26.0);
+        branches.push(Branch::new(BusId(a), BusId(b), susceptance));
+        true
+    };
+
+    // Spanning tree: each new bus attaches to a random earlier bus,
+    // preferring recent buses to produce the chain-with-branches shape of
+    // real transmission grids.
+    for b in 1..n_buses {
+        let window = 8.min(b);
+        let lo = b - window;
+        let parent = rng.random_range(lo..b);
+        let ok = add(parent, b, &mut rng, &mut degree, &mut used, &mut branches);
+        debug_assert!(ok);
+    }
+    // Chords.
+    const DEGREE_CAP: usize = 9;
+    let mut attempts = 0;
+    while branches.len() < n_branches {
+        attempts += 1;
+        assert!(
+            attempts < 200 * n_branches,
+            "could not place {n_branches} branches under the degree cap"
+        );
+        let a = rng.random_range(0..n_buses);
+        // Mostly local chords (short transmission corridors), sometimes
+        // long-range ties.
+        let b = if rng.random_range(0..4) == 0 {
+            rng.random_range(0..n_buses)
+        } else {
+            let span = 6.min(n_buses - 1);
+            let offset = rng.random_range(1..=span);
+            if rng.random_bool(0.5) {
+                (a + offset) % n_buses
+            } else {
+                (a + n_buses - offset) % n_buses
+            }
+        };
+        if degree[a] >= DEGREE_CAP || degree[b] >= DEGREE_CAP {
+            continue;
+        }
+        add(a, b, &mut rng, &mut degree, &mut used, &mut branches);
+    }
+    PowerSystem::new(name, n_buses, branches)
+}
+
+/// A synthetic system with the bus/branch counts of the named IEEE test
+/// case (30, 57, or 118 buses; for 14, prefer the real
+/// [`crate::ieee::ieee14`]).
+///
+/// # Panics
+///
+/// Panics if `n_buses` is not one of 14, 30, 57, 118.
+pub fn ieee_sized(n_buses: usize, seed: u64) -> PowerSystem {
+    let &(buses, branches) = IEEE_SIZES
+        .iter()
+        .find(|&&(b, _)| b == n_buses)
+        .unwrap_or_else(|| panic!("no IEEE test case with {n_buses} buses"));
+    synthetic_system(format!("ieee{buses}-like"), buses, branches, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_systems_are_connected_simple_and_sized() {
+        for &(buses, branches) in &IEEE_SIZES {
+            for seed in 0..3 {
+                let s = ieee_sized(buses, seed);
+                assert_eq!(s.num_buses(), buses);
+                assert_eq!(s.num_branches(), branches);
+                assert!(s.is_connected(), "seed {seed} size {buses}");
+            }
+        }
+    }
+
+    #[test]
+    fn average_degree_is_gridlike() {
+        for &(buses, _) in &IEEE_SIZES {
+            let s = ieee_sized(buses, 1);
+            let d = s.average_degree();
+            assert!(
+                (2.0..4.0).contains(&d),
+                "average degree {d} not grid-like for {buses} buses"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = synthetic_system("a", 30, 41, 5);
+        let b = synthetic_system("b", 30, 41, 5);
+        assert_eq!(a.branches(), b.branches());
+        let c = synthetic_system("c", 30, 41, 6);
+        assert_ne!(a.branches(), c.branches());
+    }
+
+    #[test]
+    fn degree_cap_respected() {
+        let s = synthetic_system("cap", 57, 80, 9);
+        for b in s.buses() {
+            assert!(s.degree(b) <= 9, "{b} exceeds degree cap");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no IEEE test case")]
+    fn unknown_size_rejected() {
+        ieee_sized(99, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected network")]
+    fn too_few_branches_rejected() {
+        synthetic_system("bad", 10, 5, 0);
+    }
+}

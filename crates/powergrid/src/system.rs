@@ -1,0 +1,332 @@
+//! Power network topology: buses and transmission lines.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A bus (node) in the power network, identified by a dense 0-based index.
+///
+/// Display uses the 1-based numbering of the IEEE test cases.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BusId(pub usize);
+
+impl BusId {
+    /// Creates a bus id from the 1-based numbering used by the IEEE test
+    /// cases and the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `one_based` is zero.
+    pub fn from_one_based(one_based: usize) -> BusId {
+        assert!(one_based >= 1, "bus numbering is 1-based");
+        BusId(one_based - 1)
+    }
+
+    /// The dense 0-based index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for BusId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bus{}", self.0 + 1)
+    }
+}
+
+/// A branch (transmission line) identifier: index into
+/// [`PowerSystem::branches`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BranchId(pub usize);
+
+impl BranchId {
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for BranchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line{}", self.0 + 1)
+    }
+}
+
+/// A transmission line between two buses with a DC-model susceptance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Branch {
+    /// One endpoint.
+    pub from: BusId,
+    /// The other endpoint.
+    pub to: BusId,
+    /// Line susceptance (1/reactance) used by the DC power-flow model.
+    pub susceptance: f64,
+}
+
+impl Branch {
+    /// Creates a branch; endpoints must differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-loop or non-positive susceptance.
+    pub fn new(from: BusId, to: BusId, susceptance: f64) -> Branch {
+        assert_ne!(from, to, "self-loop branch at {from}");
+        assert!(
+            susceptance > 0.0,
+            "susceptance must be positive, got {susceptance}"
+        );
+        Branch {
+            from,
+            to,
+            susceptance,
+        }
+    }
+
+    /// Whether the branch touches the bus.
+    pub fn touches(&self, bus: BusId) -> bool {
+        self.from == bus || self.to == bus
+    }
+
+    /// The endpoint that is not `bus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the branch does not touch `bus`.
+    pub fn other_end(&self, bus: BusId) -> BusId {
+        if self.from == bus {
+            self.to
+        } else if self.to == bus {
+            self.from
+        } else {
+            panic!("{bus} is not an endpoint of this branch")
+        }
+    }
+}
+
+/// An immutable power network: a set of buses and the branches between
+/// them.
+///
+/// # Examples
+///
+/// ```
+/// use powergrid::ieee::ieee14;
+/// let sys = ieee14();
+/// assert_eq!(sys.num_buses(), 14);
+/// assert_eq!(sys.num_branches(), 20);
+/// assert!(sys.is_connected());
+/// // Power grids have low average degree (~3) regardless of size.
+/// assert!(sys.average_degree() < 3.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerSystem {
+    name: String,
+    n_buses: usize,
+    branches: Vec<Branch>,
+    /// `adjacency[bus]` = branch ids incident to the bus.
+    adjacency: Vec<Vec<BranchId>>,
+}
+
+impl PowerSystem {
+    /// Builds a system from a branch list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a branch references a bus index `>= n_buses` or if two
+    /// parallel branches join the same bus pair.
+    pub fn new(name: impl Into<String>, n_buses: usize, branches: Vec<Branch>) -> PowerSystem {
+        let mut adjacency = vec![Vec::new(); n_buses];
+        let mut seen_pairs = std::collections::HashSet::new();
+        for (i, b) in branches.iter().enumerate() {
+            assert!(
+                b.from.index() < n_buses && b.to.index() < n_buses,
+                "branch {i} references bus outside 0..{n_buses}"
+            );
+            let key = (b.from.min(b.to), b.from.max(b.to));
+            assert!(
+                seen_pairs.insert(key),
+                "parallel branch between {} and {}",
+                b.from,
+                b.to
+            );
+            adjacency[b.from.index()].push(BranchId(i));
+            adjacency[b.to.index()].push(BranchId(i));
+        }
+        PowerSystem {
+            name: name.into(),
+            n_buses,
+            branches,
+            adjacency,
+        }
+    }
+
+    /// The system's name (e.g. `"ieee14"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of buses.
+    pub fn num_buses(&self) -> usize {
+        self.n_buses
+    }
+
+    /// Number of branches.
+    pub fn num_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// All branches, indexed by [`BranchId`].
+    pub fn branches(&self) -> &[Branch] {
+        &self.branches
+    }
+
+    /// The branch with the given id.
+    pub fn branch(&self, id: BranchId) -> &Branch {
+        &self.branches[id.index()]
+    }
+
+    /// Iterator over all bus ids.
+    pub fn buses(&self) -> impl Iterator<Item = BusId> {
+        (0..self.n_buses).map(BusId)
+    }
+
+    /// Branch ids incident to a bus.
+    pub fn branches_at(&self, bus: BusId) -> &[BranchId] {
+        &self.adjacency[bus.index()]
+    }
+
+    /// Buses adjacent to `bus`.
+    pub fn neighbors(&self, bus: BusId) -> Vec<BusId> {
+        self.adjacency[bus.index()]
+            .iter()
+            .map(|&bid| self.branches[bid.index()].other_end(bus))
+            .collect()
+    }
+
+    /// Degree of a bus.
+    pub fn degree(&self, bus: BusId) -> usize {
+        self.adjacency[bus.index()].len()
+    }
+
+    /// Average nodal degree (`2·branches / buses`).
+    pub fn average_degree(&self) -> f64 {
+        2.0 * self.branches.len() as f64 / self.n_buses as f64
+    }
+
+    /// Whether every bus is reachable from bus 0.
+    pub fn is_connected(&self) -> bool {
+        if self.n_buses == 0 {
+            return true;
+        }
+        let mut visited = vec![false; self.n_buses];
+        let mut stack = vec![BusId(0)];
+        visited[0] = true;
+        let mut count = 1;
+        while let Some(b) = stack.pop() {
+            for n in self.neighbors(b) {
+                if !visited[n.index()] {
+                    visited[n.index()] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        count == self.n_buses
+    }
+
+    /// Finds the branch joining two buses, if any.
+    pub fn branch_between(&self, a: BusId, b: BusId) -> Option<BranchId> {
+        self.adjacency[a.index()]
+            .iter()
+            .copied()
+            .find(|&bid| self.branches[bid.index()].touches(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PowerSystem {
+        // triangle 1-2-3 plus pendant 4 on 3
+        PowerSystem::new(
+            "tiny",
+            4,
+            vec![
+                Branch::new(BusId(0), BusId(1), 1.0),
+                Branch::new(BusId(1), BusId(2), 2.0),
+                Branch::new(BusId(0), BusId(2), 3.0),
+                Branch::new(BusId(2), BusId(3), 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn adjacency_and_degrees() {
+        let s = tiny();
+        assert_eq!(s.degree(BusId(0)), 2);
+        assert_eq!(s.degree(BusId(2)), 3);
+        assert_eq!(s.degree(BusId(3)), 1);
+        let mut n = s.neighbors(BusId(2));
+        n.sort();
+        assert_eq!(n, vec![BusId(0), BusId(1), BusId(3)]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let s = tiny();
+        assert!(s.is_connected());
+        let disconnected = PowerSystem::new(
+            "disc",
+            4,
+            vec![Branch::new(BusId(0), BusId(1), 1.0)],
+        );
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn branch_between_finds_lines() {
+        let s = tiny();
+        assert_eq!(s.branch_between(BusId(0), BusId(1)), Some(BranchId(0)));
+        assert_eq!(s.branch_between(BusId(1), BusId(0)), Some(BranchId(0)));
+        assert_eq!(s.branch_between(BusId(0), BusId(3)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        Branch::new(BusId(1), BusId(1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel branch")]
+    fn rejects_parallel_branches() {
+        PowerSystem::new(
+            "bad",
+            2,
+            vec![
+                Branch::new(BusId(0), BusId(1), 1.0),
+                Branch::new(BusId(1), BusId(0), 2.0),
+            ],
+        );
+    }
+
+    #[test]
+    fn one_based_conversion() {
+        assert_eq!(BusId::from_one_based(1), BusId(0));
+        assert_eq!(BusId::from_one_based(14).index(), 13);
+        assert_eq!(BusId(4).to_string(), "bus5");
+    }
+
+    #[test]
+    fn other_end() {
+        let b = Branch::new(BusId(2), BusId(5), 1.0);
+        assert_eq!(b.other_end(BusId(2)), BusId(5));
+        assert_eq!(b.other_end(BusId(5)), BusId(2));
+        assert!(b.touches(BusId(2)));
+        assert!(!b.touches(BusId(3)));
+    }
+}

@@ -1,0 +1,81 @@
+//! A standalone DIMACS CNF solver built on `satcore`, following the SAT
+//! competition output conventions (`s` / `v` lines, exit code 10 for
+//! SAT and 20 for UNSAT).
+//!
+//! ```text
+//! satcore [file.cnf]        # stdin when no file is given
+//! ```
+
+use std::io::{BufRead, BufReader};
+use std::process::ExitCode;
+
+use satcore::{parse_dimacs, SolveResult, Solver};
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1);
+    let cnf = match arg.as_deref() {
+        Some(path) => {
+            let file = match std::fs::File::open(path) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("c error opening {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            parse_dimacs(BufReader::new(file))
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let locked: Box<dyn BufRead> = Box::new(stdin.lock());
+            parse_dimacs(locked)
+        }
+    };
+    let cnf = match cnf {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("c {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "c satcore: {} variables, {} clauses",
+        cnf.num_vars,
+        cnf.clauses.len()
+    );
+    let mut solver = Solver::new();
+    let vars = cnf.load_into(&mut solver);
+    match solver.solve() {
+        SolveResult::Sat => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for (i, v) in vars.iter().enumerate() {
+                let value = solver.value_of(*v).unwrap_or(false);
+                let lit = if value {
+                    (i + 1) as i64
+                } else {
+                    -((i + 1) as i64)
+                };
+                line.push_str(&format!(" {lit}"));
+                if line.len() > 72 {
+                    println!("{line}");
+                    line = String::from("v");
+                }
+            }
+            println!("{line} 0");
+            let stats = solver.stats();
+            println!(
+                "c conflicts {} decisions {} propagations {}",
+                stats.conflicts, stats.decisions, stats.propagations
+            );
+            ExitCode::from(10)
+        }
+        SolveResult::Unsat => {
+            println!("s UNSATISFIABLE");
+            ExitCode::from(20)
+        }
+        SolveResult::Unknown => {
+            println!("s UNKNOWN");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Exhaustive reference solver.
+//!
+//! Tries every assignment. Exponential, of course — it exists purely as
+//! an independent oracle for property-testing the CDCL solver on small
+//! random formulas.
+
+use crate::dimacs::Cnf;
+
+/// Exhaustively searches for a satisfying assignment of `cnf`.
+///
+/// Returns the first model found (lowest binary counting order), or
+/// `None` if the formula is unsatisfiable.
+///
+/// # Panics
+///
+/// Panics if the formula has more than 26 variables (would take too long).
+pub fn solve_brute_force(cnf: &Cnf) -> Option<Vec<bool>> {
+    assert!(
+        cnf.num_vars <= 26,
+        "brute force limited to 26 variables, got {}",
+        cnf.num_vars
+    );
+    let n = cnf.num_vars;
+    let mut assignment = vec![false; n];
+    for bits in 0..(1u64 << n) {
+        for (i, a) in assignment.iter_mut().enumerate() {
+            *a = (bits >> i) & 1 == 1;
+        }
+        if cnf.eval(&assignment) {
+            return Some(assignment);
+        }
+    }
+    None
+}
+
+/// Counts the satisfying assignments of `cnf` (for encoding tests).
+///
+/// # Panics
+///
+/// Panics if the formula has more than 26 variables.
+pub fn count_models(cnf: &Cnf) -> u64 {
+    assert!(cnf.num_vars <= 26);
+    let n = cnf.num_vars;
+    let mut assignment = vec![false; n];
+    let mut count = 0;
+    for bits in 0..(1u64 << n) {
+        for (i, a) in assignment.iter_mut().enumerate() {
+            *a = (bits >> i) & 1 == 1;
+        }
+        if cnf.eval(&assignment) {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dimacs::parse_dimacs;
+
+    #[test]
+    fn sat_instance() {
+        let cnf = parse_dimacs("p cnf 2 2\n1 2 0\n-1 0\n".as_bytes()).unwrap();
+        let m = solve_brute_force(&cnf).expect("satisfiable");
+        assert!(!m[0]);
+        assert!(m[1]);
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let cnf = parse_dimacs("p cnf 1 2\n1 0\n-1 0\n".as_bytes()).unwrap();
+        assert!(solve_brute_force(&cnf).is_none());
+    }
+
+    #[test]
+    fn model_count_free_vars() {
+        // x1 forced true, x2 free: 2 models.
+        let cnf = parse_dimacs("p cnf 2 1\n1 0\n".as_bytes()).unwrap();
+        assert_eq!(count_models(&cnf), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! An indexed max-heap over variables, ordered by activity.
+//!
+//! The decision heuristic needs three operations the standard library's
+//! `BinaryHeap` cannot provide: membership tests, removal of the maximum
+//! under a *changing* key, and re-heapification of a single element after
+//! its activity is bumped. This heap stores each variable's position so
+//! all three are `O(log n)`.
+
+use crate::lit::Var;
+
+/// Max-heap over variable indices keyed by an external activity slice.
+#[derive(Debug, Default)]
+pub(crate) struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `positions[v]` = index of `v` in `heap`, or `NOT_IN_HEAP`.
+    positions: Vec<u32>,
+}
+
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+impl VarHeap {
+    pub(crate) fn new() -> VarHeap {
+        VarHeap::default()
+    }
+
+    /// Makes room for a variable index.
+    pub(crate) fn grow_to(&mut self, n_vars: usize) {
+        if self.positions.len() < n_vars {
+            self.positions.resize(n_vars, NOT_IN_HEAP);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, v: Var) -> bool {
+        self.positions[v.index()] != NOT_IN_HEAP
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Inserts `v`; no-op if already present.
+    pub(crate) fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(v.index() as u32);
+        self.positions[v.index()] = i as u32;
+        self.sift_up(i, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0] as usize;
+        self.positions[top] = NOT_IN_HEAP;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.positions[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var::from_index(top))
+    }
+
+    /// Restores the heap property around `v` after its activity increased.
+    pub(crate) fn decrease_key_of_max_heap(&mut self, v: Var, activity: &[f64]) {
+        // Activity only ever increases (bump) or everything is rescaled
+        // together, so sift-up suffices.
+        if let Some(&pos) = self.positions.get(v.index()) {
+            if pos != NOT_IN_HEAP {
+                self.sift_up(pos as usize, activity);
+            }
+        }
+    }
+
+    /// Rebuilds the heap after a global rescale (relative order unchanged,
+    /// so this is a no-op kept for interface clarity).
+    pub(crate) fn rebuild(&mut self, activity: &[f64]) {
+        let items: Vec<u32> = self.heap.clone();
+        self.heap.clear();
+        for &x in &items {
+            self.positions[x as usize] = NOT_IN_HEAP;
+        }
+        for &x in &items {
+            self.insert(Var::from_index(x as usize), activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        let x = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) >> 1;
+            let p = self.heap[parent];
+            if activity[x as usize] <= activity[p as usize] {
+                break;
+            }
+            self.heap[i] = p;
+            self.positions[p as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = x;
+        self.positions[x as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        let x = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= n {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < n
+                && activity[self.heap[right] as usize] > activity[self.heap[left] as usize]
+            {
+                right
+            } else {
+                left
+            };
+            let c = self.heap[child];
+            if activity[c as usize] <= activity[x as usize] {
+                break;
+            }
+            self.heap[i] = c;
+            self.positions[c as usize] = i as u32;
+            i = child;
+        }
+        self.heap[i] = x;
+        self.positions[x as usize] = i as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(4);
+        for i in 0..4 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop_max(&activity))
+            .map(|v| v.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(2);
+        h.insert(Var::from_index(0), &activity);
+        h.insert(Var::from_index(0), &activity);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn bump_reorders() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = VarHeap::new();
+        h.grow_to(3);
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        activity[0] = 10.0;
+        h.decrease_key_of_max_heap(Var::from_index(0), &activity);
+        assert_eq!(h.pop_max(&activity), Some(Var::from_index(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0];
+        let mut h = VarHeap::new();
+        h.grow_to(1);
+        let v = Var::from_index(0);
+        assert!(!h.contains(v));
+        h.insert(v, &activity);
+        assert!(h.contains(v));
+        h.pop_max(&activity);
+        assert!(!h.contains(v));
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn rebuild_preserves_contents() {
+        let activity = vec![3.0, 1.0, 2.0];
+        let mut h = VarHeap::new();
+        h.grow_to(3);
+        for i in 0..3 {
+            h.insert(Var::from_index(i), &activity);
+        }
+        h.rebuild(&activity);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.pop_max(&activity), Some(Var::from_index(0)));
+    }
+}

@@ -1,0 +1,61 @@
+//! The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+//!
+//! Luby et al. showed this universal strategy is within a logarithmic
+//! factor of the optimal restart schedule for Las Vegas algorithms; it is
+//! the de-facto standard in CDCL solvers.
+
+/// The `i`-th element (0-based) of the Luby sequence.
+///
+/// # Examples
+///
+/// ```
+/// let prefix: Vec<u64> = (0..9).map(satcore::luby).collect();
+/// assert_eq!(prefix, [1, 1, 2, 1, 1, 2, 4, 1, 1]);
+/// ```
+pub fn luby(i: u64) -> u64 {
+    let mut i = i + 1; // 1-based internally
+    loop {
+        // If i == 2^k - 1 the value is 2^(k-1).
+        let k = 64 - i.leading_zeros() as u64;
+        if i == (1u64 << k) - 1 {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_prefix() {
+        let expected = [
+            1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1,
+            2, 4, 8, 16,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn values_are_powers_of_two() {
+        for i in 0..2000u64 {
+            assert!(luby(i).is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn self_similarity() {
+        // luby over [0, 2^k-2) repeats twice then appends 2^(k-1).
+        for k in 2..8u64 {
+            let n = (1u64 << k) - 1;
+            let half = (1u64 << (k - 1)) - 1;
+            for i in 0..half {
+                assert_eq!(luby(i), luby(half + i));
+            }
+            assert_eq!(luby(n - 1), 1u64 << (k - 1));
+        }
+    }
+}

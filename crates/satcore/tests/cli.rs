@@ -1,0 +1,64 @@
+//! The standalone DIMACS solver binary: SAT-competition conventions.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_with_stdin(input: &str) -> (String, Option<i32>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_satcore"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("process finishes");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn sat_instance_exits_10_with_model() {
+    let (stdout, code) = run_with_stdin("p cnf 2 2\n1 2 0\n-1 0\n");
+    assert_eq!(code, Some(10));
+    assert!(stdout.contains("s SATISFIABLE"), "{stdout}");
+    // The model line must set -1 and 2.
+    let vline = stdout
+        .lines()
+        .find(|l| l.starts_with('v'))
+        .expect("v line present");
+    assert!(vline.contains("-1"), "{vline}");
+    assert!(vline.contains(" 2"), "{vline}");
+    assert!(vline.trim_end().ends_with(" 0"), "{vline}");
+}
+
+#[test]
+fn unsat_instance_exits_20() {
+    let (stdout, code) = run_with_stdin("p cnf 1 2\n1 0\n-1 0\n");
+    assert_eq!(code, Some(20));
+    assert!(stdout.contains("s UNSATISFIABLE"), "{stdout}");
+}
+
+#[test]
+fn malformed_input_fails_cleanly() {
+    let (_, code) = run_with_stdin("not dimacs at all\n");
+    assert_eq!(code, Some(1));
+}
+
+#[test]
+fn file_argument_works() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("satcore_cli_test.cnf");
+    std::fs::write(&path, "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n").unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_satcore"))
+        .arg(&path)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(10));
+    let _ = std::fs::remove_file(path);
+}

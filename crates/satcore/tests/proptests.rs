@@ -1,0 +1,134 @@
+//! Property tests: the CDCL solver must agree with the exhaustive
+//! reference oracle on random small formulas.
+
+use proptest::prelude::*;
+use satcore::bruteforce::solve_brute_force;
+use satcore::{Cnf, CnfSink, Lit, SolveResult, Solver, Var};
+
+/// Strategy producing a random CNF with up to `max_vars` variables.
+fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    (1..=max_vars).prop_flat_map(move |nv| {
+        let clause = proptest::collection::vec((0..nv, any::<bool>()), 1..=4).prop_map(
+            move |lits| -> Vec<Lit> {
+                lits.into_iter()
+                    .map(|(v, pos)| Var::from_index(v).lit(pos))
+                    .collect()
+            },
+        );
+        proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| Cnf {
+            num_vars: nv,
+            clauses,
+        })
+    })
+}
+
+fn solve_cdcl(cnf: &Cnf) -> (SolveResult, Option<Vec<bool>>) {
+    let mut s = Solver::new();
+    let vars = cnf.load_into(&mut s);
+    let r = s.solve();
+    let model = if r == SolveResult::Sat {
+        Some(
+            vars.iter()
+                .map(|&v| s.value_of(v).unwrap_or(false))
+                .collect(),
+        )
+    } else {
+        None
+    };
+    (r, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// CDCL verdict equals brute-force verdict, and CDCL models actually
+    /// satisfy the formula.
+    #[test]
+    fn agrees_with_brute_force(cnf in arb_cnf(10, 40)) {
+        let reference = solve_brute_force(&cnf);
+        let (verdict, model) = solve_cdcl(&cnf);
+        match (reference, verdict) {
+            (Some(_), SolveResult::Sat) => {
+                let m = model.expect("sat must produce model");
+                prop_assert!(cnf.eval(&m), "model does not satisfy formula");
+            }
+            (None, SolveResult::Unsat) => {}
+            (r, v) => prop_assert!(false, "mismatch: reference={:?} cdcl={:?}", r.is_some(), v),
+        }
+    }
+
+    /// Solving under assumptions equals solving the formula with the
+    /// assumptions added as unit clauses.
+    #[test]
+    fn assumptions_equal_units(cnf in arb_cnf(8, 25), pol in proptest::collection::vec(any::<bool>(), 3)) {
+        let mut s = Solver::new();
+        let vars = cnf.load_into(&mut s);
+        let assumptions: Vec<Lit> = pol
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i < vars.len())
+            .map(|(i, &p)| vars[i].lit(p))
+            .collect();
+        let with_assumptions = s.solve_with_assumptions(&assumptions);
+
+        let mut units = cnf.clone();
+        for &a in &assumptions {
+            units.clauses.push(vec![a]);
+        }
+        let reference = solve_brute_force(&units);
+        match (reference, with_assumptions) {
+            (Some(_), SolveResult::Sat) => {}
+            (None, SolveResult::Unsat) => {}
+            (r, v) => prop_assert!(false, "mismatch: reference={:?} cdcl={:?}", r.is_some(), v),
+        }
+
+        // The solver must remain reusable and agree on the bare formula.
+        let bare = s.solve();
+        let bare_ref = solve_brute_force(&cnf);
+        prop_assert_eq!(bare == SolveResult::Sat, bare_ref.is_some());
+    }
+
+    /// On unsat-under-assumptions, the reported core is itself sufficient
+    /// for unsatisfiability.
+    #[test]
+    fn unsat_core_is_sufficient(cnf in arb_cnf(8, 25), pol in proptest::collection::vec(any::<bool>(), 4)) {
+        let mut s = Solver::new();
+        let vars = cnf.load_into(&mut s);
+        let assumptions: Vec<Lit> = pol
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i < vars.len())
+            .map(|(i, &p)| vars[i].lit(p))
+            .collect();
+        if s.solve_with_assumptions(&assumptions) == SolveResult::Unsat {
+            let core = s.unsat_core().to_vec();
+            for l in &core {
+                prop_assert!(assumptions.contains(l), "core not subset of assumptions");
+            }
+            // Re-solving under only the core must still be unsat.
+            prop_assert_eq!(s.solve_with_assumptions(&core), SolveResult::Unsat);
+        }
+    }
+
+    /// Incremental solving: adding clauses one at a time gives the same
+    /// final verdict as solving the whole formula at once.
+    #[test]
+    fn incremental_matches_monolithic(cnf in arb_cnf(8, 20)) {
+        let mut s = Solver::new();
+        let _vars: Vec<Var> = (0..cnf.num_vars).map(|_| s.new_var()).collect();
+        let mut last = s.solve();
+        for c in &cnf.clauses {
+            s.add_clause(c);
+            last = s.solve();
+            if last == SolveResult::Unsat {
+                break;
+            }
+        }
+        let reference = solve_brute_force(&cnf);
+        if last == SolveResult::Unsat {
+            prop_assert!(reference.is_none());
+        } else {
+            prop_assert!(reference.is_some());
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Functional tests for the CDCL solver on structured instances.
+
+use satcore::{CnfSink, Lit, SolveResult, Solver, Var};
+
+fn lit(s: &mut Solver, vars: &mut Vec<Var>, i: usize, pos: bool) -> Lit {
+    while vars.len() <= i {
+        vars.push(s.new_var());
+    }
+    vars[i].lit(pos)
+}
+
+/// Pigeonhole principle: `holes + 1` pigeons into `holes` holes — unsat.
+fn pigeonhole(holes: usize) -> Solver {
+    let pigeons = holes + 1;
+    let mut s = Solver::new();
+    // var p*holes + h : pigeon p in hole h
+    let vars: Vec<Var> = (0..pigeons * holes).map(|_| s.new_var()).collect();
+    let v = |p: usize, h: usize| vars[p * holes + h];
+    // Every pigeon in some hole.
+    for p in 0..pigeons {
+        let clause: Vec<Lit> = (0..holes).map(|h| v(p, h).positive()).collect();
+        s.add_clause(&clause);
+    }
+    // No two pigeons share a hole.
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                s.add_clause(&[v(p1, h).negative(), v(p2, h).negative()]);
+            }
+        }
+    }
+    s
+}
+
+#[test]
+fn pigeonhole_unsat() {
+    for holes in 2..=6 {
+        let mut s = pigeonhole(holes);
+        assert_eq!(s.solve(), SolveResult::Unsat, "php({holes}) must be unsat");
+    }
+}
+
+#[test]
+fn pigeonhole_equal_sat() {
+    // n pigeons in n holes is satisfiable.
+    let holes = 5;
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..holes * holes).map(|_| s.new_var()).collect();
+    let v = |p: usize, h: usize| vars[p * holes + h];
+    for p in 0..holes {
+        let clause: Vec<Lit> = (0..holes).map(|h| v(p, h).positive()).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..holes {
+            for p2 in (p1 + 1)..holes {
+                s.add_clause(&[v(p1, h).negative(), v(p2, h).negative()]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Sat);
+    // Verify the model is a valid assignment of pigeons to holes.
+    for p in 0..holes {
+        let count = (0..holes)
+            .filter(|&h| s.value_of(v(p, h)) == Some(true))
+            .count();
+        assert!(count >= 1, "pigeon {p} unplaced");
+    }
+}
+
+#[test]
+fn chain_implication_propagates() {
+    // x0 → x1 → … → x99, assert x0, ask ¬x99: unsat.
+    let mut s = Solver::new();
+    let mut vars = Vec::new();
+    for i in 0..99 {
+        let a = lit(&mut s, &mut vars, i, false);
+        let b = lit(&mut s, &mut vars, i + 1, true);
+        s.add_clause(&[a, b]);
+    }
+    let x0 = lit(&mut s, &mut vars, 0, true);
+    let x99 = lit(&mut s, &mut vars, 99, true);
+    s.add_clause(&[x0]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.value_of(vars[99]), Some(true));
+    assert_eq!(s.solve_with_assumptions(&[!x99]), SolveResult::Unsat);
+    // After the failed assumption the solver stays usable.
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn empty_formula_is_sat() {
+    let mut s = Solver::new();
+    assert_eq!(s.solve(), SolveResult::Sat);
+    s.new_var();
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn contradictory_units_unsat_and_sticky() {
+    let mut s = Solver::new();
+    let x = s.new_var().positive();
+    s.add_clause(&[x]);
+    s.add_clause(&[!x]);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    // Once the formula is refuted it stays refuted.
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn unsat_core_is_subset_of_assumptions() {
+    let mut s = Solver::new();
+    let a = s.new_var().positive();
+    let b = s.new_var().positive();
+    let c = s.new_var().positive();
+    let d = s.new_var().positive();
+    s.add_clause(&[!a, !b]); // a and b conflict
+    assert_eq!(
+        s.solve_with_assumptions(&[c, a, d, b]),
+        SolveResult::Unsat
+    );
+    let core = s.unsat_core().to_vec();
+    assert!(!core.is_empty());
+    for l in &core {
+        assert!(
+            [c, a, d, b].contains(l),
+            "core literal {l} is not an assumption"
+        );
+    }
+    // The core must itself be contradictory: a and b must both be there.
+    assert!(core.contains(&a));
+    assert!(core.contains(&b));
+    assert!(!core.contains(&c), "c is irrelevant");
+}
+
+#[test]
+fn incremental_clause_addition() {
+    let mut s = Solver::new();
+    let x = s.new_var().positive();
+    let y = s.new_var().positive();
+    s.add_clause(&[x, y]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    s.add_clause(&[!x]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.value_of(y.var()), Some(true));
+    s.add_clause(&[!y]);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn assumptions_do_not_persist() {
+    let mut s = Solver::new();
+    let x = s.new_var().positive();
+    assert_eq!(s.solve_with_assumptions(&[!x]), SolveResult::Sat);
+    assert_eq!(s.value_of(x.var()), Some(false));
+    assert_eq!(s.solve_with_assumptions(&[x]), SolveResult::Sat);
+    assert_eq!(s.value_of(x.var()), Some(true));
+}
+
+#[test]
+fn at_most_one_naive_blocks_pairs() {
+    // Exactly-one over 8 vars, enumerated with blocking clauses: 8 models.
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+    let all: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+    s.add_clause(&all);
+    for i in 0..8 {
+        for j in (i + 1)..8 {
+            s.add_clause(&[vars[i].negative(), vars[j].negative()]);
+        }
+    }
+    let mut models = 0;
+    while s.solve() == SolveResult::Sat {
+        models += 1;
+        assert!(models <= 8, "too many models");
+        let blocking: Vec<Lit> = vars
+            .iter()
+            .map(|&v| v.lit(s.value_of(v) != Some(true)))
+            .collect();
+        s.add_clause(&blocking);
+    }
+    assert_eq!(models, 8);
+}
+
+#[test]
+fn graph_coloring_triangle() {
+    // A triangle is 3-colorable but not 2-colorable.
+    fn coloring(colors: usize) -> SolveResult {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..3 * colors).map(|_| s.new_var()).collect();
+        let v = |node: usize, c: usize| vars[node * colors + c];
+        for node in 0..3 {
+            let clause: Vec<Lit> = (0..colors).map(|c| v(node, c).positive()).collect();
+            s.add_clause(&clause);
+        }
+        for c in 0..colors {
+            for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+                s.add_clause(&[v(a, c).negative(), v(b, c).negative()]);
+            }
+        }
+        s.solve()
+    }
+    assert_eq!(coloring(2), SolveResult::Unsat);
+    assert_eq!(coloring(3), SolveResult::Sat);
+}
+
+#[test]
+fn conflict_budget_returns_unknown() {
+    let mut s = pigeonhole(8); // hard enough to exceed a tiny budget
+    s.set_conflict_budget(Some(5));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    s.set_conflict_budget(None);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn stats_are_populated() {
+    let mut s = pigeonhole(5);
+    s.solve();
+    let st = s.stats();
+    assert!(st.conflicts > 0);
+    assert!(st.decisions > 0);
+    assert!(st.propagations > 0);
+}
+
+#[test]
+fn simplify_keeps_equivalence() {
+    let mut s = Solver::new();
+    let x = s.new_var().positive();
+    let y = s.new_var().positive();
+    let z = s.new_var().positive();
+    s.add_clause(&[x]);
+    s.add_clause(&[x, y]); // satisfied at level 0, removable
+    s.add_clause(&[!x, y, z]);
+    s.simplify();
+    assert_eq!(s.solve(), SolveResult::Sat);
+    s.add_clause(&[!y]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.value_of(z.var()), Some(true));
+}
+
+#[test]
+fn duplicate_and_tautological_clauses() {
+    let mut s = Solver::new();
+    let x = s.new_var().positive();
+    let y = s.new_var().positive();
+    s.add_clause(&[x, x, y]); // duplicate literal
+    s.add_clause(&[x, !x]); // tautology — ignored
+    s.add_clause(&[!x]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.value_of(y.var()), Some(true));
+}

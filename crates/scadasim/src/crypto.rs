@@ -1,0 +1,177 @@
+//! Cryptographic profiles.
+//!
+//! A profile is an algorithm plus a key length, matching the paper's
+//! `CryptType` terms (`CAlgo_K`, `CKey_K`). What a profile *provides*
+//! (authentication, integrity) is decided by the
+//! [`crate::policy::SecurityPolicy`], not here — the paper's point is
+//! precisely that a handshake can succeed on a profile that fails the
+//! organization's security requirements (e.g. CHAP authenticates but
+//! does not integrity-protect; DES pairs fine but is broken).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A cryptographic algorithm appearing in SCADA security profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CryptoAlgorithm {
+    /// Keyed-hash message authentication code.
+    Hmac,
+    /// Challenge-Handshake Authentication Protocol.
+    Chap,
+    /// SHA-1 digest (obsolete).
+    Sha1,
+    /// SHA-2 family digest (the paper's `sha2`/`sha256`).
+    Sha2,
+    /// MD5 digest (broken).
+    Md5,
+    /// AES block cipher.
+    Aes,
+    /// DES block cipher (broken).
+    Des,
+    /// Triple DES.
+    TripleDes,
+    /// RSA public-key cryptosystem.
+    Rsa,
+}
+
+impl CryptoAlgorithm {
+    /// All algorithms, for iteration in generators/tests.
+    pub const ALL: [CryptoAlgorithm; 9] = [
+        CryptoAlgorithm::Hmac,
+        CryptoAlgorithm::Chap,
+        CryptoAlgorithm::Sha1,
+        CryptoAlgorithm::Sha2,
+        CryptoAlgorithm::Md5,
+        CryptoAlgorithm::Aes,
+        CryptoAlgorithm::Des,
+        CryptoAlgorithm::TripleDes,
+        CryptoAlgorithm::Rsa,
+    ];
+
+    /// The lowercase name used by the config format (e.g. `"sha2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CryptoAlgorithm::Hmac => "hmac",
+            CryptoAlgorithm::Chap => "chap",
+            CryptoAlgorithm::Sha1 => "sha1",
+            CryptoAlgorithm::Sha2 => "sha2",
+            CryptoAlgorithm::Md5 => "md5",
+            CryptoAlgorithm::Aes => "aes",
+            CryptoAlgorithm::Des => "des",
+            CryptoAlgorithm::TripleDes => "3des",
+            CryptoAlgorithm::Rsa => "rsa",
+        }
+    }
+}
+
+impl fmt::Display for CryptoAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a crypto algorithm name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAlgorithmError(String);
+
+impl fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown crypto algorithm `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+impl FromStr for CryptoAlgorithm {
+    type Err = ParseAlgorithmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "hmac" => Ok(CryptoAlgorithm::Hmac),
+            "chap" => Ok(CryptoAlgorithm::Chap),
+            "sha1" => Ok(CryptoAlgorithm::Sha1),
+            "sha2" | "sha256" | "sha-256" => Ok(CryptoAlgorithm::Sha2),
+            "md5" => Ok(CryptoAlgorithm::Md5),
+            "aes" => Ok(CryptoAlgorithm::Aes),
+            "des" => Ok(CryptoAlgorithm::Des),
+            "3des" | "tripledes" | "triple-des" => Ok(CryptoAlgorithm::TripleDes),
+            "rsa" => Ok(CryptoAlgorithm::Rsa),
+            other => Err(ParseAlgorithmError(other.to_string())),
+        }
+    }
+}
+
+/// An algorithm with a key length in bits — one `CryptType` of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CryptoProfile {
+    /// The algorithm.
+    pub algorithm: CryptoAlgorithm,
+    /// Key (or digest) length in bits.
+    pub key_bits: u32,
+}
+
+impl CryptoProfile {
+    /// Creates a profile.
+    pub fn new(algorithm: CryptoAlgorithm, key_bits: u32) -> CryptoProfile {
+        CryptoProfile {
+            algorithm,
+            key_bits,
+        }
+    }
+}
+
+impl fmt::Display for CryptoProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.algorithm, self.key_bits)
+    }
+}
+
+impl FromStr for CryptoProfile {
+    type Err = ParseAlgorithmError;
+
+    /// Parses `"<algo> <bits>"` as used by the config format.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split_whitespace();
+        let algo: CryptoAlgorithm = parts
+            .next()
+            .ok_or_else(|| ParseAlgorithmError(s.to_string()))?
+            .parse()?;
+        let bits: u32 = parts
+            .next()
+            .and_then(|b| b.parse().ok())
+            .ok_or_else(|| ParseAlgorithmError(s.to_string()))?;
+        Ok(CryptoProfile::new(algo, bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_names() {
+        assert_eq!("hmac".parse(), Ok(CryptoAlgorithm::Hmac));
+        assert_eq!("SHA256".parse(), Ok(CryptoAlgorithm::Sha2));
+        assert_eq!("3des".parse(), Ok(CryptoAlgorithm::TripleDes));
+        assert!("blowfish".parse::<CryptoAlgorithm>().is_err());
+    }
+
+    #[test]
+    fn parse_profile() {
+        let p: CryptoProfile = "rsa 2048".parse().unwrap();
+        assert_eq!(p, CryptoProfile::new(CryptoAlgorithm::Rsa, 2048));
+        assert!("rsa".parse::<CryptoProfile>().is_err());
+        assert!("rsa many".parse::<CryptoProfile>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for algo in CryptoAlgorithm::ALL {
+            let p = CryptoProfile::new(algo, 128);
+            let parsed: CryptoProfile = p.to_string().parse().unwrap();
+            assert_eq!(parsed, p);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! SCADA devices: IEDs, RTUs, MTUs, and routers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::crypto::CryptoProfile;
+use crate::protocol::Protocol;
+
+/// A device identifier: dense 0-based index into the topology's device
+/// list. Display uses the paper's 1-based numbering.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct DeviceId(pub usize);
+
+impl DeviceId {
+    /// Creates a device id from the paper's 1-based numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `one_based` is zero.
+    pub fn from_one_based(one_based: usize) -> DeviceId {
+        assert!(one_based >= 1, "device numbering is 1-based");
+        DeviceId(one_based - 1)
+    }
+
+    /// The dense 0-based index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// The 1-based number used in the paper and the config format.
+    pub fn one_based(self) -> usize {
+        self.0 + 1
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0 + 1)
+    }
+}
+
+/// The role of a device in the SCADA network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Intelligent electronic device: records measurements in the field.
+    Ied,
+    /// Remote terminal unit: aggregates and forwards field data.
+    Rtu,
+    /// Master terminal unit: the control-center server (one per system).
+    Mtu,
+    /// A network router; transparent for security pairing but still a
+    /// physical node on forwarding paths.
+    Router,
+}
+
+impl DeviceKind {
+    /// Whether this kind counts as a *field device* for the paper's
+    /// failure budgets (IEDs and RTUs do; the MTU and routers do not).
+    pub fn is_field_device(self) -> bool {
+        matches!(self, DeviceKind::Ied | DeviceKind::Rtu)
+    }
+
+    /// Whether this kind may appear in the *interior* of a forwarding
+    /// path (data is relayed by RTUs and routers only).
+    pub fn can_forward(self) -> bool {
+        matches!(self, DeviceKind::Rtu | DeviceKind::Router)
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DeviceKind::Ied => "IED",
+            DeviceKind::Rtu => "RTU",
+            DeviceKind::Mtu => "MTU",
+            DeviceKind::Router => "router",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A SCADA device with its communication and security configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    id: DeviceId,
+    kind: DeviceKind,
+    /// ICS protocols this device speaks.
+    protocols: Vec<Protocol>,
+    /// Crypto suites this device supports (used when no explicit
+    /// pair-profile is configured for a hop).
+    crypto_suites: Vec<CryptoProfile>,
+    /// Whether this device refuses plaintext communication.
+    requires_crypto: bool,
+    /// Management IP address (the paper's `IpAddr_i`); purely
+    /// informational for reachability, which is modeled point-to-point.
+    ip: Option<std::net::Ipv4Addr>,
+}
+
+impl Device {
+    /// Creates a device speaking every protocol with no crypto suites.
+    pub fn new(id: DeviceId, kind: DeviceKind) -> Device {
+        Device {
+            id,
+            kind,
+            protocols: vec![Protocol::Any],
+            crypto_suites: Vec::new(),
+            requires_crypto: false,
+            ip: None,
+        }
+    }
+
+    /// Replaces the protocol list.
+    pub fn with_protocols(mut self, protocols: Vec<Protocol>) -> Device {
+        self.protocols = protocols;
+        self
+    }
+
+    /// Replaces the supported crypto suites.
+    pub fn with_crypto_suites(mut self, suites: Vec<CryptoProfile>) -> Device {
+        self.crypto_suites = suites;
+        self
+    }
+
+    /// Marks the device as refusing plaintext communication.
+    pub fn requiring_crypto(mut self) -> Device {
+        self.requires_crypto = true;
+        self
+    }
+
+    /// Sets the management IP address.
+    pub fn with_ip(mut self, ip: std::net::Ipv4Addr) -> Device {
+        self.ip = Some(ip);
+        self
+    }
+
+    /// The management IP address, if configured.
+    pub fn ip(&self) -> Option<std::net::Ipv4Addr> {
+        self.ip
+    }
+
+    /// The device id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The device kind.
+    pub fn kind(&self) -> DeviceKind {
+        self.kind
+    }
+
+    /// Protocols this device speaks.
+    pub fn protocols(&self) -> &[Protocol] {
+        &self.protocols
+    }
+
+    /// Crypto suites this device supports.
+    pub fn crypto_suites(&self) -> &[CryptoProfile] {
+        &self.crypto_suites
+    }
+
+    /// Whether the device refuses plaintext.
+    pub fn requires_crypto(&self) -> bool {
+        self.requires_crypto
+    }
+
+    /// Whether the two devices share a communication protocol (the
+    /// paper's `CommProtoPairing`).
+    pub fn protocol_pairing(&self, other: &Device) -> bool {
+        self.protocols.iter().any(|p| {
+            other
+                .protocols
+                .iter()
+                .any(|q| p.compatible_with(*q))
+        })
+    }
+
+    /// Whether the two devices can complete a crypto handshake (the
+    /// paper's `CryptoPropPairing`): either neither requires crypto, or
+    /// they share a suite.
+    pub fn crypto_pairing(&self, other: &Device) -> bool {
+        let shared = self
+            .crypto_suites
+            .iter()
+            .any(|s| other.crypto_suites.contains(s));
+        if self.requires_crypto || other.requires_crypto {
+            shared
+        } else {
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::CryptoAlgorithm;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(DeviceKind::Ied.is_field_device());
+        assert!(DeviceKind::Rtu.is_field_device());
+        assert!(!DeviceKind::Mtu.is_field_device());
+        assert!(!DeviceKind::Router.is_field_device());
+        assert!(DeviceKind::Rtu.can_forward());
+        assert!(DeviceKind::Router.can_forward());
+        assert!(!DeviceKind::Ied.can_forward());
+        assert!(!DeviceKind::Mtu.can_forward());
+    }
+
+    #[test]
+    fn protocol_pairing() {
+        let a = Device::new(DeviceId(0), DeviceKind::Ied)
+            .with_protocols(vec![Protocol::Modbus]);
+        let b = Device::new(DeviceId(1), DeviceKind::Rtu)
+            .with_protocols(vec![Protocol::Dnp3]);
+        let c = Device::new(DeviceId(2), DeviceKind::Rtu)
+            .with_protocols(vec![Protocol::Dnp3, Protocol::Modbus]);
+        let any = Device::new(DeviceId(3), DeviceKind::Mtu);
+        assert!(!a.protocol_pairing(&b));
+        assert!(a.protocol_pairing(&c));
+        assert!(b.protocol_pairing(&c));
+        assert!(a.protocol_pairing(&any));
+    }
+
+    #[test]
+    fn crypto_pairing_rules() {
+        let suite = CryptoProfile::new(CryptoAlgorithm::Aes, 256);
+        let open = Device::new(DeviceId(0), DeviceKind::Ied);
+        let secured = Device::new(DeviceId(1), DeviceKind::Rtu)
+            .with_crypto_suites(vec![suite])
+            .requiring_crypto();
+        let compatible = Device::new(DeviceId(2), DeviceKind::Rtu)
+            .with_crypto_suites(vec![suite]);
+        // Plaintext with a crypto-requiring peer fails.
+        assert!(!open.crypto_pairing(&secured));
+        assert!(secured.crypto_pairing(&compatible));
+        // Two open devices always pair.
+        let open2 = Device::new(DeviceId(3), DeviceKind::Ied);
+        assert!(open.crypto_pairing(&open2));
+    }
+
+    #[test]
+    fn one_based_round_trip() {
+        let d = DeviceId::from_one_based(13);
+        assert_eq!(d.index(), 12);
+        assert_eq!(d.one_based(), 13);
+        assert_eq!(d.to_string(), "dev13");
+    }
+}

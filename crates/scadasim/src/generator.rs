@@ -1,0 +1,346 @@
+//! Synthetic SCADA network generation.
+//!
+//! Reproduces the paper's evaluation methodology (§V-A): given a bus
+//! system, sample a measurement set, create *one IED per two power-flow
+//! measurements and one IED per consumption (injection) measurement*,
+//! attach IEDs to RTUs, and build an RTU hierarchy whose depth — the
+//! average number of RTUs on the path to the MTU — is the `hierarchy
+//! level` parameter. Security profiles are drawn from a strong/weak
+//! palette at a configurable rate. Everything is deterministic in the
+//! seed.
+
+use powergrid::{MeasurementId, MeasurementKind, MeasurementSet, PowerSystem};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::crypto::{CryptoAlgorithm, CryptoProfile};
+use crate::device::{Device, DeviceId, DeviceKind};
+use crate::topology::{Link, Topology};
+
+/// Parameters of the synthetic SCADA generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScadaGenConfig {
+    /// Fraction of the maximal measurement set to sample (the paper's
+    /// measurement density, Fig 7a).
+    pub measurement_density: f64,
+    /// Number of RTU layers between IEDs and the MTU (the paper's
+    /// hierarchy level, Figs 6 and 7b).
+    pub hierarchy_level: usize,
+    /// Average number of IEDs per leaf RTU.
+    pub ieds_per_rtu: usize,
+    /// Probability that a configured hop gets a *secured* profile
+    /// (authenticated + integrity-protected under the DSN'16 policy);
+    /// otherwise it gets a weak profile.
+    pub secure_fraction: f64,
+    /// Probability of adding a cross link between sibling RTUs in
+    /// adjacent layers (more connectivity among RTUs — the mechanism the
+    /// paper cites for the threat-space growth in Fig 7b).
+    pub rtu_cross_links: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScadaGenConfig {
+    fn default() -> ScadaGenConfig {
+        ScadaGenConfig {
+            measurement_density: 0.7,
+            hierarchy_level: 1,
+            ieds_per_rtu: 3,
+            secure_fraction: 0.8,
+            rtu_cross_links: 0.15,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated SCADA system: measurements, topology, and the IED to
+/// measurement association.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedScada {
+    /// The sampled measurement set.
+    pub measurements: MeasurementSet,
+    /// The SCADA topology (IEDs, RTU hierarchy, one MTU).
+    pub topology: Topology,
+    /// Which measurements each IED records (covers every measurement).
+    pub ied_measurements: Vec<(DeviceId, Vec<MeasurementId>)>,
+}
+
+/// Generates a synthetic SCADA network for a power system.
+///
+/// # Panics
+///
+/// Panics if `hierarchy_level == 0` or `ieds_per_rtu == 0`.
+pub fn generate(system: PowerSystem, cfg: &ScadaGenConfig) -> GeneratedScada {
+    assert!(cfg.hierarchy_level >= 1, "hierarchy level is at least 1");
+    assert!(cfg.ieds_per_rtu >= 1, "need at least one IED per RTU");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let measurements =
+        MeasurementSet::sampled(system, cfg.measurement_density, cfg.seed ^ 0x5ca1ab1e);
+
+    // ---- IEDs: one per two flow measurements, one per injection. ----
+    let mut flow_ids: Vec<MeasurementId> = Vec::new();
+    let mut injection_ids: Vec<MeasurementId> = Vec::new();
+    for id in measurements.ids() {
+        match measurements.kind(id) {
+            MeasurementKind::Injection(_) => injection_ids.push(id),
+            _ => flow_ids.push(id),
+        }
+    }
+    flow_ids.shuffle(&mut rng);
+    let mut ied_measurements: Vec<Vec<MeasurementId>> = Vec::new();
+    for chunk in flow_ids.chunks(2) {
+        ied_measurements.push(chunk.to_vec());
+    }
+    for id in injection_ids {
+        ied_measurements.push(vec![id]);
+    }
+    let n_ieds = ied_measurements.len();
+
+    // ---- Device list: IEDs, RTU layers, MTU. ----
+    let mut devices: Vec<Device> = Vec::new();
+    for i in 0..n_ieds {
+        devices.push(Device::new(DeviceId(i), DeviceKind::Ied));
+    }
+    // Leaf RTUs: enough for the configured fan-in.
+    let n_leaf_rtus = n_ieds.div_ceil(cfg.ieds_per_rtu).max(1);
+    let mut layers: Vec<Vec<DeviceId>> = Vec::new();
+    let mut next_id = n_ieds;
+    let mut layer_size = n_leaf_rtus;
+    for _ in 0..cfg.hierarchy_level {
+        let layer: Vec<DeviceId> = (0..layer_size)
+            .map(|_| {
+                let id = DeviceId(next_id);
+                next_id += 1;
+                devices.push(Device::new(id, DeviceKind::Rtu));
+                id
+            })
+            .collect();
+        layers.push(layer);
+        // Layers shrink toward the MTU but never vanish.
+        layer_size = (layer_size / 2).max(1);
+    }
+    let mtu = DeviceId(next_id);
+    devices.push(Device::new(mtu, DeviceKind::Mtu));
+
+    // ---- Links. ----
+    let mut links: Vec<Link> = Vec::new();
+    // IEDs to random leaf RTUs.
+    let leaf_layer = layers[0].clone();
+    for i in 0..n_ieds {
+        let rtu = leaf_layer[rng.random_range(0..leaf_layer.len())];
+        links.push(Link::new(DeviceId(i), rtu));
+    }
+    // RTU layer l to layer l+1 (or the MTU from the top layer).
+    for l in 0..layers.len() {
+        let uppers: Vec<DeviceId> = if l + 1 < layers.len() {
+            layers[l + 1].clone()
+        } else {
+            vec![mtu]
+        };
+        for &rtu in &layers[l] {
+            let up = uppers[rng.random_range(0..uppers.len())];
+            links.push(Link::new(rtu, up));
+            // Optional cross link to a second parent: multiple paths.
+            if uppers.len() > 1 && rng.random_bool(cfg.rtu_cross_links) {
+                let other = uppers[rng.random_range(0..uppers.len())];
+                if other != up {
+                    links.push(Link::new(rtu, other));
+                }
+            }
+        }
+    }
+    let mut topology = Topology::new(devices, links);
+
+    // ---- Security profiles per hop. ----
+    let strong_field = [
+        CryptoProfile::new(CryptoAlgorithm::Chap, 64),
+        CryptoProfile::new(CryptoAlgorithm::Sha2, 256),
+    ];
+    let strong_backhaul = [
+        CryptoProfile::new(CryptoAlgorithm::Rsa, 2048),
+        CryptoProfile::new(CryptoAlgorithm::Aes, 256),
+    ];
+    let weak_choices: [&[CryptoProfile]; 3] = [
+        &[CryptoProfile {
+            algorithm: CryptoAlgorithm::Hmac,
+            key_bits: 128,
+        }],
+        &[CryptoProfile {
+            algorithm: CryptoAlgorithm::Des,
+            key_bits: 56,
+        }],
+        &[],
+    ];
+    let link_list: Vec<(DeviceId, DeviceId)> =
+        topology.links().iter().map(|l| (l.a, l.b)).collect();
+    for (a, b) in link_list {
+        let field_hop = topology.device(a).kind() == DeviceKind::Ied
+            || topology.device(b).kind() == DeviceKind::Ied;
+        let profiles: Vec<CryptoProfile> = if rng.random_bool(cfg.secure_fraction) {
+            if field_hop {
+                strong_field.to_vec()
+            } else {
+                strong_backhaul.to_vec()
+            }
+        } else {
+            weak_choices[rng.random_range(0..weak_choices.len())].to_vec()
+        };
+        if !profiles.is_empty() {
+            topology.set_pair_security(a, b, profiles);
+        }
+    }
+
+    let ied_measurements = ied_measurements
+        .into_iter()
+        .enumerate()
+        .map(|(i, ms)| (DeviceId(i), ms))
+        .collect();
+    GeneratedScada {
+        measurements,
+        topology,
+        ied_measurements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powergrid::ieee::ieee14;
+
+    fn gen(cfg: &ScadaGenConfig) -> GeneratedScada {
+        generate(ieee14(), cfg)
+    }
+
+    #[test]
+    fn generated_topology_is_valid() {
+        for hierarchy in 1..=4 {
+            for seed in 0..3 {
+                let cfg = ScadaGenConfig {
+                    hierarchy_level: hierarchy,
+                    seed,
+                    ..Default::default()
+                };
+                let g = gen(&cfg);
+                let errors = g.topology.validate();
+                assert!(errors.is_empty(), "h={hierarchy} seed={seed}: {errors:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_measurement_is_recorded_exactly_once() {
+        let g = gen(&ScadaGenConfig::default());
+        let mut counts = vec![0usize; g.measurements.len()];
+        for (_, ms) in &g.ied_measurements {
+            for m in ms {
+                counts[m.index()] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 1), "{counts:?}");
+    }
+
+    #[test]
+    fn ied_count_follows_paper_rule() {
+        let g = gen(&ScadaGenConfig::default());
+        let flows = g
+            .measurements
+            .kinds()
+            .iter()
+            .filter(|k| !matches!(k, MeasurementKind::Injection(_)))
+            .count();
+        let injections = g.measurements.len() - flows;
+        let expected = flows.div_ceil(2) + injections;
+        assert_eq!(g.topology.ieds().count(), expected);
+    }
+
+    #[test]
+    fn hierarchy_controls_path_length() {
+        use crate::paths::{forwarding_paths, PathLimits};
+        let shallow = gen(&ScadaGenConfig {
+            hierarchy_level: 1,
+            rtu_cross_links: 0.0,
+            seed: 3,
+            ..Default::default()
+        });
+        let deep = gen(&ScadaGenConfig {
+            hierarchy_level: 4,
+            rtu_cross_links: 0.0,
+            seed: 3,
+            ..Default::default()
+        });
+        let avg = |g: &GeneratedScada| {
+            let mut total = 0usize;
+            let mut count = 0usize;
+            for ied in g.topology.ieds() {
+                for p in forwarding_paths(&g.topology, ied.id(), &PathLimits::default()) {
+                    total += p.len();
+                    count += 1;
+                }
+            }
+            total as f64 / count as f64
+        };
+        // hierarchy 1 → IED,RTU,MTU = 3 devices; hierarchy 4 → 6 devices.
+        assert!((avg(&shallow) - 3.0).abs() < 0.01);
+        assert!((avg(&deep) - 6.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = ScadaGenConfig::default();
+        let a = gen(&cfg);
+        let b = gen(&cfg);
+        assert_eq!(a, b);
+        let c = gen(&ScadaGenConfig {
+            seed: 99,
+            ..Default::default()
+        });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn density_scales_measurement_count() {
+        let lo = gen(&ScadaGenConfig {
+            measurement_density: 0.4,
+            ..Default::default()
+        });
+        let hi = gen(&ScadaGenConfig {
+            measurement_density: 1.0,
+            ..Default::default()
+        });
+        assert!(lo.measurements.len() < hi.measurements.len());
+        let max = 2 * ieee14().num_branches() + ieee14().num_buses();
+        assert_eq!(hi.measurements.len(), max);
+    }
+
+    #[test]
+    fn secure_fraction_extremes() {
+        use crate::policy::SecurityPolicy;
+        let policy = SecurityPolicy::dsn16();
+        let all = gen(&ScadaGenConfig {
+            secure_fraction: 1.0,
+            ..Default::default()
+        });
+        for l in all.topology.links() {
+            assert!(
+                policy.hop_secured(&all.topology.pair_security(l.a, l.b)),
+                "hop {}-{} not secured at fraction 1.0",
+                l.a,
+                l.b
+            );
+        }
+        let none = gen(&ScadaGenConfig {
+            secure_fraction: 0.0,
+            ..Default::default()
+        });
+        let secured = none
+            .topology
+            .links()
+            .iter()
+            .filter(|l| policy.hop_secured(&none.topology.pair_security(l.a, l.b)))
+            .count();
+        assert_eq!(secured, 0);
+    }
+}

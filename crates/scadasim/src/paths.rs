@@ -1,0 +1,283 @@
+//! Forwarding-path enumeration.
+//!
+//! The paper's delivery constraint quantifies over `P_I`, the set of
+//! forwarding paths from IED `I` to the MTU. Paths are simple, their
+//! interior consists of forwarding devices only (RTUs and routers), and
+//! only up links are traversed. Enumeration is capped: SCADA topologies
+//! are tree-like so the bound is rarely hit, but adversarially meshed
+//! RTU layers could otherwise blow up.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{DeviceId, DeviceKind};
+use crate::topology::Topology;
+
+/// Limits on path enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathLimits {
+    /// Maximum number of paths per IED.
+    pub max_paths: usize,
+    /// Maximum path length in hops.
+    pub max_hops: usize,
+}
+
+impl Default for PathLimits {
+    fn default() -> PathLimits {
+        PathLimits {
+            max_paths: 64,
+            max_hops: 16,
+        }
+    }
+}
+
+/// A forwarding path: the device sequence from the IED to the MTU,
+/// inclusive of both endpoints.
+pub type ForwardingPath = Vec<DeviceId>;
+
+/// Enumerates all simple forwarding paths from `ied` to the MTU.
+///
+/// Interior nodes must be able to forward (RTU or router); hops must be
+/// protocol- and crypto-compatible (the paper's pairing predicates —
+/// statically incompatible hops can never carry data, so paths through
+/// them are not paths).
+pub fn forwarding_paths(
+    topology: &Topology,
+    ied: DeviceId,
+    limits: &PathLimits,
+) -> Vec<ForwardingPath> {
+    let mtu = topology.mtu();
+    let mut paths = Vec::new();
+    let mut visited = vec![false; topology.num_devices()];
+    let mut current = vec![ied];
+    visited[ied.index()] = true;
+    dfs(topology, mtu, limits, &mut visited, &mut current, &mut paths);
+    paths
+}
+
+fn dfs(
+    topology: &Topology,
+    mtu: DeviceId,
+    limits: &PathLimits,
+    visited: &mut Vec<bool>,
+    current: &mut Vec<DeviceId>,
+    paths: &mut Vec<ForwardingPath>,
+) {
+    if paths.len() >= limits.max_paths {
+        return;
+    }
+    let here = *current.last().expect("path is never empty");
+    if here == mtu {
+        paths.push(current.clone());
+        return;
+    }
+    if current.len() > limits.max_hops {
+        return;
+    }
+    for next in topology.neighbors(here) {
+        if visited[next.index()] {
+            continue;
+        }
+        // Interior hops must be forwarders; the terminal hop is the MTU.
+        let kind = topology.device(next).kind();
+        if next != mtu && !kind.can_forward() {
+            continue;
+        }
+        if !topology.hop_compatible(here, next) {
+            continue;
+        }
+        visited[next.index()] = true;
+        current.push(next);
+        dfs(topology, mtu, limits, visited, current, paths);
+        current.pop();
+        visited[next.index()] = false;
+    }
+}
+
+/// Collapses routers out of a forwarding path, yielding the sequence of
+/// *security hops*: consecutive (device, device) pairs between
+/// non-router devices. Security profiles are configured between
+/// communicating hosts; routers in between are transparent.
+pub fn security_hops(topology: &Topology, path: &[DeviceId]) -> Vec<(DeviceId, DeviceId)> {
+    let hosts: Vec<DeviceId> = path
+        .iter()
+        .copied()
+        .filter(|&d| topology.device(d).kind() != DeviceKind::Router)
+        .collect();
+    hosts.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// The link indices traversed by a forwarding path, in hop order.
+///
+/// # Panics
+///
+/// Panics if consecutive path devices are not joined by an up link (the
+/// path did not come from [`forwarding_paths`] on this topology).
+pub fn links_of_path(topology: &Topology, path: &[DeviceId]) -> Vec<usize> {
+    path.windows(2)
+        .map(|w| {
+            topology
+                .link_index_between(w[0], w[1])
+                .unwrap_or_else(|| panic!("no up link between {} and {}", w[0], w[1]))
+        })
+        .collect()
+}
+
+/// Whether a forwarding path is *secured* end to end under a policy.
+///
+/// Security profiles bind pairs of hosts. A profile between
+/// non-adjacent hosts acts as a tunnel: intermediate forwarders relay
+/// the protected payload without terminating its security (this is how
+/// the paper's RTU9↔MTU profile keeps securing RTU 9's data when, in the
+/// Fig 4 variant, it is relayed through RTU 12). A path is secured iff
+/// its host sequence (routers collapsed) can be decomposed into
+/// consecutive segments, each covered by a profile that is both
+/// authenticated and integrity-protected:
+///
+/// * adjacent hosts may use their explicit pair profile or a shared
+///   device suite,
+/// * a tunnel segment (non-adjacent hosts) requires an explicit pair
+///   profile.
+pub fn path_secured(
+    topology: &Topology,
+    policy: &crate::policy::SecurityPolicy,
+    path: &[DeviceId],
+) -> bool {
+    let hosts: Vec<DeviceId> = path
+        .iter()
+        .copied()
+        .filter(|&d| topology.device(d).kind() != DeviceKind::Router)
+        .collect();
+    if hosts.len() <= 1 {
+        return true;
+    }
+    let m = hosts.len();
+    // reachable[i]: the prefix ending at hosts[i] is fully covered.
+    let mut reachable = vec![false; m];
+    reachable[0] = true;
+    for j in 1..m {
+        for i in 0..j {
+            if !reachable[i] {
+                continue;
+            }
+            let (a, b) = (hosts[i], hosts[j]);
+            let covered = if j == i + 1 {
+                policy.hop_secured(&topology.pair_security(a, b))
+            } else {
+                topology
+                    .explicit_pair_security(a, b)
+                    .is_some_and(|profiles| policy.hop_secured(profiles))
+            };
+            if covered {
+                reachable[j] = true;
+                break;
+            }
+        }
+    }
+    reachable[m - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::topology::Link;
+
+    /// The Fig-3 shape in miniature: 2 IEDs, 2 RTUs, router, MTU.
+    fn mesh() -> Topology {
+        let mut devices = vec![
+            Device::new(DeviceId(0), DeviceKind::Ied),
+            Device::new(DeviceId(1), DeviceKind::Ied),
+            Device::new(DeviceId(2), DeviceKind::Rtu),
+            Device::new(DeviceId(3), DeviceKind::Rtu),
+            Device::new(DeviceId(4), DeviceKind::Router),
+            Device::new(DeviceId(5), DeviceKind::Mtu),
+        ];
+        devices.truncate(6);
+        let links = vec![
+            Link::new(DeviceId(0), DeviceId(2)),
+            Link::new(DeviceId(1), DeviceId(3)),
+            Link::new(DeviceId(2), DeviceId(3)), // RTU-RTU cross link
+            Link::new(DeviceId(2), DeviceId(4)),
+            Link::new(DeviceId(3), DeviceId(4)),
+            Link::new(DeviceId(4), DeviceId(5)),
+        ];
+        Topology::new(devices, links)
+    }
+
+    #[test]
+    fn enumerates_all_simple_paths() {
+        let t = mesh();
+        let paths = forwarding_paths(&t, DeviceId(0), &PathLimits::default());
+        // 0-2-4-5 and 0-2-3-4-5.
+        assert_eq!(paths.len(), 2);
+        assert!(paths.contains(&vec![DeviceId(0), DeviceId(2), DeviceId(4), DeviceId(5)]));
+        assert!(paths.contains(&vec![
+            DeviceId(0),
+            DeviceId(2),
+            DeviceId(3),
+            DeviceId(4),
+            DeviceId(5)
+        ]));
+    }
+
+    #[test]
+    fn paths_never_route_through_ieds() {
+        let t = mesh();
+        for ied in [DeviceId(0), DeviceId(1)] {
+            for p in forwarding_paths(&t, ied, &PathLimits::default()) {
+                for &d in &p[1..p.len() - 1] {
+                    assert!(t.device(d).kind().can_forward(), "{d} in interior");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_paths_cap_respected() {
+        let t = mesh();
+        let limits = PathLimits {
+            max_paths: 1,
+            max_hops: 16,
+        };
+        assert_eq!(forwarding_paths(&t, DeviceId(0), &limits).len(), 1);
+    }
+
+    #[test]
+    fn max_hops_cap_respected() {
+        let t = mesh();
+        let limits = PathLimits {
+            max_paths: 64,
+            max_hops: 3,
+        };
+        // Only the 3-hop path survives.
+        let paths = forwarding_paths(&t, DeviceId(0), &limits);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 4);
+    }
+
+    #[test]
+    fn security_hops_collapse_routers() {
+        let t = mesh();
+        let path = vec![DeviceId(0), DeviceId(2), DeviceId(4), DeviceId(5)];
+        let hops = security_hops(&t, &path);
+        assert_eq!(
+            hops,
+            vec![(DeviceId(0), DeviceId(2)), (DeviceId(2), DeviceId(5))]
+        );
+    }
+
+    #[test]
+    fn incompatible_hop_blocks_path() {
+        use crate::protocol::Protocol;
+        let mut devices = mesh().devices().to_vec();
+        // IED 0 speaks only Modbus, its RTU only DNP3 → no path.
+        devices[0] = Device::new(DeviceId(0), DeviceKind::Ied)
+            .with_protocols(vec![Protocol::Modbus]);
+        devices[2] = Device::new(DeviceId(2), DeviceKind::Rtu)
+            .with_protocols(vec![Protocol::Dnp3]);
+        let t = Topology::new(devices, mesh().links().to_vec());
+        assert!(forwarding_paths(&t, DeviceId(0), &PathLimits::default()).is_empty());
+        // The other IED is unaffected.
+        assert!(!forwarding_paths(&t, DeviceId(1), &PathLimits::default()).is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! Organizational security policy.
+//!
+//! The paper's `Authenticated` and `IntegrityProtected` constraints are
+//! disjunctions over acceptable (algorithm, minimum-key-length) pairs —
+//! e.g. `CAlgo = hmac ∧ CKey ≥ 128 → Authenticated`. This module makes
+//! that rule table an explicit, data-driven value so operators can encode
+//! their own requirements; [`SecurityPolicy::dsn16`] reproduces the
+//! paper's choices (which the Scenario-2 narrative pins down: HMAC-128
+//! authenticates but does not integrity-protect; CHAP only
+//! authenticates; SHA-2 digests provide integrity; DES provides nothing).
+
+use serde::{Deserialize, Serialize};
+
+use crate::crypto::{CryptoAlgorithm, CryptoProfile};
+
+/// One acceptance rule: the algorithm with at least this key length
+/// provides the guarded property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Accepted algorithm.
+    pub algorithm: CryptoAlgorithm,
+    /// Minimum key (or digest) length in bits.
+    pub min_key_bits: u32,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(algorithm: CryptoAlgorithm, min_key_bits: u32) -> Rule {
+        Rule {
+            algorithm,
+            min_key_bits,
+        }
+    }
+
+    /// Whether a profile satisfies this rule.
+    pub fn accepts(&self, profile: CryptoProfile) -> bool {
+        profile.algorithm == self.algorithm && profile.key_bits >= self.min_key_bits
+    }
+}
+
+/// The set of profiles an organization accepts for authentication and
+/// for data-integrity protection.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SecurityPolicy {
+    authentication: Vec<Rule>,
+    integrity: Vec<Rule>,
+}
+
+impl SecurityPolicy {
+    /// An empty policy accepting nothing.
+    pub fn empty() -> SecurityPolicy {
+        SecurityPolicy {
+            authentication: Vec::new(),
+            integrity: Vec::new(),
+        }
+    }
+
+    /// The DSN'16 paper's policy.
+    ///
+    /// Authentication: HMAC ≥ 128, CHAP ≥ 64, RSA ≥ 2048.
+    /// Integrity: SHA-2 ≥ 128, AES ≥ 256 (authenticated encryption),
+    /// HMAC ≥ 256.
+    ///
+    /// Broken primitives (DES, MD5, SHA-1) appear in neither list; a
+    /// profile on them pairs successfully but provides nothing — the
+    /// paper's DES example.
+    pub fn dsn16() -> SecurityPolicy {
+        SecurityPolicy {
+            authentication: vec![
+                Rule::new(CryptoAlgorithm::Hmac, 128),
+                Rule::new(CryptoAlgorithm::Chap, 64),
+                Rule::new(CryptoAlgorithm::Rsa, 2048),
+            ],
+            integrity: vec![
+                Rule::new(CryptoAlgorithm::Sha2, 128),
+                Rule::new(CryptoAlgorithm::Aes, 256),
+                Rule::new(CryptoAlgorithm::Hmac, 256),
+            ],
+        }
+    }
+
+    /// Adds an authentication rule (builder style).
+    pub fn accept_authentication(mut self, rule: Rule) -> SecurityPolicy {
+        self.authentication.push(rule);
+        self
+    }
+
+    /// Adds an integrity rule (builder style).
+    pub fn accept_integrity(mut self, rule: Rule) -> SecurityPolicy {
+        self.integrity.push(rule);
+        self
+    }
+
+    /// The authentication rules.
+    pub fn authentication_rules(&self) -> &[Rule] {
+        &self.authentication
+    }
+
+    /// The integrity rules.
+    pub fn integrity_rules(&self) -> &[Rule] {
+        &self.integrity
+    }
+
+    /// Whether a single profile provides authentication.
+    pub fn authenticates(&self, profile: CryptoProfile) -> bool {
+        self.authentication.iter().any(|r| r.accepts(profile))
+    }
+
+    /// Whether a single profile provides integrity protection.
+    pub fn protects_integrity(&self, profile: CryptoProfile) -> bool {
+        self.integrity.iter().any(|r| r.accepts(profile))
+    }
+
+    /// The paper's `Authenticated_{i,j}`: some profile of the hop
+    /// authenticates.
+    pub fn hop_authenticated(&self, profiles: &[CryptoProfile]) -> bool {
+        profiles.iter().any(|&p| self.authenticates(p))
+    }
+
+    /// The paper's `IntegrityProtected_{i,j}`.
+    pub fn hop_integrity_protected(&self, profiles: &[CryptoProfile]) -> bool {
+        profiles.iter().any(|&p| self.protects_integrity(p))
+    }
+
+    /// Whether a hop is *secured*: authenticated and integrity-protected.
+    pub fn hop_secured(&self, profiles: &[CryptoProfile]) -> bool {
+        self.hop_authenticated(profiles) && self.hop_integrity_protected(profiles)
+    }
+}
+
+impl Default for SecurityPolicy {
+    fn default() -> SecurityPolicy {
+        SecurityPolicy::dsn16()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(algo: CryptoAlgorithm, bits: u32) -> CryptoProfile {
+        CryptoProfile::new(algo, bits)
+    }
+
+    #[test]
+    fn table_ii_profiles_classify_as_in_scenario_2() {
+        let policy = SecurityPolicy::dsn16();
+        // "1 9 hmac 128": authenticated, NOT integrity protected — the
+        // paper says IED 1's data is not integrity protected.
+        let hop_1_9 = [p(CryptoAlgorithm::Hmac, 128)];
+        assert!(policy.hop_authenticated(&hop_1_9));
+        assert!(!policy.hop_integrity_protected(&hop_1_9));
+        assert!(!policy.hop_secured(&hop_1_9));
+        // "2 9 chap 64 sha2 128": CHAP authenticates, SHA-2 integrity.
+        let hop_2_9 = [p(CryptoAlgorithm::Chap, 64), p(CryptoAlgorithm::Sha2, 128)];
+        assert!(policy.hop_secured(&hop_2_9));
+        // "9 13 rsa 2048 aes 256": RSA auth, AES-256 integrity.
+        let hop_9_13 = [p(CryptoAlgorithm::Rsa, 2048), p(CryptoAlgorithm::Aes, 256)];
+        assert!(policy.hop_secured(&hop_9_13));
+        // CHAP alone: authentication only (the paper's CHAP example).
+        let chap_only = [p(CryptoAlgorithm::Chap, 64)];
+        assert!(policy.hop_authenticated(&chap_only));
+        assert!(!policy.hop_secured(&chap_only));
+        // DES pairs but provides nothing (the paper's DES example).
+        let des = [p(CryptoAlgorithm::Des, 56)];
+        assert!(!policy.hop_authenticated(&des));
+        assert!(!policy.hop_integrity_protected(&des));
+    }
+
+    #[test]
+    fn key_length_thresholds() {
+        let policy = SecurityPolicy::dsn16();
+        assert!(policy.authenticates(p(CryptoAlgorithm::Hmac, 128)));
+        assert!(!policy.authenticates(p(CryptoAlgorithm::Hmac, 64)));
+        assert!(policy.authenticates(p(CryptoAlgorithm::Rsa, 4096)));
+        assert!(!policy.authenticates(p(CryptoAlgorithm::Rsa, 1024)));
+        assert!(policy.protects_integrity(p(CryptoAlgorithm::Sha2, 256)));
+        assert!(!policy.protects_integrity(p(CryptoAlgorithm::Sha2, 64)));
+        // HMAC with a long key also protects integrity.
+        assert!(policy.protects_integrity(p(CryptoAlgorithm::Hmac, 256)));
+    }
+
+    #[test]
+    fn empty_policy_accepts_nothing() {
+        let policy = SecurityPolicy::empty();
+        assert!(!policy.hop_authenticated(&[p(CryptoAlgorithm::Rsa, 4096)]));
+        assert!(!policy.hop_secured(&[p(CryptoAlgorithm::Aes, 256)]));
+    }
+
+    #[test]
+    fn builder_extends_rules() {
+        let policy = SecurityPolicy::empty()
+            .accept_authentication(Rule::new(CryptoAlgorithm::Des, 56))
+            .accept_integrity(Rule::new(CryptoAlgorithm::Md5, 128));
+        // A deliberately bad policy is representable — policy is data.
+        assert!(policy.authenticates(p(CryptoAlgorithm::Des, 56)));
+        assert!(policy.protects_integrity(p(CryptoAlgorithm::Md5, 128)));
+    }
+}

@@ -1,0 +1,96 @@
+//! ICS communication protocols.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An industrial control system protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Modbus (serial or TCP).
+    Modbus,
+    /// DNP3 (IEEE 1815).
+    Dnp3,
+    /// IEC 61850 (substation automation).
+    Iec61850,
+    /// IEC 60870-5-104.
+    Iec104,
+    /// Wildcard: compatible with everything (devices whose protocol is
+    /// not modeled).
+    Any,
+}
+
+impl Protocol {
+    /// Whether two protocol declarations allow communication
+    /// (the paper's same-protocol requirement, with `Any` as wildcard).
+    pub fn compatible_with(self, other: Protocol) -> bool {
+        self == Protocol::Any || other == Protocol::Any || self == other
+    }
+
+    /// The lowercase config-format name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Modbus => "modbus",
+            Protocol::Dnp3 => "dnp3",
+            Protocol::Iec61850 => "iec61850",
+            Protocol::Iec104 => "iec104",
+            Protocol::Any => "any",
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a protocol name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProtocolError(String);
+
+impl fmt::Display for ParseProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown protocol `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseProtocolError {}
+
+impl FromStr for Protocol {
+    type Err = ParseProtocolError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "modbus" => Ok(Protocol::Modbus),
+            "dnp3" => Ok(Protocol::Dnp3),
+            "iec61850" | "61850" => Ok(Protocol::Iec61850),
+            "iec104" | "104" => Ok(Protocol::Iec104),
+            "any" | "*" => Ok(Protocol::Any),
+            other => Err(ParseProtocolError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility() {
+        assert!(Protocol::Dnp3.compatible_with(Protocol::Dnp3));
+        assert!(!Protocol::Dnp3.compatible_with(Protocol::Modbus));
+        assert!(Protocol::Any.compatible_with(Protocol::Modbus));
+        assert!(Protocol::Iec61850.compatible_with(Protocol::Any));
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("dnp3".parse(), Ok(Protocol::Dnp3));
+        assert_eq!("61850".parse(), Ok(Protocol::Iec61850));
+        assert_eq!("*".parse(), Ok(Protocol::Any));
+        assert!("profibus".parse::<Protocol>().is_err());
+        assert_eq!(Protocol::Iec104.to_string(), "iec104");
+    }
+}

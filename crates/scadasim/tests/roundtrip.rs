@@ -1,0 +1,71 @@
+//! Property test: synthetically generated SCADA systems survive a trip
+//! through the textual config format with all verification-relevant
+//! structure intact.
+
+use powergrid::ieee::ieee14;
+use powergrid::synthetic::synthetic_system;
+use proptest::prelude::*;
+use scadasim::{generate, parse_config, write_config, ScadaConfig, ScadaGenConfig};
+
+fn round_trip(seed: u64, hierarchy: usize, density: f64, buses: usize) {
+    let system = if buses == 14 {
+        ieee14()
+    } else {
+        synthetic_system("rt", buses, buses + buses / 3, seed)
+    };
+    let generated = generate(
+        system,
+        &ScadaGenConfig {
+            measurement_density: density,
+            hierarchy_level: hierarchy,
+            seed,
+            ..Default::default()
+        },
+    );
+    let config = ScadaConfig {
+        measurements: generated.measurements,
+        topology: generated.topology,
+        ied_measurements: generated.ied_measurements,
+        resilience: (1, 1),
+        corrupted: 1,
+        link_failures: 0,
+    };
+    let text = write_config(&config);
+    let parsed = parse_config(&text)
+        .unwrap_or_else(|e| panic!("seed {seed}: generated config fails to parse: {e}"));
+    assert_eq!(
+        parsed.measurements.kinds(),
+        config.measurements.kinds(),
+        "seed {seed}: measurement kinds changed"
+    );
+    assert_eq!(
+        parsed.topology.links().len(),
+        config.topology.links().len(),
+        "seed {seed}: link count changed"
+    );
+    assert_eq!(
+        parsed.ied_measurements, config.ied_measurements,
+        "seed {seed}: IED association changed"
+    );
+    assert_eq!(
+        parsed.topology.pair_security_entries().count(),
+        config.topology.pair_security_entries().count(),
+        "seed {seed}: security entries changed"
+    );
+    // And the parsed topology is still valid.
+    assert!(parsed.topology.validate().is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_configs_round_trip(
+        seed in 0u64..10_000,
+        hierarchy in 1usize..4,
+        density in 0.3f64..1.0,
+        buses in prop_oneof![Just(9usize), Just(14), Just(20)],
+    ) {
+        round_trip(seed, hierarchy, density, buses);
+    }
+}

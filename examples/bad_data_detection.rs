@@ -1,0 +1,101 @@
+//! (k, r)-resilient bad-data detectability, tied back to the physics.
+//!
+//! ```text
+//! cargo run --release --example bad_data_detection
+//! ```
+//!
+//! First verifies the formal property on a well-instrumented IEEE-14
+//! SCADA system, then *demonstrates* what it protects: with redundancy,
+//! the residual-based detector pinpoints an injected gross error; on a
+//! criticality-stripped measurement set the same corruption is
+//! mathematically invisible.
+
+
+use scada_analysis::analyzer::{Analyzer, AnalysisInput, Property, ResiliencySpec, Verdict};
+use scada_analysis::power::baddata::{BadDataDetector, BadDataVerdict};
+use scada_analysis::power::estimation::synthesize_measurements;
+use scada_analysis::power::ieee::ieee14;
+use scada_analysis::power::measurement::MeasurementSet;
+use scada_analysis::power::observability::critical_measurements;
+use scada_analysis::scada::{generate, ScadaGenConfig};
+
+fn main() {
+    // --- Formal side: verify (k, r)-resilient detectability. ---
+    let scada = generate(
+        ieee14(),
+        &ScadaGenConfig {
+            measurement_density: 1.0,
+            hierarchy_level: 1,
+            secure_fraction: 1.0,
+            seed: 3,
+            ..Default::default()
+        },
+    );
+    let input = AnalysisInput::new(scada.measurements, scada.topology, scada.ied_measurements);
+    let mut analyzer = Analyzer::new(&input);
+    for (k, r) in [(0, 1), (1, 1), (2, 1), (1, 2)] {
+        let spec = ResiliencySpec::total(k).with_corrupted(r);
+        let verdict = analyzer.verify(Property::BadDataDetectability, spec);
+        match verdict {
+            Verdict::Resilient => {
+                println!("(k={k}, r={r}): DETECTABLE — every state keeps ≥ {} secured measurements", r + 1);
+            }
+            Verdict::Threat(v) => {
+                println!("(k={k}, r={r}): threat {v} leaves some state with < {} secured measurements", r + 1);
+            }
+        }
+    }
+
+    // --- Physical side: the detector in action. ---
+    let ms = MeasurementSet::full(ieee14());
+    let sigma = 0.01;
+    let (mut z, _) = synthesize_measurements(&ms, sigma, 42);
+    let bad = 6;
+    z[bad] += 1.5; // gross error on measurement 7
+    let detector = BadDataDetector::new(&ms, 0.95);
+    let all = vec![true; ms.len()];
+    match detector.test(&z, &all, sigma).expect("observable") {
+        (_, BadDataVerdict::Suspect { measurement, normalized_residual, .. }) => {
+            println!(
+                "\nfull redundancy: corrupted z{} flagged (|r_N| = {:.1}), correct row: {}",
+                measurement + 1,
+                normalized_residual,
+                measurement == bad,
+            );
+        }
+        (_, BadDataVerdict::Clean) => println!("\nfull redundancy: MISSED (unexpected)"),
+    }
+
+    // Strip the set down to a spanning skeleton: every measurement
+    // becomes critical, residuals vanish, corruption becomes invisible.
+    let skeleton = {
+        let sys = ieee14();
+        let kinds: Vec<_> = (0..sys.num_buses() - 1)
+            .map(|i| {
+                scada_analysis::power::MeasurementKind::Injection(
+                    scada_analysis::power::BusId(i),
+                )
+            })
+            .collect();
+        MeasurementSet::new(sys, kinds)
+    };
+    let criticals = critical_measurements(&skeleton);
+    let (mut z2, _) = synthesize_measurements(&skeleton, sigma, 43);
+    z2[0] += 1.5;
+    let det2 = BadDataDetector::new(&skeleton, 0.95);
+    let verdict = det2
+        .test(&z2, &vec![true; skeleton.len()], sigma)
+        .expect("observable")
+        .1;
+    println!(
+        "critical skeleton ({} critical of {}): corruption detected? {}",
+        criticals.len(),
+        skeleton.len(),
+        verdict != BadDataVerdict::Clean,
+    );
+    println!(
+        "\nThis invisible-corruption case is exactly what (k, r)-resilient\n\
+         bad-data detectability rules out at design time."
+    );
+
+}

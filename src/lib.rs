@@ -1,0 +1,41 @@
+//! # scada-analysis — facade crate
+//!
+//! One-stop entry point for the SCADA security and resiliency analysis
+//! workspace, a reproduction of Rahman, Jakaria & Al-Shaer, *Formal
+//! Analysis for Dependable Supervisory Control and Data Acquisition in
+//! Smart Grids* (DSN 2016).
+//!
+//! The actual functionality lives in the member crates, re-exported here:
+//!
+//! * [`sat`] (`satcore`) — a from-scratch CDCL SAT solver, the decision
+//!   engine that replaces the paper's use of Z3,
+//! * [`expr`] (`boolexpr`) — Boolean formula construction, Tseitin
+//!   transformation, and cardinality encodings,
+//! * [`power`] (`powergrid`) — power network topologies, measurement
+//!   models, Jacobian structure, DC state estimation and bad-data
+//!   detection,
+//! * [`scada`] (`scadasim`) — SCADA device/link/crypto configuration
+//!   modeling, topology generation, and the Table-II style config format,
+//! * [`analyzer`] (`scada-analyzer`) — the paper's contribution: formal
+//!   encoding and verification of k-resilient observability, k-resilient
+//!   secured observability, and (k, r)-resilient bad-data detectability.
+//!
+//! # Examples
+//!
+//! Verify the paper's 5-bus case study (Scenario 1):
+//!
+//! ```
+//! use scada_analysis::analyzer::casestudy::five_bus_case_study;
+//! use scada_analysis::analyzer::{Analyzer, Property, ResiliencySpec, Verdict};
+//!
+//! let input = five_bus_case_study();
+//! let mut analyzer = Analyzer::new(&input);
+//! let verdict = analyzer.verify(Property::Observability, ResiliencySpec::split(1, 1));
+//! assert!(matches!(verdict, Verdict::Resilient), "the 5-bus system is (1,1)-resilient");
+//! ```
+
+pub use boolexpr as expr;
+pub use powergrid as power;
+pub use satcore as sat;
+pub use scada_analyzer as analyzer;
+pub use scadasim as scada;

@@ -1,0 +1,173 @@
+//! End-to-end: Table-II-style config text → parse → verify → report,
+//! exactly the paper's tool-chain (Fig 2).
+
+use scada_analysis::analyzer::{Analyzer, AnalysisInput, Property, ResiliencySpec, Verdict};
+use scada_analysis::scada::{parse_config, write_config};
+
+/// A small two-RTU system written in the config format: 3 buses in a
+/// line, four measurements, each RTU carrying one or two IEDs.
+const CONFIG: &str = "
+[buses]
+3
+[lines]
+1 2 10.0
+2 3 5.0
+[measurements]
+flow 1 2        # z1
+flow 2 3        # z2
+injection 2     # z3
+flow 3 2        # z4
+[devices]
+ied 1
+ied 2
+ied 3
+rtu 4
+rtu 5
+mtu 6
+[links]
+1 4
+2 4
+3 5
+4 6
+5 6
+[ied-measurements]
+1 1
+2 3
+3 2 4
+[security]
+1 4 chap 64 sha2 128
+2 4 chap 64 sha2 128
+3 5 hmac 128
+4 6 rsa 2048 aes 256
+5 6 rsa 2048 aes 256
+[spec]
+resilience 1 0
+corrupted 1
+";
+
+#[test]
+fn parse_analyze_report() {
+    let config = parse_config(CONFIG).expect("config parses");
+    let spec = ResiliencySpec::split(config.resilience.0, config.resilience.1)
+        .with_corrupted(config.corrupted);
+    let input = AnalysisInput::from(config);
+    let mut analyzer = Analyzer::new(&input);
+
+    // Observability with (1,0): IED3 records z2 and z4 (line 2-3 both
+    // directions) — losing IED3 leaves states {z1, z3} covering buses
+    // 1,2,3 but only 2 unique components < 3 states: threat.
+    match analyzer.verify(Property::Observability, spec) {
+        Verdict::Threat(v) => {
+            assert_eq!(v.ieds.len(), 1);
+            assert!(v.rtus.is_empty());
+        }
+        Verdict::Resilient => panic!("expected a single-IED threat"),
+    }
+
+    // With zero failures the system is observable (3 unique components).
+    assert!(analyzer
+        .verify(Property::Observability, ResiliencySpec::split(0, 0))
+        .is_resilient());
+
+    // Secured observability already fails with zero failures: IED3's
+    // hop is hmac-only (no integrity), so z2/z4 are never secured and
+    // bus 3's state has no secured coverage… the verdict must match the
+    // direct evaluator either way.
+    let verdict = analyzer.verify(Property::SecuredObservability, ResiliencySpec::split(0, 0));
+    let reference = analyzer
+        .evaluator()
+        .find_threat_exhaustive(Property::SecuredObservability, ResiliencySpec::split(0, 0));
+    assert_eq!(verdict.is_resilient(), reference.is_none());
+    assert!(!verdict.is_resilient(), "hmac-only hop breaks secured coverage");
+}
+
+#[test]
+fn config_round_trip_preserves_verdicts() {
+    let config = parse_config(CONFIG).unwrap();
+    let text = write_config(&config);
+    let config2 = parse_config(&text).unwrap();
+    assert_eq!(config, config2);
+
+    let input1 = AnalysisInput::from(config);
+    let input2 = AnalysisInput::from(config2);
+    let mut a1 = Analyzer::new(&input1);
+    let mut a2 = Analyzer::new(&input2);
+    for property in [Property::Observability, Property::SecuredObservability] {
+        for spec in [ResiliencySpec::split(0, 0), ResiliencySpec::split(1, 1)] {
+            assert_eq!(
+                a1.verify(property, spec).is_resilient(),
+                a2.verify(property, spec).is_resilient(),
+                "{property} {spec}"
+            );
+        }
+    }
+}
+
+#[test]
+fn case_study_survives_config_round_trip() {
+    use scada_analysis::analyzer::casestudy::five_bus_case_study;
+    use scada_analysis::scada::ScadaConfig;
+
+    let input = five_bus_case_study();
+    let config = ScadaConfig {
+        measurements: input.measurements.clone(),
+        topology: input.topology.clone(),
+        ied_measurements: input.ied_measurements.clone(),
+        resilience: (1, 1),
+        corrupted: 1,
+        link_failures: 0,
+    };
+    let text = write_config(&config);
+    let parsed = parse_config(&text).expect("case study serializes");
+    let round = AnalysisInput::from(parsed);
+
+    // The round-tripped input verifies identically.
+    let mut a1 = Analyzer::new(&input);
+    let mut a2 = Analyzer::new(&round);
+    for (k1, k2) in [(1, 1), (2, 1), (3, 0), (4, 0)] {
+        let spec = ResiliencySpec::split(k1, k2);
+        assert_eq!(
+            a1.verify(Property::Observability, spec).is_resilient(),
+            a2.verify(Property::Observability, spec).is_resilient(),
+            "observability ({k1},{k2})"
+        );
+        assert_eq!(
+            a1.verify(Property::SecuredObservability, spec).is_resilient(),
+            a2.verify(Property::SecuredObservability, spec).is_resilient(),
+            "secured ({k1},{k2})"
+        );
+    }
+}
+
+#[test]
+fn estimation_story_end_to_end() {
+    // Tie the formal verdicts back to the physics: when a threat vector
+    // fires, weighted-least-squares estimation actually fails.
+    use scada_analysis::analyzer::casestudy::five_bus_case_study;
+    use scada_analysis::power::estimation::{synthesize_measurements, DcEstimator};
+    use std::collections::HashSet;
+
+    let input = five_bus_case_study();
+    let mut analyzer = Analyzer::new(&input);
+    let Verdict::Threat(vector) =
+        analyzer.verify(Property::Observability, ResiliencySpec::split(2, 1))
+    else {
+        panic!("expected threat at (2,1)");
+    };
+    let failed: HashSet<_> = vector.devices().collect();
+    let delivered = analyzer.evaluator().delivered(&failed);
+
+    let (z, _) = synthesize_measurements(&input.measurements, 0.01, 1);
+    let estimator = DcEstimator::new(&input.measurements);
+    // The numeric estimator must also fail (Boolean observability is
+    // weaker than numeric, so Boolean-unobservable ⇒ possibly numeric
+    // failure; at minimum the estimate cannot use the lost rows).
+    match estimator.estimate(&z, &delivered, 0.01) {
+        Err(_) => {} // unobservable, as the verdict predicted
+        Ok(est) => {
+            // If numerically solvable, it must at least have dropped the
+            // undelivered measurements.
+            assert!(est.delivered_rows.len() < input.measurements.len());
+        }
+    }
+}

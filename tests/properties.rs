@@ -1,0 +1,131 @@
+//! Workspace-level property tests: invariants that must hold across the
+//! whole pipeline on randomly generated SCADA systems.
+
+use proptest::prelude::*;
+
+use scada_analysis::analyzer::{Analyzer, AnalysisInput, Property, ResiliencySpec};
+use scada_analysis::power::synthetic::synthetic_system;
+use scada_analysis::scada::{generate, ScadaGenConfig};
+
+fn arb_input() -> impl Strategy<Value = AnalysisInput> {
+    (
+        5usize..10,          // buses
+        0usize..1000,        // extra-branch entropy
+        1usize..4,           // hierarchy
+        0u64..1_000_000,     // seed
+        0.3f64..1.0,         // density
+        0.0f64..1.0,         // secure fraction
+    )
+        .prop_map(|(buses, extra, hierarchy, seed, density, secure)| {
+            let branches = (buses - 1) + extra % buses.min(4);
+            let system = synthetic_system("prop", buses, branches, seed);
+            let scada = generate(
+                system,
+                &ScadaGenConfig {
+                    measurement_density: density,
+                    hierarchy_level: hierarchy,
+                    secure_fraction: secure,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            AnalysisInput::new(scada.measurements, scada.topology, scada.ied_measurements)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SAT verdicts agree with exhaustive search for every property.
+    #[test]
+    fn sat_equals_bruteforce(input in arb_input(), k1 in 0usize..3, k2 in 0usize..2) {
+        let mut analyzer = Analyzer::new(&input);
+        for property in [
+            Property::Observability,
+            Property::SecuredObservability,
+            Property::BadDataDetectability,
+        ] {
+            let spec = ResiliencySpec::split(k1, k2);
+            let verdict = analyzer.verify(property, spec);
+            let reference = analyzer.evaluator().find_threat_exhaustive(property, spec);
+            prop_assert_eq!(
+                verdict.is_resilient(),
+                reference.is_none(),
+                "{} at {}", property, spec
+            );
+        }
+    }
+
+    /// Secured observability implies observability: a secured-resilient
+    /// system at a spec is also plain-resilient at it… stated from the
+    /// threat side: any plain-observability threat is also a
+    /// secured-observability threat.
+    #[test]
+    fn secured_threats_dominate(input in arb_input(), k in 0usize..3) {
+        let mut analyzer = Analyzer::new(&input);
+        let spec = ResiliencySpec::total(k);
+        let plain = analyzer.verify(Property::Observability, spec);
+        let secured = analyzer.verify(Property::SecuredObservability, spec);
+        // secured resilient ⇒ plain resilient.
+        if secured.is_resilient() {
+            prop_assert!(plain.is_resilient(), "secured resilient but plain not at k={}", k);
+        }
+    }
+
+    /// Bad-data detectability is monotone in r: tolerating more
+    /// corrupted measurements is harder.
+    #[test]
+    fn bdd_monotone_in_r(input in arb_input()) {
+        let mut analyzer = Analyzer::new(&input);
+        let mut previous = true;
+        for r in 0..3 {
+            let spec = ResiliencySpec::split(0, 0).with_corrupted(r);
+            let resilient = analyzer
+                .verify(Property::BadDataDetectability, spec)
+                .is_resilient();
+            prop_assert!(previous || !resilient, "non-monotone at r={}", r);
+            previous = resilient;
+        }
+    }
+
+    /// Threat vectors returned by verify are within budget and minimal.
+    #[test]
+    fn vectors_within_budget_and_minimal(input in arb_input(), k1 in 0usize..3, k2 in 0usize..2) {
+        use scada_analysis::analyzer::Verdict;
+        use std::collections::HashSet;
+        let mut analyzer = Analyzer::new(&input);
+        let spec = ResiliencySpec::split(k1, k2);
+        if let Verdict::Threat(v) = analyzer.verify(Property::Observability, spec) {
+            prop_assert!(v.ieds.len() <= k1);
+            prop_assert!(v.rtus.len() <= k2);
+            let failed: HashSet<_> = v.devices().collect();
+            prop_assert!(analyzer.evaluator().violates(Property::Observability, 1, &failed));
+            for d in v.devices() {
+                let mut smaller = failed.clone();
+                smaller.remove(&d);
+                prop_assert!(
+                    analyzer.evaluator().holds(Property::Observability, 1, &smaller),
+                    "vector {} not minimal", v
+                );
+            }
+        }
+    }
+
+    /// Numeric (rank) observability implies Boolean coverage: if the
+    /// delivered rows have full rank, every state is covered (the count
+    /// condition may still differ — that is the abstraction gap).
+    #[test]
+    fn numeric_observability_implies_coverage(input in arb_input()) {
+        use scada_analysis::power::observability::{boolean_observability, numeric_observable};
+        use std::collections::HashSet;
+        let analyzer = Analyzer::new(&input);
+        let delivered = analyzer.evaluator().delivered(&HashSet::new());
+        if numeric_observable(&input.measurements, &delivered) {
+            let b = boolean_observability(&input.measurements, &delivered);
+            prop_assert!(
+                b.uncovered_states().is_empty(),
+                "full-rank delivery leaves states uncovered"
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Router failures are outside the paper's budgets (its `k` counts field
+//! devices), but `AnalysisInput::allowing_router_failures` opts them in.
+//! The case study's router 14 then becomes the single point of failure
+//! it visibly is in Fig 3.
+
+use scada_analysis::analyzer::casestudy::five_bus_case_study;
+use scada_analysis::analyzer::{Analyzer, Property, ResiliencySpec, Verdict};
+
+#[test]
+fn routers_pinned_by_default() {
+    // Default: router 14 cannot fail, so total k=1 must only consider
+    // field devices — and the system survives any single one (Scenario 1
+    // is (1,1)-resilient, which subsumes total k=1).
+    let input = five_bus_case_study();
+    let mut analyzer = Analyzer::new(&input);
+    assert!(analyzer
+        .verify(Property::Observability, ResiliencySpec::total(1))
+        .is_resilient());
+}
+
+#[test]
+fn router_failure_is_fatal_when_enabled() {
+    let input = five_bus_case_study().allowing_router_failures();
+    let mut analyzer = Analyzer::new(&input);
+    match analyzer.verify(Property::Observability, ResiliencySpec::total(1)) {
+        Verdict::Threat(v) => {
+            assert_eq!(v.len(), 1);
+            assert_eq!(v.others.len(), 1, "the failing device is the router: {v}");
+            assert_eq!(v.others[0].one_based(), 14);
+        }
+        Verdict::Resilient => panic!("router 14 carries all traffic"),
+    }
+}
+
+#[test]
+fn router_failures_agree_with_direct_evaluation() {
+    use std::collections::HashSet;
+    use scada_analysis::scada::DeviceId;
+    let input = five_bus_case_study().allowing_router_failures();
+    let analyzer = Analyzer::new(&input);
+    let failed: HashSet<DeviceId> = [DeviceId::from_one_based(14)].into_iter().collect();
+    assert!(analyzer
+        .evaluator()
+        .violates(Property::Observability, 1, &failed));
+}
