@@ -19,12 +19,9 @@ fn bench_fig5a(c: &mut Criterion) {
             hierarchy: 1,
             secure_fraction: 0.9,
             seed: 0,
-            ..Default::default()
         }
         .build();
-        let Some((k_unsat, k_sat)) =
-            resiliency_boundary(&input, Property::Observability, 8)
-        else {
+        let Some((k_unsat, k_sat)) = resiliency_boundary(&input, Property::Observability, 8) else {
             continue;
         };
         group.bench_with_input(BenchmarkId::new("unsat", buses), &buses, |b, _| {

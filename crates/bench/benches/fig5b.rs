@@ -18,11 +18,9 @@ fn bench_fig5b(c: &mut Criterion) {
             hierarchy: 1,
             secure_fraction: 0.9,
             seed: 0,
-            ..Default::default()
         }
         .build();
-        let Some((k_unsat, k_sat)) =
-            resiliency_boundary(&input, Property::SecuredObservability, 8)
+        let Some((k_unsat, k_sat)) = resiliency_boundary(&input, Property::SecuredObservability, 8)
         else {
             continue;
         };

@@ -19,27 +19,21 @@ fn bench_fig6(c: &mut Criterion) {
                 hierarchy,
                 secure_fraction: 0.9,
                 seed: 0,
-                ..Default::default()
             }
             .build();
-            let Some((k_unsat, k_sat)) =
-                resiliency_boundary(&input, Property::Observability, 8)
+            let Some((k_unsat, k_sat)) = resiliency_boundary(&input, Property::Observability, 8)
             else {
                 continue;
             };
-            group.bench_with_input(
-                BenchmarkId::new("unsat", hierarchy),
-                &hierarchy,
-                |b, _| {
-                    b.iter(|| {
-                        measure(
-                            black_box(&input),
-                            Property::Observability,
-                            ResiliencySpec::total(k_unsat),
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("unsat", hierarchy), &hierarchy, |b, _| {
+                b.iter(|| {
+                    measure(
+                        black_box(&input),
+                        Property::Observability,
+                        ResiliencySpec::total(k_unsat),
+                    )
+                })
+            });
             group.bench_with_input(BenchmarkId::new("sat", hierarchy), &hierarchy, |b, _| {
                 b.iter(|| {
                     measure(

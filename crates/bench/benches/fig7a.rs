@@ -18,7 +18,6 @@ fn bench_fig7a(c: &mut Criterion) {
             hierarchy: 1,
             secure_fraction: 1.0,
             seed: 0,
-            ..Default::default()
         }
         .build();
         group.bench_with_input(
@@ -27,11 +26,7 @@ fn bench_fig7a(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let mut analyzer = Analyzer::new(black_box(&input));
-                    analyzer.max_resiliency(
-                        Property::Observability,
-                        BudgetAxis::IedsOnly,
-                        1,
-                    )
+                    analyzer.max_resiliency(Property::Observability, BudgetAxis::IedsOnly, 1)
                 })
             },
         );
@@ -41,11 +36,7 @@ fn bench_fig7a(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let mut analyzer = Analyzer::new(black_box(&input));
-                    analyzer.max_resiliency(
-                        Property::Observability,
-                        BudgetAxis::RtusOnly,
-                        1,
-                    )
+                    analyzer.max_resiliency(Property::Observability, BudgetAxis::RtusOnly, 1)
                 })
             },
         );

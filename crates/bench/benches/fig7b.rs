@@ -17,7 +17,6 @@ fn bench_fig7b(c: &mut Criterion) {
             hierarchy,
             secure_fraction: 0.9,
             seed: 100,
-            ..Default::default()
         }
         .build();
         group.bench_with_input(

@@ -48,10 +48,7 @@ fn bench_cardinality(c: &mut Criterion) {
     group.sample_size(10);
     let n = 60;
     let k = 6;
-    for enc in [
-        CardEncoding::Sequential,
-        CardEncoding::Totalizer,
-    ] {
+    for enc in [CardEncoding::Sequential, CardEncoding::Totalizer] {
         group.bench_with_input(
             BenchmarkId::new(format!("{enc:?}"), format!("n{n}_k{k}")),
             &enc,
@@ -62,10 +59,7 @@ fn bench_cardinality(c: &mut Criterion) {
                     assert_at_most(&mut s, &xs, k, enc);
                     // Force k+1 inputs true: must be unsat.
                     let assumptions: Vec<_> = xs.iter().take(k + 1).copied().collect();
-                    assert_eq!(
-                        s.solve_with_assumptions(&assumptions),
-                        SolveResult::Unsat
-                    );
+                    assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Unsat);
                     // And k true is sat.
                     let assumptions: Vec<_> = xs.iter().take(k).copied().collect();
                     assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Sat);

@@ -3,21 +3,26 @@
 //! ```text
 //! cargo run --release -p scada-bench --bin experiments -- [--fig5a] [--fig5b]
 //!     [--fig6] [--fig7a] [--fig7b] [--case-study] [--headline] [--all]
-//!     [--runs N] [--seeds N]
+//!     [--runs N] [--seeds N] [--jobs N] [--smoke]
 //! ```
 //!
 //! Each experiment prints a paper-style table and writes a CSV under
-//! `results/`. See EXPERIMENTS.md for the paper-vs-measured comparison.
+//! `results/`. The fig5/fig6 fleets, the fig7 sweeps, and the headline
+//! run fan out across `--jobs` workers (default: all available cores;
+//! `--jobs 1` reproduces the serial harness). `--smoke` is a fast CI
+//! self-check on a tiny 14-bus fleet. See EXPERIMENTS.md for the
+//! paper-vs-measured comparison.
 
 use std::path::Path;
 use std::time::Duration;
 
 use scada_analyzer::casestudy::{five_bus_case_study, five_bus_fig4};
+use scada_analyzer::parallel::par_map;
 use scada_analyzer::{
-    enumerate_threats, Analyzer, BudgetAxis, Property, ResiliencySpec,
+    enumerate_threats, par_max_resiliency, Analyzer, BudgetAxis, Property, ResiliencySpec,
 };
 use scada_bench::csv::Table;
-use scada_bench::{mean, measure, resiliency_boundary, Workload};
+use scada_bench::{mean, measure, measure_fleet, resiliency_boundary, FleetQuery, Workload};
 
 const OBS: Property = Property::Observability;
 const SEC: Property = Property::SecuredObservability;
@@ -29,6 +34,7 @@ fn ms(d: Duration) -> String {
 struct Options {
     runs: usize,
     seeds: u64,
+    jobs: usize,
 }
 
 fn main() {
@@ -44,14 +50,21 @@ fn main() {
     if args.is_empty() {
         eprintln!(
             "usage: experiments [--case-study] [--fig5a] [--fig5b] [--fig6] \
-             [--fig7a] [--fig7b] [--headline] [--all] [--runs N] [--seeds N]"
+             [--fig7a] [--fig7b] [--headline] [--all] [--runs N] [--seeds N] \
+             [--jobs N] [--smoke]"
         );
         std::process::exit(2);
     }
     let opts = Options {
         runs: value("--runs", 5),
         seeds: value("--seeds", 3) as u64,
+        jobs: value("--jobs", 0),
     };
+
+    // CI smoke check; deliberately not part of --all.
+    if args.iter().any(|a| a == "--smoke") {
+        smoke(&opts);
+    }
 
     if flag("--case-study") {
         case_study();
@@ -72,8 +85,47 @@ fn main() {
         fig7b(&opts);
     }
     if flag("--headline") {
-        headline();
+        headline(&opts);
     }
+}
+
+/// A fast self-check for CI: a tiny 14-bus fleet through the parallel
+/// runner, asserting parallel results agree with the serial baseline.
+fn smoke(opts: &Options) {
+    let jobs = if opts.jobs == 0 { 2 } else { opts.jobs };
+    println!("== smoke: 14-bus fleet, {jobs} worker(s) ==");
+    let fleet: Vec<FleetQuery> = (0..2u64)
+        .map(|seed| FleetQuery {
+            workload: Workload {
+                seed,
+                ..Default::default()
+            },
+            property: OBS,
+            spec: ResiliencySpec::total(1),
+        })
+        .collect();
+    let serial = measure_fleet(&fleet, 1);
+    let parallel = measure_fleet(&fleet, jobs);
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.resilient, p.resilient, "verdict drift at fleet entry {i}");
+        assert_eq!(
+            s.variables, p.variables,
+            "encoding drift at fleet entry {i}"
+        );
+        println!(
+            "  entry {i}: {} ({} vars, {} clauses)",
+            if p.resilient { "resilient" } else { "threat" },
+            p.variables,
+            p.clauses,
+        );
+    }
+    let input = Workload::default().build();
+    let serial_max = Analyzer::new(&input).max_resiliency(OBS, BudgetAxis::IedsOnly, 1);
+    let parallel_max = par_max_resiliency(&input, OBS, BudgetAxis::IedsOnly, 1, jobs);
+    assert_eq!(serial_max, parallel_max, "max-resiliency drift");
+    println!("  max IED-only resiliency: {parallel_max:?} (serial == parallel)");
+    println!("smoke ok");
+    println!();
 }
 
 /// §IV — both case-study scenarios, paper claim vs measured outcome.
@@ -92,7 +144,12 @@ fn case_study() {
     };
 
     let v = a3.verify(OBS, ResiliencySpec::split(1, 1));
-    row(&mut table, "S1 fig3 (1,1) observability", "resilient", verdict_str(&v));
+    row(
+        &mut table,
+        "S1 fig3 (1,1) observability",
+        "resilient",
+        verdict_str(&v),
+    );
     let space = enumerate_threats(&fig3, OBS, ResiliencySpec::split(2, 1), 64);
     row(
         &mut table,
@@ -118,9 +175,19 @@ fn case_study() {
         max.map_or("none".into(), |k| k.to_string()),
     );
     let v = a4.verify(OBS, ResiliencySpec::split(1, 1));
-    row(&mut table, "S1 fig4 (1,1) observability", "threat", verdict_str(&v));
+    row(
+        &mut table,
+        "S1 fig4 (1,1) observability",
+        "threat",
+        verdict_str(&v),
+    );
     let v = a4.verify(OBS, ResiliencySpec::split(0, 1));
-    row(&mut table, "S1 fig4 (0,1) observability", "threat", verdict_str(&v));
+    row(
+        &mut table,
+        "S1 fig4 (0,1) observability",
+        "threat",
+        verdict_str(&v),
+    );
     let max = a4.max_resiliency(OBS, BudgetAxis::IedsOnly, 1);
     row(
         &mut table,
@@ -130,7 +197,12 @@ fn case_study() {
     );
 
     let v = a3.verify(SEC, ResiliencySpec::split(1, 1));
-    row(&mut table, "S2 fig3 (1,1) secured", "threat", verdict_str(&v));
+    row(
+        &mut table,
+        "S2 fig3 (1,1) secured",
+        "threat",
+        verdict_str(&v),
+    );
     let space = enumerate_threats(&fig3, SEC, ResiliencySpec::split(1, 1), 64);
     row(
         &mut table,
@@ -139,9 +211,19 @@ fn case_study() {
         space.len().to_string(),
     );
     let v = a3.verify(SEC, ResiliencySpec::split(1, 0));
-    row(&mut table, "S2 fig3 (1,0) secured", "resilient", verdict_str(&v));
+    row(
+        &mut table,
+        "S2 fig3 (1,0) secured",
+        "resilient",
+        verdict_str(&v),
+    );
     let v = a3.verify(SEC, ResiliencySpec::split(0, 1));
-    row(&mut table, "S2 fig3 (0,1) secured", "resilient", verdict_str(&v));
+    row(
+        &mut table,
+        "S2 fig3 (0,1) secured",
+        "resilient",
+        verdict_str(&v),
+    );
     let space = enumerate_threats(&fig4, SEC, ResiliencySpec::split(0, 1), 64);
     row(
         &mut table,
@@ -165,7 +247,9 @@ fn verdict_str(v: &scada_analyzer::Verdict) -> String {
     }
 }
 
-/// Fig 5(a)/(b): execution time vs bus size, sat and unsat series.
+/// Fig 5(a)/(b): execution time vs bus size, sat and unsat series. The
+/// per-seed boundary searches and the runs×seeds measurement fleet both
+/// fan out across `--jobs` workers.
 fn fig5(property: Property, name: &str, opts: &Options) {
     println!("== {name}: time vs problem size ({property}) ==");
     let mut table = Table::new([
@@ -180,45 +264,68 @@ fn fig5(property: Property, name: &str, opts: &Options) {
         "sat_ms",
     ]);
     for buses in [14usize, 30, 57, 118] {
-        let mut unsat_times = Vec::new();
-        let mut sat_times = Vec::new();
-        let mut field = 0;
-        let mut meas = 0;
-        let mut vars = 0;
-        let mut clauses = 0;
-        let mut k_unsat_sum = 0.0;
-        let mut k_sat_sum = 0.0;
-        let mut boundaries: f64 = 0.0;
-        for seed in 0..opts.seeds {
-            let input = Workload {
+        let workloads: Vec<Workload> = (0..opts.seeds)
+            .map(|seed| Workload {
                 buses,
                 density: 0.9,
                 hierarchy: 1,
                 secure_fraction: 0.9,
                 seed,
-                ..Default::default()
-            }
-            .build();
-            field = input.field_devices().len();
-            meas = input.measurements.len();
-            let Some((k_unsat, k_sat)) = resiliency_boundary(&input, property, 8) else {
+            })
+            .collect();
+        let boundaries = par_map(&workloads, opts.jobs, |_, w| {
+            let input = w.build();
+            (
+                input.field_devices().len(),
+                input.measurements.len(),
+                resiliency_boundary(&input, property, 8),
+            )
+        });
+
+        let mut fleet = Vec::new();
+        let mut expect_resilient = Vec::new();
+        let mut field = 0;
+        let mut meas = 0;
+        let mut k_unsat_sum = 0.0;
+        let mut k_sat_sum = 0.0;
+        let mut found: f64 = 0.0;
+        for (w, (f, m, boundary)) in workloads.iter().zip(&boundaries) {
+            field = *f;
+            meas = *m;
+            let Some((k_unsat, k_sat)) = boundary else {
                 continue;
             };
-            k_unsat_sum += k_unsat as f64;
-            k_sat_sum += k_sat as f64;
-            boundaries += 1.0;
+            k_unsat_sum += *k_unsat as f64;
+            k_sat_sum += *k_sat as f64;
+            found += 1.0;
             for _ in 0..opts.runs {
-                let m = measure(&input, property, ResiliencySpec::total(k_unsat));
-                assert!(m.resilient);
+                for (k, resilient) in [(k_unsat, true), (k_sat, false)] {
+                    fleet.push(FleetQuery {
+                        workload: *w,
+                        property,
+                        spec: ResiliencySpec::total(*k),
+                    });
+                    expect_resilient.push(resilient);
+                }
+            }
+        }
+        let measured = measure_fleet(&fleet, opts.jobs);
+
+        let mut unsat_times = Vec::new();
+        let mut sat_times = Vec::new();
+        let mut vars = 0;
+        let mut clauses = 0;
+        for (m, &resilient) in measured.iter().zip(&expect_resilient) {
+            assert_eq!(m.resilient, resilient, "boundary query flipped verdict");
+            if resilient {
                 unsat_times.push(m.duration);
                 vars = m.variables;
                 clauses = m.clauses;
-                let m = measure(&input, property, ResiliencySpec::total(k_sat));
-                assert!(!m.resilient);
+            } else {
                 sat_times.push(m.duration);
             }
         }
-        let b = boundaries.max(1.0);
+        let b = found.max(1.0);
         table.push([
             buses.to_string(),
             field.to_string(),
@@ -238,31 +345,52 @@ fn fig5(property: Property, name: &str, opts: &Options) {
     println!();
 }
 
-/// Fig 6: execution time vs hierarchy level (14- and 57-bus).
+/// Fig 6: execution time vs hierarchy level (14- and 57-bus), measured
+/// through the parallel fleet runner.
 fn fig6(opts: &Options) {
     println!("== fig6: time vs hierarchy level (observability) ==");
     let mut table = Table::new(["buses", "hierarchy", "unsat_ms", "sat_ms"]);
     for buses in [14usize, 57] {
         for hierarchy in 1..=4 {
-            let mut unsat_times = Vec::new();
-            let mut sat_times = Vec::new();
-            for seed in 0..opts.seeds {
-                let input = Workload {
+            let workloads: Vec<Workload> = (0..opts.seeds)
+                .map(|seed| Workload {
                     buses,
                     density: 0.9,
                     hierarchy,
                     secure_fraction: 0.9,
                     seed,
-                    ..Default::default()
-                }
-                .build();
-                let Some((k_unsat, k_sat)) = resiliency_boundary(&input, OBS, 8) else {
+                })
+                .collect();
+            let boundaries = par_map(&workloads, opts.jobs, |_, w| {
+                let input = w.build();
+                resiliency_boundary(&input, OBS, 8)
+            });
+
+            let mut fleet = Vec::new();
+            let mut is_unsat = Vec::new();
+            for (w, boundary) in workloads.iter().zip(&boundaries) {
+                let Some((k_unsat, k_sat)) = boundary else {
                     continue;
                 };
                 for _ in 0..opts.runs {
-                    let m = measure(&input, OBS, ResiliencySpec::total(k_unsat));
+                    for (k, unsat) in [(k_unsat, true), (k_sat, false)] {
+                        fleet.push(FleetQuery {
+                            workload: *w,
+                            property: OBS,
+                            spec: ResiliencySpec::total(*k),
+                        });
+                        is_unsat.push(unsat);
+                    }
+                }
+            }
+            let measured = measure_fleet(&fleet, opts.jobs);
+
+            let mut unsat_times = Vec::new();
+            let mut sat_times = Vec::new();
+            for (m, &unsat) in measured.iter().zip(&is_unsat) {
+                if unsat {
                     unsat_times.push(m.duration);
-                    let m = measure(&input, OBS, ResiliencySpec::total(k_sat));
+                } else {
                     sat_times.push(m.duration);
                 }
             }
@@ -281,25 +409,23 @@ fn fig6(opts: &Options) {
     println!();
 }
 
-/// Fig 7a: maximum resiliency vs measurement density (14-bus).
+/// Fig 7a: maximum resiliency vs measurement density (14-bus); the
+/// per-seed searches fan out across workers.
 fn fig7a(opts: &Options) {
     println!("== fig7a: max resiliency vs measurement density (14-bus) ==");
     let mut table = Table::new(["density_pct", "avg_measurements", "max_ied", "max_rtu"]);
     for density in [0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
-        let mut ied_sum = 0.0;
-        let mut rtu_sum = 0.0;
-        let mut meas_sum = 0.0;
-        let mut n = 0.0;
-        for seed in 0..opts.seeds {
-            let input = Workload {
+        let workloads: Vec<Workload> = (0..opts.seeds)
+            .map(|seed| Workload {
                 buses: 14,
                 density,
                 hierarchy: 1,
                 secure_fraction: 1.0,
                 seed,
-                ..Default::default()
-            }
-            .build();
+            })
+            .collect();
+        let rows = par_map(&workloads, opts.jobs, |_, w| {
+            let input = w.build();
             let mut analyzer = Analyzer::new(&input);
             let ied = analyzer
                 .max_resiliency(OBS, BudgetAxis::IedsOnly, 1)
@@ -307,11 +433,12 @@ fn fig7a(opts: &Options) {
             let rtu = analyzer
                 .max_resiliency(OBS, BudgetAxis::RtusOnly, 1)
                 .map_or(-1.0, |k| k as f64);
-            ied_sum += ied;
-            rtu_sum += rtu;
-            meas_sum += input.measurements.len() as f64;
-            n += 1.0;
-        }
+            (ied, rtu, input.measurements.len() as f64)
+        });
+        let n = rows.len().max(1) as f64;
+        let ied_sum: f64 = rows.iter().map(|r| r.0).sum();
+        let rtu_sum: f64 = rows.iter().map(|r| r.1).sum();
+        let meas_sum: f64 = rows.iter().map(|r| r.2).sum();
         table.push([
             format!("{:.0}", density * 100.0),
             format!("{:.1}", meas_sum / n),
@@ -326,33 +453,41 @@ fn fig7a(opts: &Options) {
     println!();
 }
 
-/// Fig 7b: threat-space size vs hierarchy level (14-bus).
+/// Fig 7b: threat-space size vs hierarchy level (14-bus); every
+/// (hierarchy, spec, seed) enumeration is an independent fleet job.
 fn fig7b(opts: &Options) {
     println!("== fig7b: threat vectors vs hierarchy level (14-bus) ==");
     let mut table = Table::new(["hierarchy", "spec", "avg_threat_vectors"]);
+    let mut items = Vec::new();
     for hierarchy in 1..=4usize {
         for (k1, k2) in [(1, 1), (2, 1), (2, 2)] {
-            let mut total = 0.0;
-            let mut n = 0.0;
             for seed in 0..opts.seeds {
-                let input = Workload {
-                    buses: 14,
-                    density: 0.7,
-                    hierarchy,
-                    secure_fraction: 0.9,
-                    seed: seed + 100,
-                    ..Default::default()
-                }
-                .build();
-                let space =
-                    enumerate_threats(&input, OBS, ResiliencySpec::split(k1, k2), 2000);
-                total += space.len() as f64;
-                n += 1.0;
+                items.push((hierarchy, k1, k2, seed));
             }
+        }
+    }
+    let counts = par_map(&items, opts.jobs, |_, &(hierarchy, k1, k2, seed)| {
+        let input = Workload {
+            buses: 14,
+            density: 0.7,
+            hierarchy,
+            secure_fraction: 0.9,
+            seed: seed + 100,
+        }
+        .build();
+        enumerate_threats(&input, OBS, ResiliencySpec::split(k1, k2), 2000).len() as f64
+    });
+    for hierarchy in 1..=4usize {
+        for (k1, k2) in [(1, 1), (2, 1), (2, 2)] {
+            let (total, n): (f64, f64) = items
+                .iter()
+                .zip(&counts)
+                .filter(|((h, a, b, _), _)| *h == hierarchy && *a == k1 && *b == k2)
+                .fold((0.0, 0.0), |(t, n), (_, &c)| (t + c, n + 1.0));
             table.push([
                 hierarchy.to_string(),
                 format!("({k1},{k2})"),
-                format!("{:.1}", total / n),
+                format!("{:.1}", total / n.max(1.0)),
             ]);
         }
     }
@@ -364,8 +499,9 @@ fn fig7b(opts: &Options) {
 }
 
 /// §VII headline: a ~400-field-device SCADA system verifies in bounded
-/// time (the paper: within 30 s on an i5).
-fn headline() {
+/// time (the paper: within 30 s on an i5). The six property×budget
+/// queries run concurrently.
+fn headline(opts: &Options) {
     println!("== headline: ~400-device SCADA system ==");
     let input = Workload {
         buses: 118,
@@ -373,24 +509,29 @@ fn headline() {
         hierarchy: 2,
         secure_fraction: 0.9,
         seed: 0,
-        ..Default::default()
     }
     .build();
     let devices = input.field_devices().len();
     println!("field devices: {devices}");
     let mut table = Table::new(["property", "k", "verdict", "time_ms", "vars", "clauses"]);
+    let mut queries = Vec::new();
     for property in [OBS, SEC] {
         for k in [1usize, 2, 3] {
-            let m = measure(&input, property, ResiliencySpec::total(k));
-            table.push([
-                property.to_string(),
-                k.to_string(),
-                if m.resilient { "unsat" } else { "sat" }.to_string(),
-                ms(m.duration),
-                m.variables.to_string(),
-                m.clauses.to_string(),
-            ]);
+            queries.push((property, k));
         }
+    }
+    let measured = par_map(&queries, opts.jobs, |_, &(property, k)| {
+        measure(&input, property, ResiliencySpec::total(k))
+    });
+    for ((property, k), m) in queries.iter().zip(&measured) {
+        table.push([
+            property.to_string(),
+            k.to_string(),
+            if m.resilient { "unsat" } else { "sat" }.to_string(),
+            ms(m.duration),
+            m.variables.to_string(),
+            m.clauses.to_string(),
+        ]);
     }
     print!("{}", table.to_aligned());
     table

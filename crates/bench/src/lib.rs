@@ -15,7 +15,8 @@ use std::time::{Duration, Instant};
 
 use powergrid::ieee::ieee14;
 use powergrid::synthetic::ieee_sized;
-use scada_analyzer::{Analyzer, AnalysisInput, Property, ResiliencySpec};
+use scada_analyzer::parallel::par_map;
+use scada_analyzer::{AnalysisInput, Analyzer, Property, ResiliencySpec};
 use scadasim::{generate, ScadaGenConfig};
 
 /// Workload parameters for one generated SCADA system.
@@ -95,6 +96,32 @@ pub fn measure(input: &AnalysisInput, property: Property, spec: ResiliencySpec) 
     }
 }
 
+/// One entry of an experiment fleet: a workload plus the query to run
+/// on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetQuery {
+    /// The workload to construct.
+    pub workload: Workload,
+    /// The property to verify on it.
+    pub property: Property,
+    /// The specification to verify against.
+    pub spec: ResiliencySpec,
+}
+
+/// Runs a whole fleet of workload queries, fanning construction and
+/// verification across `jobs` workers (`0` = all available cores,
+/// `1` = the serial baseline).
+///
+/// Every fleet entry builds its own input and analyzer, so results are
+/// in input order and identical to calling [`measure`] serially —
+/// parallelism only changes the wall-clock.
+pub fn measure_fleet(fleet: &[FleetQuery], jobs: usize) -> Vec<Measured> {
+    par_map(fleet, jobs, |_, query| {
+        let input = query.workload.build();
+        measure(&input, query.property, query.spec)
+    })
+}
+
 /// Mean of a set of durations (zero if empty).
 pub fn mean(durations: &[Duration]) -> Duration {
     if durations.is_empty() {
@@ -115,7 +142,10 @@ pub fn resiliency_boundary(
     let mut analyzer = Analyzer::new(input);
     let mut last_resilient: Option<usize> = None;
     for k in 0..=max_k {
-        if analyzer.verify(property, ResiliencySpec::total(k)).is_resilient() {
+        if analyzer
+            .verify(property, ResiliencySpec::total(k))
+            .is_resilient()
+        {
             last_resilient = Some(k);
         } else {
             return last_resilient.map(|u| (u, k));
@@ -155,14 +185,30 @@ mod tests {
     #[test]
     fn boundary_is_consistent() {
         let input = Workload::default().build();
-        if let Some((unsat_k, sat_k)) =
-            resiliency_boundary(&input, Property::Observability, 6)
-        {
+        if let Some((unsat_k, sat_k)) = resiliency_boundary(&input, Property::Observability, 6) {
             assert!(unsat_k < sat_k);
             let mut analyzer = Analyzer::new(&input);
             assert!(analyzer
                 .verify(Property::Observability, ResiliencySpec::total(unsat_k))
                 .is_resilient());
+        }
+    }
+
+    #[test]
+    fn fleet_matches_serial_measurement() {
+        let fleet: Vec<FleetQuery> = (0..3)
+            .map(|k| FleetQuery {
+                workload: Workload::default(),
+                property: Property::Observability,
+                spec: ResiliencySpec::total(k),
+            })
+            .collect();
+        let serial = measure_fleet(&fleet, 1);
+        let parallel = measure_fleet(&fleet, 2);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.resilient, p.resilient);
+            assert_eq!(s.variables, p.variables);
+            assert_eq!(s.clauses, p.clauses);
         }
     }
 

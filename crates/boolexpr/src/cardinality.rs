@@ -118,6 +118,7 @@ fn pairwise_at_most<S: CnfSink>(sink: &mut S, lits: &[Lit], k: usize) {
 
 /// Sinz's sequential counter: registers `s[i][j]` meaning "at least `j+1`
 /// of the first `i+1` literals are true".
+#[allow(clippy::needless_range_loop)] // indices mirror the textbook subscripts
 fn sequential_at_most<S: CnfSink>(sink: &mut S, lits: &[Lit], k: usize) {
     let n = lits.len();
     debug_assert!(k >= 1 && k < n);
@@ -497,8 +498,7 @@ mod tests {
                         .map(|i| if (bits >> i) & 1 == 1 { xs[i] } else { !xs[i] })
                         .collect();
                     let expected = bits.count_ones() <= 1;
-                    let got =
-                        s.solve_with_assumptions(&assumptions) == SolveResult::Sat;
+                    let got = s.solve_with_assumptions(&assumptions) == SolveResult::Sat;
                     assert_eq!(got, expected, "enc={enc:?} n={n} bits={bits:b}");
                 }
             }

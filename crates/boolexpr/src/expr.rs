@@ -340,7 +340,11 @@ mod tests {
                 let base = (bits >> lit.var().index()) & 1 == 1;
                 base != lit.is_negative()
             };
-            let expected = if value(l(0)) { value(l(1)) } else { value(l(2)) };
+            let expected = if value(l(0)) {
+                value(l(1))
+            } else {
+                value(l(2))
+            };
             assert_eq!(p.eval(ite, value), expected);
         }
     }

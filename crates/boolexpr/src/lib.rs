@@ -47,8 +47,8 @@ mod expr;
 mod tseitin;
 
 pub use cardinality::{
-    assert_at_least, assert_at_most, assert_at_most_one, assert_exactly, AmoEncoding,
-    CardEncoding, UnaryCounter,
+    assert_at_least, assert_at_most, assert_at_most_one, assert_exactly, AmoEncoding, CardEncoding,
+    UnaryCounter,
 };
 pub use expr::{ExprPool, Node, NodeRef};
 pub use tseitin::Encoder;

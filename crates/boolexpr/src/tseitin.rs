@@ -148,8 +148,7 @@ impl Encoder {
                 }
             }
             Node::Or(cs) => {
-                let clause: Vec<Lit> =
-                    cs.iter().map(|&c| self.literal(pool, c, sink)).collect();
+                let clause: Vec<Lit> = cs.iter().map(|&c| self.literal(pool, c, sink)).collect();
                 sink.add_clause(&clause);
             }
             _ => {
@@ -160,12 +159,7 @@ impl Encoder {
     }
 
     /// Asserts `root` is false (sugar for asserting the negation).
-    pub fn assert_not<S: CnfSink>(
-        &mut self,
-        pool: &mut ExprPool,
-        root: NodeRef,
-        sink: &mut S,
-    ) {
+    pub fn assert_not<S: CnfSink>(&mut self, pool: &mut ExprPool, root: NodeRef, sink: &mut S) {
         let neg = pool.not(root);
         self.assert(pool, neg, sink);
     }
@@ -241,10 +235,7 @@ mod tests {
             s.solve_with_assumptions(&[!vs[0], !vs[1], d]),
             SolveResult::Unsat
         );
-        assert_eq!(
-            s.solve_with_assumptions(&[vs[0], !d]),
-            SolveResult::Unsat
-        );
+        assert_eq!(s.solve_with_assumptions(&[vs[0], !d]), SolveResult::Unsat);
     }
 
     #[test]

@@ -25,10 +25,12 @@ fn arb_recipe(n_vars: usize) -> impl Strategy<Value = Recipe> {
             inner.clone().prop_map(|r| Recipe::Not(Box::new(r))),
             proptest::collection::vec(inner.clone(), 2..4).prop_map(Recipe::And),
             proptest::collection::vec(inner.clone(), 2..4).prop_map(Recipe::Or),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Recipe::Iff(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(a, b, c)| Recipe::Ite(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Recipe::Iff(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Recipe::Ite(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
         ]
     })
 }

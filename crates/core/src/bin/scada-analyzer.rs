@@ -13,14 +13,20 @@
 //!   --rank           rank devices by threat-vector participation
 //!   --max-resiliency print the maximum tolerated failures per axis
 //!   --repair         synthesize minimal security upgrades (secured/baddata)
+//!   --jobs N         verification worker threads (0 = all cores, default)
 //!   --template       print an example configuration and exit
 //! ```
+//!
+//! Property verification and the `--max-resiliency` sweeps run on the
+//! parallel engine; `--jobs 1` forces the serial baseline and produces
+//! identical output.
 
 use std::process::ExitCode;
 
 use scada_analyzer::synthesis::{synthesize_upgrades, SynthesisOptions, SynthesisResult};
 use scada_analyzer::{
-    enumerate_threats, Analyzer, AnalysisInput, BudgetAxis, Property, ResiliencySpec, Verdict,
+    enumerate_threats, par_max_resiliency, verify_batch, AnalysisInput, BudgetAxis, Property,
+    ResiliencySpec, Verdict,
 };
 use scadasim::parse_config;
 
@@ -108,6 +114,7 @@ fn main() -> ExitCode {
     }
     spec = spec.with_corrupted(r);
     spec = spec.with_link_failures(opt("--links").unwrap_or(config.link_failures));
+    let jobs = opt("--jobs").unwrap_or(0);
 
     let properties: Vec<Property> = match args
         .iter()
@@ -140,19 +147,16 @@ fn main() -> ExitCode {
     );
 
     let mut any_threat = false;
-    let mut analyzer = Analyzer::new(&input);
-    for &property in &properties {
-        let report = analyzer.verify_with_report(property, spec);
+    let queries: Vec<(Property, ResiliencySpec)> = properties.iter().map(|&p| (p, spec)).collect();
+    let reports = verify_batch(&input, &queries, jobs);
+    for (&property, report) in properties.iter().zip(&reports) {
         match &report.verdict {
             Verdict::Resilient => {
                 println!("[{property}] RESILIENT at {spec}  ({:?})", report.duration);
             }
             Verdict::Threat(v) => {
                 any_threat = true;
-                println!(
-                    "[{property}] THREAT {v} at {spec}  ({:?})",
-                    report.duration
-                );
+                println!("[{property}] THREAT {v} at {spec}  ({:?})", report.duration);
             }
         }
 
@@ -179,9 +183,9 @@ fn main() -> ExitCode {
 
         if flag("--max-resiliency") {
             let fmt = |m: Option<usize>| m.map_or("none".to_string(), |k| k.to_string());
-            let ied = analyzer.max_resiliency(property, BudgetAxis::IedsOnly, r);
-            let rtu = analyzer.max_resiliency(property, BudgetAxis::RtusOnly, r);
-            let total = analyzer.max_resiliency(property, BudgetAxis::Total, r);
+            let ied = par_max_resiliency(&input, property, BudgetAxis::IedsOnly, r, jobs);
+            let rtu = par_max_resiliency(&input, property, BudgetAxis::RtusOnly, r, jobs);
+            let total = par_max_resiliency(&input, property, BudgetAxis::Total, r, jobs);
             println!(
                 "  max resiliency: IEDs-only {}, RTUs-only {}, total {}",
                 fmt(ied),

@@ -35,8 +35,7 @@ pub struct DirectEvaluator<'a> {
 }
 
 /// An empty link-failure set, for the device-only entry points.
-static NO_LINKS_SET: std::sync::LazyLock<HashSet<usize>> =
-    std::sync::LazyLock::new(HashSet::new);
+static NO_LINKS_SET: std::sync::LazyLock<HashSet<usize>> = std::sync::LazyLock::new(HashSet::new);
 #[allow(non_upper_case_globals)]
 static NO_LINKS: &std::sync::LazyLock<HashSet<usize>> = &NO_LINKS_SET;
 
@@ -189,7 +188,7 @@ impl<'a> DirectEvaluator<'a> {
                         .ids()
                         .filter(|&z| secured[z.index()] && ms.state_set(z).contains(&x))
                         .count();
-                    count >= r + 1
+                    count > r
                 })
             }
         }
@@ -272,18 +271,8 @@ impl<'a> DirectEvaluator<'a> {
         property: Property,
         spec: ResiliencySpec,
     ) -> Option<ThreatVector> {
-        let ieds: Vec<DeviceId> = self
-            .input
-            .topology
-            .ieds()
-            .map(|d| d.id())
-            .collect();
-        let rtus: Vec<DeviceId> = self
-            .input
-            .topology
-            .rtus()
-            .map(|d| d.id())
-            .collect();
+        let ieds: Vec<DeviceId> = self.input.topology.ieds().map(|d| d.id()).collect();
+        let rtus: Vec<DeviceId> = self.input.topology.rtus().map(|d| d.id()).collect();
         let (max_ied, max_rtu, max_total) = match spec.budget {
             FailureBudget::Split { ieds: a, rtus: b } => (a, b, a + b),
             FailureBudget::Total(k) => (k, k, k),
@@ -326,7 +315,16 @@ impl<'a> DirectEvaluator<'a> {
             }
             let mut subset: Vec<DeviceId> = Vec::with_capacity(size);
             self.subsets_of_size(
-                property, spec, ieds, rtus, max_ied, max_rtu, size, 0, &mut subset, found,
+                property,
+                spec,
+                ieds,
+                rtus,
+                max_ied,
+                max_rtu,
+                size,
+                0,
+                &mut subset,
+                found,
                 best,
             );
         }
@@ -364,8 +362,8 @@ impl<'a> DirectEvaluator<'a> {
             return;
         }
         let all: Vec<DeviceId> = ieds.iter().chain(rtus.iter()).copied().collect();
-        for i in start..all.len() {
-            subset.push(all[i]);
+        for (i, &device) in all.iter().enumerate().skip(start) {
+            subset.push(device);
             self.subsets_of_size(
                 property,
                 spec,

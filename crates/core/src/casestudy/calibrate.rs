@@ -194,8 +194,7 @@ fn evaluate_inputs(fig3: &AnalysisInput, fig4: &AnalysisInput) -> CalibrationRep
     let r11 = resilient(&e3, obs, 1, 1);
     push("fig3 (1,1)-resilient observable", r11, format!("{r11}"), 3);
 
-    let vector_2_7_11: HashSet<DeviceId> =
-        [ied(2), ied(7), ied(11)].into_iter().collect();
+    let vector_2_7_11: HashSet<DeviceId> = [ied(2), ied(7), ied(11)].into_iter().collect();
     let v = e3.violates(obs, 1, &vector_2_7_11);
     push(
         "fig3 {IED2, IED7, RTU11} breaks observability",

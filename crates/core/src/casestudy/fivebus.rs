@@ -92,7 +92,10 @@ pub fn five_bus_with_labeling(
         devices.push(Device::new(DeviceId::from_one_based(i), DeviceKind::Rtu));
     }
     devices.push(Device::new(DeviceId::from_one_based(13), DeviceKind::Mtu));
-    devices.push(Device::new(DeviceId::from_one_based(14), DeviceKind::Router));
+    devices.push(Device::new(
+        DeviceId::from_one_based(14),
+        DeviceKind::Router,
+    ));
 
     // Links (Table II lists 13).
     let mut pairs = vec![
@@ -115,9 +118,7 @@ pub fn five_bus_with_labeling(
     });
     let links: Vec<Link> = pairs
         .into_iter()
-        .map(|(a, b)| {
-            Link::new(DeviceId::from_one_based(a), DeviceId::from_one_based(b))
-        })
+        .map(|(a, b)| Link::new(DeviceId::from_one_based(a), DeviceId::from_one_based(b)))
         .collect();
     let mut topo = Topology::new(devices, links);
 

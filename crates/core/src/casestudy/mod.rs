@@ -5,6 +5,5 @@ mod fivebus;
 pub mod calibrate;
 
 pub use fivebus::{
-    default_labeling, five_bus_case_study, five_bus_fig4, five_bus_with_labeling,
-    FiveBusTopology,
+    default_labeling, five_bus_case_study, five_bus_fig4, five_bus_with_labeling, FiveBusTopology,
 };

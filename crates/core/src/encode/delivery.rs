@@ -60,8 +60,7 @@ pub(crate) fn delivery_expr(
     let path_exprs: Vec<NodeRef> = paths
         .iter()
         .map(|p| {
-            let mut lits: Vec<NodeRef> =
-                p.iter().map(|d| pool.lit(node[d.index()])).collect();
+            let mut lits: Vec<NodeRef> = p.iter().map(|d| pool.lit(node[d.index()])).collect();
             lits.extend(
                 links_of_path(topology, p)
                     .into_iter()

@@ -216,12 +216,7 @@ impl ModelEncoder {
     /// A literal equivalent to the *violation* of the property: the
     /// paper's `~Observability`, `~SecuredObservability`, or
     /// `~BadDataDetectability(r)`.
-    pub fn violation_lit(
-        &mut self,
-        input: &AnalysisInput,
-        property: Property,
-        r: usize,
-    ) -> Lit {
+    pub fn violation_lit(&mut self, input: &AnalysisInput, property: Property, r: usize) -> Lit {
         match property {
             Property::Observability => !self.plain_chain(input).observable,
             Property::SecuredObservability => !self.secured_chain(input).observable,
@@ -231,16 +226,10 @@ impl ModelEncoder {
                 }
                 if self.baddata.is_none() {
                     let secured = self.secured_chain(input).per_measurement.clone();
-                    self.baddata =
-                        Some(BadDataEncoding::build(input, &mut self.solver, &secured));
+                    self.baddata = Some(BadDataEncoding::build(input, &mut self.solver, &secured));
                 }
                 let bd = self.baddata.as_ref().expect("just built");
-                let l = bd.not_detectable_lit(
-                    &mut self.pool,
-                    &mut self.enc,
-                    &mut self.solver,
-                    r,
-                );
+                let l = bd.not_detectable_lit(&mut self.pool, &mut self.enc, &mut self.solver, r);
                 self.not_detectable_cache.insert(r, l);
                 l
             }

@@ -55,8 +55,7 @@ pub(crate) fn encode_observability(
         .unique_components()
         .iter()
         .map(|group| {
-            let members: Vec<NodeRef> =
-                group.iter().map(|z| meas_exprs[z.index()]).collect();
+            let members: Vec<NodeRef> = group.iter().map(|z| meas_exprs[z.index()]).collect();
             let expr = pool.or(members);
             enc.literal(pool, expr, solver)
         })

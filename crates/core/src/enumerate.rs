@@ -103,12 +103,10 @@ pub fn enumerate_threats_with(
         let failed: HashSet<_> = violation.devices.into_iter().collect();
         let failed_link_idx: Vec<usize> = violation.links.clone();
         let failed_links: HashSet<usize> = violation.links.into_iter().collect();
-        let minimal = analyzer.evaluator().minimize_full(
-            property,
-            spec.corrupted,
-            &failed,
-            &failed_links,
-        );
+        let minimal =
+            analyzer
+                .evaluator()
+                .minimize_full(property, spec.corrupted, &failed, &failed_links);
         // Block all supersets of the minimal vector (its devices and the
         // surviving minimal links).
         let minimal_links: Vec<usize> = failed_link_idx
@@ -128,7 +126,10 @@ pub fn enumerate_threats_with(
             clause.extend(minimal.devices().map(|d| encoder.node_lit(d)));
             clause.extend(minimal_links.iter().map(|&li| encoder.link_lit(li)));
         }
-        analyzer.encoder_mut().solver_mut().add_clause_checked(&clause);
+        analyzer
+            .encoder_mut()
+            .solver_mut()
+            .add_clause_checked(&clause);
         if clause.is_empty() {
             // The empty vector violates the property: the system is
             // broken with zero failures and the space is just {∅}.

@@ -48,10 +48,7 @@ impl AnalysisInput {
                 "{ied} records measurements but is not an IED"
             );
             for m in ms {
-                assert!(
-                    m.index() < measurements.len(),
-                    "unknown measurement {m}"
-                );
+                assert!(m.index() < measurements.len(), "unknown measurement {m}");
                 assert!(
                     recorded_by[m.index()].replace(*ied).is_none(),
                     "measurement {m} recorded twice"

@@ -52,6 +52,8 @@ pub mod encode;
 pub mod enumerate;
 mod input;
 mod maxres;
+pub mod parallel;
+mod pool;
 mod spec;
 pub mod synthesis;
 mod threat;
@@ -60,6 +62,7 @@ mod verify;
 pub use enumerate::{enumerate_threats, enumerate_threats_with, ThreatSpace};
 pub use input::AnalysisInput;
 pub use maxres::BudgetAxis;
+pub use parallel::{par_max_resiliency, par_resiliency_frontier, verify_batch};
 pub use spec::{FailureBudget, Property, ResiliencySpec};
 pub use synthesis::{
     apply_upgrades, synthesize_upgrades, upgradable_hops, SynthesisOptions, SynthesisResult,

@@ -5,13 +5,11 @@
 //! encoding — budgets are assumptions on unary counter outputs, so each
 //! step is a new assumption set, not a new model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::spec::{Property, ResiliencySpec};
 use crate::verify::Analyzer;
 
 /// Which failure dimension to maximize.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BudgetAxis {
     /// Only IEDs fail: maximize `k1` in `(k1, 0)`.
     IedsOnly,
@@ -22,11 +20,21 @@ pub enum BudgetAxis {
 }
 
 impl BudgetAxis {
-    fn spec(self, k: usize, r: usize) -> ResiliencySpec {
+    pub(crate) fn spec(self, k: usize, r: usize) -> ResiliencySpec {
         match self {
             BudgetAxis::IedsOnly => ResiliencySpec::split(k, 0).with_corrupted(r),
             BudgetAxis::RtusOnly => ResiliencySpec::split(0, k).with_corrupted(r),
             BudgetAxis::Total => ResiliencySpec::total(k).with_corrupted(r),
+        }
+    }
+
+    /// The largest meaningful budget along this axis: the number of
+    /// devices that could possibly fail.
+    pub(crate) fn limit(self, input: &crate::input::AnalysisInput) -> usize {
+        match self {
+            BudgetAxis::IedsOnly => input.topology.ieds().count(),
+            BudgetAxis::RtusOnly => input.topology.rtus().count(),
+            BudgetAxis::Total => input.field_devices().len(),
         }
     }
 }
@@ -43,11 +51,7 @@ impl Analyzer<'_> {
         axis: BudgetAxis,
         r: usize,
     ) -> Option<usize> {
-        let limit = match axis {
-            BudgetAxis::IedsOnly => self.input().topology.ieds().count(),
-            BudgetAxis::RtusOnly => self.input().topology.rtus().count(),
-            BudgetAxis::Total => self.input().field_devices().len(),
-        };
+        let limit = axis.limit(self.input());
         let mut max: Option<usize> = None;
         for k in 0..=limit {
             let verdict = self.verify(property, axis.spec(k, r));

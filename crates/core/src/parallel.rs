@@ -1,0 +1,293 @@
+//! The parallel verification engine.
+//!
+//! The sweeps this analyzer runs — batches of independent queries,
+//! maximum-resiliency searches, `(k1, k2)` frontiers — decompose into
+//! per-query subproblems that share no solver state, exactly the
+//! decomposition Hendrickx et al. and Sou et al. exploit to make
+//! security-index computations tractable at IEEE-118 scale: *the
+//! decomposition is the parallelism*.
+//!
+//! Each worker owns its own [`Analyzer`] (the encoder and solver are
+//! single-threaded, `&mut`-stateful structures and are never shared);
+//! jobs are distributed work-stealing-style over a shared injector
+//! queue ([`crate::pool`]), and results are returned in deterministic
+//! input order regardless of scheduling. Sweep shapes early-cancel:
+//! once some budget `k` is known non-resilient, all queries at `k' ≥ k`
+//! are redundant and are skipped on every worker.
+//!
+//! **Determinism.** [`verify_batch`] solves every query on a fresh
+//! per-query model, so verdicts — including the exhibited threat
+//! vectors — are a pure function of `(input, property, spec)` and are
+//! bit-identical across `jobs = 1` and `jobs = N`. The sweep searches
+//! reuse one analyzer per worker (budgets are assumptions on the
+//! incremental encoding); their `Option<usize>` answers are semantic
+//! (sat/unsat) and therefore scheduling-independent too.
+//!
+//! # Examples
+//!
+//! ```
+//! use scada_analyzer::casestudy::five_bus_case_study;
+//! use scada_analyzer::parallel::verify_batch;
+//! use scada_analyzer::{Property, ResiliencySpec};
+//!
+//! let input = five_bus_case_study();
+//! let queries: Vec<_> = (0..3)
+//!     .map(|k| (Property::Observability, ResiliencySpec::total(k)))
+//!     .collect();
+//! let reports = verify_batch(&input, &queries, 2);
+//! assert_eq!(reports.len(), 3);
+//! assert!(reports[0].verdict.is_resilient());
+//! ```
+
+use std::sync::mpsc;
+
+use crate::input::AnalysisInput;
+use crate::maxres::BudgetAxis;
+use crate::pool::{effective_jobs, run_workers, CancelBound, Injector};
+use crate::spec::{Property, ResiliencySpec};
+use crate::verify::{Analyzer, VerificationReport};
+
+/// Applies `f` to every item on `jobs` workers, returning results in
+/// input order. `jobs = 0` uses all available parallelism; `jobs = 1`
+/// runs inline (the serial baseline).
+///
+/// This is the generic fan-out primitive under [`verify_batch`]; the
+/// bench harness reuses it to spread whole workloads across cores.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = effective_jobs(jobs);
+    let injector = Injector::new(0..items.len());
+    let (sender, receiver) = mpsc::channel::<(usize, R)>();
+    run_workers(jobs, |_| {
+        let sender = sender.clone();
+        while let Some(index) = injector.steal() {
+            sender
+                .send((index, f(index, &items[index])))
+                .expect("result receiver dropped");
+        }
+    });
+    drop(sender);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (index, result) in receiver {
+        debug_assert!(slots[index].is_none(), "job {index} ran twice");
+        slots[index] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("missing result slot"))
+        .collect()
+}
+
+/// Verifies a batch of independent queries against one input across
+/// `jobs` workers, returning reports in input order.
+///
+/// Every query is solved on a fresh model, so the reports (verdicts
+/// *and* threat vectors) are identical to running each query serially
+/// from scratch — only the wall-clock changes with `jobs`.
+pub fn verify_batch(
+    input: &AnalysisInput,
+    queries: &[(Property, ResiliencySpec)],
+    jobs: usize,
+) -> Vec<VerificationReport> {
+    par_map(queries, jobs, |_, &(property, spec)| {
+        Analyzer::new(input).verify_with_report(property, spec)
+    })
+}
+
+/// Parallel [`Analyzer::max_resiliency`]: the maximum `k` along `axis`
+/// for which the property is `k`-resilient, or `None` if it already
+/// fails at `k = 0`.
+///
+/// All budgets `0..=limit` go into the injector; a worker that proves
+/// some `k` non-resilient lowers the shared cancel bound so every
+/// pending query at `k' ≥ k` is skipped. The answer equals the serial
+/// scan's for *any* property behaviour (not only monotone ones): it is
+/// one below the smallest non-resilient budget, with every smaller
+/// budget actually verified resilient.
+pub fn par_max_resiliency(
+    input: &AnalysisInput,
+    property: Property,
+    axis: BudgetAxis,
+    r: usize,
+    jobs: usize,
+) -> Option<usize> {
+    let jobs = effective_jobs(jobs);
+    let limit = axis.limit(input);
+    let injector = Injector::new(0..=limit);
+    let bound = CancelBound::unbounded();
+    run_workers(jobs, |_| {
+        let mut analyzer = Analyzer::new(input);
+        while let Some(k) = injector.steal() {
+            if k >= bound.get() {
+                continue;
+            }
+            if !analyzer.verify(property, axis.spec(k, r)).is_resilient() {
+                bound.lower_to(k);
+            }
+        }
+    });
+    match bound.get() {
+        0 => None,
+        usize::MAX => Some(limit),
+        first_failing => Some(first_failing - 1),
+    }
+}
+
+/// Parallel [`Analyzer::resiliency_frontier`]: for each IED budget `k1`
+/// from 0 up, the largest RTU budget `k2` keeping the system resilient
+/// (`None` once no `k2` works), ending at the first `k1` whose row has
+/// no resilient `k2` — byte-for-byte the serial frontier.
+///
+/// Rows are the unit of work: each worker sweeps whole `k1` rows with
+/// its own incremental analyzer, and the first row proven hopeless
+/// (`best = None`) early-cancels all higher rows.
+pub fn par_resiliency_frontier(
+    input: &AnalysisInput,
+    property: Property,
+    r: usize,
+    jobs: usize,
+) -> Vec<(usize, Option<usize>)> {
+    let jobs = effective_jobs(jobs);
+    let max_ieds = input.topology.ieds().count();
+    let max_rtus = input.topology.rtus().count();
+    let injector = Injector::new(0..=max_ieds);
+    // The smallest k1 whose row came out all-threat; rows above it are
+    // outside the serial output and need not be computed.
+    let cutoff = CancelBound::unbounded();
+    let (sender, receiver) = mpsc::channel::<(usize, Option<usize>)>();
+    run_workers(jobs, |_| {
+        let sender = sender.clone();
+        let mut analyzer = Analyzer::new(input);
+        while let Some(k1) = injector.steal() {
+            if k1 > cutoff.get() {
+                continue;
+            }
+            let mut best: Option<usize> = None;
+            for k2 in 0..=max_rtus {
+                let spec = ResiliencySpec::split(k1, k2).with_corrupted(r);
+                if analyzer.verify(property, spec).is_resilient() {
+                    best = Some(k2);
+                } else {
+                    break;
+                }
+            }
+            if best.is_none() {
+                cutoff.lower_to(k1);
+            }
+            sender.send((k1, best)).expect("frontier receiver dropped");
+        }
+    });
+    drop(sender);
+    let mut rows: Vec<Option<Option<usize>>> = vec![None; max_ieds + 1];
+    for (k1, best) in receiver {
+        rows[k1] = Some(best);
+    }
+    // Keep rows up to and including the first all-threat one, exactly
+    // like the serial loop's early exit.
+    let end = cutoff.get().min(max_ieds);
+    (0..=end)
+        .map(|k1| (k1, rows[k1].expect("row below cutoff not computed")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casestudy::five_bus_case_study;
+
+    fn all_queries() -> Vec<(Property, ResiliencySpec)> {
+        let mut queries = Vec::new();
+        for property in [
+            Property::Observability,
+            Property::SecuredObservability,
+            Property::BadDataDetectability,
+        ] {
+            for k in 0..4 {
+                queries.push((property, ResiliencySpec::total(k)));
+            }
+            for (k1, k2) in [(0, 0), (1, 0), (0, 1), (1, 1), (2, 1)] {
+                queries.push((property, ResiliencySpec::split(k1, k2)));
+            }
+        }
+        queries
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for jobs in [1, 2, 8] {
+            let doubled = par_map(&items, jobs, |i, &x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn batch_matches_serial_verdicts_in_order() {
+        let input = five_bus_case_study();
+        let queries = all_queries();
+        let serial: Vec<_> = queries
+            .iter()
+            .map(|&(p, s)| Analyzer::new(&input).verify_with_report(p, s))
+            .collect();
+        for jobs in [1, 2, 8] {
+            let parallel = verify_batch(&input, &queries, jobs);
+            assert_eq!(parallel.len(), serial.len());
+            for (p, s) in parallel.iter().zip(&serial) {
+                assert_eq!(p.property, s.property);
+                assert_eq!(p.spec, s.spec);
+                assert_eq!(p.verdict, s.verdict, "jobs-dependent verdict at {}", p.spec);
+            }
+        }
+    }
+
+    #[test]
+    fn max_resiliency_matches_serial_on_every_axis() {
+        let input = five_bus_case_study();
+        for property in [Property::Observability, Property::SecuredObservability] {
+            for axis in [
+                BudgetAxis::IedsOnly,
+                BudgetAxis::RtusOnly,
+                BudgetAxis::Total,
+            ] {
+                let serial = Analyzer::new(&input).max_resiliency(property, axis, 1);
+                for jobs in [1, 2, 8] {
+                    assert_eq!(
+                        par_max_resiliency(&input, property, axis, 1, jobs),
+                        serial,
+                        "{property} along {axis:?} with jobs={jobs}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_matches_serial() {
+        let input = five_bus_case_study();
+        for property in [Property::Observability, Property::SecuredObservability] {
+            let serial = Analyzer::new(&input).resiliency_frontier(property, 1);
+            for jobs in [1, 2, 8] {
+                assert_eq!(
+                    par_resiliency_frontier(&input, property, 1, jobs),
+                    serial,
+                    "{property} with jobs={jobs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_means_available_parallelism() {
+        let input = five_bus_case_study();
+        let queries = [(Property::Observability, ResiliencySpec::total(1))];
+        let reports = verify_batch(&input, &queries, 0);
+        assert!(reports[0].verdict.is_resilient());
+    }
+}

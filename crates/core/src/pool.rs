@@ -1,0 +1,133 @@
+//! A minimal worker pool for the parallel verification engine.
+//!
+//! No external dependencies: scoped `std::thread` workers repeatedly
+//! *steal* jobs from a shared injector queue until it runs dry. An
+//! [`CancelBound`] provides the monotone early-cancel used by sweep
+//! shapes (once some budget `k` is known to fail, all `k' ≥ k` queries
+//! are redundant and are skipped, on every worker).
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A shared job queue: workers pull (`steal`) until empty.
+pub(crate) struct Injector<T> {
+    jobs: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// An injector preloaded with `jobs`, dispensed in order.
+    pub(crate) fn new(jobs: impl IntoIterator<Item = T>) -> Injector<T> {
+        Injector {
+            jobs: Mutex::new(jobs.into_iter().collect()),
+        }
+    }
+
+    /// Takes the next job, or `None` when the queue is exhausted.
+    pub(crate) fn steal(&self) -> Option<T> {
+        self.jobs.lock().expect("injector poisoned").pop_front()
+    }
+}
+
+/// A monotonically decreasing `usize` bound shared across workers.
+///
+/// Sweeps publish the smallest budget known to fail; jobs at or above
+/// the bound are redundant and get skipped. Starts unbounded.
+pub(crate) struct CancelBound(AtomicUsize);
+
+impl CancelBound {
+    /// A bound that cancels nothing.
+    pub(crate) fn unbounded() -> CancelBound {
+        CancelBound(AtomicUsize::new(usize::MAX))
+    }
+
+    /// The current bound (`usize::MAX` when nothing was cancelled).
+    pub(crate) fn get(&self) -> usize {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Lowers the bound to `value` if it is below the current bound.
+    pub(crate) fn lower_to(&self, value: usize) {
+        self.0.fetch_min(value, Ordering::AcqRel);
+    }
+}
+
+/// The worker count to use for a requested `jobs`: `0` means "all
+/// available parallelism".
+pub(crate) fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Runs `jobs` workers to completion. Each worker receives its index;
+/// `jobs <= 1` runs inline on the calling thread (the serial baseline
+/// pays no spawn overhead).
+pub(crate) fn run_workers<F>(jobs: usize, worker: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if jobs <= 1 {
+        worker(0);
+        return;
+    }
+    std::thread::scope(|scope| {
+        for id in 0..jobs {
+            let worker = &worker;
+            scope.spawn(move || worker(id));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn injector_dispenses_each_job_once() {
+        let injector = Injector::new(0..1000u64);
+        let sum = AtomicU64::new(0);
+        let count = AtomicUsize::new(0);
+        run_workers(8, |_| {
+            while let Some(j) = injector.steal() {
+                sum.fetch_add(j, Ordering::Relaxed);
+                count.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(count.into_inner(), 1000);
+        assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn cancel_bound_only_decreases() {
+        let bound = CancelBound::unbounded();
+        assert_eq!(bound.get(), usize::MAX);
+        bound.lower_to(10);
+        bound.lower_to(20);
+        assert_eq!(bound.get(), 10);
+        bound.lower_to(3);
+        assert_eq!(bound.get(), 3);
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let hits = AtomicUsize::new(0);
+        run_workers(1, |id| {
+            assert_eq!(id, 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.into_inner(), 1);
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+}

@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The property whose resiliency is being verified.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Property {
     /// k-resilient observability (§III-C).
     Observability,
@@ -29,7 +27,7 @@ impl fmt::Display for Property {
 }
 
 /// How device failures are budgeted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FailureBudget {
     /// At most `k` field devices (IEDs and RTUs together) fail — the
     /// paper's `k`-resiliency.
@@ -63,7 +61,7 @@ impl fmt::Display for FailureBudget {
 /// let spec = ResiliencySpec::split(1, 1).with_corrupted(1);
 /// assert_eq!(spec.corrupted, 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ResiliencySpec {
     /// The failure budget.
     pub budget: FailureBudget,
@@ -137,6 +135,9 @@ mod tests {
     fn display() {
         assert_eq!(ResiliencySpec::split(2, 1).to_string(), "(k1=2, k2=1), r=1");
         assert_eq!(ResiliencySpec::total(4).to_string(), "k=4, r=1");
-        assert_eq!(Property::SecuredObservability.to_string(), "secured observability");
+        assert_eq!(
+            Property::SecuredObservability.to_string(),
+            "secured observability"
+        );
     }
 }

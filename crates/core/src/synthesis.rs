@@ -164,9 +164,14 @@ pub fn synthesize_upgrades(
         let mut indices: Vec<usize> = (0..size).collect();
         loop {
             let candidate: Vec<Upgrade> = indices.iter().map(|&i| hops[i]).collect();
-            if let Some(result) =
-                try_candidate(input, property, spec, &candidate, options, &mut counterexamples)
-            {
+            if let Some(result) = try_candidate(
+                input,
+                property,
+                spec,
+                &candidate,
+                options,
+                &mut counterexamples,
+            ) {
                 return result;
             }
             // Next combination.
@@ -258,8 +263,7 @@ mod tests {
         match result {
             SynthesisResult::Upgrades(upgrades) => {
                 // The repair must verify.
-                let fixed =
-                    apply_upgrades(&input, &upgrades, UpgradeSuite::ChapSha2);
+                let fixed = apply_upgrades(&input, &upgrades, UpgradeSuite::ChapSha2);
                 let mut analyzer = Analyzer::new(&fixed);
                 assert!(analyzer
                     .verify(Property::SecuredObservability, spec)
@@ -268,8 +272,7 @@ mod tests {
                 for i in 0..upgrades.len() {
                     let mut smaller = upgrades.clone();
                     smaller.remove(i);
-                    let partial =
-                        apply_upgrades(&input, &smaller, UpgradeSuite::ChapSha2);
+                    let partial = apply_upgrades(&input, &smaller, UpgradeSuite::ChapSha2);
                     let mut analyzer = Analyzer::new(&partial);
                     assert!(
                         !analyzer

@@ -3,11 +3,10 @@
 use std::fmt;
 
 use scadasim::{DeviceId, DeviceKind, Topology};
-use serde::{Deserialize, Serialize};
 
 /// A threat vector: a set of devices whose simultaneous unavailability
 /// violates the verified property (the paper's `V`, `∀ i ∈ V: ¬Node_i`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ThreatVector {
     /// Failed IEDs, ascending.
     pub ieds: Vec<DeviceId>,
@@ -22,7 +21,10 @@ pub struct ThreatVector {
 
 impl ThreatVector {
     /// Classifies a raw failed-device set against a topology.
-    pub fn from_failed(topology: &Topology, failed: impl IntoIterator<Item = DeviceId>) -> ThreatVector {
+    pub fn from_failed(
+        topology: &Topology,
+        failed: impl IntoIterator<Item = DeviceId>,
+    ) -> ThreatVector {
         let mut ieds = Vec::new();
         let mut rtus = Vec::new();
         let mut others = Vec::new();

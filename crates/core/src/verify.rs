@@ -113,23 +113,15 @@ impl<'a> Analyzer<'a> {
             None => Verdict::Resilient,
             Some(violation) => {
                 let failed: HashSet<_> = violation.devices.into_iter().collect();
-                let failed_links: HashSet<usize> =
-                    violation.links.into_iter().collect();
+                let failed_links: HashSet<usize> = violation.links.into_iter().collect();
                 debug_assert!(
-                    self.evaluator.violates_full(
-                        property,
-                        spec.corrupted,
-                        &failed,
-                        &failed_links
-                    ),
+                    self.evaluator
+                        .violates_full(property, spec.corrupted, &failed, &failed_links),
                     "solver threat not confirmed by direct evaluation"
                 );
-                let minimal = self.evaluator.minimize_full(
-                    property,
-                    spec.corrupted,
-                    &failed,
-                    &failed_links,
-                );
+                let minimal =
+                    self.evaluator
+                        .minimize_full(property, spec.corrupted, &failed, &failed_links);
                 Verdict::Threat(minimal)
             }
         };

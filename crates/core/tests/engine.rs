@@ -8,7 +8,7 @@ use powergrid::{BusId, MeasurementId, MeasurementKind, MeasurementSet};
 use scada_analyzer::casestudy::five_bus_case_study;
 use scada_analyzer::encode::ModelEncoder;
 use scada_analyzer::{
-    enumerate_threats, Analyzer, AnalysisInput, BudgetAxis, Property, ResiliencySpec,
+    enumerate_threats, AnalysisInput, Analyzer, BudgetAxis, Property, ResiliencySpec,
 };
 use scadasim::{Device, DeviceId, DeviceKind, Link, Topology};
 
@@ -98,14 +98,11 @@ fn enumeration_on_crafted_topology_is_exact() {
         64,
     );
     assert!(!space.truncated);
-    let rendered: HashSet<String> =
-        space.vectors.iter().map(|v| v.to_string()).collect();
-    let expected: HashSet<String> = [
-        "{IED 1}", "{IED 2}", "{IED 3}", "{RTU 4}", "{RTU 5}",
-    ]
-    .into_iter()
-    .map(String::from)
-    .collect();
+    let rendered: HashSet<String> = space.vectors.iter().map(|v| v.to_string()).collect();
+    let expected: HashSet<String> = ["{IED 1}", "{IED 2}", "{IED 3}", "{RTU 4}", "{RTU 5}"]
+        .into_iter()
+        .map(String::from)
+        .collect();
     assert_eq!(rendered, expected);
 }
 

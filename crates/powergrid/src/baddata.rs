@@ -31,6 +31,7 @@ pub enum BadDataVerdict {
 
 /// The standard normal quantile (Acklam's rational approximation;
 /// absolute error below 1.2e-9 over (0, 1)).
+#[allow(clippy::excessive_precision)] // Acklam's coefficients, verbatim
 pub fn normal_quantile(p: f64) -> f64 {
     assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
     const A: [f64; 6] = [
@@ -244,11 +245,8 @@ mod tests {
             .iter()
             .map(|&(a, b)| {
                 MeasurementKind::FlowForward(
-                    sys.branch_between(
-                        BusId::from_one_based(a),
-                        BusId::from_one_based(b),
-                    )
-                    .unwrap(),
+                    sys.branch_between(BusId::from_one_based(a), BusId::from_one_based(b))
+                        .unwrap(),
                 )
             })
             .collect();

@@ -131,11 +131,7 @@ impl DcEstimator {
 /// Returns `(z, truth)` where `truth[0] = 0` (reference bus) and the
 /// other angles are drawn uniformly from ±0.2 rad; `z = H·truth + e` with
 /// Gaussian-ish noise of standard deviation `sigma` (sum of 12 uniforms).
-pub fn synthesize_measurements(
-    ms: &MeasurementSet,
-    sigma: f64,
-    seed: u64,
-) -> (Vec<f64>, Vec<f64>) {
+pub fn synthesize_measurements(ms: &MeasurementSet, sigma: f64, seed: u64) -> (Vec<f64>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let n = ms.num_states();
     let mut truth = vec![0.0; n];

@@ -40,13 +40,7 @@ const IEEE14_BRANCHES: [(usize, usize, f64); 20] = [
 pub fn ieee14() -> PowerSystem {
     let branches = IEEE14_BRANCHES
         .iter()
-        .map(|&(f, t, x)| {
-            Branch::new(
-                BusId::from_one_based(f),
-                BusId::from_one_based(t),
-                1.0 / x,
-            )
-        })
+        .map(|&(f, t, x)| Branch::new(BusId::from_one_based(f), BusId::from_one_based(t), 1.0 / x))
         .collect();
     PowerSystem::new("ieee14", 14, branches)
 }
@@ -57,13 +51,7 @@ pub fn case5() -> PowerSystem {
     let branches = IEEE14_BRANCHES
         .iter()
         .filter(|&&(f, t, _)| f <= 5 && t <= 5)
-        .map(|&(f, t, x)| {
-            Branch::new(
-                BusId::from_one_based(f),
-                BusId::from_one_based(t),
-                1.0 / x,
-            )
-        })
+        .map(|&(f, t, x)| Branch::new(BusId::from_one_based(f), BusId::from_one_based(t), 1.0 / x))
         .collect();
     PowerSystem::new("case5", 5, branches)
 }

@@ -96,9 +96,7 @@ mod tests {
         let h = jacobian(&ms);
         let inj2 = ms
             .ids()
-            .find(|&id| {
-                matches!(ms.kind(id), MeasurementKind::Injection(b) if b.index() == 1)
-            })
+            .find(|&id| matches!(ms.kind(id), MeasurementKind::Injection(b) if b.index() == 1))
             .unwrap();
         let expected = [-16.90, 33.37, -5.05, -5.67, -5.75];
         for (j, want) in expected.iter().enumerate() {

@@ -45,7 +45,5 @@ pub mod observability;
 pub mod synthetic;
 mod system;
 
-pub use measurement::{
-    ElectricalComponent, MeasurementId, MeasurementKind, MeasurementSet,
-};
+pub use measurement::{ElectricalComponent, MeasurementId, MeasurementKind, MeasurementSet};
 pub use system::{Branch, BranchId, BusId, PowerSystem};

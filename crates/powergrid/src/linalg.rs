@@ -365,7 +365,10 @@ mod tests {
             vec![7.0, 8.0, 9.0],
         ]);
         let s = a.select_rows(&[2, 0]);
-        assert_eq!(s, Matrix::from_rows(&[vec![7.0, 8.0, 9.0], vec![1.0, 2.0, 3.0]]));
+        assert_eq!(
+            s,
+            Matrix::from_rows(&[vec![7.0, 8.0, 9.0], vec![1.0, 2.0, 3.0]])
+        );
         let d = a.drop_col(1);
         assert_eq!(
             d,

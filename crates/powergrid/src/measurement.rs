@@ -15,14 +15,11 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 use crate::system::{BranchId, BusId, PowerSystem};
 
 /// Index of a measurement within a [`MeasurementSet`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MeasurementId(pub usize);
 
 impl MeasurementId {
@@ -39,7 +36,7 @@ impl fmt::Display for MeasurementId {
 }
 
 /// What a measurement observes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MeasurementKind {
     /// Power flow on a line, measured at the `from` end (`P_ij`).
     FlowForward(BranchId),
@@ -51,9 +48,7 @@ pub enum MeasurementKind {
 
 /// The electrical component a measurement observes; measurements sharing
 /// a component are redundant with one another (the paper's `UMsrSet_E`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ElectricalComponent {
     /// A transmission line (observed by its forward/backward flows).
     Line(BranchId),
@@ -99,7 +94,7 @@ impl fmt::Display for MeasurementKind {
 /// // Forward and backward flows pair up into line components.
 /// assert_eq!(ms.unique_components().len(), 12);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MeasurementSet {
     system: PowerSystem,
     kinds: Vec<MeasurementKind>,
@@ -160,14 +155,11 @@ impl MeasurementSet {
             .collect();
         let mut rest: Vec<MeasurementKind> = (0..system.num_buses())
             .map(|b| MeasurementKind::Injection(BusId(b)))
-            .chain(
-                (0..system.num_branches()).map(|i| MeasurementKind::FlowBackward(BranchId(i))),
-            )
+            .chain((0..system.num_branches()).map(|i| MeasurementKind::FlowBackward(BranchId(i))))
             .collect();
         fwd.shuffle(&mut rng);
         rest.shuffle(&mut rng);
-        let kinds: Vec<MeasurementKind> =
-            fwd.into_iter().chain(rest).take(target).collect();
+        let kinds: Vec<MeasurementKind> = fwd.into_iter().chain(rest).take(target).collect();
         MeasurementSet::new(system, kinds)
     }
 
@@ -244,7 +236,10 @@ impl MeasurementSet {
             }
             entry.push(id);
         }
-        order.into_iter().map(|c| groups.remove(&c).unwrap()).collect()
+        order
+            .into_iter()
+            .map(|c| groups.remove(&c).unwrap())
+            .collect()
     }
 
     /// Index of the component group of each measurement (parallel to the
@@ -332,13 +327,12 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let sys = PowerSystem::new(
-            "two",
-            2,
-            vec![Branch::new(BusId(0), BusId(1), 1.0)],
-        );
+        let sys = PowerSystem::new("two", 2, vec![Branch::new(BusId(0), BusId(1), 1.0)]);
         let ms = MeasurementSet::full(sys);
         let rendered: Vec<String> = ms.kinds().iter().map(|k| k.to_string()).collect();
-        assert_eq!(rendered, vec!["P(line1)", "P'(line1)", "inj(bus1)", "inj(bus2)"]);
+        assert_eq!(
+            rendered,
+            vec!["P(line1)", "P'(line1)", "inj(bus1)", "inj(bus2)"]
+        );
     }
 }

@@ -215,11 +215,8 @@ mod tests {
             .iter()
             .map(|&(a, b)| {
                 MeasurementKind::FlowForward(
-                    sys.branch_between(
-                        BusId::from_one_based(a),
-                        BusId::from_one_based(b),
-                    )
-                    .unwrap(),
+                    sys.branch_between(BusId::from_one_based(a), BusId::from_one_based(b))
+                        .unwrap(),
                 )
             })
             .collect();
@@ -260,11 +257,8 @@ mod tests {
             .iter()
             .map(|&(a, b)| {
                 MeasurementKind::FlowForward(
-                    sys.branch_between(
-                        BusId::from_one_based(a),
-                        BusId::from_one_based(b),
-                    )
-                    .unwrap(),
+                    sys.branch_between(BusId::from_one_based(a), BusId::from_one_based(b))
+                        .unwrap(),
                 )
             })
             .collect();
@@ -290,11 +284,8 @@ mod island_tests {
             .iter()
             .map(|&(a, b)| {
                 MeasurementKind::FlowForward(
-                    sys.branch_between(
-                        BusId::from_one_based(a),
-                        BusId::from_one_based(b),
-                    )
-                    .unwrap(),
+                    sys.branch_between(BusId::from_one_based(a), BusId::from_one_based(b))
+                        .unwrap(),
                 )
             })
             .collect();

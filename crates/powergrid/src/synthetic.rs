@@ -48,11 +48,11 @@ pub fn synthetic_system(
     let mut used = std::collections::HashSet::new();
     let mut branches = Vec::with_capacity(n_branches);
     let add = |a: usize,
-                   b: usize,
-                   rng: &mut StdRng,
-                   degree: &mut Vec<usize>,
-                   used: &mut std::collections::HashSet<(usize, usize)>,
-                   branches: &mut Vec<Branch>| {
+               b: usize,
+               rng: &mut StdRng,
+               degree: &mut Vec<usize>,
+               used: &mut std::collections::HashSet<(usize, usize)>,
+               branches: &mut Vec<Branch>| {
         let key = (a.min(b), a.max(b));
         if a == b || used.contains(&key) {
             return false;

@@ -2,14 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A bus (node) in the power network, identified by a dense 0-based index.
 ///
 /// Display uses the 1-based numbering of the IEEE test cases.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BusId(pub usize);
 
 impl BusId {
@@ -38,9 +34,7 @@ impl fmt::Display for BusId {
 
 /// A branch (transmission line) identifier: index into
 /// [`PowerSystem::branches`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BranchId(pub usize);
 
 impl BranchId {
@@ -57,7 +51,7 @@ impl fmt::Display for BranchId {
 }
 
 /// A transmission line between two buses with a DC-model susceptance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Branch {
     /// One endpoint.
     pub from: BusId,
@@ -121,7 +115,7 @@ impl Branch {
 /// // Power grids have low average degree (~3) regardless of size.
 /// assert!(sys.average_degree() < 3.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerSystem {
     name: String,
     n_buses: usize,
@@ -279,11 +273,7 @@ mod tests {
     fn connectivity() {
         let s = tiny();
         assert!(s.is_connected());
-        let disconnected = PowerSystem::new(
-            "disc",
-            4,
-            vec![Branch::new(BusId(0), BusId(1), 1.0)],
-        );
+        let disconnected = PowerSystem::new("disc", 4, vec![Branch::new(BusId(0), BusId(1), 1.0)]);
         assert!(!disconnected.is_connected());
     }
 

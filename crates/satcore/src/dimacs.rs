@@ -126,13 +126,12 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
                     message: "expected `p cnf <vars> <clauses>`".into(),
                 });
             }
-            let nv: usize = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| ParseDimacsError::Syntax {
+            let nv: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                ParseDimacsError::Syntax {
                     line: line_num,
                     message: "bad variable count".into(),
-                })?;
+                }
+            })?;
             declared_vars = Some(nv);
             cnf.num_vars = nv;
             continue;

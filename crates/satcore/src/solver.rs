@@ -290,14 +290,8 @@ impl Solver {
             debug_assert!(c.len() >= 2);
             (c.lits[0], c.lits[1])
         };
-        self.watches[(!l0).code()].push(Watcher {
-            cref,
-            blocker: l1,
-        });
-        self.watches[(!l1).code()].push(Watcher {
-            cref,
-            blocker: l0,
-        });
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
     }
 
     fn unchecked_enqueue(&mut self, l: Lit, reason: Option<ClauseRef>) {
@@ -597,9 +591,11 @@ impl Solver {
         cands.sort_by(|&a, &b| {
             let ca = self.db.get(a);
             let cb = self.db.get(b);
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let to_remove = cands.len() / 2;
         for &r in cands.iter().take(to_remove) {
@@ -696,7 +692,7 @@ impl Solver {
                     return SolveResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
-                self.cancel_until(bt.max(0));
+                self.cancel_until(bt);
                 // Assumptions may sit above the backtrack level; replaying
                 // them is handled by the decision loop below.
                 self.record_learnt(learnt);

@@ -115,10 +115,7 @@ fn unsat_core_is_subset_of_assumptions() {
     let c = s.new_var().positive();
     let d = s.new_var().positive();
     s.add_clause(&[!a, !b]); // a and b conflict
-    assert_eq!(
-        s.solve_with_assumptions(&[c, a, d, b]),
-        SolveResult::Unsat
-    );
+    assert_eq!(s.solve_with_assumptions(&[c, a, d, b]), SolveResult::Unsat);
     let core = s.unsat_core().to_vec();
     assert!(!core.is_empty());
     for l in &core {

@@ -35,14 +35,13 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use powergrid::{Branch, BusId, MeasurementId, MeasurementKind, MeasurementSet, PowerSystem};
-use serde::{Deserialize, Serialize};
 
 use crate::crypto::CryptoProfile;
 use crate::device::{Device, DeviceId, DeviceKind};
 use crate::topology::{Link, Topology};
 
 /// A parsed configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScadaConfig {
     /// The measurements (owning the power system).
     pub measurements: MeasurementSet,
@@ -123,7 +122,9 @@ pub fn parse_config(text: &str) -> Result<ScadaConfig, ParseConfigError> {
             continue;
         }
         if let Some(name) = line.strip_prefix('[') {
-            let name = name.strip_suffix(']').ok_or_else(|| err(ln, "unclosed section"))?;
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| err(ln, "unclosed section"))?;
             section = match name {
                 "buses" => Section::Buses,
                 "lines" => Section::Lines,
@@ -141,11 +142,7 @@ pub fn parse_config(text: &str) -> Result<ScadaConfig, ParseConfigError> {
         match section {
             Section::None => return Err(err(ln, "content before first section")),
             Section::Buses => {
-                n_buses = Some(
-                    tokens[0]
-                        .parse()
-                        .map_err(|_| err(ln, "bad bus count"))?,
-                );
+                n_buses = Some(tokens[0].parse().map_err(|_| err(ln, "bad bus count"))?);
             }
             Section::Lines => {
                 if tokens.len() != 3 {
@@ -170,7 +167,9 @@ pub fn parse_config(text: &str) -> Result<ScadaConfig, ParseConfigError> {
                     "router" => DeviceKind::Router,
                     other => return Err(err(ln, format!("unknown device kind `{other}`"))),
                 };
-                let num = tokens[1].parse().map_err(|_| err(ln, "bad device number"))?;
+                let num = tokens[1]
+                    .parse()
+                    .map_err(|_| err(ln, "bad device number"))?;
                 devices_raw.push((ln, kind, num));
             }
             Section::Links => {
@@ -186,12 +185,11 @@ pub fn parse_config(text: &str) -> Result<ScadaConfig, ParseConfigError> {
                     return Err(err(ln, "expected `ied meas...`"));
                 }
                 let ied = tokens[0].parse().map_err(|_| err(ln, "bad device"))?;
-                let ms: Result<Vec<usize>, _> =
-                    tokens[1..].iter().map(|t| t.parse()).collect();
+                let ms: Result<Vec<usize>, _> = tokens[1..].iter().map(|t| t.parse()).collect();
                 ied_meas_raw.push((ln, ied, ms.map_err(|_| err(ln, "bad measurement id"))?));
             }
             Section::Security => {
-                if tokens.len() < 4 || tokens.len() % 2 != 0 {
+                if tokens.len() < 4 || !tokens.len().is_multiple_of(2) {
                     return Err(err(ln, "expected `dev dev (algo bits)+`"));
                 }
                 let a = tokens[0].parse().map_err(|_| err(ln, "bad device"))?;
@@ -219,8 +217,7 @@ pub fn parse_config(text: &str) -> Result<ScadaConfig, ParseConfigError> {
                     corrupted = tokens[1].parse().map_err(|_| err(ln, "bad r"))?;
                 }
                 "links" => {
-                    link_failures =
-                        tokens[1].parse().map_err(|_| err(ln, "bad link budget"))?;
+                    link_failures = tokens[1].parse().map_err(|_| err(ln, "bad link budget"))?;
                 }
                 other => return Err(err(ln, format!("unknown spec `{other}`"))),
             },
@@ -230,9 +227,7 @@ pub fn parse_config(text: &str) -> Result<ScadaConfig, ParseConfigError> {
     let n_buses = n_buses.ok_or_else(|| err(0, "missing [buses] section"))?;
     let branches: Vec<Branch> = lines_raw
         .iter()
-        .map(|&(f, t, s)| {
-            Branch::new(BusId::from_one_based(f), BusId::from_one_based(t), s)
-        })
+        .map(|&(f, t, s)| Branch::new(BusId::from_one_based(f), BusId::from_one_based(t), s))
         .collect();
     let system = PowerSystem::new("config", n_buses, branches);
 
@@ -295,9 +290,7 @@ pub fn parse_config(text: &str) -> Result<ScadaConfig, ParseConfigError> {
     }
     let links: Vec<Link> = links_raw
         .iter()
-        .map(|&(_, a, b)| {
-            Link::new(DeviceId::from_one_based(a), DeviceId::from_one_based(b))
-        })
+        .map(|&(_, a, b)| Link::new(DeviceId::from_one_based(a), DeviceId::from_one_based(b)))
         .collect();
     for &(ln, a, b) in &links_raw {
         if a == 0 || a > max_dev || b == 0 || b > max_dev {

@@ -11,10 +11,8 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// A cryptographic algorithm appearing in SCADA security profiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CryptoAlgorithm {
     /// Keyed-hash message authentication code.
     Hmac,
@@ -104,7 +102,7 @@ impl FromStr for CryptoAlgorithm {
 }
 
 /// An algorithm with a key length in bits — one `CryptType` of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CryptoProfile {
     /// The algorithm.
     pub algorithm: CryptoAlgorithm,

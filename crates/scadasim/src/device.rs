@@ -2,16 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::crypto::CryptoProfile;
 use crate::protocol::Protocol;
 
 /// A device identifier: dense 0-based index into the topology's device
 /// list. Display uses the paper's 1-based numbering.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub usize);
 
 impl DeviceId {
@@ -43,7 +39,7 @@ impl fmt::Display for DeviceId {
 }
 
 /// The role of a device in the SCADA network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// Intelligent electronic device: records measurements in the field.
     Ied,
@@ -83,7 +79,7 @@ impl fmt::Display for DeviceKind {
 }
 
 /// A SCADA device with its communication and security configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Device {
     id: DeviceId,
     kind: DeviceKind,
@@ -169,12 +165,9 @@ impl Device {
     /// Whether the two devices share a communication protocol (the
     /// paper's `CommProtoPairing`).
     pub fn protocol_pairing(&self, other: &Device) -> bool {
-        self.protocols.iter().any(|p| {
-            other
-                .protocols
-                .iter()
-                .any(|q| p.compatible_with(*q))
-        })
+        self.protocols
+            .iter()
+            .any(|p| other.protocols.iter().any(|q| p.compatible_with(*q)))
     }
 
     /// Whether the two devices can complete a crypto handshake (the
@@ -212,10 +205,8 @@ mod tests {
 
     #[test]
     fn protocol_pairing() {
-        let a = Device::new(DeviceId(0), DeviceKind::Ied)
-            .with_protocols(vec![Protocol::Modbus]);
-        let b = Device::new(DeviceId(1), DeviceKind::Rtu)
-            .with_protocols(vec![Protocol::Dnp3]);
+        let a = Device::new(DeviceId(0), DeviceKind::Ied).with_protocols(vec![Protocol::Modbus]);
+        let b = Device::new(DeviceId(1), DeviceKind::Rtu).with_protocols(vec![Protocol::Dnp3]);
         let c = Device::new(DeviceId(2), DeviceKind::Rtu)
             .with_protocols(vec![Protocol::Dnp3, Protocol::Modbus]);
         let any = Device::new(DeviceId(3), DeviceKind::Mtu);
@@ -232,8 +223,7 @@ mod tests {
         let secured = Device::new(DeviceId(1), DeviceKind::Rtu)
             .with_crypto_suites(vec![suite])
             .requiring_crypto();
-        let compatible = Device::new(DeviceId(2), DeviceKind::Rtu)
-            .with_crypto_suites(vec![suite]);
+        let compatible = Device::new(DeviceId(2), DeviceKind::Rtu).with_crypto_suites(vec![suite]);
         // Plaintext with a crypto-requiring peer fails.
         assert!(!open.crypto_pairing(&secured));
         assert!(secured.crypto_pairing(&compatible));

@@ -13,14 +13,13 @@ use powergrid::{MeasurementId, MeasurementKind, MeasurementSet, PowerSystem};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::crypto::{CryptoAlgorithm, CryptoProfile};
 use crate::device::{Device, DeviceId, DeviceKind};
 use crate::topology::{Link, Topology};
 
 /// Parameters of the synthetic SCADA generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScadaGenConfig {
     /// Fraction of the maximal measurement set to sample (the paper's
     /// measurement density, Fig 7a).
@@ -57,7 +56,7 @@ impl Default for ScadaGenConfig {
 
 /// A generated SCADA system: measurements, topology, and the IED to
 /// measurement association.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GeneratedScada {
     /// The sampled measurement set.
     pub measurements: MeasurementSet,

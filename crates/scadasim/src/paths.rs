@@ -7,13 +7,11 @@
 //! are tree-like so the bound is rarely hit, but adversarially meshed
 //! RTU layers could otherwise blow up.
 
-use serde::{Deserialize, Serialize};
-
 use crate::device::{DeviceId, DeviceKind};
 use crate::topology::Topology;
 
 /// Limits on path enumeration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PathLimits {
     /// Maximum number of paths per IED.
     pub max_paths: usize,
@@ -50,7 +48,14 @@ pub fn forwarding_paths(
     let mut visited = vec![false; topology.num_devices()];
     let mut current = vec![ied];
     visited[ied.index()] = true;
-    dfs(topology, mtu, limits, &mut visited, &mut current, &mut paths);
+    dfs(
+        topology,
+        mtu,
+        limits,
+        &mut visited,
+        &mut current,
+        &mut paths,
+    );
     paths
 }
 
@@ -271,10 +276,9 @@ mod tests {
         use crate::protocol::Protocol;
         let mut devices = mesh().devices().to_vec();
         // IED 0 speaks only Modbus, its RTU only DNP3 → no path.
-        devices[0] = Device::new(DeviceId(0), DeviceKind::Ied)
-            .with_protocols(vec![Protocol::Modbus]);
-        devices[2] = Device::new(DeviceId(2), DeviceKind::Rtu)
-            .with_protocols(vec![Protocol::Dnp3]);
+        devices[0] =
+            Device::new(DeviceId(0), DeviceKind::Ied).with_protocols(vec![Protocol::Modbus]);
+        devices[2] = Device::new(DeviceId(2), DeviceKind::Rtu).with_protocols(vec![Protocol::Dnp3]);
         let t = Topology::new(devices, mesh().links().to_vec());
         assert!(forwarding_paths(&t, DeviceId(0), &PathLimits::default()).is_empty());
         // The other IED is unaffected.

@@ -9,13 +9,11 @@
 //! authenticates but does not integrity-protect; CHAP only
 //! authenticates; SHA-2 digests provide integrity; DES provides nothing).
 
-use serde::{Deserialize, Serialize};
-
 use crate::crypto::{CryptoAlgorithm, CryptoProfile};
 
 /// One acceptance rule: the algorithm with at least this key length
 /// provides the guarded property.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Rule {
     /// Accepted algorithm.
     pub algorithm: CryptoAlgorithm,
@@ -40,7 +38,7 @@ impl Rule {
 
 /// The set of profiles an organization accepts for authentication and
 /// for data-integrity protection.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SecurityPolicy {
     authentication: Vec<Rule>,
     integrity: Vec<Rule>,

@@ -7,15 +7,13 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::crypto::CryptoProfile;
 use crate::device::{Device, DeviceId, DeviceKind};
 use crate::policy::SecurityPolicy;
 
 /// The physical medium of a link (the paper's "link type, including the
 /// medium type").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LinkMedium {
     /// Wired Ethernet.
     #[default]
@@ -41,7 +39,7 @@ impl std::fmt::Display for LinkMedium {
 }
 
 /// A communication link between two devices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Link {
     /// One endpoint.
     pub a: DeviceId,
@@ -148,7 +146,7 @@ impl std::error::Error for TopologyError {}
 /// assert_eq!(topo.mtu(), DeviceId(2));
 /// assert_eq!(topo.ieds().count(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     devices: Vec<Device>,
     links: Vec<Link>,
@@ -192,12 +190,7 @@ impl Topology {
 
     /// Attaches security profiles to a device pair (replacing previous
     /// ones for that pair).
-    pub fn set_pair_security(
-        &mut self,
-        a: DeviceId,
-        b: DeviceId,
-        profiles: Vec<CryptoProfile>,
-    ) {
+    pub fn set_pair_security(&mut self, a: DeviceId, b: DeviceId, profiles: Vec<CryptoProfile>) {
         self.pair_security.insert(pair_key(a, b), profiles);
     }
 
@@ -218,12 +211,10 @@ impl Topology {
 
     /// The explicit security profiles configured for a device pair, if
     /// any (no fallback to device suites).
-    pub fn explicit_pair_security(
-        &self,
-        a: DeviceId,
-        b: DeviceId,
-    ) -> Option<&[CryptoProfile]> {
-        self.pair_security.get(&pair_key(a, b)).map(|v| v.as_slice())
+    pub fn explicit_pair_security(&self, a: DeviceId, b: DeviceId) -> Option<&[CryptoProfile]> {
+        self.pair_security
+            .get(&pair_key(a, b))
+            .map(|v| v.as_slice())
     }
 
     /// All explicit pair-security entries.
@@ -320,9 +311,7 @@ impl Topology {
         }
         if mtus == 1 && errors.is_empty() {
             for ied in self.ieds() {
-                if crate::paths::forwarding_paths(self, ied.id(), &Default::default())
-                    .is_empty()
-                {
+                if crate::paths::forwarding_paths(self, ied.id(), &Default::default()).is_empty() {
                     errors.push(TopologyError::Unreachable(ied.id()));
                 }
             }

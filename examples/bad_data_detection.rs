@@ -10,8 +10,7 @@
 //! criticality-stripped measurement set the same corruption is
 //! mathematically invisible.
 
-
-use scada_analysis::analyzer::{Analyzer, AnalysisInput, Property, ResiliencySpec, Verdict};
+use scada_analysis::analyzer::{AnalysisInput, Analyzer, Property, ResiliencySpec, Verdict};
 use scada_analysis::power::baddata::{BadDataDetector, BadDataVerdict};
 use scada_analysis::power::estimation::synthesize_measurements;
 use scada_analysis::power::ieee::ieee14;
@@ -38,10 +37,16 @@ fn main() {
         let verdict = analyzer.verify(Property::BadDataDetectability, spec);
         match verdict {
             Verdict::Resilient => {
-                println!("(k={k}, r={r}): DETECTABLE — every state keeps ≥ {} secured measurements", r + 1);
+                println!(
+                    "(k={k}, r={r}): DETECTABLE — every state keeps ≥ {} secured measurements",
+                    r + 1
+                );
             }
             Verdict::Threat(v) => {
-                println!("(k={k}, r={r}): threat {v} leaves some state with < {} secured measurements", r + 1);
+                println!(
+                    "(k={k}, r={r}): threat {v} leaves some state with < {} secured measurements",
+                    r + 1
+                );
             }
         }
     }
@@ -55,7 +60,14 @@ fn main() {
     let detector = BadDataDetector::new(&ms, 0.95);
     let all = vec![true; ms.len()];
     match detector.test(&z, &all, sigma).expect("observable") {
-        (_, BadDataVerdict::Suspect { measurement, normalized_residual, .. }) => {
+        (
+            _,
+            BadDataVerdict::Suspect {
+                measurement,
+                normalized_residual,
+                ..
+            },
+        ) => {
             println!(
                 "\nfull redundancy: corrupted z{} flagged (|r_N| = {:.1}), correct row: {}",
                 measurement + 1,
@@ -72,9 +84,7 @@ fn main() {
         let sys = ieee14();
         let kinds: Vec<_> = (0..sys.num_buses() - 1)
             .map(|i| {
-                scada_analysis::power::MeasurementKind::Injection(
-                    scada_analysis::power::BusId(i),
-                )
+                scada_analysis::power::MeasurementKind::Injection(scada_analysis::power::BusId(i))
             })
             .collect();
         MeasurementSet::new(sys, kinds)
@@ -97,5 +107,4 @@ fn main() {
         "\nThis invisible-corruption case is exactly what (k, r)-resilient\n\
          bad-data detectability rules out at design time."
     );
-
 }

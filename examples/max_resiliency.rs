@@ -10,7 +10,7 @@
 //! higher maximum resiliency, and IED tolerance exceeds RTU tolerance
 //! (an RTU carries several IEDs' data).
 
-use scada_analysis::analyzer::{Analyzer, AnalysisInput, BudgetAxis, Property};
+use scada_analysis::analyzer::{AnalysisInput, Analyzer, BudgetAxis, Property};
 use scada_analysis::power::ieee::ieee14;
 use scada_analysis::scada::{generate, ScadaGenConfig};
 
@@ -20,7 +20,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(11);
 
-    println!("{:>8} | {:>9} | {:>8} | {:>8}", "density", "#meas", "max IED", "max RTU");
+    println!(
+        "{:>8} | {:>9} | {:>8} | {:>8}",
+        "density", "#meas", "max IED", "max RTU"
+    );
     println!("{}", "-".repeat(44));
     for density in [0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
         let scada = generate(
@@ -33,13 +36,10 @@ fn main() {
                 ..Default::default()
             },
         );
-        let input =
-            AnalysisInput::new(scada.measurements, scada.topology, scada.ied_measurements);
+        let input = AnalysisInput::new(scada.measurements, scada.topology, scada.ied_measurements);
         let mut analyzer = Analyzer::new(&input);
-        let max_ied =
-            analyzer.max_resiliency(Property::Observability, BudgetAxis::IedsOnly, 1);
-        let max_rtu =
-            analyzer.max_resiliency(Property::Observability, BudgetAxis::RtusOnly, 1);
+        let max_ied = analyzer.max_resiliency(Property::Observability, BudgetAxis::IedsOnly, 1);
+        let max_rtu = analyzer.max_resiliency(Property::Observability, BudgetAxis::RtusOnly, 1);
         println!(
             "{:>7.0}% | {:>9} | {:>8} | {:>8}",
             density * 100.0,

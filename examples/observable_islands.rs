@@ -33,10 +33,7 @@ fn main() {
     // Healthy system: one island.
     let none = HashSet::new();
     let delivered = analyzer.evaluator().delivered(&none);
-    print_islands(
-        "all devices up    ",
-        &observable_islands(ms, &delivered),
-    );
+    print_islands("all devices up    ", &observable_islands(ms, &delivered));
 
     // Fire a (2,1) threat vector and see what breaks apart.
     let Verdict::Threat(vector) =
@@ -54,7 +51,10 @@ fn main() {
         b.unique_delivered,
         ms.num_states()
     );
-    println!("numeric verdict: observable={}", numeric_observable(ms, &delivered));
+    println!(
+        "numeric verdict: observable={}",
+        numeric_observable(ms, &delivered)
+    );
     print_islands("islands after loss", &observable_islands(ms, &delivered));
     println!(
         "\nEach island's internal angles remain solvable; angles *between*\n\

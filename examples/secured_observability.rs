@@ -72,6 +72,10 @@ fn main() {
     );
     println!(
         "\nFig-4 variant (RTU9 → RTU12): single-RTU secured threat vectors: {:?}",
-        space.vectors.iter().map(|v| v.to_string()).collect::<Vec<_>>()
+        space
+            .vectors
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
     );
 }

@@ -11,7 +11,7 @@
 
 use std::time::Instant;
 
-use scada_analysis::analyzer::{Analyzer, AnalysisInput, Property, ResiliencySpec};
+use scada_analysis::analyzer::{AnalysisInput, Analyzer, Property, ResiliencySpec};
 use scada_analysis::power::ieee::ieee14;
 use scada_analysis::power::synthetic::ieee_sized;
 use scada_analysis::scada::{generate, ScadaGenConfig};

@@ -1,0 +1,310 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this workspace cannot reach crates.io, so
+//! this crate vendors a small wall-clock benchmarking harness exposing
+//! the subset of the criterion API the workspace's `benches/` targets
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Per sample it times an adaptively sized batch of iterations and
+//! reports mean / min / max per-iteration wall time. There is no
+//! statistical regression analysis, HTML report, or baseline storage.
+//!
+//! Command-line behaviour (matching how cargo invokes bench targets):
+//! a bare positional argument filters benchmarks by substring; `--test`
+//! (passed by `cargo test --benches`) runs every benchmark body exactly
+//! once for validation; other criterion flags are accepted and ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Wall-time per iteration target for one sample batch.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+/// The benchmark harness.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if s.starts_with("--") => {} // --bench and friends: ignore
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            filter,
+            test_mode,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Hook for CLI configuration (already done in [`Criterion::default`];
+    /// kept for criterion API compatibility).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(&id.into().label, sample_size, routine);
+        self
+    }
+
+    fn run_one<F>(&mut self, label: &str, sample_size: usize, mut routine: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            test_mode: self.test_mode,
+            samples_ns: Vec::new(),
+        };
+        routine(&mut bencher);
+        if self.test_mode {
+            println!("test {label} ... ok");
+            return;
+        }
+        let s = &bencher.samples_ns;
+        if s.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let min = s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = s.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{label:<50} time: [{} {} {}]",
+            Nanos(min),
+            Nanos(mean),
+            Nanos(max)
+        );
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` under `self.name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        self.criterion.run_one(&label, self.sample_size, routine);
+        self
+    }
+
+    /// Benchmarks `routine` with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (a no-op here; reports print as benches run).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized (`name/param`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id for one point of a parameterized benchmark.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> BenchmarkId {
+        BenchmarkId { label }
+    }
+}
+
+/// Times closures handed to it by a benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`, collecting the configured number of samples; each
+    /// sample batches enough iterations to fill a minimum wall-time
+    /// window so fast routines are still measured meaningfully.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm up and estimate a single-iteration cost.
+        let estimate = {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().max(Duration::from_nanos(1))
+        };
+        let iters = (SAMPLE_TARGET.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Human-readable nanosecond quantity.
+struct Nanos(f64);
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns < 1_000.0 {
+            write!(f, "{ns:.1} ns")
+        } else if ns < 1_000_000.0 {
+            write!(f, "{:.2} µs", ns / 1_000.0)
+        } else if ns < 1_000_000_000.0 {
+            write!(f, "{:.2} ms", ns / 1_000_000.0)
+        } else {
+            write!(f, "{:.3} s", ns / 1_000_000_000.0)
+        }
+    }
+}
+
+/// Declares a benchmark group function runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` function running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            test_mode: false,
+            samples_ns: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            sample_size: 50,
+            test_mode: true,
+            samples_ns: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples_ns.is_empty());
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        let id = BenchmarkId::new("unsat", 57);
+        assert_eq!(id.label, "unsat/57");
+        let id: BenchmarkId = "plain".into();
+        assert_eq!(id.label, "plain");
+    }
+
+    #[test]
+    fn nanos_formatting() {
+        assert_eq!(Nanos(12.0).to_string(), "12.0 ns");
+        assert_eq!(Nanos(12_500.0).to_string(), "12.50 µs");
+        assert_eq!(Nanos(12_500_000.0).to_string(), "12.50 ms");
+        assert_eq!(Nanos(2_500_000_000.0).to_string(), "2.500 s");
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so this crate vendors the *minimal* subset of the `rand` API the
+//! workspace actually uses:
+//!
+//! * [`rngs::StdRng`] — a seedable [xoshiro256++] generator (the stream
+//!   differs from crates.io `rand`'s ChaCha-based `StdRng`; everything in
+//!   this workspace treats seeds as opaque entropy, never as a contract
+//!   on the exact stream),
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`RngExt::random_range`] over integer and float ranges,
+//! * [`RngExt::random_bool`],
+//! * [`seq::SliceRandom::shuffle`] (Fisher–Yates).
+//!
+//! Everything is deterministic given the seed, which is all the
+//! generators, calibration searches, and property tests here rely on.
+//!
+//! [xoshiro256++]: https://prng.di.unimi.it/
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// A uniform sample from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits give the full double-precision lattice in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges a value of type `T` can be sampled from.
+pub trait SampleRange<T> {
+    /// A uniform sample from `self`.
+    fn sample_in<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Lemire's multiply-shift maps 64 bits onto [0, span).
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + off as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                if start == 0 && end as u128 == <$t>::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let span = (end - start) as u64 + 1;
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                start + off as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((self.start as i64).wrapping_add(off as i64)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = ((end as i64).wrapping_sub(start as i64) as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                let off = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((start as i64).wrapping_add(off as i64)) as $t
+            }
+        }
+    )*};
+}
+
+signed_sample_range!(i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_in<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u = unit_f64(rng.next_u64()) as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Small, fast, and passes BigCrush; *not* the crates.io `StdRng`
+    /// stream (see the crate docs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related sampling.
+
+    use super::{RngCore, SampleRange};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (0..i + 1).sample_in(rng);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngCore, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(5u64..=9);
+            assert!((5..=9).contains(&y));
+            let f = rng.random_range(-0.25f64..0.25);
+            assert!((-0.25..0.25).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -16,7 +16,9 @@ const SEC: Property = Property::SecuredObservability;
 fn scenario1_fig3_is_1_1_resilient() {
     let input = five_bus_case_study();
     let mut analyzer = Analyzer::new(&input);
-    assert!(analyzer.verify(OBS, ResiliencySpec::split(1, 1)).is_resilient());
+    assert!(analyzer
+        .verify(OBS, ResiliencySpec::split(1, 1))
+        .is_resilient());
 }
 
 #[test]
@@ -57,13 +59,12 @@ fn scenario1_fig4_breaks_at_1_1_with_ied4_rtu12() {
         Verdict::Resilient => panic!("fig4 must not be (1,1)-resilient"),
     }
     // The specific reported vector is a real threat.
-    use std::collections::HashSet;
     use scada_analysis::scada::DeviceId;
+    use std::collections::HashSet;
     let eval = analyzer.evaluator();
-    let failed: HashSet<DeviceId> =
-        [DeviceId::from_one_based(4), DeviceId::from_one_based(12)]
-            .into_iter()
-            .collect();
+    let failed: HashSet<DeviceId> = [DeviceId::from_one_based(4), DeviceId::from_one_based(12)]
+        .into_iter()
+        .collect();
     assert!(eval.violates(OBS, 1, &failed));
 }
 
@@ -110,10 +111,16 @@ fn scenario2_fig3_not_1_1_resilient_with_ied3_rtu11() {
 fn scenario2_fig3_1_0_and_0_1_are_resilient() {
     let input = five_bus_case_study();
     let mut analyzer = Analyzer::new(&input);
-    assert!(analyzer.verify(SEC, ResiliencySpec::split(1, 0)).is_resilient());
-    assert!(analyzer.verify(SEC, ResiliencySpec::split(0, 1)).is_resilient());
+    assert!(analyzer
+        .verify(SEC, ResiliencySpec::split(1, 0))
+        .is_resilient());
+    assert!(analyzer
+        .verify(SEC, ResiliencySpec::split(0, 1))
+        .is_resilient());
     // But (1,1) is not (consistent with the enumeration test).
-    assert!(!analyzer.verify(SEC, ResiliencySpec::split(1, 1)).is_resilient());
+    assert!(!analyzer
+        .verify(SEC, ResiliencySpec::split(1, 1))
+        .is_resilient());
 }
 
 #[test]
@@ -133,8 +140,12 @@ fn secured_observability_is_stricter_than_observability() {
     // NOT (1,1)-resilient securely observable.
     let input = five_bus_case_study();
     let mut analyzer = Analyzer::new(&input);
-    assert!(analyzer.verify(OBS, ResiliencySpec::split(1, 1)).is_resilient());
-    assert!(!analyzer.verify(SEC, ResiliencySpec::split(1, 1)).is_resilient());
+    assert!(analyzer
+        .verify(OBS, ResiliencySpec::split(1, 1))
+        .is_resilient());
+    assert!(!analyzer
+        .verify(SEC, ResiliencySpec::split(1, 1))
+        .is_resilient());
 }
 
 #[test]

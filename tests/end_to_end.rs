@@ -1,7 +1,7 @@
 //! End-to-end: Table-II-style config text → parse → verify → report,
 //! exactly the paper's tool-chain (Fig 2).
 
-use scada_analysis::analyzer::{Analyzer, AnalysisInput, Property, ResiliencySpec, Verdict};
+use scada_analysis::analyzer::{AnalysisInput, Analyzer, Property, ResiliencySpec, Verdict};
 use scada_analysis::scada::{parse_config, write_config};
 
 /// A small two-RTU system written in the config format: 3 buses in a
@@ -78,7 +78,10 @@ fn parse_analyze_report() {
         .evaluator()
         .find_threat_exhaustive(Property::SecuredObservability, ResiliencySpec::split(0, 0));
     assert_eq!(verdict.is_resilient(), reference.is_none());
-    assert!(!verdict.is_resilient(), "hmac-only hop breaks secured coverage");
+    assert!(
+        !verdict.is_resilient(),
+        "hmac-only hop breaks secured coverage"
+    );
 }
 
 #[test]
@@ -132,8 +135,10 @@ fn case_study_survives_config_round_trip() {
             "observability ({k1},{k2})"
         );
         assert_eq!(
-            a1.verify(Property::SecuredObservability, spec).is_resilient(),
-            a2.verify(Property::SecuredObservability, spec).is_resilient(),
+            a1.verify(Property::SecuredObservability, spec)
+                .is_resilient(),
+            a2.verify(Property::SecuredObservability, spec)
+                .is_resilient(),
             "secured ({k1},{k2})"
         );
     }

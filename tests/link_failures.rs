@@ -6,9 +6,7 @@
 use std::collections::HashSet;
 
 use scada_analysis::analyzer::casestudy::five_bus_case_study;
-use scada_analysis::analyzer::{
-    enumerate_threats, Analyzer, Property, ResiliencySpec, Verdict,
-};
+use scada_analysis::analyzer::{enumerate_threats, Analyzer, Property, ResiliencySpec, Verdict};
 use scada_analysis::scada::DeviceId;
 
 const OBS: Property = Property::Observability;
@@ -55,10 +53,7 @@ fn link_vectors_enumerate_and_are_minimal() {
     let link_index = |a: usize, b: usize| -> usize {
         input
             .topology
-            .link_index_between(
-                DeviceId::from_one_based(a),
-                DeviceId::from_one_based(b),
-            )
+            .link_index_between(DeviceId::from_one_based(a), DeviceId::from_one_based(b))
             .expect("link exists")
     };
     for v in &space.vectors {
@@ -71,9 +66,10 @@ fn link_vectors_enumerate_and_are_minimal() {
     }
     // The uplink 13-14 must be among them.
     assert!(
-        space.vectors.iter().any(|v| {
-            v.links[0].0.one_based() == 13 && v.links[0].1.one_based() == 14
-        }),
+        space
+            .vectors
+            .iter()
+            .any(|v| { v.links[0].0.one_based() == 13 && v.links[0].1.one_based() == 14 }),
         "router uplink cut missing: {:?}",
         space.vectors
     );

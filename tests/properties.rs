@@ -3,18 +3,18 @@
 
 use proptest::prelude::*;
 
-use scada_analysis::analyzer::{Analyzer, AnalysisInput, Property, ResiliencySpec};
+use scada_analysis::analyzer::{AnalysisInput, Analyzer, Property, ResiliencySpec};
 use scada_analysis::power::synthetic::synthetic_system;
 use scada_analysis::scada::{generate, ScadaGenConfig};
 
 fn arb_input() -> impl Strategy<Value = AnalysisInput> {
     (
-        5usize..10,          // buses
-        0usize..1000,        // extra-branch entropy
-        1usize..4,           // hierarchy
-        0u64..1_000_000,     // seed
-        0.3f64..1.0,         // density
-        0.0f64..1.0,         // secure fraction
+        5usize..10,      // buses
+        0usize..1000,    // extra-branch entropy
+        1usize..4,       // hierarchy
+        0u64..1_000_000, // seed
+        0.3f64..1.0,     // density
+        0.0f64..1.0,     // secure fraction
     )
         .prop_map(|(buses, extra, hierarchy, seed, density, secure)| {
             let branches = (buses - 1) + extra % buses.min(4);

@@ -34,8 +34,8 @@ fn router_failure_is_fatal_when_enabled() {
 
 #[test]
 fn router_failures_agree_with_direct_evaluation() {
-    use std::collections::HashSet;
     use scada_analysis::scada::DeviceId;
+    use std::collections::HashSet;
     let input = five_bus_case_study().allowing_router_failures();
     let analyzer = Analyzer::new(&input);
     let failed: HashSet<DeviceId> = [DeviceId::from_one_based(14)].into_iter().collect();
