@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p scada-bench --bin experiments -- [--fig5a] [--fig5b]
 //!     [--fig6] [--fig7a] [--fig7b] [--case-study] [--headline] [--all]
-//!     [--runs N] [--seeds N] [--jobs N] [--smoke]
+//!     [--runs N] [--seeds N] [--jobs N] [--timeout DUR] [--conflict-budget N]
+//!     [--smoke]
 //! ```
 //!
 //! Each experiment prints a paper-style table and writes a CSV under
@@ -12,6 +13,10 @@
 //! `--jobs 1` reproduces the serial harness). `--smoke` is a fast CI
 //! self-check on a tiny 14-bus fleet. See EXPERIMENTS.md for the
 //! paper-vs-measured comparison.
+//!
+//! `--timeout` / `--conflict-budget` bound each individual query: a
+//! query that runs out of resources lands as an `unknown` cell in the
+//! tables and CSVs instead of aborting (or hanging) the whole sweep.
 
 use std::path::Path;
 use std::time::Duration;
@@ -19,10 +24,13 @@ use std::time::Duration;
 use scada_analyzer::casestudy::{five_bus_case_study, five_bus_fig4};
 use scada_analyzer::parallel::par_map;
 use scada_analyzer::{
-    enumerate_threats, par_max_resiliency, Analyzer, BudgetAxis, Property, ResiliencySpec,
+    enumerate_threats, par_max_resiliency_limited, parse_duration, Analyzer, BudgetAxis, Property,
+    QueryLimits, ResiliencySpec, RetryPolicy,
 };
 use scada_bench::csv::Table;
-use scada_bench::{mean, measure, measure_fleet, resiliency_boundary, FleetQuery, Workload};
+use scada_bench::{
+    mean, measure_fleet_limited, measure_limited, resiliency_boundary, FleetQuery, Workload,
+};
 
 const OBS: Property = Property::Observability;
 const SEC: Property = Property::SecuredObservability;
@@ -31,10 +39,21 @@ fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
 }
 
+/// Mean time cell: `unknown` when every sample of the series was cut
+/// short by a resource limit, the mean otherwise.
+fn ms_cell(times: &[Duration], unknowns: usize) -> String {
+    if times.is_empty() && unknowns > 0 {
+        "unknown".into()
+    } else {
+        ms(mean(times))
+    }
+}
+
 struct Options {
     runs: usize,
     seeds: u64,
     jobs: usize,
+    limits: QueryLimits,
 }
 
 fn main() {
@@ -47,18 +66,41 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     };
+    let raw = |name: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
     if args.is_empty() {
         eprintln!(
             "usage: experiments [--case-study] [--fig5a] [--fig5b] [--fig6] \
              [--fig7a] [--fig7b] [--headline] [--all] [--runs N] [--seeds N] \
-             [--jobs N] [--smoke]"
+             [--jobs N] [--timeout DUR] [--conflict-budget N] [--smoke]"
         );
         std::process::exit(2);
+    }
+    let mut limits = QueryLimits::none();
+    if let Some(v) = raw("--timeout") {
+        let Some(timeout) = parse_duration(v) else {
+            eprintln!("error: bad --timeout `{v}` (use e.g. 150ms, 5s, 2m)");
+            std::process::exit(2);
+        };
+        limits = limits.with_timeout(timeout);
+    }
+    if let Some(v) = raw("--conflict-budget") {
+        let Ok(budget) = v.parse::<u64>() else {
+            eprintln!("error: bad --conflict-budget `{v}` (expected a number)");
+            std::process::exit(2);
+        };
+        limits = limits
+            .with_conflict_budget(budget)
+            .with_retry(RetryPolicy::escalating(4));
     }
     let opts = Options {
         runs: value("--runs", 5),
         seeds: value("--seeds", 3) as u64,
         jobs: value("--jobs", 0),
+        limits,
     };
 
     // CI smoke check; deliberately not part of --all.
@@ -104,26 +146,38 @@ fn smoke(opts: &Options) {
             spec: ResiliencySpec::total(1),
         })
         .collect();
-    let serial = measure_fleet(&fleet, 1);
-    let parallel = measure_fleet(&fleet, jobs);
+    let serial = measure_fleet_limited(&fleet, 1, &opts.limits);
+    let parallel = measure_fleet_limited(&fleet, jobs, &opts.limits);
     for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
-        assert_eq!(s.resilient, p.resilient, "verdict drift at fleet entry {i}");
+        // Definite verdicts must agree; an `unknown` (possible only when
+        // running bounded) is timing-dependent and tolerated.
+        if !s.outcome.is_unknown() && !p.outcome.is_unknown() {
+            assert_eq!(s.outcome, p.outcome, "verdict drift at fleet entry {i}");
+        }
         assert_eq!(
             s.variables, p.variables,
             "encoding drift at fleet entry {i}"
         );
         println!(
             "  entry {i}: {} ({} vars, {} clauses)",
-            if p.resilient { "resilient" } else { "threat" },
+            p.outcome.label(),
             p.variables,
             p.clauses,
         );
     }
     let input = Workload::default().build();
-    let serial_max = Analyzer::new(&input).max_resiliency(OBS, BudgetAxis::IedsOnly, 1);
-    let parallel_max = par_max_resiliency(&input, OBS, BudgetAxis::IedsOnly, 1, jobs);
-    assert_eq!(serial_max, parallel_max, "max-resiliency drift");
-    println!("  max IED-only resiliency: {parallel_max:?} (serial == parallel)");
+    let serial_max =
+        Analyzer::new(&input).max_resiliency_limited(OBS, BudgetAxis::IedsOnly, 1, &opts.limits);
+    let parallel_max =
+        par_max_resiliency_limited(&input, OBS, BudgetAxis::IedsOnly, 1, jobs, &opts.limits);
+    if opts.limits.is_unbounded() {
+        assert_eq!(serial_max, parallel_max, "max-resiliency drift");
+        println!("  max IED-only resiliency: {parallel_max:?} (serial == parallel)");
+    } else {
+        // Bounded sweeps are sound lower bounds; serial and parallel may
+        // legitimately stop at different budgets under a wall clock.
+        println!("  max IED-only resiliency ≥ {parallel_max:?} (bounded sweep)");
+    }
     println!("smoke ok");
     println!();
 }
@@ -240,10 +294,10 @@ fn case_study() {
 }
 
 fn verdict_str(v: &scada_analyzer::Verdict) -> String {
-    if v.is_resilient() {
-        "resilient".into()
-    } else {
-        "threat".into()
+    match v {
+        scada_analyzer::Verdict::Resilient => "resilient".into(),
+        scada_analyzer::Verdict::Threat(_) => "threat".into(),
+        scada_analyzer::Verdict::Unknown { .. } => "unknown".into(),
     }
 }
 
@@ -262,6 +316,7 @@ fn fig5(property: Property, name: &str, opts: &Options) {
         "k_sat",
         "unsat_ms",
         "sat_ms",
+        "unknown",
     ]);
     for buses in [14usize, 30, 57, 118] {
         let workloads: Vec<Workload> = (0..opts.seeds)
@@ -309,14 +364,25 @@ fn fig5(property: Property, name: &str, opts: &Options) {
                 }
             }
         }
-        let measured = measure_fleet(&fleet, opts.jobs);
+        let measured = measure_fleet_limited(&fleet, opts.jobs, &opts.limits);
 
         let mut unsat_times = Vec::new();
         let mut sat_times = Vec::new();
+        let mut unknowns = 0usize;
         let mut vars = 0;
         let mut clauses = 0;
         for (m, &resilient) in measured.iter().zip(&expect_resilient) {
-            assert_eq!(m.resilient, resilient, "boundary query flipped verdict");
+            if m.outcome.is_unknown() {
+                // A bounded run cut this sample short: record the cell as
+                // unknown instead of aborting the sweep.
+                unknowns += 1;
+                continue;
+            }
+            assert_eq!(
+                m.outcome.is_resilient(),
+                resilient,
+                "boundary query flipped verdict"
+            );
             if resilient {
                 unsat_times.push(m.duration);
                 vars = m.variables;
@@ -334,8 +400,9 @@ fn fig5(property: Property, name: &str, opts: &Options) {
             clauses.to_string(),
             format!("{:.1}", k_unsat_sum / b),
             format!("{:.1}", k_sat_sum / b),
-            ms(mean(&unsat_times)),
-            ms(mean(&sat_times)),
+            ms_cell(&unsat_times, unknowns),
+            ms_cell(&sat_times, unknowns),
+            unknowns.to_string(),
         ]);
     }
     print!("{}", table.to_aligned());
@@ -383,12 +450,15 @@ fn fig6(opts: &Options) {
                     }
                 }
             }
-            let measured = measure_fleet(&fleet, opts.jobs);
+            let measured = measure_fleet_limited(&fleet, opts.jobs, &opts.limits);
 
             let mut unsat_times = Vec::new();
             let mut sat_times = Vec::new();
+            let mut unknowns = 0usize;
             for (m, &unsat) in measured.iter().zip(&is_unsat) {
-                if unsat {
+                if m.outcome.is_unknown() {
+                    unknowns += 1;
+                } else if unsat {
                     unsat_times.push(m.duration);
                 } else {
                     sat_times.push(m.duration);
@@ -397,8 +467,8 @@ fn fig6(opts: &Options) {
             table.push([
                 buses.to_string(),
                 hierarchy.to_string(),
-                ms(mean(&unsat_times)),
-                ms(mean(&sat_times)),
+                ms_cell(&unsat_times, unknowns),
+                ms_cell(&sat_times, unknowns),
             ]);
         }
     }
@@ -428,10 +498,10 @@ fn fig7a(opts: &Options) {
             let input = w.build();
             let mut analyzer = Analyzer::new(&input);
             let ied = analyzer
-                .max_resiliency(OBS, BudgetAxis::IedsOnly, 1)
+                .max_resiliency_limited(OBS, BudgetAxis::IedsOnly, 1, &opts.limits)
                 .map_or(-1.0, |k| k as f64);
             let rtu = analyzer
-                .max_resiliency(OBS, BudgetAxis::RtusOnly, 1)
+                .max_resiliency_limited(OBS, BudgetAxis::RtusOnly, 1, &opts.limits)
                 .map_or(-1.0, |k| k as f64);
             (ied, rtu, input.measurements.len() as f64)
         });
@@ -521,13 +591,19 @@ fn headline(opts: &Options) {
         }
     }
     let measured = par_map(&queries, opts.jobs, |_, &(property, k)| {
-        measure(&input, property, ResiliencySpec::total(k))
+        measure_limited(&input, property, ResiliencySpec::total(k), &opts.limits)
     });
     for ((property, k), m) in queries.iter().zip(&measured) {
+        use scada_bench::Outcome;
         table.push([
             property.to_string(),
             k.to_string(),
-            if m.resilient { "unsat" } else { "sat" }.to_string(),
+            match m.outcome {
+                Outcome::Resilient => "unsat",
+                Outcome::Threat => "sat",
+                Outcome::Unknown => "unknown",
+            }
+            .to_string(),
             ms(m.duration),
             m.variables.to_string(),
             m.clauses.to_string(),

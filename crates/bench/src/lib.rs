@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use powergrid::ieee::ieee14;
 use powergrid::synthetic::ieee_sized;
 use scada_analyzer::parallel::par_map;
-use scada_analyzer::{AnalysisInput, Analyzer, Property, ResiliencySpec};
+use scada_analyzer::{AnalysisInput, Analyzer, Property, QueryLimits, ResiliencySpec, Verdict};
 use scadasim::{generate, ScadaGenConfig};
 
 /// Workload parameters for one generated SCADA system.
@@ -69,11 +69,55 @@ impl Workload {
     }
 }
 
+/// The coarse verdict of one measured query: what lands in the result
+/// tables and CSV cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// `unsat` — verified resilient.
+    Resilient,
+    /// `sat` — a threat vector exists.
+    Threat,
+    /// A resource limit stopped the query before a verdict. Rendered as
+    /// an `unknown` cell; never counted as resilient.
+    Unknown,
+}
+
+impl Outcome {
+    /// Whether the query was verified resilient (`Unknown` is not).
+    pub fn is_resilient(self) -> bool {
+        matches!(self, Outcome::Resilient)
+    }
+
+    /// Whether the query ran out of resources before a verdict.
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Outcome::Unknown)
+    }
+
+    /// The CSV/table cell for this outcome.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Resilient => "resilient",
+            Outcome::Threat => "threat",
+            Outcome::Unknown => "unknown",
+        }
+    }
+}
+
+impl From<&Verdict> for Outcome {
+    fn from(verdict: &Verdict) -> Outcome {
+        match verdict {
+            Verdict::Resilient => Outcome::Resilient,
+            Verdict::Threat(_) => Outcome::Threat,
+            Verdict::Unknown { .. } => Outcome::Unknown,
+        }
+    }
+}
+
 /// One timed verification outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measured {
-    /// Whether the verdict was "resilient" (unsat).
-    pub resilient: bool,
+    /// The verdict (resilient / threat / unknown).
+    pub outcome: Outcome,
     /// Wall-clock time including encoding and solving.
     pub duration: Duration,
     /// Solver variables after the query.
@@ -85,11 +129,23 @@ pub struct Measured {
 /// Runs one verification from scratch (model construction + solve), the
 /// paper's notion of "execution time of the model".
 pub fn measure(input: &AnalysisInput, property: Property, spec: ResiliencySpec) -> Measured {
+    measure_limited(input, property, spec, &QueryLimits::none())
+}
+
+/// [`measure`] under resource limits: a query stopped by its deadline or
+/// conflict budget measures as [`Outcome::Unknown`] instead of running
+/// unbounded.
+pub fn measure_limited(
+    input: &AnalysisInput,
+    property: Property,
+    spec: ResiliencySpec,
+    limits: &QueryLimits,
+) -> Measured {
     let start = Instant::now();
     let mut analyzer = Analyzer::new(input);
-    let report = analyzer.verify_with_report(property, spec);
+    let report = analyzer.verify_with_report_limited(property, spec, limits);
     Measured {
-        resilient: report.verdict.is_resilient(),
+        outcome: Outcome::from(&report.verdict),
         duration: start.elapsed(),
         variables: report.encoding.variables,
         clauses: report.encoding.clauses,
@@ -116,9 +172,21 @@ pub struct FleetQuery {
 /// in input order and identical to calling [`measure`] serially —
 /// parallelism only changes the wall-clock.
 pub fn measure_fleet(fleet: &[FleetQuery], jobs: usize) -> Vec<Measured> {
+    measure_fleet_limited(fleet, jobs, &QueryLimits::none())
+}
+
+/// [`measure_fleet`] under resource limits: each fleet entry gets its
+/// own copy of `limits` (a per-entry wall-clock allowance when built
+/// with [`QueryLimits::with_timeout`]); entries stopped by a limit come
+/// back [`Outcome::Unknown`] and the rest of the fleet is unaffected.
+pub fn measure_fleet_limited(
+    fleet: &[FleetQuery],
+    jobs: usize,
+    limits: &QueryLimits,
+) -> Vec<Measured> {
     par_map(fleet, jobs, |_, query| {
         let input = query.workload.build();
-        measure(&input, query.property, query.spec)
+        measure_limited(&input, query.property, query.spec, limits)
     })
 }
 
@@ -206,9 +274,38 @@ mod tests {
         let serial = measure_fleet(&fleet, 1);
         let parallel = measure_fleet(&fleet, 2);
         for (s, p) in serial.iter().zip(&parallel) {
-            assert_eq!(s.resilient, p.resilient);
+            assert_eq!(s.outcome, p.outcome);
             assert_eq!(s.variables, p.variables);
             assert_eq!(s.clauses, p.clauses);
+        }
+    }
+
+    #[test]
+    fn bounded_measurement_degrades_to_unknown() {
+        use scada_analyzer::RetryPolicy;
+        let input = Workload::default().build();
+        // A 1-conflict budget with no retry leaves a nontrivial query
+        // undecided — and must not panic or hang.
+        let tiny = QueryLimits::none().with_conflict_budget(1);
+        let m = measure_limited(
+            &input,
+            Property::Observability,
+            ResiliencySpec::total(3),
+            &tiny,
+        );
+        if m.outcome.is_unknown() {
+            // Escalating retry from the same tiny base budget reaches a
+            // definite verdict.
+            let escalated = QueryLimits::none()
+                .with_conflict_budget(1)
+                .with_retry(RetryPolicy::escalating(32));
+            let m2 = measure_limited(
+                &input,
+                Property::Observability,
+                ResiliencySpec::total(3),
+                &escalated,
+            );
+            assert!(!m2.outcome.is_unknown(), "×2 escalation must decide");
         }
     }
 

@@ -54,7 +54,7 @@ proptest! {
             let parallel = measure_fleet(&fleet, jobs);
             prop_assert_eq!(parallel.len(), serial.len());
             for (p, s) in parallel.iter().zip(&serial) {
-                prop_assert_eq!(p.resilient, s.resilient);
+                prop_assert_eq!(p.outcome, s.outcome);
                 prop_assert_eq!(p.variables, s.variables);
                 prop_assert_eq!(p.clauses, s.clauses);
             }

@@ -14,19 +14,26 @@
 //!   --max-resiliency print the maximum tolerated failures per axis
 //!   --repair         synthesize minimal security upgrades (secured/baddata)
 //!   --jobs N         verification worker threads (0 = all cores, default)
+//!   --timeout DUR    wall-clock limit per query, e.g. 150ms, 5s, 2m
+//!   --conflict-budget N  solver conflicts per query (escalating ×2 retry)
 //!   --template       print an example configuration and exit
 //! ```
 //!
 //! Property verification and the `--max-resiliency` sweeps run on the
 //! parallel engine; `--jobs 1` forces the serial baseline and produces
 //! identical output.
+//!
+//! With `--timeout` / `--conflict-budget` a query that runs out of
+//! resources prints `UNKNOWN` instead of hanging. Exit codes: 0 all
+//! verified resilient, 1 some threat found, 2 usage error, 3 no threat
+//! but at least one query undecided.
 
 use std::process::ExitCode;
 
 use scada_analyzer::synthesis::{synthesize_upgrades, SynthesisOptions, SynthesisResult};
 use scada_analyzer::{
-    enumerate_threats, par_max_resiliency, verify_batch, AnalysisInput, BudgetAxis, Property,
-    ResiliencySpec, Verdict,
+    enumerate_threats, par_max_resiliency_limited, parse_duration, verify_batch_limited,
+    AnalysisInput, BudgetAxis, Property, QueryLimits, ResiliencySpec, RetryPolicy, Verdict,
 };
 use scadasim::parse_config;
 
@@ -116,6 +123,30 @@ fn main() -> ExitCode {
     spec = spec.with_link_failures(opt("--links").unwrap_or(config.link_failures));
     let jobs = opt("--jobs").unwrap_or(0);
 
+    // Resource limits: a bounded query degrades to UNKNOWN, never hangs.
+    let raw = |name: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let mut limits = QueryLimits::none();
+    if let Some(v) = raw("--timeout") {
+        let Some(timeout) = parse_duration(v) else {
+            eprintln!("error: bad --timeout `{v}` (use e.g. 150ms, 5s, 2m)");
+            return ExitCode::from(2);
+        };
+        limits = limits.with_timeout(timeout);
+    }
+    if let Some(v) = raw("--conflict-budget") {
+        let Ok(budget) = v.parse::<u64>() else {
+            eprintln!("error: bad --conflict-budget `{v}` (expected a number)");
+            return ExitCode::from(2);
+        };
+        limits = limits
+            .with_conflict_budget(budget)
+            .with_retry(RetryPolicy::escalating(4));
+    }
+
     let properties: Vec<Property> = match args
         .iter()
         .position(|a| a == "--property")
@@ -147,8 +178,9 @@ fn main() -> ExitCode {
     );
 
     let mut any_threat = false;
+    let mut any_unknown = false;
     let queries: Vec<(Property, ResiliencySpec)> = properties.iter().map(|&p| (p, spec)).collect();
-    let reports = verify_batch(&input, &queries, jobs);
+    let reports = verify_batch_limited(&input, &queries, jobs, &limits);
     for (&property, report) in properties.iter().zip(&reports) {
         match &report.verdict {
             Verdict::Resilient => {
@@ -157,6 +189,14 @@ fn main() -> ExitCode {
             Verdict::Threat(v) => {
                 any_threat = true;
                 println!("[{property}] THREAT {v} at {spec}  ({:?})", report.duration);
+            }
+            Verdict::Unknown { conflicts, elapsed } => {
+                any_unknown = true;
+                println!(
+                    "[{property}] UNKNOWN at {spec}  (limit exhausted after \
+                     {conflicts} conflicts, {} attempt(s), {elapsed:?})",
+                    report.attempts
+                );
             }
         }
 
@@ -183,9 +223,24 @@ fn main() -> ExitCode {
 
         if flag("--max-resiliency") {
             let fmt = |m: Option<usize>| m.map_or("none".to_string(), |k| k.to_string());
-            let ied = par_max_resiliency(&input, property, BudgetAxis::IedsOnly, r, jobs);
-            let rtu = par_max_resiliency(&input, property, BudgetAxis::RtusOnly, r, jobs);
-            let total = par_max_resiliency(&input, property, BudgetAxis::Total, r, jobs);
+            let ied = par_max_resiliency_limited(
+                &input,
+                property,
+                BudgetAxis::IedsOnly,
+                r,
+                jobs,
+                &limits,
+            );
+            let rtu = par_max_resiliency_limited(
+                &input,
+                property,
+                BudgetAxis::RtusOnly,
+                r,
+                jobs,
+                &limits,
+            );
+            let total =
+                par_max_resiliency_limited(&input, property, BudgetAxis::Total, r, jobs, &limits);
             println!(
                 "  max resiliency: IEDs-only {}, RTUs-only {}, total {}",
                 fmt(ied),
@@ -221,6 +276,9 @@ fn main() -> ExitCode {
 
     if any_threat {
         ExitCode::FAILURE
+    } else if any_unknown {
+        // No threat found, but not everything was decided either.
+        ExitCode::from(3)
     } else {
         ExitCode::SUCCESS
     }

@@ -50,6 +50,42 @@ pub struct Violation {
     pub links: Vec<usize>,
 }
 
+/// The outcome of one threat search on the symbolic model.
+///
+/// `Unknown` surfaces when a resource limit (conflict budget, deadline,
+/// or interrupt) on the underlying solver stopped the search before a
+/// verdict; it is a first-class outcome, never a panic, and never
+/// conflated with `Resilient`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// `sat`: the exhibited failure set violates the property.
+    Violation(Violation),
+    /// `unsat`: no failure set within the budget violates the property.
+    Resilient,
+    /// A solver resource limit stopped the search before a verdict.
+    Unknown,
+}
+
+impl SearchOutcome {
+    /// The violation, if the search found one.
+    pub fn violation(self) -> Option<Violation> {
+        match self {
+            SearchOutcome::Violation(v) => Some(v),
+            SearchOutcome::Resilient | SearchOutcome::Unknown => None,
+        }
+    }
+
+    /// Whether the search found a violation.
+    pub fn is_violation(&self) -> bool {
+        matches!(self, SearchOutcome::Violation(_))
+    }
+
+    /// Whether a resource limit stopped the search.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, SearchOutcome::Unknown)
+    }
+}
+
 /// The symbolic model of one SCADA system.
 #[derive(Debug)]
 pub struct ModelEncoder {
@@ -258,14 +294,18 @@ impl ModelEncoder {
         assumptions
     }
 
-    /// Solves for a property violation within the budget. Returns the
-    /// failed devices and links if a threat exists.
+    /// Solves for a property violation within the budget.
+    ///
+    /// Any resource limit armed on the underlying solver (conflict
+    /// budget, deadline, interrupt — see [`satcore::Solver`]) degrades
+    /// the answer to [`SearchOutcome::Unknown`] instead of hanging or
+    /// panicking.
     pub fn find_violation(
         &mut self,
         input: &AnalysisInput,
         property: Property,
         spec: ResiliencySpec,
-    ) -> Option<Violation> {
+    ) -> SearchOutcome {
         let violation = self.violation_lit(input, property, spec.corrupted);
         let mut assumptions = self.budget_assumptions(spec);
         assumptions.push(violation);
@@ -286,10 +326,10 @@ impl ModelEncoder {
                     .filter(|&(_, l)| self.solver.value_of(l.var()) == Some(false))
                     .map(|(i, _)| i)
                     .collect();
-                Some(Violation { devices, links })
+                SearchOutcome::Violation(Violation { devices, links })
             }
-            SolveResult::Unsat => None,
-            SolveResult::Unknown => unreachable!("no conflict budget is set"),
+            SolveResult::Unsat => SearchOutcome::Resilient,
+            SolveResult::Unknown => SearchOutcome::Unknown,
         }
     }
 

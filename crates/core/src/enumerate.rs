@@ -9,6 +9,7 @@
 
 use std::collections::HashSet;
 
+use crate::encode::SearchOutcome;
 use crate::input::AnalysisInput;
 use crate::spec::{Property, ResiliencySpec};
 use crate::threat::ThreatVector;
@@ -19,8 +20,9 @@ use crate::verify::Analyzer;
 pub struct ThreatSpace {
     /// All minimal threat vectors within the budget, in discovery order.
     pub vectors: Vec<ThreatVector>,
-    /// Whether enumeration stopped at the cap rather than exhausting the
-    /// space.
+    /// Whether enumeration stopped early — at the cap, or because a
+    /// resource limit on the underlying solver cut a search short —
+    /// rather than exhausting the space.
     pub truncated: bool,
 }
 
@@ -90,15 +92,27 @@ pub fn enumerate_threats_with(
                 truncated: true,
             };
         }
-        let violation = {
+        let outcome = {
             let encoder = analyzer.encoder_mut();
             encoder.find_violation(input, property, spec)
         };
-        let Some(violation) = violation else {
-            return ThreatSpace {
-                vectors,
-                truncated: false,
-            };
+        let violation = match outcome {
+            SearchOutcome::Violation(v) => v,
+            // `unsat`: the space is exhausted.
+            SearchOutcome::Resilient => {
+                return ThreatSpace {
+                    vectors,
+                    truncated: false,
+                }
+            }
+            // A solver resource limit stopped the search: the vectors
+            // found so far are all real, but the space may hold more.
+            SearchOutcome::Unknown => {
+                return ThreatSpace {
+                    vectors,
+                    truncated: true,
+                }
+            }
         };
         let failed: HashSet<_> = violation.devices.into_iter().collect();
         let failed_link_idx: Vec<usize> = violation.links.clone();

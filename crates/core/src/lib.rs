@@ -39,9 +39,15 @@
 //!     Verdict::Threat(vector) => {
 //!         assert_eq!(vector.ieds.len() + vector.rtus.len(), 3);
 //!     }
-//!     Verdict::Resilient => panic!("expected a threat"),
+//!     other => panic!("expected a threat, got {other:?}"),
 //! }
 //! ```
+//!
+//! Queries can be resource-bounded ([`QueryLimits`]): a wall-clock
+//! deadline, a per-solve conflict budget with escalating retry, and a
+//! cooperative interrupt flag. A bounded query that runs out of
+//! resources degrades to [`Verdict::Unknown`] instead of hanging — and
+//! `Unknown` is never conflated with `Resilient`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,11 +65,15 @@ pub mod synthesis;
 mod threat;
 mod verify;
 
+pub use encode::SearchOutcome;
 pub use enumerate::{enumerate_threats, enumerate_threats_with, ThreatSpace};
 pub use input::AnalysisInput;
 pub use maxres::BudgetAxis;
-pub use parallel::{par_max_resiliency, par_resiliency_frontier, verify_batch};
-pub use spec::{FailureBudget, Property, ResiliencySpec};
+pub use parallel::{
+    par_max_resiliency, par_max_resiliency_limited, par_resiliency_frontier,
+    par_resiliency_frontier_limited, verify_batch, verify_batch_limited,
+};
+pub use spec::{parse_duration, FailureBudget, Property, QueryLimits, ResiliencySpec, RetryPolicy};
 pub use synthesis::{
     apply_upgrades, synthesize_upgrades, upgradable_hops, SynthesisOptions, SynthesisResult,
     Upgrade, UpgradeSuite,

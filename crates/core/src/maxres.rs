@@ -5,7 +5,7 @@
 //! encoding — budgets are assumptions on unary counter outputs, so each
 //! step is a new assumption set, not a new model.
 
-use crate::spec::{Property, ResiliencySpec};
+use crate::spec::{Property, QueryLimits, ResiliencySpec};
 use crate::verify::Analyzer;
 
 /// Which failure dimension to maximize.
@@ -51,10 +51,24 @@ impl Analyzer<'_> {
         axis: BudgetAxis,
         r: usize,
     ) -> Option<usize> {
+        self.max_resiliency_limited(property, axis, r, &QueryLimits::none())
+    }
+
+    /// [`Analyzer::max_resiliency`] under resource limits. A budget
+    /// whose query comes back `Unknown` counts as *not proven resilient*
+    /// and stops the sweep, so the answer is a sound lower bound on the
+    /// true maximum (exact whenever no query was cut short).
+    pub fn max_resiliency_limited(
+        &mut self,
+        property: Property,
+        axis: BudgetAxis,
+        r: usize,
+        limits: &QueryLimits,
+    ) -> Option<usize> {
         let limit = axis.limit(self.input());
         let mut max: Option<usize> = None;
         for k in 0..=limit {
-            let verdict = self.verify(property, axis.spec(k, r));
+            let verdict = self.verify_limited(property, axis.spec(k, r), limits);
             if verdict.is_resilient() {
                 max = Some(k);
             } else {
@@ -73,6 +87,18 @@ impl Analyzer<'_> {
         property: Property,
         r: usize,
     ) -> Vec<(usize, Option<usize>)> {
+        self.resiliency_frontier_limited(property, r, &QueryLimits::none())
+    }
+
+    /// [`Analyzer::resiliency_frontier`] under resource limits. Within a
+    /// row, an `Unknown` verdict ends the row like a threat — each row's
+    /// `k2` is a sound lower bound on the true frontier.
+    pub fn resiliency_frontier_limited(
+        &mut self,
+        property: Property,
+        r: usize,
+        limits: &QueryLimits,
+    ) -> Vec<(usize, Option<usize>)> {
         let max_ieds = self.input().topology.ieds().count();
         let max_rtus = self.input().topology.rtus().count();
         let mut frontier = Vec::new();
@@ -80,7 +106,7 @@ impl Analyzer<'_> {
             let mut best: Option<usize> = None;
             for k2 in 0..=max_rtus {
                 let spec = ResiliencySpec::split(k1, k2).with_corrupted(r);
-                if self.verify(property, spec).is_resilient() {
+                if self.verify_limited(property, spec, limits).is_resilient() {
                     best = Some(k2);
                 } else {
                     break;

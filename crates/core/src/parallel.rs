@@ -23,6 +23,20 @@
 //! incremental encoding); their `Option<usize>` answers are semantic
 //! (sat/unsat) and therefore scheduling-independent too.
 //!
+//! **Failure isolation.** Every job runs under `catch_unwind`: a
+//! panicking query records its payload, raises the fleet's interrupt
+//! flag (cancelling in-flight sibling solves — they come back
+//! `Unknown`, which is discarded with the fleet), and the original
+//! panic is re-raised on the calling thread once every worker has
+//! drained. One poisoned query never deadlocks the fleet or masks its
+//! own root cause behind secondary "poisoned mutex" panics.
+//!
+//! **Degradation.** The `_limited` variants thread [`QueryLimits`]
+//! through every query. In sweeps, an `Unknown` verdict is conservatively
+//! treated as *not proven resilient*, so bounded sweep answers are sound
+//! lower bounds on the true resiliency (see DESIGN.md, "Degradation
+//! semantics").
+//!
 //! # Examples
 //!
 //! ```
@@ -39,17 +53,22 @@
 //! assert!(reports[0].verdict.is_resilient());
 //! ```
 
+use std::sync::atomic::AtomicBool;
 use std::sync::mpsc;
+use std::sync::Arc;
 
 use crate::input::AnalysisInput;
 use crate::maxres::BudgetAxis;
-use crate::pool::{effective_jobs, run_workers, CancelBound, Injector};
-use crate::spec::{Property, ResiliencySpec};
+use crate::pool::{effective_jobs, run_workers_guarded, CancelBound, FleetGuard, Injector};
+use crate::spec::{Property, QueryLimits, ResiliencySpec};
 use crate::verify::{Analyzer, VerificationReport};
 
 /// Applies `f` to every item on `jobs` workers, returning results in
 /// input order. `jobs = 0` uses all available parallelism; `jobs = 1`
 /// runs inline (the serial baseline).
+///
+/// A panicking call is isolated: siblings finish (or are skipped), then
+/// the first panic is re-raised here with its original payload.
 ///
 /// This is the generic fan-out primitive under [`verify_batch`]; the
 /// bench harness reuses it to spread whole workloads across cores.
@@ -59,18 +78,45 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_cancellable(items, jobs, |index, item, _| f(index, item))
+}
+
+/// [`par_map`] with fleet cancellation: `f` additionally receives the
+/// fleet's shared cancellation flag, for threading into
+/// [`QueryLimits::with_interrupt`] so that a panic in one job interrupts
+/// sibling solves *in flight* instead of merely skipping queued ones.
+///
+/// # Panics
+///
+/// Re-raises the first job panic after the whole fleet has drained.
+/// (With a panicking job the fleet is cancelled, so some results never
+/// materialize; they are discarded along with the fleet.)
+pub fn par_map_cancellable<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &Arc<AtomicBool>) -> R + Sync,
+{
     let jobs = effective_jobs(jobs);
     let injector = Injector::new(0..items.len());
+    let guard = FleetGuard::new();
+    let cancel = guard.cancel_flag();
     let (sender, receiver) = mpsc::channel::<(usize, R)>();
-    run_workers(jobs, |_| {
+    run_workers_guarded(jobs, &guard, |_| {
         let sender = sender.clone();
         while let Some(index) = injector.steal() {
-            sender
-                .send((index, f(index, &items[index])))
-                .expect("result receiver dropped");
+            if guard.cancelled() {
+                break;
+            }
+            if let Some(result) = guard.run_job(|| f(index, &items[index], &cancel)) {
+                sender
+                    .send((index, result))
+                    .expect("result receiver dropped");
+            }
         }
     });
     drop(sender);
+    guard.rethrow();
     let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     for (index, result) in receiver {
         debug_assert!(slots[index].is_none(), "job {index} ran twice");
@@ -80,6 +126,18 @@ where
         .into_iter()
         .map(|slot| slot.expect("missing result slot"))
         .collect()
+}
+
+/// Per-query limits for one fleet: the caller's limits, plus the fleet's
+/// cancellation flag as interrupt when the caller did not install one of
+/// their own.
+fn fleet_limits(limits: &QueryLimits, cancel: &Arc<AtomicBool>) -> QueryLimits {
+    let per_query = limits.clone();
+    if limits.has_interrupt() {
+        per_query
+    } else {
+        per_query.with_interrupt(cancel.clone())
+    }
 }
 
 /// Verifies a batch of independent queries against one input across
@@ -93,8 +151,24 @@ pub fn verify_batch(
     queries: &[(Property, ResiliencySpec)],
     jobs: usize,
 ) -> Vec<VerificationReport> {
-    par_map(queries, jobs, |_, &(property, spec)| {
-        Analyzer::new(input).verify_with_report(property, spec)
+    verify_batch_limited(input, queries, jobs, &QueryLimits::none())
+}
+
+/// [`verify_batch`] under resource limits: each query gets its own copy
+/// of `limits` (deadline, conflict budget, retry policy), and — unless
+/// the caller installed an interrupt flag of their own — the fleet's
+/// cancellation flag, so a panicking sibling cancels in-flight solves.
+/// Queries stopped by a limit report [`crate::Verdict::Unknown`]; the
+/// rest of the batch is unaffected.
+pub fn verify_batch_limited(
+    input: &AnalysisInput,
+    queries: &[(Property, ResiliencySpec)],
+    jobs: usize,
+    limits: &QueryLimits,
+) -> Vec<VerificationReport> {
+    par_map_cancellable(queries, jobs, |_, &(property, spec), cancel| {
+        let per_query = fleet_limits(limits, cancel);
+        Analyzer::new(input).verify_with_report_limited(property, spec, &per_query)
     })
 }
 
@@ -115,21 +189,51 @@ pub fn par_max_resiliency(
     r: usize,
     jobs: usize,
 ) -> Option<usize> {
+    par_max_resiliency_limited(input, property, axis, r, jobs, &QueryLimits::none())
+}
+
+/// [`par_max_resiliency`] under resource limits. A budget whose query
+/// comes back `Unknown` counts as *not proven resilient* — it stops the
+/// sweep exactly like a threat — so the answer is a sound lower bound
+/// on the true maximum resiliency (and equals it whenever no query was
+/// cut short).
+pub fn par_max_resiliency_limited(
+    input: &AnalysisInput,
+    property: Property,
+    axis: BudgetAxis,
+    r: usize,
+    jobs: usize,
+    limits: &QueryLimits,
+) -> Option<usize> {
     let jobs = effective_jobs(jobs);
     let limit = axis.limit(input);
     let injector = Injector::new(0..=limit);
     let bound = CancelBound::unbounded();
-    run_workers(jobs, |_| {
+    let guard = FleetGuard::new();
+    let cancel = guard.cancel_flag();
+    run_workers_guarded(jobs, &guard, |_| {
         let mut analyzer = Analyzer::new(input);
         while let Some(k) = injector.steal() {
+            if guard.cancelled() {
+                break;
+            }
             if k >= bound.get() {
                 continue;
             }
-            if !analyzer.verify(property, axis.spec(k, r)).is_resilient() {
+            let per_query = fleet_limits(limits, &cancel);
+            let Some(verdict) =
+                guard.run_job(|| analyzer.verify_limited(property, axis.spec(k, r), &per_query))
+            else {
+                // This worker's analyzer may be mid-query after a panic;
+                // stop using it. The fleet is cancelled either way.
+                break;
+            };
+            if !verdict.is_resilient() {
                 bound.lower_to(k);
             }
         }
     });
+    guard.rethrow();
     match bound.get() {
         0 => None,
         usize::MAX => Some(limit),
@@ -151,6 +255,20 @@ pub fn par_resiliency_frontier(
     r: usize,
     jobs: usize,
 ) -> Vec<(usize, Option<usize>)> {
+    par_resiliency_frontier_limited(input, property, r, jobs, &QueryLimits::none())
+}
+
+/// [`par_resiliency_frontier`] under resource limits. Within a row, an
+/// `Unknown` verdict ends the row like a threat (the reported `k2` is a
+/// sound lower bound); a row whose `k2 = 0` query is `Unknown` counts as
+/// hopeless and ends the frontier.
+pub fn par_resiliency_frontier_limited(
+    input: &AnalysisInput,
+    property: Property,
+    r: usize,
+    jobs: usize,
+    limits: &QueryLimits,
+) -> Vec<(usize, Option<usize>)> {
     let jobs = effective_jobs(jobs);
     let max_ieds = input.topology.ieds().count();
     let max_rtus = input.topology.rtus().count();
@@ -158,23 +276,36 @@ pub fn par_resiliency_frontier(
     // The smallest k1 whose row came out all-threat; rows above it are
     // outside the serial output and need not be computed.
     let cutoff = CancelBound::unbounded();
+    let guard = FleetGuard::new();
+    let cancel = guard.cancel_flag();
     let (sender, receiver) = mpsc::channel::<(usize, Option<usize>)>();
-    run_workers(jobs, |_| {
+    run_workers_guarded(jobs, &guard, |_| {
         let sender = sender.clone();
         let mut analyzer = Analyzer::new(input);
         while let Some(k1) = injector.steal() {
+            if guard.cancelled() {
+                break;
+            }
             if k1 > cutoff.get() {
                 continue;
             }
-            let mut best: Option<usize> = None;
-            for k2 in 0..=max_rtus {
-                let spec = ResiliencySpec::split(k1, k2).with_corrupted(r);
-                if analyzer.verify(property, spec).is_resilient() {
-                    best = Some(k2);
-                } else {
-                    break;
+            let row = guard.run_job(|| {
+                let mut best: Option<usize> = None;
+                for k2 in 0..=max_rtus {
+                    let spec = ResiliencySpec::split(k1, k2).with_corrupted(r);
+                    let per_query = fleet_limits(limits, &cancel);
+                    if analyzer
+                        .verify_limited(property, spec, &per_query)
+                        .is_resilient()
+                    {
+                        best = Some(k2);
+                    } else {
+                        break;
+                    }
                 }
-            }
+                best
+            });
+            let Some(best) = row else { break };
             if best.is_none() {
                 cutoff.lower_to(k1);
             }
@@ -182,6 +313,7 @@ pub fn par_resiliency_frontier(
         }
     });
     drop(sender);
+    guard.rethrow();
     let mut rows: Vec<Option<Option<usize>>> = vec![None; max_ieds + 1];
     for (k1, best) in receiver {
         rows[k1] = Some(best);

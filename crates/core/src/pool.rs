@@ -1,15 +1,27 @@
 //! A minimal worker pool for the parallel verification engine.
 //!
 //! No external dependencies: scoped `std::thread` workers repeatedly
-//! *steal* jobs from a shared injector queue until it runs dry. An
+//! *steal* jobs from a shared injector queue until it runs dry. A
 //! [`CancelBound`] provides the monotone early-cancel used by sweep
 //! shapes (once some budget `k` is known to fail, all `k' ≥ k` queries
 //! are redundant and are skipped, on every worker).
+//!
+//! The pool is failure-isolated: every job runs under
+//! [`std::panic::catch_unwind`] (via [`FleetGuard::run_job`]), a
+//! panicking job cancels its in-flight siblings through a shared
+//! interrupt flag instead of cascading, and the *first* root-cause panic
+//! payload is re-raised once after the fleet drains — so one poisoned
+//! query surfaces its original message without taking unrelated workers
+//! down with secondary "poisoned mutex" noise.
 
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The first panic payload captured by a fleet.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
 
 /// A shared job queue: workers pull (`steal`) until empty.
 pub(crate) struct Injector<T> {
@@ -25,8 +37,17 @@ impl<T> Injector<T> {
     }
 
     /// Takes the next job, or `None` when the queue is exhausted.
+    ///
+    /// Poison-tolerant: the queue state is a plain `VecDeque`, which a
+    /// panicking thread cannot leave half-updated, so a poisoned lock is
+    /// safe to keep using. Recovering here keeps surviving workers alive
+    /// and lets the fleet report the *original* panic instead of dying
+    /// with a misleading "injector poisoned" message.
     pub(crate) fn steal(&self) -> Option<T> {
-        self.jobs.lock().expect("injector poisoned").pop_front()
+        self.jobs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
     }
 }
 
@@ -53,6 +74,79 @@ impl CancelBound {
     }
 }
 
+/// Shared failure state of one fleet run: a cooperative cancellation
+/// flag plus the first panic payload.
+///
+/// Workers run each job through [`FleetGuard::run_job`]; the first job
+/// that panics records its payload and raises the cancel flag, in-flight
+/// sibling solves observe the flag through their query limits and come
+/// back `Unknown`, queued jobs are skipped, and after the fleet drains
+/// [`FleetGuard::rethrow`] re-raises the recorded root cause.
+pub(crate) struct FleetGuard {
+    cancel: Arc<AtomicBool>,
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+impl FleetGuard {
+    pub(crate) fn new() -> FleetGuard {
+        FleetGuard {
+            cancel: Arc::new(AtomicBool::new(false)),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// The cancellation flag, for threading into solver interrupts.
+    pub(crate) fn cancel_flag(&self) -> Arc<AtomicBool> {
+        self.cancel.clone()
+    }
+
+    /// Whether the fleet has been cancelled (by a panicking job).
+    pub(crate) fn cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Records a panic payload (keeping only the first) and cancels the
+    /// fleet's remaining work.
+    fn record_panic(&self, payload: PanicPayload) {
+        let mut slot = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+        drop(slot);
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Runs one job, isolating a panic: the payload is recorded, the
+    /// fleet is cancelled, and `None` is returned. Jobs after
+    /// cancellation are skipped outright.
+    pub(crate) fn run_job<R>(&self, job: impl FnOnce() -> R) -> Option<R> {
+        if self.cancelled() {
+            return None;
+        }
+        match catch_unwind(AssertUnwindSafe(job)) {
+            Ok(result) => Some(result),
+            Err(payload) => {
+                self.record_panic(payload);
+                None
+            }
+        }
+    }
+
+    /// Re-raises the first recorded panic, if any. Call after every
+    /// worker has drained — this is what makes a fleet fail with its
+    /// root cause instead of deadlocking or dying on secondary effects.
+    pub(crate) fn rethrow(&self) {
+        let payload = self
+            .panic
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
 /// The worker count to use for a requested `jobs`: `0` means "all
 /// available parallelism".
 pub(crate) fn effective_jobs(jobs: usize) -> usize {
@@ -65,21 +159,27 @@ pub(crate) fn effective_jobs(jobs: usize) -> usize {
     }
 }
 
-/// Runs `jobs` workers to completion. Each worker receives its index;
-/// `jobs <= 1` runs inline on the calling thread (the serial baseline
-/// pays no spawn overhead).
-pub(crate) fn run_workers<F>(jobs: usize, worker: F)
+/// Runs `jobs` workers to completion under `guard`. Each worker receives
+/// its index; `jobs <= 1` runs inline on the calling thread (the serial
+/// baseline pays no spawn overhead). A panic escaping a worker body —
+/// e.g. from per-worker setup outside any [`FleetGuard::run_job`] — is
+/// caught and recorded rather than cascading through the thread scope.
+/// The caller decides when to [`FleetGuard::rethrow`].
+pub(crate) fn run_workers_guarded<F>(jobs: usize, guard: &FleetGuard, worker: F)
 where
     F: Fn(usize) + Sync,
 {
+    let isolated = |id: usize| {
+        guard.run_job(|| worker(id));
+    };
     if jobs <= 1 {
-        worker(0);
+        isolated(0);
         return;
     }
     std::thread::scope(|scope| {
         for id in 0..jobs {
-            let worker = &worker;
-            scope.spawn(move || worker(id));
+            let isolated = &isolated;
+            scope.spawn(move || isolated(id));
         }
     });
 }
@@ -88,6 +188,17 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+
+    /// Fleet in a box: run workers, re-raise the first panic after the
+    /// drain.
+    fn run_workers<F>(jobs: usize, worker: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let guard = FleetGuard::new();
+        run_workers_guarded(jobs, &guard, worker);
+        guard.rethrow();
+    }
 
     #[test]
     fn injector_dispenses_each_job_once() {
@@ -102,6 +213,21 @@ mod tests {
         });
         assert_eq!(count.into_inner(), 1000);
         assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn injector_recovers_from_poisoning() {
+        let injector = Injector::new(0..4u32);
+        // Poison the mutex: panic while holding the lock.
+        let poisoned = catch_unwind(AssertUnwindSafe(|| {
+            let _guard = injector.jobs.lock().expect("not yet poisoned");
+            panic!("worker died mid-steal");
+        }));
+        assert!(poisoned.is_err());
+        assert!(injector.jobs.lock().is_err(), "mutex should be poisoned");
+        // The queue state is a plain VecDeque: stealing keeps working.
+        assert_eq!(injector.steal(), Some(0));
+        assert_eq!(injector.steal(), Some(1));
     }
 
     #[test]
@@ -129,5 +255,58 @@ mod tests {
     fn effective_jobs_resolves_zero() {
         assert!(effective_jobs(0) >= 1);
         assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn guard_reports_first_panic_and_cancels_siblings() {
+        let guard = FleetGuard::new();
+        assert_eq!(guard.run_job(|| 7), Some(7));
+        assert!(!guard.cancelled());
+        assert!(guard.run_job(|| panic!("root cause")).is_none());
+        assert!(guard.cancelled());
+        // Later panics do not overwrite the first payload …
+        assert!(guard.run_job(|| panic!("secondary")).is_none());
+        // … and jobs after cancellation are skipped, not run.
+        assert_eq!(guard.run_job(|| 9), None);
+        let err =
+            catch_unwind(AssertUnwindSafe(|| guard.rethrow())).expect_err("rethrow must re-raise");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("payload is the original &str");
+        assert_eq!(msg, "root cause");
+    }
+
+    #[test]
+    fn worker_panic_is_deferred_until_fleet_drains() {
+        let completed = AtomicUsize::new(0);
+        let injector = Injector::new(0..64usize);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let guard = FleetGuard::new();
+            run_workers_guarded(4, &guard, |_| {
+                while let Some(j) = injector.steal() {
+                    if guard.cancelled() {
+                        break;
+                    }
+                    guard.run_job(|| {
+                        if j == 3 {
+                            panic!("job {j} exploded");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            guard.rethrow();
+        }));
+        let err = result.expect_err("fleet must re-raise the job panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("payload is the formatted message");
+        assert_eq!(msg, "job 3 exploded");
+        // Independent sibling jobs either completed or were cleanly
+        // skipped after cancellation — but nothing deadlocked and the
+        // queue is fully drained or abandoned.
+        assert!(completed.load(Ordering::Relaxed) < 64);
     }
 }

@@ -150,6 +150,10 @@ pub fn synthesize_upgrades(
     match analyzer.verify(property, spec) {
         Verdict::Resilient => return SynthesisResult::AlreadyResilient,
         Verdict::Threat(v) => counterexamples.push(v.devices().collect()),
+        // Unlimited queries always reach a definite verdict; if this
+        // ever ran bounded, proceeding without a counterexample is still
+        // sound (the pre-check set just starts empty).
+        Verdict::Unknown { .. } => {}
     }
     drop(analyzer);
 
@@ -227,6 +231,9 @@ fn try_candidate(
             counterexamples.push(v.devices().collect());
             None
         }
+        // Never accept a candidate on an undecided query: only a proven
+        // `Resilient` verdict may certify a repair.
+        Verdict::Unknown { .. } => None,
     }
 }
 

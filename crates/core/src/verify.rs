@@ -6,14 +6,20 @@
 //! `sat` answer yields a threat vector, which is then *minimized* against
 //! the direct evaluator so reported vectors never contain gratuitous
 //! failures. `unsat` certifies resiliency, exactly as in §IV-A.
+//!
+//! Queries may be resource-bounded ([`QueryLimits`]): a wall-clock
+//! deadline, a per-solve conflict budget with a Luby-style escalating
+//! retry policy, and a cooperative interrupt flag. A bounded query that
+//! runs out of resources degrades to [`Verdict::Unknown`] — a sound
+//! "could not decide", never misreported as `Resilient`.
 
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 use crate::bruteforce::DirectEvaluator;
-use crate::encode::{EncodingStats, ModelEncoder};
+use crate::encode::{EncodingStats, ModelEncoder, SearchOutcome};
 use crate::input::AnalysisInput;
-use crate::spec::{Property, ResiliencySpec};
+use crate::spec::{Property, QueryLimits, ResiliencySpec};
 use crate::threat::ThreatVector;
 
 /// The outcome of a verification query.
@@ -23,12 +29,27 @@ pub enum Verdict {
     Resilient,
     /// `sat`: the returned (minimal) threat vector violates the property.
     Threat(ThreatVector),
+    /// A resource limit stopped the query before a verdict. Soundness
+    /// note: `Unknown` means *undecided* — the system may or may not be
+    /// resilient — and is never reported as `Resilient`.
+    Unknown {
+        /// Solver conflicts spent across all attempts of this query.
+        conflicts: u64,
+        /// Wall-clock time spent on this query.
+        elapsed: Duration,
+    },
 }
 
 impl Verdict {
-    /// Whether the system met the specification.
+    /// Whether the system met the specification. `Unknown` is *not*
+    /// resilient: an undecided query certifies nothing.
     pub fn is_resilient(&self) -> bool {
         matches!(self, Verdict::Resilient)
+    }
+
+    /// Whether the query ran out of resources before a verdict.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Verdict::Unknown { .. })
     }
 }
 
@@ -41,12 +62,16 @@ pub struct VerificationReport {
     pub spec: ResiliencySpec,
     /// The outcome.
     pub verdict: Verdict,
-    /// Wall-clock time of the query (encode-on-demand + solve).
+    /// Wall-clock time of the query (encode-on-demand + all solve
+    /// attempts).
     pub duration: Duration,
     /// Encoding sizes after the query.
     pub encoding: EncodingStats,
-    /// Solver conflicts spent on this query.
+    /// Solver conflicts spent on this query (all attempts).
     pub conflicts: u64,
+    /// Solve attempts performed (> 1 when the retry policy escalated an
+    /// exhausted conflict budget).
+    pub attempts: u32,
 }
 
 /// The SCADA resiliency analyzer.
@@ -61,6 +86,27 @@ pub struct VerificationReport {
 /// let mut analyzer = Analyzer::new(&input);
 /// let verdict = analyzer.verify(Property::Observability, ResiliencySpec::split(1, 1));
 /// assert!(verdict.is_resilient());
+/// ```
+///
+/// Bounded queries degrade gracefully instead of hanging:
+///
+/// ```
+/// use scada_analyzer::casestudy::five_bus_case_study;
+/// use scada_analyzer::{Analyzer, Property, QueryLimits, ResiliencySpec, RetryPolicy};
+///
+/// let input = five_bus_case_study();
+/// let mut analyzer = Analyzer::new(&input);
+/// // A 1-conflict starting budget with ×2 escalation always reaches a
+/// // definite verdict on the case study — without ever hanging.
+/// let limits = QueryLimits::none()
+///     .with_conflict_budget(1)
+///     .with_retry(RetryPolicy::escalating(32));
+/// let verdict = analyzer.verify_limited(
+///     Property::Observability,
+///     ResiliencySpec::split(2, 1),
+///     &limits,
+/// );
+/// assert!(!verdict.is_unknown());
 /// ```
 #[derive(Debug)]
 pub struct Analyzer<'a> {
@@ -96,9 +142,21 @@ impl<'a> Analyzer<'a> {
         &mut self.encoder
     }
 
-    /// Verifies a property against a specification.
+    /// Verifies a property against a specification, running to a
+    /// definite verdict (no resource limits).
     pub fn verify(&mut self, property: Property, spec: ResiliencySpec) -> Verdict {
         self.verify_with_report(property, spec).verdict
+    }
+
+    /// Verifies under resource limits; see [`QueryLimits`].
+    pub fn verify_limited(
+        &mut self,
+        property: Property,
+        spec: ResiliencySpec,
+        limits: &QueryLimits,
+    ) -> Verdict {
+        self.verify_with_report_limited(property, spec, limits)
+            .verdict
     }
 
     /// Verifies and returns timing/size measurements.
@@ -107,24 +165,73 @@ impl<'a> Analyzer<'a> {
         property: Property,
         spec: ResiliencySpec,
     ) -> VerificationReport {
+        self.verify_with_report_limited(property, spec, &QueryLimits::none())
+    }
+
+    /// Verifies under resource limits and returns timing/size
+    /// measurements.
+    ///
+    /// A query stopped by its conflict budget is retried with a
+    /// geometrically grown budget (`limits.retry`); a query stopped by
+    /// its deadline or interrupt flag is not retried (those limits do
+    /// not grow back). All solver limits are cleared afterwards, so
+    /// later unlimited queries on the same analyzer are unaffected.
+    pub fn verify_with_report_limited(
+        &mut self,
+        property: Property,
+        spec: ResiliencySpec,
+        limits: &QueryLimits,
+    ) -> VerificationReport {
         let start = Instant::now();
+        // Anchor the per-query timeout (if any) now, so every query of a
+        // batch gets its own wall-clock allowance.
+        let limits = limits.anchored(start);
         let conflicts_before = self.encoder.solver_stats().conflicts;
-        let verdict = match self.encoder.find_violation(self.input, property, spec) {
-            None => Verdict::Resilient,
-            Some(violation) => {
-                let failed: HashSet<_> = violation.devices.into_iter().collect();
-                let failed_links: HashSet<usize> = violation.links.into_iter().collect();
-                debug_assert!(
-                    self.evaluator
-                        .violates_full(property, spec.corrupted, &failed, &failed_links),
-                    "solver threat not confirmed by direct evaluation"
-                );
-                let minimal =
-                    self.evaluator
-                        .minimize_full(property, spec.corrupted, &failed, &failed_links);
-                Verdict::Threat(minimal)
+        let mut attempts: u32 = 0;
+        let verdict = loop {
+            limits.arm(self.encoder.solver_mut(), attempts);
+            let outcome = self.encoder.find_violation(self.input, property, spec);
+            attempts += 1;
+            match outcome {
+                SearchOutcome::Resilient => break Verdict::Resilient,
+                SearchOutcome::Violation(violation) => {
+                    let failed: HashSet<_> = violation.devices.into_iter().collect();
+                    let failed_links: HashSet<usize> = violation.links.into_iter().collect();
+                    debug_assert!(
+                        self.evaluator.violates_full(
+                            property,
+                            spec.corrupted,
+                            &failed,
+                            &failed_links
+                        ),
+                        "solver threat not confirmed by direct evaluation"
+                    );
+                    let minimal = self.evaluator.minimize_full(
+                        property,
+                        spec.corrupted,
+                        &failed,
+                        &failed_links,
+                    );
+                    break Verdict::Threat(minimal);
+                }
+                SearchOutcome::Unknown => {
+                    // Retrying helps only when the *conflict budget* ran
+                    // out; an expired deadline or a raised interrupt will
+                    // stop the next attempt just the same.
+                    let retryable = limits.conflict_budget.is_some()
+                        && attempts < limits.retry.attempts
+                        && !limits.expired()
+                        && !limits.interrupted();
+                    if !retryable {
+                        break Verdict::Unknown {
+                            conflicts: self.encoder.solver_stats().conflicts - conflicts_before,
+                            elapsed: start.elapsed(),
+                        };
+                    }
+                }
             }
         };
+        QueryLimits::disarm(self.encoder.solver_mut());
         VerificationReport {
             property,
             spec,
@@ -132,6 +239,7 @@ impl<'a> Analyzer<'a> {
             duration: start.elapsed(),
             encoding: self.encoder.stats(),
             conflicts: self.encoder.solver_stats().conflicts - conflicts_before,
+            attempts,
         }
     }
 }

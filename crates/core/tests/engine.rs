@@ -72,12 +72,12 @@ fn find_violation_matches_evaluator_on_small_topology() {
     let eval = analyzer.evaluator();
     for k in 0..=3 {
         let spec = ResiliencySpec::total(k);
-        let violation = encoder.find_violation(&input, Property::Observability, spec);
+        let outcome = encoder.find_violation(&input, Property::Observability, spec);
         let has_reference = eval
             .find_threat_exhaustive(Property::Observability, spec)
             .is_some();
-        assert_eq!(violation.is_some(), has_reference, "k={k}");
-        if let Some(v) = violation {
+        assert_eq!(outcome.is_violation(), has_reference, "k={k}");
+        if let Some(v) = outcome.violation() {
             let failed: HashSet<DeviceId> = v.devices.iter().copied().collect();
             assert!(failed.len() <= k, "budget respected");
             assert!(eval.violates(Property::Observability, 1, &failed));

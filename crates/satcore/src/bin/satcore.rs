@@ -3,17 +3,69 @@
 //! SAT and 20 for UNSAT).
 //!
 //! ```text
-//! satcore [file.cnf]        # stdin when no file is given
+//! satcore [file.cnf] [--timeout DUR] [--conflict-budget N]
+//!                           # stdin when no file is given
 //! ```
+//!
+//! `--timeout` accepts `500ms`, `5s`, `2m`, or plain seconds; when either
+//! limit is exhausted the solver prints `s UNKNOWN` and exits 30 instead
+//! of hanging.
 
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 use satcore::{parse_dimacs, SolveResult, Solver};
 
+/// Parses `500ms` / `5s` / `2m` / bare seconds.
+fn parse_duration(text: &str) -> Option<Duration> {
+    if let Some(ms) = text.strip_suffix("ms") {
+        return ms.parse::<u64>().ok().map(Duration::from_millis);
+    }
+    if let Some(m) = text.strip_suffix('m') {
+        return m.parse::<u64>().ok().map(|m| Duration::from_secs(m * 60));
+    }
+    let secs = text.strip_suffix('s').unwrap_or(text);
+    secs.parse::<f64>()
+        .ok()
+        .filter(|s| s.is_finite() && *s >= 0.0)
+        .map(Duration::from_secs_f64)
+}
+
 fn main() -> ExitCode {
-    let arg = std::env::args().nth(1);
-    let cnf = match arg.as_deref() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opt = |name: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let timeout = match opt("--timeout") {
+        Some(v) => match parse_duration(v) {
+            Some(d) => Some(d),
+            None => {
+                eprintln!("c error: bad --timeout `{v}` (try 500ms, 5s, 2m)");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let conflict_budget = match opt("--conflict-budget") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("c error: bad --conflict-budget `{v}`");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let arg = args.iter().find(|a| !a.starts_with("--")).filter(|a| {
+        // A flag's value is not the input file.
+        let i = args.iter().position(|b| b == *a).unwrap_or(0);
+        i == 0 || (args[i - 1] != "--timeout" && args[i - 1] != "--conflict-budget")
+    });
+    let cnf = match arg.map(String::as_str) {
         Some(path) => {
             let file = match std::fs::File::open(path) {
                 Ok(f) => f,
@@ -44,6 +96,8 @@ fn main() -> ExitCode {
     );
     let mut solver = Solver::new();
     let vars = cnf.load_into(&mut solver);
+    solver.set_conflict_budget(conflict_budget);
+    solver.set_deadline(timeout.map(|t| Instant::now() + t));
     match solver.solve() {
         SolveResult::Sat => {
             println!("s SATISFIABLE");
@@ -74,8 +128,13 @@ fn main() -> ExitCode {
             ExitCode::from(20)
         }
         SolveResult::Unknown => {
+            let stats = solver.stats();
             println!("s UNKNOWN");
-            ExitCode::FAILURE
+            println!(
+                "c limit exhausted after {} conflicts {} decisions",
+                stats.conflicts, stats.decisions
+            );
+            ExitCode::from(30)
         }
     }
 }

@@ -9,6 +9,10 @@
 //! supports querying under temporary unit assumptions with extraction of
 //! an unsatisfiable core over those assumptions.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
 use crate::clause::{Clause, ClauseDb, ClauseRef};
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
@@ -21,9 +25,14 @@ pub enum SolveResult {
     Sat,
     /// No satisfying assignment exists (under the given assumptions).
     Unsat,
-    /// The conflict budget was exhausted before a verdict.
+    /// A resource limit (conflict budget, deadline, or interrupt) stopped
+    /// the search before a verdict.
     Unknown,
 }
+
+/// How often (in limit checks) the wall clock is actually read; interrupt
+/// and budget checks are cheap and run every time.
+const DEADLINE_CHECK_INTERVAL: u32 = 64;
 
 /// Aggregate solver statistics, useful for the scalability evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -113,6 +122,13 @@ pub struct Solver {
     max_learnts: f64,
     stats: SolverStats,
     conflict_budget: Option<u64>,
+    /// Wall-clock limit of the current / next solve call.
+    deadline: Option<Instant>,
+    /// Cooperative cancellation: when the flag is raised from another
+    /// thread the search stops at its next limit check.
+    interrupt: Option<Arc<AtomicBool>>,
+    /// Countdown until the next (comparatively expensive) clock read.
+    deadline_countdown: u32,
     /// Conflicting assumptions from the last unsat solve-with-assumptions.
     conflict_core: Vec<Lit>,
     model: Vec<LBool>,
@@ -149,6 +165,9 @@ impl Solver {
             max_learnts: 0.0,
             stats: SolverStats::default(),
             conflict_budget: None,
+            deadline: None,
+            interrupt: None,
+            deadline_countdown: 0,
             conflict_core: Vec::new(),
             model: Vec::new(),
         }
@@ -169,11 +188,65 @@ impl Solver {
         self.stats
     }
 
-    /// Limits the next solve call to roughly `conflicts` conflicts;
+    /// Limits each subsequent solve call to roughly `conflicts` conflicts;
     /// `None` removes the limit. When exhausted the solve returns
     /// [`SolveResult::Unknown`].
+    ///
+    /// The budget is **per solve call**: every call to [`Solver::solve`] /
+    /// [`Solver::solve_with_assumptions`] gets the full budget again, so an
+    /// incremental session never inherits a spent budget from an earlier
+    /// query.
     pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
         self.conflict_budget = conflicts;
+    }
+
+    /// Limits each subsequent solve call to finish (with a verdict or
+    /// [`SolveResult::Unknown`]) by `deadline`; `None` removes the limit.
+    ///
+    /// The clock is read every [`DEADLINE_CHECK_INTERVAL`]-th limit check,
+    /// so overshoot is bounded by a few dozen decisions.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Installs a cooperative interrupt flag (`None` removes it).
+    ///
+    /// Raising the flag from another thread makes an in-flight solve return
+    /// [`SolveResult::Unknown`] at its next limit check. The solver only
+    /// reads the flag — clearing it between queries is the caller's job.
+    pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.interrupt = flag;
+    }
+
+    /// Whether the installed interrupt flag is currently raised.
+    pub fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+
+    /// Whether any resource limit of the current solve is exhausted: the
+    /// per-call conflict budget, the wall-clock deadline (checked every
+    /// [`DEADLINE_CHECK_INTERVAL`]-th call), or the interrupt flag.
+    fn limits_exhausted(&mut self, budget_start: u64) -> bool {
+        if let Some(budget) = self.conflict_budget {
+            if self.stats.conflicts - budget_start >= budget {
+                return true;
+            }
+        }
+        if self.interrupted() {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if self.deadline_countdown == 0 {
+                self.deadline_countdown = DEADLINE_CHECK_INTERVAL;
+                if Instant::now() >= deadline {
+                    return true;
+                }
+            }
+            self.deadline_countdown -= 1;
+        }
+        false
     }
 
     /// The truth value of `v` in the last satisfying model.
@@ -672,7 +745,11 @@ impl Solver {
         }
 
         self.max_learnts = (self.db.num_original as f64 / 3.0).max(1000.0);
+        // Fresh limits for this call: the full conflict budget, and an
+        // immediate first clock check (so an already-expired deadline
+        // stops the search before any work).
         let budget_start = self.stats.conflicts;
+        self.deadline_countdown = 0;
         let mut restart_idx: u64 = 0;
         let restart_base: u64 = 100;
         let mut conflicts_until_restart = restart_base * crate::luby::luby(restart_idx);
@@ -698,13 +775,17 @@ impl Solver {
                 self.record_learnt(learnt);
                 self.var_decay();
                 self.clause_decay();
+                // Check limits here too: a long conflict chain must not
+                // outrun the budget or deadline before the next decision.
+                if self.limits_exhausted(budget_start) {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
             } else {
                 // No conflict.
-                if let Some(budget) = self.conflict_budget {
-                    if self.stats.conflicts - budget_start >= budget {
-                        self.cancel_until(0);
-                        return SolveResult::Unknown;
-                    }
+                if self.limits_exhausted(budget_start) {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
                 }
                 if conflicts_this_restart >= conflicts_until_restart {
                     self.stats.restarts += 1;

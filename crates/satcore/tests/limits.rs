@@ -1,0 +1,154 @@
+//! Resource-limit semantics: per-solve conflict budgets, wall-clock
+//! deadlines, and cooperative interrupts all degrade to
+//! [`SolveResult::Unknown`] instead of hanging, and none of them leaves
+//! the solver in a state that corrupts later unlimited solves.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use satcore::{CnfSink, SolveResult, Solver, Var};
+
+/// Pigeonhole principle: `holes + 1` pigeons into `holes` holes — unsat,
+/// and exponentially hard for resolution, so it reliably outlives small
+/// budgets and deadlines.
+fn pigeonhole(holes: usize) -> Solver {
+    let pigeons = holes + 1;
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..pigeons * holes).map(|_| s.new_var()).collect();
+    let v = |p: usize, h: usize| vars[p * holes + h];
+    for p in 0..pigeons {
+        let clause: Vec<_> = (0..holes).map(|h| v(p, h).positive()).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                s.add_clause(&[v(p1, h).negative(), v(p2, h).negative()]);
+            }
+        }
+    }
+    s
+}
+
+#[test]
+fn conflict_budget_is_per_solve_not_cumulative() {
+    let mut s = pigeonhole(9);
+    s.set_conflict_budget(Some(50));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    let after_first = s.stats().conflicts;
+    assert!(after_first >= 50, "first solve spent its whole budget");
+
+    // The second call must get a *fresh* 50-conflict budget, not inherit
+    // the spent one: it has to do real work (≈50 new conflicts) before
+    // giving up, rather than returning Unknown immediately.
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    let second_spent = s.stats().conflicts - after_first;
+    assert!(
+        second_spent >= 50,
+        "second solve inherited a spent budget (only {second_spent} new conflicts)"
+    );
+}
+
+#[test]
+fn budget_cleared_restores_completeness() {
+    let mut s = pigeonhole(6);
+    s.set_conflict_budget(Some(1));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    s.set_conflict_budget(None);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn expired_deadline_returns_unknown_immediately() {
+    let mut s = pigeonhole(6);
+    s.set_deadline(Some(Instant::now()));
+    let start = Instant::now();
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "an already-expired deadline must stop the search at once"
+    );
+    // Removing the deadline restores completeness.
+    s.set_deadline(None);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn short_deadline_bounds_wall_clock() {
+    let mut s = pigeonhole(11); // minutes of work unlimited
+    s.set_deadline(Some(Instant::now() + Duration::from_millis(50)));
+    let start = Instant::now();
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    // Generous overshoot bound: the clock is only read every 64th check.
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "deadline did not bound the solve"
+    );
+}
+
+#[test]
+fn raised_interrupt_flag_stops_the_search() {
+    let mut s = pigeonhole(9);
+    let flag = Arc::new(AtomicBool::new(true));
+    s.set_interrupt(Some(flag.clone()));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    // Lowering the flag resumes normal operation on the next call.
+    flag.store(false, Ordering::Relaxed);
+    s.set_conflict_budget(Some(10));
+    assert_eq!(s.solve(), SolveResult::Unknown); // budget, not interrupt
+    s.set_conflict_budget(None);
+    s.set_interrupt(None);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn interrupt_from_another_thread_cancels_inflight_solve() {
+    let mut s = pigeonhole(12); // far beyond the test timeout unlimited
+    let flag = Arc::new(AtomicBool::new(false));
+    s.set_interrupt(Some(flag.clone()));
+    let canceller = {
+        let flag = flag.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            flag.store(true, Ordering::Relaxed);
+        })
+    };
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    canceller.join().expect("canceller thread panicked");
+    assert!(flag.load(Ordering::Relaxed));
+}
+
+#[test]
+fn limits_do_not_corrupt_incremental_state() {
+    // Interleave limited Unknowns with real queries on one solver: the
+    // assignment trail and learnt state must stay sound.
+    let mut s = Solver::new();
+    let a = s.new_var().positive();
+    let b = s.new_var().positive();
+    s.add_clause(&[a, b]);
+    s.add_clause(&[!a, b]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+
+    // Bolt a pigeonhole sub-instance on, exhaust a tiny budget…
+    let holes = 7;
+    let pigeons = holes + 1;
+    let vars: Vec<Var> = (0..pigeons * holes).map(|_| s.new_var()).collect();
+    let v = |p: usize, h: usize| vars[p * holes + h];
+    for p in 0..pigeons {
+        let clause: Vec<_> = (0..holes).map(|h| v(p, h).positive()).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                s.add_clause(&[v(p1, h).negative(), v(p2, h).negative()]);
+            }
+        }
+    }
+    s.set_conflict_budget(Some(3));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    // …then verify definite answers still come out right.
+    s.set_conflict_budget(None);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}

@@ -48,6 +48,7 @@ fn main() {
                     r + 1
                 );
             }
+            Verdict::Unknown { .. } => unreachable!("unlimited query"),
         }
     }
 

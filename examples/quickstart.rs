@@ -34,6 +34,7 @@ fn main() {
         match &report.verdict {
             Verdict::Resilient => "RESILIENT (unsat — no threat vector exists)".to_string(),
             Verdict::Threat(v) => format!("THREAT {v}"),
+            Verdict::Unknown { .. } => unreachable!("unlimited query"),
         },
         report.encoding.variables,
         report.encoding.clauses,
@@ -52,6 +53,7 @@ fn main() {
             );
         }
         Verdict::Resilient => println!("[{spec}] observability: RESILIENT"),
+        Verdict::Unknown { .. } => unreachable!("unlimited query"),
     }
 
     // Maximum IED-only resiliency (the paper: 3).

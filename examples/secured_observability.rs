@@ -46,6 +46,7 @@ fn main() {
         match verdict {
             Verdict::Resilient => println!("[{spec}] secured observability: RESILIENT"),
             Verdict::Threat(v) => println!("[{spec}] secured observability: THREAT {v}"),
+            Verdict::Unknown { .. } => unreachable!("unlimited query"),
         }
     }
 

@@ -21,7 +21,7 @@ fn main() {
     let mut analyzer = Analyzer::new(&input);
     match analyzer.verify(property, spec) {
         Verdict::Threat(v) => println!("  counterexample: {v}"),
-        Verdict::Resilient => unreachable!("the paper and our tests say otherwise"),
+        other => unreachable!("the paper and our tests say otherwise: {other:?}"),
     }
 
     let hops = upgradable_hops(&input);

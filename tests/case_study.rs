@@ -56,7 +56,7 @@ fn scenario1_fig4_breaks_at_1_1_with_ied4_rtu12() {
             // Some (1,1) vector exists; the paper exhibits {IED4, RTU12}.
             assert!(v.len() <= 2);
         }
-        Verdict::Resilient => panic!("fig4 must not be (1,1)-resilient"),
+        other => panic!("fig4 must not be (1,1)-resilient, got {other:?}"),
     }
     // The specific reported vector is a real threat.
     use scada_analysis::scada::DeviceId;
@@ -79,7 +79,7 @@ fn scenario1_fig4_rtu12_alone_is_fatal_and_max_is_3_0() {
             assert_eq!(v.rtus[0].one_based(), 12);
             assert!(v.ieds.is_empty());
         }
-        Verdict::Resilient => panic!("fig4 must fail a single RTU failure"),
+        other => panic!("fig4 must fail a single RTU failure, got {other:?}"),
     }
     // "This system is maximally (3,0)-resilient observable."
     assert_eq!(

@@ -61,7 +61,7 @@ fn parse_analyze_report() {
             assert_eq!(v.ieds.len(), 1);
             assert!(v.rtus.is_empty());
         }
-        Verdict::Resilient => panic!("expected a single-IED threat"),
+        other => panic!("expected a single-IED threat, got {other:?}"),
     }
 
     // With zero failures the system is observable (3 unique components).

@@ -37,7 +37,7 @@ fn single_link_cut_can_blind_the_system() {
             assert!(v.ieds.is_empty() && v.rtus.is_empty());
             assert_eq!(v.links.len(), 1, "one cut suffices: {v}");
         }
-        Verdict::Resilient => panic!("a single link cut must be fatal somewhere"),
+        other => panic!("a single link cut must be fatal somewhere, got {other:?}"),
     }
 }
 

@@ -28,7 +28,7 @@ fn router_failure_is_fatal_when_enabled() {
             assert_eq!(v.others.len(), 1, "the failing device is the router: {v}");
             assert_eq!(v.others[0].one_based(), 14);
         }
-        Verdict::Resilient => panic!("router 14 carries all traffic"),
+        other => panic!("router 14 carries all traffic, got {other:?}"),
     }
 }
 
