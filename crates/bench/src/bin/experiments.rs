@@ -14,22 +14,28 @@
 //! self-check on a tiny 14-bus fleet. See EXPERIMENTS.md for the
 //! paper-vs-measured comparison.
 //!
-//! `--timeout` / `--conflict-budget` bound each individual query: a
-//! query that runs out of resources lands as an `unknown` cell in the
-//! tables and CSVs instead of aborting (or hanging) the whole sweep.
+//! `--timeout` / `--conflict-budget` bound each individual query —
+//! including the case-study and fig7b threat enumerations: a query that
+//! runs out of resources lands as an `unknown` cell in the tables and
+//! CSVs instead of aborting (or hanging) the whole sweep.
+//!
+//! `--trace PATH` writes a structured JSONL event trace of every solve
+//! attempt; `--stats` prints a metrics summary table after the run.
 
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Duration;
 
 use scada_analyzer::casestudy::{five_bus_case_study, five_bus_fig4};
-use scada_analyzer::parallel::par_map;
+use scada_analyzer::parallel::{par_map, par_map_observed};
 use scada_analyzer::{
-    enumerate_threats, par_max_resiliency_limited, parse_duration, Analyzer, BudgetAxis, Property,
-    QueryLimits, ResiliencySpec, RetryPolicy,
+    enumerate_threats_with_limited, par_max_resiliency_limited, parse_duration, Analyzer,
+    BudgetAxis, JsonlTracer, MetricsRegistry, Obs, Property, QueryLimits, ResiliencySpec,
+    RetryPolicy,
 };
 use scada_bench::csv::Table;
 use scada_bench::{
-    mean, measure_fleet_limited, measure_limited, resiliency_boundary, FleetQuery, Workload,
+    mean, measure_fleet_observed, measure_observed, resiliency_boundary, FleetQuery, Workload,
 };
 
 const OBS: Property = Property::Observability;
@@ -54,28 +60,43 @@ struct Options {
     seeds: u64,
     jobs: usize,
     limits: QueryLimits,
+    obs: Obs,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| args.iter().any(|a| a == name) || args.iter().any(|a| a == "--all");
-    let value = |name: &str, default: usize| -> usize {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    };
+    // The value following option `name`; the option being present
+    // without a value is a usage error.
     let raw = |name: &str| -> Option<&String> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
+        match args.iter().position(|a| a == name) {
+            None => None,
+            Some(i) => match args.get(i + 1) {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("error: {name} requires a value");
+                    std::process::exit(2);
+                }
+            },
+        }
+    };
+    // A numeric option; malformed values are usage errors, not silent
+    // fallbacks to the default.
+    let value = |name: &str, default: usize| -> usize {
+        match raw(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("error: bad {name} `{v}` (expected a number)");
+                std::process::exit(2);
+            }),
+        }
     };
     if args.is_empty() {
         eprintln!(
             "usage: experiments [--case-study] [--fig5a] [--fig5b] [--fig6] \
              [--fig7a] [--fig7b] [--headline] [--all] [--runs N] [--seeds N] \
-             [--jobs N] [--timeout DUR] [--conflict-budget N] [--smoke]"
+             [--jobs N] [--timeout DUR] [--conflict-budget N] \
+             [--trace PATH] [--stats] [--smoke]"
         );
         std::process::exit(2);
     }
@@ -96,11 +117,37 @@ fn main() {
             .with_conflict_budget(budget)
             .with_retry(RetryPolicy::escalating(4));
     }
+
+    // Observability: a JSONL trace sink and/or a metrics registry,
+    // shared by every experiment of the run.
+    let mut obs = Obs::none();
+    let mut tracer: Option<Arc<JsonlTracer>> = None;
+    if let Some(trace_path) = raw("--trace") {
+        match JsonlTracer::to_file(Path::new(trace_path)) {
+            Ok(sink) => {
+                let sink = Arc::new(sink);
+                tracer = Some(sink.clone());
+                obs = obs.with_tracer(sink);
+            }
+            Err(e) => {
+                eprintln!("error: cannot create trace file {trace_path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut metrics: Option<Arc<MetricsRegistry>> = None;
+    if args.iter().any(|a| a == "--stats") {
+        let registry = Arc::new(MetricsRegistry::new());
+        metrics = Some(registry.clone());
+        obs = obs.with_metrics(registry);
+    }
+
     let opts = Options {
         runs: value("--runs", 5),
         seeds: value("--seeds", 3) as u64,
         jobs: value("--jobs", 0),
         limits,
+        obs,
     };
 
     // CI smoke check; deliberately not part of --all.
@@ -109,7 +156,7 @@ fn main() {
     }
 
     if flag("--case-study") {
-        case_study();
+        case_study(&opts);
     }
     if flag("--fig5a") {
         fig5(OBS, "fig5a", &opts);
@@ -129,6 +176,19 @@ fn main() {
     if flag("--headline") {
         headline(&opts);
     }
+
+    if let Some(tracer) = &tracer {
+        tracer.flush();
+        eprintln!("trace: {} event(s) written", tracer.events());
+    }
+    if let Some(metrics) = &metrics {
+        println!("== metrics ==");
+        let mut table = Table::new(["metric", "count", "sum", "mean", "min", "max"]);
+        for row in metrics.rows() {
+            table.push(row);
+        }
+        print!("{}", table.to_aligned());
+    }
 }
 
 /// A fast self-check for CI: a tiny 14-bus fleet through the parallel
@@ -146,8 +206,8 @@ fn smoke(opts: &Options) {
             spec: ResiliencySpec::total(1),
         })
         .collect();
-    let serial = measure_fleet_limited(&fleet, 1, &opts.limits);
-    let parallel = measure_fleet_limited(&fleet, jobs, &opts.limits);
+    let serial = measure_fleet_observed(&fleet, 1, &opts.limits, &opts.obs);
+    let parallel = measure_fleet_observed(&fleet, jobs, &opts.limits, &opts.obs);
     for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
         // Definite verdicts must agree; an `unknown` (possible only when
         // running bounded) is timing-dependent and tolerated.
@@ -183,14 +243,22 @@ fn smoke(opts: &Options) {
 }
 
 /// §IV — both case-study scenarios, paper claim vs measured outcome.
-fn case_study() {
+fn case_study(opts: &Options) {
     println!("== Case study (paper §IV) ==");
     let fig3 = five_bus_case_study();
     let fig4 = five_bus_fig4();
     let mut table = Table::new(["experiment", "paper", "measured", "match"]);
 
-    let mut a3 = Analyzer::new(&fig3);
-    let mut a4 = Analyzer::new(&fig4);
+    let mut a3 = Analyzer::with_obs(&fig3, opts.obs.clone());
+    let mut a4 = Analyzer::with_obs(&fig4, opts.obs.clone());
+
+    // Enumeration mutates the analyzer's solver with blocking clauses,
+    // so each threat-space count gets its own fresh analyzer; `--timeout`
+    // / `--conflict-budget` bound the whole enumeration run.
+    let enumerate = |input, property, spec| {
+        let mut analyzer = Analyzer::with_obs(input, opts.obs.clone());
+        enumerate_threats_with_limited(&mut analyzer, property, spec, 64, &opts.limits)
+    };
 
     let row = |table: &mut Table, name: &str, paper: &str, measured: String| {
         let ok = paper == measured;
@@ -204,7 +272,7 @@ fn case_study() {
         "resilient",
         verdict_str(&v),
     );
-    let space = enumerate_threats(&fig3, OBS, ResiliencySpec::split(2, 1), 64);
+    let space = enumerate(&fig3, OBS, ResiliencySpec::split(2, 1));
     row(
         &mut table,
         "S1 fig3 (2,1) threat vectors",
@@ -257,7 +325,7 @@ fn case_study() {
         "threat",
         verdict_str(&v),
     );
-    let space = enumerate_threats(&fig3, SEC, ResiliencySpec::split(1, 1), 64);
+    let space = enumerate(&fig3, SEC, ResiliencySpec::split(1, 1));
     row(
         &mut table,
         "S2 fig3 (1,1) secured vectors",
@@ -278,7 +346,7 @@ fn case_study() {
         "resilient",
         verdict_str(&v),
     );
-    let space = enumerate_threats(&fig4, SEC, ResiliencySpec::split(0, 1), 64);
+    let space = enumerate(&fig4, SEC, ResiliencySpec::split(0, 1));
     row(
         &mut table,
         "S2 fig4 (0,1) secured vectors",
@@ -316,6 +384,7 @@ fn fig5(property: Property, name: &str, opts: &Options) {
         "k_sat",
         "unsat_ms",
         "sat_ms",
+        "mean_conflicts",
         "unknown",
     ]);
     for buses in [14usize, 30, 57, 118] {
@@ -364,11 +433,13 @@ fn fig5(property: Property, name: &str, opts: &Options) {
                 }
             }
         }
-        let measured = measure_fleet_limited(&fleet, opts.jobs, &opts.limits);
+        let measured = measure_fleet_observed(&fleet, opts.jobs, &opts.limits, &opts.obs);
 
         let mut unsat_times = Vec::new();
         let mut sat_times = Vec::new();
         let mut unknowns = 0usize;
+        let mut conflicts_sum = 0u64;
+        let mut decided = 0u64;
         let mut vars = 0;
         let mut clauses = 0;
         for (m, &resilient) in measured.iter().zip(&expect_resilient) {
@@ -383,6 +454,8 @@ fn fig5(property: Property, name: &str, opts: &Options) {
                 resilient,
                 "boundary query flipped verdict"
             );
+            conflicts_sum += m.conflicts;
+            decided += 1;
             if resilient {
                 unsat_times.push(m.duration);
                 vars = m.variables;
@@ -402,6 +475,7 @@ fn fig5(property: Property, name: &str, opts: &Options) {
             format!("{:.1}", k_sat_sum / b),
             ms_cell(&unsat_times, unknowns),
             ms_cell(&sat_times, unknowns),
+            format!("{:.1}", conflicts_sum as f64 / decided.max(1) as f64),
             unknowns.to_string(),
         ]);
     }
@@ -450,7 +524,7 @@ fn fig6(opts: &Options) {
                     }
                 }
             }
-            let measured = measure_fleet_limited(&fleet, opts.jobs, &opts.limits);
+            let measured = measure_fleet_observed(&fleet, opts.jobs, &opts.limits, &opts.obs);
 
             let mut unsat_times = Vec::new();
             let mut sat_times = Vec::new();
@@ -496,7 +570,7 @@ fn fig7a(opts: &Options) {
             .collect();
         let rows = par_map(&workloads, opts.jobs, |_, w| {
             let input = w.build();
-            let mut analyzer = Analyzer::new(&input);
+            let mut analyzer = Analyzer::with_obs(&input, opts.obs.clone());
             let ied = analyzer
                 .max_resiliency_limited(OBS, BudgetAxis::IedsOnly, 1, &opts.limits)
                 .map_or(-1.0, |k| k as f64);
@@ -536,17 +610,32 @@ fn fig7b(opts: &Options) {
             }
         }
     }
-    let counts = par_map(&items, opts.jobs, |_, &(hierarchy, k1, k2, seed)| {
-        let input = Workload {
-            buses: 14,
-            density: 0.7,
-            hierarchy,
-            secure_fraction: 0.9,
-            seed: seed + 100,
-        }
-        .build();
-        enumerate_threats(&input, OBS, ResiliencySpec::split(k1, k2), 2000).len() as f64
-    });
+    let counts = par_map_observed(
+        &items,
+        opts.jobs,
+        &opts.obs,
+        |_, &(hierarchy, k1, k2, seed), _| {
+            let input = Workload {
+                buses: 14,
+                density: 0.7,
+                hierarchy,
+                secure_fraction: 0.9,
+                seed: seed + 100,
+            }
+            .build();
+            // Bounded enumeration: a limit-exhausted run yields a partial
+            // (undecided) space instead of hanging the whole sweep.
+            let mut analyzer = Analyzer::with_obs(&input, opts.obs.clone());
+            enumerate_threats_with_limited(
+                &mut analyzer,
+                OBS,
+                ResiliencySpec::split(k1, k2),
+                2000,
+                &opts.limits,
+            )
+            .len() as f64
+        },
+    );
     for hierarchy in 1..=4usize {
         for (k1, k2) in [(1, 1), (2, 1), (2, 2)] {
             let (total, n): (f64, f64) = items
@@ -583,15 +672,30 @@ fn headline(opts: &Options) {
     .build();
     let devices = input.field_devices().len();
     println!("field devices: {devices}");
-    let mut table = Table::new(["property", "k", "verdict", "time_ms", "vars", "clauses"]);
+    let mut table = Table::new([
+        "property",
+        "k",
+        "verdict",
+        "time_ms",
+        "vars",
+        "clauses",
+        "conflicts",
+        "attempts",
+    ]);
     let mut queries = Vec::new();
     for property in [OBS, SEC] {
         for k in [1usize, 2, 3] {
             queries.push((property, k));
         }
     }
-    let measured = par_map(&queries, opts.jobs, |_, &(property, k)| {
-        measure_limited(&input, property, ResiliencySpec::total(k), &opts.limits)
+    let measured = par_map_observed(&queries, opts.jobs, &opts.obs, |_, &(property, k), _| {
+        measure_observed(
+            &input,
+            property,
+            ResiliencySpec::total(k),
+            &opts.limits,
+            &opts.obs,
+        )
     });
     for ((property, k), m) in queries.iter().zip(&measured) {
         use scada_bench::Outcome;
@@ -607,6 +711,8 @@ fn headline(opts: &Options) {
             ms(m.duration),
             m.variables.to_string(),
             m.clauses.to_string(),
+            m.conflicts.to_string(),
+            m.attempts.to_string(),
         ]);
     }
     print!("{}", table.to_aligned());

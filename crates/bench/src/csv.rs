@@ -100,7 +100,10 @@ impl Table {
         };
         let mut out = render(&self.header);
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        // Two spaces join each pair of columns; a zero-column table has
+        // no rule at all (and must not underflow the separator count).
+        let rule = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(rule));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&render(row));
@@ -136,6 +139,14 @@ mod tests {
     fn width_checked() {
         let mut t = Table::new(["a", "b"]);
         t.push([1]);
+    }
+
+    #[test]
+    fn aligned_handles_zero_columns() {
+        // Regression: `widths.len() - 1` underflowed and panicked here.
+        let t = Table::new(Vec::<String>::new());
+        let rendered = t.to_aligned();
+        assert_eq!(rendered, "\n\n");
     }
 
     #[test]

@@ -15,8 +15,10 @@ use std::time::{Duration, Instant};
 
 use powergrid::ieee::ieee14;
 use powergrid::synthetic::ieee_sized;
-use scada_analyzer::parallel::par_map;
-use scada_analyzer::{AnalysisInput, Analyzer, Property, QueryLimits, ResiliencySpec, Verdict};
+use scada_analyzer::parallel::par_map_observed;
+use scada_analyzer::{
+    AnalysisInput, Analyzer, Obs, Property, QueryLimits, ResiliencySpec, Verdict,
+};
 use scadasim::{generate, ScadaGenConfig};
 
 /// Workload parameters for one generated SCADA system.
@@ -124,6 +126,11 @@ pub struct Measured {
     pub variables: usize,
     /// Clauses after the query.
     pub clauses: usize,
+    /// Solver conflicts spent (all attempts).
+    pub conflicts: u64,
+    /// Solve attempts performed (> 1 when an exhausted conflict budget
+    /// was retried with escalation).
+    pub attempts: u32,
 }
 
 /// Runs one verification from scratch (model construction + solve), the
@@ -141,14 +148,28 @@ pub fn measure_limited(
     spec: ResiliencySpec,
     limits: &QueryLimits,
 ) -> Measured {
+    measure_observed(input, property, spec, limits, &Obs::none())
+}
+
+/// [`measure_limited`] with observability: the query's trace events and
+/// metrics flow through `obs`.
+pub fn measure_observed(
+    input: &AnalysisInput,
+    property: Property,
+    spec: ResiliencySpec,
+    limits: &QueryLimits,
+    obs: &Obs,
+) -> Measured {
     let start = Instant::now();
-    let mut analyzer = Analyzer::new(input);
+    let mut analyzer = Analyzer::with_obs(input, obs.clone());
     let report = analyzer.verify_with_report_limited(property, spec, limits);
     Measured {
         outcome: Outcome::from(&report.verdict),
         duration: start.elapsed(),
         variables: report.encoding.variables,
         clauses: report.encoding.clauses,
+        conflicts: report.conflicts,
+        attempts: report.attempts,
     }
 }
 
@@ -184,9 +205,21 @@ pub fn measure_fleet_limited(
     jobs: usize,
     limits: &QueryLimits,
 ) -> Vec<Measured> {
-    par_map(fleet, jobs, |_, query| {
+    measure_fleet_observed(fleet, jobs, limits, &Obs::none())
+}
+
+/// [`measure_fleet_limited`] with observability: per-worker fleet events
+/// plus the query-lifecycle events of every measured query through
+/// `obs`.
+pub fn measure_fleet_observed(
+    fleet: &[FleetQuery],
+    jobs: usize,
+    limits: &QueryLimits,
+    obs: &Obs,
+) -> Vec<Measured> {
+    par_map_observed(fleet, jobs, obs, |_, query, _| {
         let input = query.workload.build();
-        measure_limited(&input, query.property, query.spec, limits)
+        measure_observed(&input, query.property, query.spec, limits, obs)
     })
 }
 

@@ -16,6 +16,8 @@
 //!   --jobs N         verification worker threads (0 = all cores, default)
 //!   --timeout DUR    wall-clock limit per query, e.g. 150ms, 5s, 2m
 //!   --conflict-budget N  solver conflicts per query (escalating ×2 retry)
+//!   --trace PATH     write a structured JSONL event trace to PATH
+//!   --stats          print a metrics summary table after the run
 //!   --template       print an example configuration and exit
 //! ```
 //!
@@ -24,16 +26,20 @@
 //! identical output.
 //!
 //! With `--timeout` / `--conflict-budget` a query that runs out of
-//! resources prints `UNKNOWN` instead of hanging. Exit codes: 0 all
-//! verified resilient, 1 some threat found, 2 usage error, 3 no threat
-//! but at least one query undecided.
+//! resources prints `UNKNOWN` instead of hanging; the limits also bound
+//! `--enumerate`, whose threat space is then reported *undecided* when a
+//! search was cut short. Exit codes: 0 all verified resilient, 1 some
+//! threat found, 2 usage error (including malformed option values),
+//! 3 no threat but at least one query or enumeration undecided.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use scada_analyzer::synthesis::{synthesize_upgrades, SynthesisOptions, SynthesisResult};
+use scada_analyzer::synthesis::{synthesize_upgrades_observed, SynthesisOptions, SynthesisResult};
 use scada_analyzer::{
-    enumerate_threats, par_max_resiliency_limited, parse_duration, verify_batch_limited,
-    AnalysisInput, BudgetAxis, Property, QueryLimits, ResiliencySpec, RetryPolicy, Verdict,
+    enumerate_threats_with_limited, par_max_resiliency_observed, parse_duration,
+    verify_batch_observed, AnalysisInput, Analyzer, BudgetAxis, JsonlTracer, MetricsRegistry, Obs,
+    Property, QueryLimits, ResiliencySpec, RetryPolicy, Verdict,
 };
 use scadasim::parse_config;
 
@@ -71,94 +77,129 @@ corrupted 1
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(usage) => {
+            eprintln!("error: {usage}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The value following option `name`, if the option is present.
+///
+/// # Errors
+///
+/// The option being present without a value is a usage error.
+fn raw<'a>(args: &'a [String], name: &str) -> Result<Option<&'a String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v)),
+            None => Err(format!("{name} requires a value")),
+        },
+    }
+}
+
+/// A numeric option. Malformed values are usage errors, not silent
+/// fallbacks to the default.
+fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match raw(args, name)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("bad {name} `{v}` (expected a number)")),
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
     if args.iter().any(|a| a == "--template") {
         print!("{TEMPLATE}");
-        return ExitCode::SUCCESS;
+        return Ok(ExitCode::SUCCESS);
     }
     let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: scada-analyzer <config-file> [options]   (--template for an example)");
-        return ExitCode::from(2);
+        return Err(
+            "usage: scada-analyzer <config-file> [options]   (--template for an example)"
+                .to_string(),
+        );
     };
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
     };
     let config = match parse_config(&text) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return Ok(ExitCode::FAILURE);
         }
     };
 
-    let opt = |name: &str| -> Option<usize> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-    };
     let flag = |name: &str| args.iter().any(|a| a == name);
 
     // Specification: config file values, overridable from the CLI.
     let (mut k1, mut k2) = config.resilience;
     let mut r = config.corrupted;
-    let mut spec = if let Some(k) = opt("--k") {
+    let mut spec = if let Some(k) = opt(args, "--k")? {
         ResiliencySpec::total(k)
     } else {
-        if let Some(v) = opt("--k1") {
+        if let Some(v) = opt(args, "--k1")? {
             k1 = v;
         }
-        if let Some(v) = opt("--k2") {
+        if let Some(v) = opt(args, "--k2")? {
             k2 = v;
         }
         ResiliencySpec::split(k1, k2)
     };
-    if let Some(v) = opt("--r") {
+    if let Some(v) = opt(args, "--r")? {
         r = v;
     }
     spec = spec.with_corrupted(r);
-    spec = spec.with_link_failures(opt("--links").unwrap_or(config.link_failures));
-    let jobs = opt("--jobs").unwrap_or(0);
+    spec = spec.with_link_failures(opt(args, "--links")?.unwrap_or(config.link_failures));
+    let jobs = opt(args, "--jobs")?.unwrap_or(0);
 
     // Resource limits: a bounded query degrades to UNKNOWN, never hangs.
-    let raw = |name: &str| -> Option<&String> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-    };
     let mut limits = QueryLimits::none();
-    if let Some(v) = raw("--timeout") {
+    if let Some(v) = raw(args, "--timeout")? {
         let Some(timeout) = parse_duration(v) else {
-            eprintln!("error: bad --timeout `{v}` (use e.g. 150ms, 5s, 2m)");
-            return ExitCode::from(2);
+            return Err(format!("bad --timeout `{v}` (use e.g. 150ms, 5s, 2m)"));
         };
         limits = limits.with_timeout(timeout);
     }
-    if let Some(v) = raw("--conflict-budget") {
-        let Ok(budget) = v.parse::<u64>() else {
-            eprintln!("error: bad --conflict-budget `{v}` (expected a number)");
-            return ExitCode::from(2);
-        };
+    if let Some(budget) = opt::<u64>(args, "--conflict-budget")? {
         limits = limits
             .with_conflict_budget(budget)
             .with_retry(RetryPolicy::escalating(4));
     }
 
-    let properties: Vec<Property> = match args
-        .iter()
-        .position(|a| a == "--property")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.as_str())
-    {
+    // Observability: a JSONL trace sink and/or an in-memory metrics
+    // registry. Both default to off — the analyzer then pays nothing.
+    let mut obs = Obs::none();
+    let mut tracer: Option<Arc<JsonlTracer>> = None;
+    if let Some(trace_path) = raw(args, "--trace")? {
+        let sink = JsonlTracer::to_file(std::path::Path::new(trace_path))
+            .map_err(|e| format!("cannot create trace file {trace_path}: {e}"))?;
+        let sink = Arc::new(sink);
+        tracer = Some(sink.clone());
+        obs = obs.with_tracer(sink);
+    }
+    let mut metrics: Option<Arc<MetricsRegistry>> = None;
+    if flag("--stats") {
+        let registry = Arc::new(MetricsRegistry::new());
+        metrics = Some(registry.clone());
+        obs = obs.with_metrics(registry);
+    }
+
+    let properties: Vec<Property> = match raw(args, "--property")?.map(|s| s.as_str()) {
         Some("obs") | Some("observability") => vec![Property::Observability],
         Some("secured") => vec![Property::SecuredObservability],
         Some("baddata") => vec![Property::BadDataDetectability],
         Some(other) => {
-            eprintln!("error: unknown property `{other}` (obs|secured|baddata)");
-            return ExitCode::from(2);
+            return Err(format!("unknown property `{other}` (obs|secured|baddata)"));
         }
         None => vec![
             Property::Observability,
@@ -180,7 +221,7 @@ fn main() -> ExitCode {
     let mut any_threat = false;
     let mut any_unknown = false;
     let queries: Vec<(Property, ResiliencySpec)> = properties.iter().map(|&p| (p, spec)).collect();
-    let reports = verify_batch_limited(&input, &queries, jobs, &limits);
+    let reports = verify_batch_observed(&input, &queries, jobs, &limits, &obs);
     for (&property, report) in properties.iter().zip(&reports) {
         match &report.verdict {
             Verdict::Resilient => {
@@ -201,11 +242,25 @@ fn main() -> ExitCode {
         }
 
         if flag("--enumerate") || flag("--rank") {
-            let space = enumerate_threats(&input, property, spec, 1000);
+            // Enumeration honours the same limits as verification: a
+            // bounded run terminates and reports an undecided space
+            // instead of hanging.
+            let mut enum_analyzer = Analyzer::with_obs(&input, obs.clone());
+            let space =
+                enumerate_threats_with_limited(&mut enum_analyzer, property, spec, 1000, &limits);
+            if space.undecided {
+                any_unknown = true;
+            }
             println!(
                 "  threat space: {} minimal vector(s){}",
                 space.len(),
-                if space.truncated { " (truncated)" } else { "" }
+                if space.undecided {
+                    " (undecided: limit exhausted)"
+                } else if space.truncated {
+                    " (truncated)"
+                } else {
+                    ""
+                }
             );
             if flag("--enumerate") {
                 for v in &space.vectors {
@@ -223,24 +278,33 @@ fn main() -> ExitCode {
 
         if flag("--max-resiliency") {
             let fmt = |m: Option<usize>| m.map_or("none".to_string(), |k| k.to_string());
-            let ied = par_max_resiliency_limited(
+            let ied = par_max_resiliency_observed(
                 &input,
                 property,
                 BudgetAxis::IedsOnly,
                 r,
                 jobs,
                 &limits,
+                &obs,
             );
-            let rtu = par_max_resiliency_limited(
+            let rtu = par_max_resiliency_observed(
                 &input,
                 property,
                 BudgetAxis::RtusOnly,
                 r,
                 jobs,
                 &limits,
+                &obs,
             );
-            let total =
-                par_max_resiliency_limited(&input, property, BudgetAxis::Total, r, jobs, &limits);
+            let total = par_max_resiliency_observed(
+                &input,
+                property,
+                BudgetAxis::Total,
+                r,
+                jobs,
+                &limits,
+                &obs,
+            );
             println!(
                 "  max resiliency: IEDs-only {}, RTUs-only {}, total {}",
                 fmt(ied),
@@ -250,7 +314,13 @@ fn main() -> ExitCode {
         }
 
         if flag("--repair") && property != Property::Observability {
-            match synthesize_upgrades(&input, property, spec, &SynthesisOptions::default()) {
+            match synthesize_upgrades_observed(
+                &input,
+                property,
+                spec,
+                &SynthesisOptions::default(),
+                &obs,
+            ) {
                 SynthesisResult::AlreadyResilient => {
                     println!("  repair: nothing to do");
                 }
@@ -274,12 +344,21 @@ fn main() -> ExitCode {
         }
     }
 
-    if any_threat {
+    if let Some(tracer) = &tracer {
+        tracer.flush();
+        eprintln!("trace: {} event(s) written", tracer.events());
+    }
+    if let Some(metrics) = &metrics {
+        println!();
+        print!("{}", metrics.render());
+    }
+
+    Ok(if any_threat {
         ExitCode::FAILURE
     } else if any_unknown {
         // No threat found, but not everything was decided either.
         ExitCode::from(3)
     } else {
         ExitCode::SUCCESS
-    }
+    })
 }

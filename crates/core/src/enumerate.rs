@@ -6,12 +6,21 @@
 //! *blocking clause* `∨_{d ∈ V} Node_d` ("at least one of these devices
 //! stays up"), which excludes exactly the supersets of `V`. Distinct
 //! minimal vectors are incomparable, so this enumerates all of them.
+//!
+//! Enumeration honours [`QueryLimits`]: the whole run shares one
+//! anchored deadline, every violation search gets the per-solve conflict
+//! budget with the escalating retry policy, and a search stopped by a
+//! limit ends the run with an [*undecided*](ThreatSpace::undecided)
+//! space — the vectors found so far are all real, but the space may hold
+//! more.
 
 use std::collections::HashSet;
+use std::time::Instant;
 
 use crate::encode::SearchOutcome;
 use crate::input::AnalysisInput;
-use crate::spec::{Property, ResiliencySpec};
+use crate::obs::{next_query_id, TraceEvent};
+use crate::spec::{Property, QueryLimits, ResiliencySpec};
 use crate::threat::ThreatVector;
 use crate::verify::Analyzer;
 
@@ -24,6 +33,13 @@ pub struct ThreatSpace {
     /// resource limit on the underlying solver cut a search short —
     /// rather than exhausting the space.
     pub truncated: bool,
+    /// Whether a resource limit ([`QueryLimits`]) stopped a violation
+    /// search before a verdict. An undecided space is always also
+    /// [`truncated`](ThreatSpace::truncated); the converse is false (a
+    /// cap-truncated space is decided as far as it goes). Soundness:
+    /// every vector in an undecided space is a real threat, but the
+    /// absence of further vectors certifies nothing.
+    pub undecided: bool,
 }
 
 impl ThreatSpace {
@@ -60,15 +76,33 @@ impl ThreatSpace {
 ///
 /// Blocking clauses are added permanently to the encoder, so this
 /// constructs a fresh [`Analyzer`] internally; `cap` bounds the number of
-/// vectors returned.
+/// vectors returned. Runs unbounded — see [`enumerate_threats_limited`]
+/// for the resource-bounded variant.
 pub fn enumerate_threats(
     input: &AnalysisInput,
     property: Property,
     spec: ResiliencySpec,
     cap: usize,
 ) -> ThreatSpace {
+    enumerate_threats_limited(input, property, spec, cap, &QueryLimits::none())
+}
+
+/// Enumerates minimal threat vectors under resource limits.
+///
+/// The limits' per-query timeout is anchored once for the *whole*
+/// enumeration (one run = one query's wall-clock allowance); the
+/// conflict budget and retry policy apply to each violation search. A
+/// search stopped by a limit ends the run with `truncated` and
+/// `undecided` both set.
+pub fn enumerate_threats_limited(
+    input: &AnalysisInput,
+    property: Property,
+    spec: ResiliencySpec,
+    cap: usize,
+    limits: &QueryLimits,
+) -> ThreatSpace {
     let mut analyzer = Analyzer::new(input);
-    enumerate_threats_with(&mut analyzer, property, spec, cap)
+    enumerate_threats_with_limited(&mut analyzer, property, spec, cap, limits)
 }
 
 /// Enumeration over an existing analyzer.
@@ -76,43 +110,87 @@ pub fn enumerate_threats(
 /// The blocking clauses stay in the analyzer's solver afterwards: later
 /// queries on the same analyzer will not see the enumerated vectors (or
 /// their supersets) as threats. Use a dedicated analyzer unless that is
-/// intended.
+/// intended. Runs unbounded — see [`enumerate_threats_with_limited`].
 pub fn enumerate_threats_with(
     analyzer: &mut Analyzer<'_>,
     property: Property,
     spec: ResiliencySpec,
     cap: usize,
 ) -> ThreatSpace {
+    enumerate_threats_with_limited(analyzer, property, spec, cap, &QueryLimits::none())
+}
+
+/// Resource-bounded enumeration over an existing analyzer; see
+/// [`enumerate_threats_limited`] for the limit semantics and
+/// [`enumerate_threats_with`] for the blocking-clause caveat.
+pub fn enumerate_threats_with_limited(
+    analyzer: &mut Analyzer<'_>,
+    property: Property,
+    spec: ResiliencySpec,
+    cap: usize,
+    limits: &QueryLimits,
+) -> ThreatSpace {
     let input: &AnalysisInput = analyzer.input();
+    let obs = analyzer.obs().clone();
+    let query = if obs.has_tracer() { next_query_id() } else { 0 };
+    // One anchored deadline for the whole enumeration: the CLI's
+    // `--timeout` bounds the run, not each of its (unboundedly many)
+    // member searches.
+    let limits = limits.anchored(Instant::now());
     let mut vectors: Vec<ThreatVector> = Vec::new();
+    let finish = |analyzer: &mut Analyzer<'_>,
+                  vectors: Vec<ThreatVector>,
+                  truncated: bool,
+                  undecided: bool| {
+        QueryLimits::disarm(analyzer.encoder_mut().solver_mut());
+        obs.trace(|| TraceEvent::EnumDone {
+            query,
+            vectors: vectors.len(),
+            truncated,
+            undecided,
+        });
+        ThreatSpace {
+            vectors,
+            truncated,
+            undecided,
+        }
+    };
     loop {
         if vectors.len() >= cap {
-            return ThreatSpace {
-                vectors,
-                truncated: true,
-            };
+            return finish(analyzer, vectors, true, false);
         }
-        let outcome = {
-            let encoder = analyzer.encoder_mut();
-            encoder.find_violation(input, property, spec)
+        // Each violation search is its own bounded query: fresh budget,
+        // escalating retries, shared deadline.
+        let mut attempt: u32 = 0;
+        let violation = loop {
+            let outcome = {
+                let encoder = analyzer.encoder_mut();
+                limits.arm(encoder.solver_mut(), attempt);
+                encoder.find_violation(input, property, spec)
+            };
+            attempt += 1;
+            match outcome {
+                SearchOutcome::Violation(v) => break Some(v),
+                // `unsat`: the space is exhausted.
+                SearchOutcome::Resilient => break None,
+                // A solver resource limit stopped the search: the
+                // vectors found so far are all real, but the space may
+                // hold more — retry with a grown budget if the policy
+                // allows, otherwise report the space undecided.
+                SearchOutcome::Unknown => {
+                    let retryable = limits.conflict_budget.is_some()
+                        && attempt < limits.retry.attempts
+                        && !limits.expired()
+                        && !limits.interrupted();
+                    if !retryable {
+                        return finish(analyzer, vectors, true, true);
+                    }
+                }
+            }
         };
-        let violation = match outcome {
-            SearchOutcome::Violation(v) => v,
-            // `unsat`: the space is exhausted.
-            SearchOutcome::Resilient => {
-                return ThreatSpace {
-                    vectors,
-                    truncated: false,
-                }
-            }
-            // A solver resource limit stopped the search: the vectors
-            // found so far are all real, but the space may hold more.
-            SearchOutcome::Unknown => {
-                return ThreatSpace {
-                    vectors,
-                    truncated: true,
-                }
-            }
+        let violation = match violation {
+            Some(v) => v,
+            None => return finish(analyzer, vectors, false, false),
         };
         let failed: HashSet<_> = violation.devices.into_iter().collect();
         let failed_link_idx: Vec<usize> = violation.links.clone();
@@ -144,14 +222,17 @@ pub fn enumerate_threats_with(
             .encoder_mut()
             .solver_mut()
             .add_clause_checked(&clause);
+        obs.trace(|| TraceEvent::EnumVector {
+            query,
+            index: vectors.len(),
+            size: minimal.len(),
+        });
+        obs.count("enum_vectors", 1);
         if clause.is_empty() {
             // The empty vector violates the property: the system is
             // broken with zero failures and the space is just {∅}.
             vectors.push(minimal);
-            return ThreatSpace {
-                vectors,
-                truncated: false,
-            };
+            return finish(analyzer, vectors, false, false);
         }
         vectors.push(minimal);
     }

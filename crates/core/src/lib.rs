@@ -58,6 +58,7 @@ pub mod encode;
 pub mod enumerate;
 mod input;
 mod maxres;
+pub mod obs;
 pub mod parallel;
 mod pool;
 mod spec;
@@ -66,17 +67,22 @@ mod threat;
 mod verify;
 
 pub use encode::SearchOutcome;
-pub use enumerate::{enumerate_threats, enumerate_threats_with, ThreatSpace};
+pub use enumerate::{
+    enumerate_threats, enumerate_threats_limited, enumerate_threats_with,
+    enumerate_threats_with_limited, ThreatSpace,
+};
 pub use input::AnalysisInput;
 pub use maxres::BudgetAxis;
+pub use obs::{JsonlTracer, MetricsRegistry, Obs, TraceEvent, TraceSink};
 pub use parallel::{
-    par_max_resiliency, par_max_resiliency_limited, par_resiliency_frontier,
-    par_resiliency_frontier_limited, verify_batch, verify_batch_limited,
+    par_max_resiliency, par_max_resiliency_limited, par_max_resiliency_observed,
+    par_resiliency_frontier, par_resiliency_frontier_limited, par_resiliency_frontier_observed,
+    verify_batch, verify_batch_limited, verify_batch_observed,
 };
 pub use spec::{parse_duration, FailureBudget, Property, QueryLimits, ResiliencySpec, RetryPolicy};
 pub use synthesis::{
-    apply_upgrades, synthesize_upgrades, upgradable_hops, SynthesisOptions, SynthesisResult,
-    Upgrade, UpgradeSuite,
+    apply_upgrades, synthesize_upgrades, synthesize_upgrades_observed, upgradable_hops,
+    SynthesisOptions, SynthesisResult, Upgrade, UpgradeSuite,
 };
 pub use threat::ThreatVector;
 pub use verify::{Analyzer, Verdict, VerificationReport};

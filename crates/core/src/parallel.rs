@@ -59,6 +59,7 @@ use std::sync::Arc;
 
 use crate::input::AnalysisInput;
 use crate::maxres::BudgetAxis;
+use crate::obs::{Obs, TraceEvent};
 use crate::pool::{effective_jobs, run_workers_guarded, CancelBound, FleetGuard, Injector};
 use crate::spec::{Property, QueryLimits, ResiliencySpec};
 use crate::verify::{Analyzer, VerificationReport};
@@ -97,23 +98,45 @@ where
     R: Send,
     F: Fn(usize, &T, &Arc<AtomicBool>) -> R + Sync,
 {
+    par_map_observed(items, jobs, &Obs::none(), f)
+}
+
+/// [`par_map_cancellable`] with fleet observability: each worker reports
+/// its jobs run/skipped through `obs` when it drains, and an observed
+/// fleet cancellation is traced. Per-query events are the closure's
+/// business (thread an [`Obs`] into the analyzers it builds).
+pub fn par_map_observed<T, R, F>(items: &[T], jobs: usize, obs: &Obs, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T, &Arc<AtomicBool>) -> R + Sync,
+{
     let jobs = effective_jobs(jobs);
     let injector = Injector::new(0..items.len());
     let guard = FleetGuard::new();
     let cancel = guard.cancel_flag();
     let (sender, receiver) = mpsc::channel::<(usize, R)>();
-    run_workers_guarded(jobs, &guard, |_| {
+    run_workers_guarded(jobs, &guard, |worker| {
         let sender = sender.clone();
+        let mut ran: u64 = 0;
         while let Some(index) = injector.steal() {
             if guard.cancelled() {
+                obs.trace(|| TraceEvent::Interrupted { worker });
                 break;
             }
             if let Some(result) = guard.run_job(|| f(index, &items[index], &cancel)) {
+                ran += 1;
                 sender
                     .send((index, result))
                     .expect("result receiver dropped");
             }
         }
+        obs.trace(|| TraceEvent::WorkerDone {
+            worker,
+            ran,
+            skipped: 0,
+        });
+        obs.count("fleet_jobs", ran);
     });
     drop(sender);
     guard.rethrow();
@@ -166,9 +189,28 @@ pub fn verify_batch_limited(
     jobs: usize,
     limits: &QueryLimits,
 ) -> Vec<VerificationReport> {
-    par_map_cancellable(queries, jobs, |_, &(property, spec), cancel| {
+    verify_batch_observed(input, queries, jobs, limits, &Obs::none())
+}
+
+/// [`verify_batch_limited`] with observability: fleet events and
+/// per-worker drain reports through `obs`, and every per-query analyzer
+/// carries `obs` so query-lifecycle events flow too.
+pub fn verify_batch_observed(
+    input: &AnalysisInput,
+    queries: &[(Property, ResiliencySpec)],
+    jobs: usize,
+    limits: &QueryLimits,
+    obs: &Obs,
+) -> Vec<VerificationReport> {
+    obs.trace(|| TraceEvent::FleetStart {
+        label: "verify_batch",
+        jobs: effective_jobs(jobs),
+        items: queries.len(),
+    });
+    par_map_observed(queries, jobs, obs, |_, &(property, spec), cancel| {
         let per_query = fleet_limits(limits, cancel);
-        Analyzer::new(input).verify_with_report_limited(property, spec, &per_query)
+        Analyzer::with_obs(input, obs.clone())
+            .verify_with_report_limited(property, spec, &per_query)
     })
 }
 
@@ -205,19 +247,44 @@ pub fn par_max_resiliency_limited(
     jobs: usize,
     limits: &QueryLimits,
 ) -> Option<usize> {
+    par_max_resiliency_observed(input, property, axis, r, jobs, limits, &Obs::none())
+}
+
+/// [`par_max_resiliency_limited`] with observability: fleet events,
+/// cancel-bound cuts, and per-worker drain reports through `obs`, with
+/// query-lifecycle events from every worker's analyzer.
+#[allow(clippy::too_many_arguments)]
+pub fn par_max_resiliency_observed(
+    input: &AnalysisInput,
+    property: Property,
+    axis: BudgetAxis,
+    r: usize,
+    jobs: usize,
+    limits: &QueryLimits,
+    obs: &Obs,
+) -> Option<usize> {
     let jobs = effective_jobs(jobs);
     let limit = axis.limit(input);
+    obs.trace(|| TraceEvent::FleetStart {
+        label: "max_resiliency",
+        jobs,
+        items: limit + 1,
+    });
     let injector = Injector::new(0..=limit);
     let bound = CancelBound::unbounded();
     let guard = FleetGuard::new();
     let cancel = guard.cancel_flag();
-    run_workers_guarded(jobs, &guard, |_| {
-        let mut analyzer = Analyzer::new(input);
+    run_workers_guarded(jobs, &guard, |worker| {
+        let mut analyzer = Analyzer::with_obs(input, obs.clone());
+        let mut ran: u64 = 0;
+        let mut skipped: u64 = 0;
         while let Some(k) = injector.steal() {
             if guard.cancelled() {
+                obs.trace(|| TraceEvent::Interrupted { worker });
                 break;
             }
             if k >= bound.get() {
+                skipped += 1;
                 continue;
             }
             let per_query = fleet_limits(limits, &cancel);
@@ -228,10 +295,20 @@ pub fn par_max_resiliency_limited(
                 // stop using it. The fleet is cancelled either way.
                 break;
             };
+            ran += 1;
             if !verdict.is_resilient() {
                 bound.lower_to(k);
+                obs.trace(|| TraceEvent::CancelCut { worker, bound: k });
+                obs.count("cancel_cuts", 1);
             }
         }
+        obs.trace(|| TraceEvent::WorkerDone {
+            worker,
+            ran,
+            skipped,
+        });
+        obs.count("fleet_jobs", ran);
+        obs.count("fleet_skipped", skipped);
     });
     guard.rethrow();
     match bound.get() {
@@ -269,9 +346,28 @@ pub fn par_resiliency_frontier_limited(
     jobs: usize,
     limits: &QueryLimits,
 ) -> Vec<(usize, Option<usize>)> {
+    par_resiliency_frontier_observed(input, property, r, jobs, limits, &Obs::none())
+}
+
+/// [`par_resiliency_frontier_limited`] with observability: fleet events,
+/// cutoff cuts, and per-worker drain reports through `obs`, with
+/// query-lifecycle events from every worker's analyzer.
+pub fn par_resiliency_frontier_observed(
+    input: &AnalysisInput,
+    property: Property,
+    r: usize,
+    jobs: usize,
+    limits: &QueryLimits,
+    obs: &Obs,
+) -> Vec<(usize, Option<usize>)> {
     let jobs = effective_jobs(jobs);
     let max_ieds = input.topology.ieds().count();
     let max_rtus = input.topology.rtus().count();
+    obs.trace(|| TraceEvent::FleetStart {
+        label: "resiliency_frontier",
+        jobs,
+        items: max_ieds + 1,
+    });
     let injector = Injector::new(0..=max_ieds);
     // The smallest k1 whose row came out all-threat; rows above it are
     // outside the serial output and need not be computed.
@@ -279,14 +375,18 @@ pub fn par_resiliency_frontier_limited(
     let guard = FleetGuard::new();
     let cancel = guard.cancel_flag();
     let (sender, receiver) = mpsc::channel::<(usize, Option<usize>)>();
-    run_workers_guarded(jobs, &guard, |_| {
+    run_workers_guarded(jobs, &guard, |worker| {
         let sender = sender.clone();
-        let mut analyzer = Analyzer::new(input);
+        let mut analyzer = Analyzer::with_obs(input, obs.clone());
+        let mut ran: u64 = 0;
+        let mut skipped: u64 = 0;
         while let Some(k1) = injector.steal() {
             if guard.cancelled() {
+                obs.trace(|| TraceEvent::Interrupted { worker });
                 break;
             }
             if k1 > cutoff.get() {
+                skipped += 1;
                 continue;
             }
             let row = guard.run_job(|| {
@@ -306,11 +406,21 @@ pub fn par_resiliency_frontier_limited(
                 best
             });
             let Some(best) = row else { break };
+            ran += 1;
             if best.is_none() {
                 cutoff.lower_to(k1);
+                obs.trace(|| TraceEvent::CancelCut { worker, bound: k1 });
+                obs.count("cancel_cuts", 1);
             }
             sender.send((k1, best)).expect("frontier receiver dropped");
         }
+        obs.trace(|| TraceEvent::WorkerDone {
+            worker,
+            ran,
+            skipped,
+        });
+        obs.count("fleet_jobs", ran);
+        obs.count("fleet_skipped", skipped);
     });
     drop(sender);
     guard.rethrow();

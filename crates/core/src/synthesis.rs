@@ -20,6 +20,7 @@ use scadasim::paths::forwarding_paths;
 use scadasim::{CryptoAlgorithm, CryptoProfile, DeviceId, DeviceKind};
 
 use crate::input::AnalysisInput;
+use crate::obs::{Obs, TraceEvent};
 use crate::spec::{Property, ResiliencySpec};
 use crate::verify::{Analyzer, Verdict};
 
@@ -139,13 +140,48 @@ pub fn synthesize_upgrades(
     spec: ResiliencySpec,
     options: &SynthesisOptions,
 ) -> SynthesisResult {
+    synthesize_upgrades_observed(input, property, spec, options, &Obs::none())
+}
+
+/// [`synthesize_upgrades`] with observability: every candidate tried is
+/// traced through `obs` (`pruned`/`threat`/`undecided`/`repaired`), as
+/// are the verification queries underneath, plus a final outcome event.
+pub fn synthesize_upgrades_observed(
+    input: &AnalysisInput,
+    property: Property,
+    spec: ResiliencySpec,
+    options: &SynthesisOptions,
+    obs: &Obs,
+) -> SynthesisResult {
+    let result = synthesize_inner(input, property, spec, options, obs);
+    obs.trace(|| TraceEvent::SynthDone {
+        result: match &result {
+            SynthesisResult::AlreadyResilient => "already_resilient",
+            SynthesisResult::Upgrades(_) => "upgrades",
+            SynthesisResult::Infeasible => "infeasible",
+        },
+        upgrades: match &result {
+            SynthesisResult::Upgrades(u) => u.len(),
+            _ => 0,
+        },
+    });
+    result
+}
+
+fn synthesize_inner(
+    input: &AnalysisInput,
+    property: Property,
+    spec: ResiliencySpec,
+    options: &SynthesisOptions,
+    obs: &Obs,
+) -> SynthesisResult {
     assert_ne!(
         property,
         Property::Observability,
         "plain observability is security-independent; upgrades cannot help"
     );
     // Already resilient?
-    let mut analyzer = Analyzer::new(input);
+    let mut analyzer = Analyzer::with_obs(input, obs.clone());
     let mut counterexamples: Vec<Vec<DeviceId>> = Vec::new();
     match analyzer.verify(property, spec) {
         Verdict::Resilient => return SynthesisResult::AlreadyResilient,
@@ -175,6 +211,7 @@ pub fn synthesize_upgrades(
                 &candidate,
                 options,
                 &mut counterexamples,
+                obs,
             ) {
                 return result;
             }
@@ -204,6 +241,7 @@ pub fn synthesize_upgrades(
     SynthesisResult::Infeasible
 }
 
+#[allow(clippy::too_many_arguments)]
 fn try_candidate(
     input: &AnalysisInput,
     property: Property,
@@ -211,7 +249,10 @@ fn try_candidate(
     candidate: &[Upgrade],
     options: &SynthesisOptions,
     counterexamples: &mut Vec<Vec<DeviceId>>,
+    obs: &Obs,
 ) -> Option<SynthesisResult> {
+    let size = candidate.len();
+    obs.count("synth_candidates", 1);
     let upgraded = apply_upgrades(input, candidate, options.upgrade_suite);
     // Cheap pre-check: all known counterexamples must now pass.
     {
@@ -219,22 +260,32 @@ fn try_candidate(
         for cx in counterexamples.iter() {
             let failed: std::collections::HashSet<DeviceId> = cx.iter().copied().collect();
             if eval.violates(property, spec.corrupted, &failed) {
+                obs.trace(|| TraceEvent::SynthCandidate {
+                    size,
+                    outcome: "pruned",
+                });
+                obs.count("synth_pruned", 1);
                 return None; // pruned without SAT
             }
         }
     }
     // Full verification of the candidate.
-    let mut analyzer = Analyzer::new(&upgraded);
-    match analyzer.verify(property, spec) {
-        Verdict::Resilient => Some(SynthesisResult::Upgrades(candidate.to_vec())),
+    let mut analyzer = Analyzer::with_obs(&upgraded, obs.clone());
+    let (outcome, result) = match analyzer.verify(property, spec) {
+        Verdict::Resilient => (
+            "repaired",
+            Some(SynthesisResult::Upgrades(candidate.to_vec())),
+        ),
         Verdict::Threat(v) => {
             counterexamples.push(v.devices().collect());
-            None
+            ("threat", None)
         }
         // Never accept a candidate on an undecided query: only a proven
         // `Resilient` verdict may certify a repair.
-        Verdict::Unknown { .. } => None,
-    }
+        Verdict::Unknown { .. } => ("undecided", None),
+    };
+    obs.trace(|| TraceEvent::SynthCandidate { size, outcome });
+    result
 }
 
 #[cfg(test)]

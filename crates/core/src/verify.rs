@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use crate::bruteforce::DirectEvaluator;
 use crate::encode::{EncodingStats, ModelEncoder, SearchOutcome};
 use crate::input::AnalysisInput;
+use crate::obs::{next_query_id, Obs, TraceEvent};
 use crate::spec::{Property, QueryLimits, ResiliencySpec};
 use crate::threat::ThreatVector;
 
@@ -113,16 +114,30 @@ pub struct Analyzer<'a> {
     input: &'a AnalysisInput,
     encoder: ModelEncoder,
     evaluator: DirectEvaluator<'a>,
+    obs: Obs,
 }
 
 impl<'a> Analyzer<'a> {
     /// Builds the analyzer (encodes the base model, enumerates paths).
     pub fn new(input: &'a AnalysisInput) -> Analyzer<'a> {
+        Analyzer::with_obs(input, Obs::none())
+    }
+
+    /// Builds the analyzer with an observability handle: every query run
+    /// through this analyzer emits trace events and metrics through
+    /// `obs`. [`Obs::none`] makes this identical to [`Analyzer::new`].
+    pub fn with_obs(input: &'a AnalysisInput, obs: Obs) -> Analyzer<'a> {
         Analyzer {
             encoder: ModelEncoder::new(input),
             evaluator: DirectEvaluator::new(input),
             input,
+            obs,
         }
+    }
+
+    /// The analyzer's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The input under analysis (with the input's own lifetime, so the
@@ -187,11 +202,65 @@ impl<'a> Analyzer<'a> {
         // batch gets its own wall-clock allowance.
         let limits = limits.anchored(start);
         let conflicts_before = self.encoder.solver_stats().conflicts;
+        let obs = self.obs.clone();
+        // Query ids exist to correlate trace events; without a sink the
+        // counter is never touched.
+        let query = if obs.has_tracer() { next_query_id() } else { 0 };
+        obs.trace(|| TraceEvent::QueryStart {
+            query,
+            property,
+            spec,
+        });
+        if obs.has_tracer() {
+            // Surface long solve attempts as they run: the solver calls
+            // this at every Luby restart.
+            let progress_obs = obs.clone();
+            self.encoder
+                .solver_mut()
+                .set_progress_hook(Some(Box::new(move |stats| {
+                    progress_obs.trace(|| TraceEvent::SolveProgress {
+                        query,
+                        conflicts: stats.conflicts,
+                        decisions: stats.decisions,
+                        propagations: stats.propagations,
+                        restarts: stats.restarts,
+                    });
+                })));
+        }
         let mut attempts: u32 = 0;
         let verdict = loop {
             limits.arm(self.encoder.solver_mut(), attempts);
+            let attempt_start = Instant::now();
+            let stats_before = self.encoder.solver_stats();
             let outcome = self.encoder.find_violation(self.input, property, spec);
             attempts += 1;
+            let delta = self.encoder.solver_stats().delta_since(&stats_before);
+            obs.trace(|| TraceEvent::SolveAttempt {
+                query,
+                attempt: attempts - 1,
+                outcome: match &outcome {
+                    SearchOutcome::Resilient => "unsat",
+                    SearchOutcome::Violation(_) => "sat",
+                    SearchOutcome::Unknown => "unknown",
+                },
+                conflicts: delta.conflicts,
+                decisions: delta.decisions,
+                propagations: delta.propagations,
+                restarts: delta.restarts,
+                elapsed: attempt_start.elapsed(),
+            });
+            obs.count("solve_attempts", 1);
+            obs.observe("attempt_conflicts", delta.conflicts);
+            if attempts == 1 {
+                // The model is built lazily inside the first solve, so
+                // the sizes first exist here.
+                let encoding = self.encoder.stats();
+                obs.trace(|| TraceEvent::Encoded {
+                    query,
+                    variables: encoding.variables,
+                    clauses: encoding.clauses,
+                });
+            }
             match outcome {
                 SearchOutcome::Resilient => break Verdict::Resilient,
                 SearchOutcome::Violation(violation) => {
@@ -212,6 +281,11 @@ impl<'a> Analyzer<'a> {
                         &failed,
                         &failed_links,
                     );
+                    obs.trace(|| TraceEvent::Minimize {
+                        query,
+                        from: failed.len() + failed_links.len(),
+                        to: minimal.len(),
+                    });
                     break Verdict::Threat(minimal);
                 }
                 SearchOutcome::Unknown => {
@@ -228,10 +302,44 @@ impl<'a> Analyzer<'a> {
                             elapsed: start.elapsed(),
                         };
                     }
+                    obs.count("retries", 1);
+                    obs.trace(|| TraceEvent::Retry {
+                        query,
+                        attempt: attempts,
+                        budget: limits
+                            .retry
+                            .budget_for(limits.conflict_budget.unwrap_or(0), attempts),
+                    });
                 }
             }
         };
         QueryLimits::disarm(self.encoder.solver_mut());
+        if obs.has_tracer() {
+            self.encoder.solver_mut().set_progress_hook(None);
+        }
+        let total_conflicts = self.encoder.solver_stats().conflicts - conflicts_before;
+        obs.trace(|| TraceEvent::QueryDone {
+            query,
+            verdict: match &verdict {
+                Verdict::Resilient => "resilient",
+                Verdict::Threat(_) => "threat",
+                Verdict::Unknown { .. } => "unknown",
+            },
+            attempts,
+            conflicts: total_conflicts,
+            elapsed: start.elapsed(),
+        });
+        obs.count("queries", 1);
+        obs.count(
+            match &verdict {
+                Verdict::Resilient => "verdict_resilient",
+                Verdict::Threat(_) => "verdict_threat",
+                Verdict::Unknown { .. } => "verdict_unknown",
+            },
+            1,
+        );
+        obs.count("conflicts", total_conflicts);
+        obs.observe_duration("query_us", start.elapsed());
         VerificationReport {
             property,
             spec,

@@ -1,0 +1,182 @@
+//! End-to-end tests of the `scada-analyzer` binary: exit codes, bounded
+//! enumeration termination, and the JSONL trace format.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_scada-analyzer"))
+}
+
+/// Writes the binary's own `--template` config to a per-test temp file
+/// and returns its path.
+fn template_config(test: &str) -> PathBuf {
+    let out = bin().arg("--template").output().expect("run --template");
+    assert!(out.status.success(), "--template must exit 0");
+    let path = std::env::temp_dir().join(format!(
+        "scada-analyzer-cli-{}-{test}.scada",
+        std::process::id()
+    ));
+    std::fs::write(&path, &out.stdout).expect("write template config");
+    path
+}
+
+fn run(config: &PathBuf, args: &[&str]) -> Output {
+    bin()
+        .arg(config)
+        .args(args)
+        .output()
+        .expect("spawn scada-analyzer")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("no exit code (killed by signal?)")
+}
+
+#[test]
+fn exit_0_when_all_resilient() {
+    let config = template_config("resilient");
+    let out = run(&config, &["--property", "obs", "--k", "0", "--r", "0"]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", text(&out.stderr));
+    assert!(text(&out.stdout).contains("RESILIENT"));
+}
+
+#[test]
+fn exit_1_on_threat() {
+    let config = template_config("threat");
+    let out = run(&config, &["--property", "obs", "--k", "5"]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(text(&out.stdout).contains("THREAT"));
+}
+
+#[test]
+fn exit_2_on_malformed_numeric_option() {
+    let config = template_config("badnum");
+    // Regression: these used to be silently ignored and fall back to
+    // the config's values.
+    for args in [
+        &["--k1", "two"][..],
+        &["--jobs", "abc"][..],
+        &["--conflict-budget", "1e3"][..],
+        &["--timeout", "fast"][..],
+    ] {
+        let out = run(&config, args);
+        assert_eq!(exit_code(&out), 2, "args {args:?}");
+        assert!(text(&out.stderr).contains("error:"), "args {args:?}");
+    }
+    // A flag with no value at all is also a usage error.
+    let out = run(&config, &["--k"]);
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn exit_2_without_config_path() {
+    let out = bin().output().expect("spawn");
+    assert_eq!(exit_code(&out), 2);
+    assert!(text(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn exit_3_when_limits_leave_queries_undecided() {
+    let config = template_config("undecided");
+    // A zero wall-clock budget leaves every query UNKNOWN; no threat is
+    // found, so this is exit 3, not 0.
+    let out = run(&config, &["--timeout", "0ms"]);
+    assert_eq!(exit_code(&out), 3);
+    assert!(text(&out.stdout).contains("UNKNOWN"));
+}
+
+#[test]
+fn bounded_enumeration_terminates_and_reports_undecided() {
+    let config = template_config("enum-bounded");
+    // Regression: --enumerate used to ignore the limits entirely, so a
+    // bounded run could hang unbounded. Now the whole enumeration shares
+    // the query deadline and reports an undecided threat space.
+    let out = run(
+        &config,
+        &["--property", "obs", "--enumerate", "--timeout", "0ms"],
+    );
+    assert_eq!(exit_code(&out), 3);
+    assert!(text(&out.stdout).contains("undecided: limit exhausted"));
+}
+
+#[test]
+fn unbounded_enumeration_still_finds_the_full_space() {
+    let config = template_config("enum-full");
+    let out = run(&config, &["--property", "obs", "--k", "5", "--enumerate"]);
+    assert_eq!(exit_code(&out), 1);
+    let stdout = text(&out.stdout);
+    assert!(stdout.contains("minimal vector(s)"));
+    assert!(!stdout.contains("undecided"));
+}
+
+#[test]
+fn trace_writes_valid_monotone_jsonl() {
+    let config = template_config("trace");
+    let trace = std::env::temp_dir().join(format!(
+        "scada-analyzer-cli-{}-trace.jsonl",
+        std::process::id()
+    ));
+    let out = run(
+        &config,
+        &[
+            "--property",
+            "obs",
+            "--stats",
+            "--trace",
+            trace.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(exit_code(&out), 1, "stderr: {}", text(&out.stderr));
+    assert!(
+        text(&out.stdout).contains("metric"),
+        "--stats table missing"
+    );
+
+    let content = std::fs::read_to_string(&trace).expect("trace file written");
+    std::fs::remove_file(&trace).ok();
+    let lines: Vec<&str> = content.lines().collect();
+    assert!(!lines.is_empty(), "trace must not be empty");
+    let mut last_t = 0u64;
+    for (i, line) in lines.iter().enumerate() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "line {i} is not a JSON object: {line}"
+        );
+        assert_eq!(
+            field_u64(line, "seq"),
+            Some(i as u64),
+            "seq must match file order on line {i}: {line}"
+        );
+        let t = field_u64(line, "t_us").expect("t_us field");
+        assert!(t >= last_t, "t_us must be monotone on line {i}: {line}");
+        last_t = t;
+        assert!(line.contains("\"ev\":\""), "missing ev field: {line}");
+    }
+    for ev in ["query_start", "solve_attempt", "query_done", "worker_done"] {
+        assert!(
+            content.contains(&format!("\"ev\":\"{ev}\"")),
+            "trace lacks a {ev} event"
+        );
+    }
+}
+
+#[test]
+fn no_trace_flag_writes_no_file() {
+    let config = template_config("no-trace");
+    let out = run(&config, &["--property", "obs"]);
+    assert_eq!(exit_code(&out), 1);
+    assert!(!text(&out.stderr).contains("trace:"));
+}
+
+fn text(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// Extracts an unsigned top-level `"name":N` field from one JSONL line.
+fn field_u64(line: &str, name: &str) -> Option<u64> {
+    let key = format!("\"{name}\":");
+    let rest = &line[line.find(&key)? + key.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}

@@ -104,9 +104,11 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
     let mut cnf = Cnf::new();
     let mut declared_vars: Option<usize> = None;
     let mut current: Vec<Lit> = Vec::new();
+    let mut last_line = 0;
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let line_num = lineno + 1;
+        last_line = line_num;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
             continue;
@@ -132,6 +134,18 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
                     message: "bad variable count".into(),
                 }
             })?;
+            // The clause count is required by the format. It is not used
+            // to cross-check the body (solvers traditionally don't), but
+            // a header without it is a different formula family and must
+            // not parse.
+            parts
+                .next()
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| ParseDimacsError::Syntax {
+                    line: line_num,
+                    message: "bad or missing clause count (expected `p cnf <vars> <clauses>`)"
+                        .into(),
+                })?;
             declared_vars = Some(nv);
             cnf.num_vars = nv;
             continue;
@@ -162,7 +176,12 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
         }
     }
     if !current.is_empty() {
-        cnf.clauses.push(current);
+        // A trailing clause with no terminating `0` is a truncated file;
+        // silently keeping it would parse a different formula.
+        return Err(ParseDimacsError::Syntax {
+            line: last_line,
+            message: "unterminated clause at end of input (missing `0`)".into(),
+        });
     }
     Ok(cnf)
 }
@@ -216,6 +235,31 @@ mod tests {
     fn parse_rejects_out_of_range_literal() {
         let text = "p cnf 1 1\n2 0\n";
         assert!(parse_dimacs(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_header_without_clause_count() {
+        let err = parse_dimacs("p cnf 3\n1 2 0\n".as_bytes()).unwrap_err();
+        match err {
+            ParseDimacsError::Syntax { line, message } => {
+                assert_eq!(line, 1);
+                assert!(message.contains("clause count"), "{message}");
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+        assert!(parse_dimacs("p cnf 3 x\n1 2 0\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_unterminated_trailing_clause() {
+        let err = parse_dimacs("p cnf 2 2\n1 0\n-1 2\n".as_bytes()).unwrap_err();
+        match err {
+            ParseDimacsError::Syntax { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("unterminated"), "{message}");
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
     }
 
     #[test]

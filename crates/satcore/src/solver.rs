@@ -51,6 +51,35 @@ pub struct SolverStats {
     pub reductions: u64,
 }
 
+impl SolverStats {
+    /// The per-field difference `self - earlier` (saturating), for
+    /// computing what a single solve call spent from two cumulative
+    /// snapshots.
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learnt_clauses: self.learnt_clauses.saturating_sub(earlier.learnt_clauses),
+            reductions: self.reductions.saturating_sub(earlier.reductions),
+        }
+    }
+}
+
+/// A mid-solve progress callback: called with the cumulative
+/// [`SolverStats`] at every restart of a solve call.
+pub type ProgressFn = Box<dyn FnMut(&SolverStats) + Send>;
+
+/// [`ProgressFn`] wrapped so [`Solver`] can keep deriving `Debug`.
+struct ProgressHook(ProgressFn);
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressHook(..)")
+    }
+}
+
 /// Sink for CNF clauses.
 ///
 /// Encoders (Tseitin transformation, cardinality constraints) are generic
@@ -129,6 +158,11 @@ pub struct Solver {
     interrupt: Option<Arc<AtomicBool>>,
     /// Countdown until the next (comparatively expensive) clock read.
     deadline_countdown: u32,
+    /// Cumulative stats at the start of the last solve call, for
+    /// [`Solver::last_solve_stats`].
+    solve_baseline: SolverStats,
+    /// Optional mid-solve progress callback, fired at every restart.
+    progress: Option<ProgressHook>,
     /// Conflicting assumptions from the last unsat solve-with-assumptions.
     conflict_core: Vec<Lit>,
     model: Vec<LBool>,
@@ -168,6 +202,8 @@ impl Solver {
             deadline: None,
             interrupt: None,
             deadline_countdown: 0,
+            solve_baseline: SolverStats::default(),
+            progress: None,
             conflict_core: Vec::new(),
             model: Vec::new(),
         }
@@ -186,6 +222,20 @@ impl Solver {
     /// Solver statistics accumulated so far.
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// What the most recent solve call spent: the stat delta since that
+    /// call started. Zero before the first solve.
+    pub fn last_solve_stats(&self) -> SolverStats {
+        self.stats.delta_since(&self.solve_baseline)
+    }
+
+    /// Installs a progress callback fired at every restart of a solve
+    /// call, with the cumulative [`SolverStats`] at that point (`None`
+    /// removes it). Restarts follow the Luby sequence, so long searches
+    /// report progress steadily without the hook ever being hot.
+    pub fn set_progress_hook(&mut self, hook: Option<ProgressFn>) {
+        self.progress = hook.map(ProgressHook);
     }
 
     /// Limits each subsequent solve call to roughly `conflicts` conflicts;
@@ -749,6 +799,7 @@ impl Solver {
         // immediate first clock check (so an already-expired deadline
         // stops the search before any work).
         let budget_start = self.stats.conflicts;
+        self.solve_baseline = self.stats;
         self.deadline_countdown = 0;
         let mut restart_idx: u64 = 0;
         let restart_base: u64 = 100;
@@ -793,6 +844,10 @@ impl Solver {
                     conflicts_until_restart = restart_base * crate::luby::luby(restart_idx);
                     conflicts_this_restart = 0;
                     self.cancel_until(0);
+                    if let Some(hook) = self.progress.as_mut() {
+                        let snapshot = self.stats;
+                        (hook.0)(&snapshot);
+                    }
                     continue;
                 }
                 if self.db.num_learnt as f64 >= self.max_learnts {
