@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! cargo run --release -p scada-bench --bin experiments -- [--fig5a] [--fig5b]
-//!     [--fig6] [--fig7a] [--fig7b] [--case-study] [--headline] [--all]
-//!     [--runs N] [--seeds N] [--jobs N] [--timeout DUR] [--conflict-budget N]
-//!     [--smoke]
+//!     [--fig6] [--fig7a] [--fig7b] [--case-study] [--headline] [--overhead]
+//!     [--all] [--runs N] [--seeds N] [--jobs N] [--timeout DUR]
+//!     [--conflict-budget N] [--certify] [--smoke]
 //! ```
 //!
 //! Each experiment prints a paper-style table and writes a CSV under
@@ -21,21 +21,28 @@
 //!
 //! `--trace PATH` writes a structured JSONL event trace of every solve
 //! attempt; `--stats` prints a metrics summary table after the run.
+//!
+//! `--certify` re-checks every verdict of the run with the independent
+//! proof/model checker ([`scada_analyzer::certify`]); any certification
+//! failure makes the process exit with code 4. `--overhead` measures
+//! the certification overhead itself on an IEEE-30 sweep (every query
+//! solved plain and certified side by side) and fails if the check ever
+//! costs more than 2x the solve.
 
 use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use scada_analyzer::casestudy::{five_bus_case_study, five_bus_fig4};
 use scada_analyzer::parallel::{par_map, par_map_observed};
 use scada_analyzer::{
-    enumerate_threats_with_limited, par_max_resiliency_limited, parse_duration, Analyzer,
-    BudgetAxis, JsonlTracer, MetricsRegistry, Obs, Property, QueryLimits, ResiliencySpec,
-    RetryPolicy,
+    enumerate_threats_with_limited, par_max_resiliency_certified, parse_duration, Analyzer,
+    BudgetAxis, CertifyOptions, JsonlTracer, MetricsRegistry, Obs, Property, QueryLimits,
+    ResiliencySpec, RetryPolicy,
 };
 use scada_bench::csv::Table;
 use scada_bench::{
-    mean, measure_fleet_observed, measure_observed, resiliency_boundary, FleetQuery, Workload,
+    mean, measure_certified, measure_fleet_certified, resiliency_boundary, FleetQuery, Workload,
 };
 
 const OBS: Property = Property::Observability;
@@ -61,6 +68,7 @@ struct Options {
     jobs: usize,
     limits: QueryLimits,
     obs: Obs,
+    certify: CertifyOptions,
 }
 
 fn main() {
@@ -94,9 +102,9 @@ fn main() {
     if args.is_empty() {
         eprintln!(
             "usage: experiments [--case-study] [--fig5a] [--fig5b] [--fig6] \
-             [--fig7a] [--fig7b] [--headline] [--all] [--runs N] [--seeds N] \
-             [--jobs N] [--timeout DUR] [--conflict-budget N] \
-             [--trace PATH] [--stats] [--smoke]"
+             [--fig7a] [--fig7b] [--headline] [--overhead] [--all] [--runs N] \
+             [--seeds N] [--jobs N] [--timeout DUR] [--conflict-budget N] \
+             [--trace PATH] [--stats] [--certify] [--smoke]"
         );
         std::process::exit(2);
     }
@@ -142,12 +150,21 @@ fn main() {
         obs = obs.with_metrics(registry);
     }
 
+    // `--certify`: re-check every verdict of the run; all checks tally
+    // into this one shared log. (An exact match on purpose — unlike the
+    // experiment selectors, `--all` does not imply it.)
+    let certify = CertifyOptions {
+        enabled: args.iter().any(|a| a == "--certify"),
+        ..CertifyOptions::default()
+    };
+
     let opts = Options {
         runs: value("--runs", 5),
         seeds: value("--seeds", 3) as u64,
         jobs: value("--jobs", 0),
         limits,
         obs,
+        certify,
     };
 
     // CI smoke check; deliberately not part of --all.
@@ -176,6 +193,9 @@ fn main() {
     if flag("--headline") {
         headline(&opts);
     }
+    if flag("--overhead") {
+        overhead(&opts);
+    }
 
     if let Some(tracer) = &tracer {
         tracer.flush();
@@ -188,6 +208,20 @@ fn main() {
             table.push(row);
         }
         print!("{}", table.to_aligned());
+    }
+    if opts.certify.enabled {
+        let log = &opts.certify.log;
+        println!(
+            "certification: {} verdict(s) checked, {} failure(s)",
+            log.checks(),
+            log.failures()
+        );
+        if log.failures() > 0 {
+            if let Some(reason) = log.first_failure() {
+                eprintln!("certification failure: {reason}");
+            }
+            std::process::exit(4);
+        }
     }
 }
 
@@ -206,8 +240,8 @@ fn smoke(opts: &Options) {
             spec: ResiliencySpec::total(1),
         })
         .collect();
-    let serial = measure_fleet_observed(&fleet, 1, &opts.limits, &opts.obs);
-    let parallel = measure_fleet_observed(&fleet, jobs, &opts.limits, &opts.obs);
+    let serial = measure_fleet_certified(&fleet, 1, &opts.limits, &opts.obs, &opts.certify);
+    let parallel = measure_fleet_certified(&fleet, jobs, &opts.limits, &opts.obs, &opts.certify);
     for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
         // Definite verdicts must agree; an `unknown` (possible only when
         // running bounded) is timing-dependent and tolerated.
@@ -228,8 +262,16 @@ fn smoke(opts: &Options) {
     let input = Workload::default().build();
     let serial_max =
         Analyzer::new(&input).max_resiliency_limited(OBS, BudgetAxis::IedsOnly, 1, &opts.limits);
-    let parallel_max =
-        par_max_resiliency_limited(&input, OBS, BudgetAxis::IedsOnly, 1, jobs, &opts.limits);
+    let parallel_max = par_max_resiliency_certified(
+        &input,
+        OBS,
+        BudgetAxis::IedsOnly,
+        1,
+        jobs,
+        &opts.limits,
+        &opts.obs,
+        &opts.certify,
+    );
     if opts.limits.is_unbounded() {
         assert_eq!(serial_max, parallel_max, "max-resiliency drift");
         println!("  max IED-only resiliency: {parallel_max:?} (serial == parallel)");
@@ -249,14 +291,14 @@ fn case_study(opts: &Options) {
     let fig4 = five_bus_fig4();
     let mut table = Table::new(["experiment", "paper", "measured", "match"]);
 
-    let mut a3 = Analyzer::with_obs(&fig3, opts.obs.clone());
-    let mut a4 = Analyzer::with_obs(&fig4, opts.obs.clone());
+    let mut a3 = Analyzer::with_options(&fig3, opts.obs.clone(), opts.certify.clone());
+    let mut a4 = Analyzer::with_options(&fig4, opts.obs.clone(), opts.certify.clone());
 
     // Enumeration mutates the analyzer's solver with blocking clauses,
     // so each threat-space count gets its own fresh analyzer; `--timeout`
     // / `--conflict-budget` bound the whole enumeration run.
     let enumerate = |input, property, spec| {
-        let mut analyzer = Analyzer::with_obs(input, opts.obs.clone());
+        let mut analyzer = Analyzer::with_options(input, opts.obs.clone(), opts.certify.clone());
         enumerate_threats_with_limited(&mut analyzer, property, spec, 64, &opts.limits)
     };
 
@@ -433,7 +475,8 @@ fn fig5(property: Property, name: &str, opts: &Options) {
                 }
             }
         }
-        let measured = measure_fleet_observed(&fleet, opts.jobs, &opts.limits, &opts.obs);
+        let measured =
+            measure_fleet_certified(&fleet, opts.jobs, &opts.limits, &opts.obs, &opts.certify);
 
         let mut unsat_times = Vec::new();
         let mut sat_times = Vec::new();
@@ -524,7 +567,8 @@ fn fig6(opts: &Options) {
                     }
                 }
             }
-            let measured = measure_fleet_observed(&fleet, opts.jobs, &opts.limits, &opts.obs);
+            let measured =
+                measure_fleet_certified(&fleet, opts.jobs, &opts.limits, &opts.obs, &opts.certify);
 
             let mut unsat_times = Vec::new();
             let mut sat_times = Vec::new();
@@ -570,7 +614,8 @@ fn fig7a(opts: &Options) {
             .collect();
         let rows = par_map(&workloads, opts.jobs, |_, w| {
             let input = w.build();
-            let mut analyzer = Analyzer::with_obs(&input, opts.obs.clone());
+            let mut analyzer =
+                Analyzer::with_options(&input, opts.obs.clone(), opts.certify.clone());
             let ied = analyzer
                 .max_resiliency_limited(OBS, BudgetAxis::IedsOnly, 1, &opts.limits)
                 .map_or(-1.0, |k| k as f64);
@@ -625,7 +670,8 @@ fn fig7b(opts: &Options) {
             .build();
             // Bounded enumeration: a limit-exhausted run yields a partial
             // (undecided) space instead of hanging the whole sweep.
-            let mut analyzer = Analyzer::with_obs(&input, opts.obs.clone());
+            let mut analyzer =
+                Analyzer::with_options(&input, opts.obs.clone(), opts.certify.clone());
             enumerate_threats_with_limited(
                 &mut analyzer,
                 OBS,
@@ -689,12 +735,13 @@ fn headline(opts: &Options) {
         }
     }
     let measured = par_map_observed(&queries, opts.jobs, &opts.obs, |_, &(property, k), _| {
-        measure_observed(
+        measure_certified(
             &input,
             property,
             ResiliencySpec::total(k),
             &opts.limits,
             &opts.obs,
+            &opts.certify,
         )
     });
     for ((property, k), m) in queries.iter().zip(&measured) {
@@ -719,5 +766,97 @@ fn headline(opts: &Options) {
     table
         .write_to(Path::new("results/headline.csv"))
         .expect("write csv");
+    println!();
+}
+
+/// Certification overhead on the IEEE-30 smoke, measured the way
+/// `--certify` actually runs: one incremental analyzer per sweep, so
+/// the checker ingests the encoding once and each query pays only its
+/// own proof replay and model/refutation checks. Every query of the
+/// plain sweep is re-run on a certifying analyzer; total check time
+/// must stay under 2x the total plain solve time.
+fn overhead(opts: &Options) {
+    println!("== certification overhead: IEEE-30 sweep ==");
+    let input = Workload {
+        buses: 30,
+        density: 0.9,
+        hierarchy: 1,
+        secure_fraction: 0.9,
+        seed: 0,
+    }
+    .build();
+    let queries: Vec<(Property, usize)> = [OBS, SEC]
+        .iter()
+        .flat_map(|&p| (0..4).map(move |k| (p, k)))
+        .collect();
+    let certify = CertifyOptions {
+        enabled: true,
+        ..opts.certify.clone()
+    };
+    let mut plain_analyzer = Analyzer::with_obs(&input, opts.obs.clone());
+    let mut cert_analyzer = Analyzer::with_options(&input, opts.obs.clone(), certify.clone());
+    let mut table = Table::new([
+        "property",
+        "k",
+        "verdict",
+        "solve_ms",
+        "certified_ms",
+        "check_ms",
+        "proof_steps",
+    ]);
+    let mut plain_total = Duration::ZERO;
+    let mut check_total = Duration::ZERO;
+    for &(property, k) in &queries {
+        let spec = ResiliencySpec::total(k);
+        let t = Instant::now();
+        let plain = plain_analyzer.verify_with_report_limited(property, spec, &opts.limits);
+        let solve = t.elapsed();
+        plain_total += solve;
+        let t = Instant::now();
+        let certified = cert_analyzer.verify_with_report_limited(property, spec, &opts.limits);
+        let certified_elapsed = t.elapsed();
+        assert_eq!(
+            verdict_str(&plain.verdict),
+            verdict_str(&certified.verdict),
+            "certification changed a verdict at {property} k={k}",
+        );
+        let (check, steps) = match certified.certificate {
+            Some(scada_analyzer::Certificate::Proof { steps, elapsed, .. })
+            | Some(scada_analyzer::Certificate::Threat { steps, elapsed }) => (elapsed, steps),
+            _ => (Duration::ZERO, 0),
+        };
+        check_total += check;
+        table.push([
+            property.to_string(),
+            k.to_string(),
+            verdict_str(&certified.verdict),
+            ms(solve),
+            ms(certified_elapsed),
+            ms(check),
+            steps.to_string(),
+        ]);
+    }
+    print!("{}", table.to_aligned());
+    table
+        .write_to(Path::new("results/certify_overhead.csv"))
+        .expect("write csv");
+    let ratio = check_total.as_secs_f64() / plain_total.as_secs_f64().max(1e-9);
+    println!(
+        "checked {} verdict(s), {} failure(s); total check {} ms vs total solve {} ms (ratio {ratio:.2})",
+        certify.log.checks(),
+        certify.log.failures(),
+        ms(check_total),
+        ms(plain_total),
+    );
+    assert_eq!(
+        certify.log.failures(),
+        0,
+        "overhead sweep certification failed: {:?}",
+        certify.log.first_failure()
+    );
+    assert!(
+        ratio < 2.0,
+        "certification overhead exceeded 2x solve time (ratio {ratio:.2})"
+    );
     println!();
 }

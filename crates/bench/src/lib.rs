@@ -17,7 +17,8 @@ use powergrid::ieee::ieee14;
 use powergrid::synthetic::ieee_sized;
 use scada_analyzer::parallel::par_map_observed;
 use scada_analyzer::{
-    AnalysisInput, Analyzer, Obs, Property, QueryLimits, ResiliencySpec, Verdict,
+    AnalysisInput, Analyzer, Certificate, CertifyOptions, Obs, Property, QueryLimits,
+    ResiliencySpec, Verdict,
 };
 use scadasim::{generate, ScadaGenConfig};
 
@@ -131,6 +132,9 @@ pub struct Measured {
     /// Solve attempts performed (> 1 when an exhausted conflict budget
     /// was retried with escalation).
     pub attempts: u32,
+    /// Time the independent checker spent certifying the verdict (zero
+    /// when certification was off or the verdict stayed unknown).
+    pub cert: Duration,
 }
 
 /// Runs one verification from scratch (model construction + solve), the
@@ -160,9 +164,37 @@ pub fn measure_observed(
     limits: &QueryLimits,
     obs: &Obs,
 ) -> Measured {
+    measure_certified(
+        input,
+        property,
+        spec,
+        limits,
+        obs,
+        &CertifyOptions::default(),
+    )
+}
+
+/// [`measure_observed`] with verdict certification: when `certify` is
+/// enabled the verdict is re-checked by the independent proof/model
+/// checker, the check lands in `certify.log`, and [`Measured::cert`]
+/// carries the time the checker spent.
+pub fn measure_certified(
+    input: &AnalysisInput,
+    property: Property,
+    spec: ResiliencySpec,
+    limits: &QueryLimits,
+    obs: &Obs,
+    certify: &CertifyOptions,
+) -> Measured {
     let start = Instant::now();
-    let mut analyzer = Analyzer::with_obs(input, obs.clone());
+    let mut analyzer = Analyzer::with_options(input, obs.clone(), certify.clone());
     let report = analyzer.verify_with_report_limited(property, spec, limits);
+    let cert = match report.certificate {
+        Some(Certificate::Threat { elapsed, .. }) | Some(Certificate::Proof { elapsed, .. }) => {
+            elapsed
+        }
+        _ => Duration::ZERO,
+    };
     Measured {
         outcome: Outcome::from(&report.verdict),
         duration: start.elapsed(),
@@ -170,6 +202,7 @@ pub fn measure_observed(
         clauses: report.encoding.clauses,
         conflicts: report.conflicts,
         attempts: report.attempts,
+        cert,
     }
 }
 
@@ -217,9 +250,22 @@ pub fn measure_fleet_observed(
     limits: &QueryLimits,
     obs: &Obs,
 ) -> Vec<Measured> {
+    measure_fleet_certified(fleet, jobs, limits, obs, &CertifyOptions::default())
+}
+
+/// [`measure_fleet_observed`] with verdict certification: every worker
+/// certifies its own queries, and all checks tally into the one log
+/// shared through `certify`.
+pub fn measure_fleet_certified(
+    fleet: &[FleetQuery],
+    jobs: usize,
+    limits: &QueryLimits,
+    obs: &Obs,
+    certify: &CertifyOptions,
+) -> Vec<Measured> {
     par_map_observed(fleet, jobs, obs, |_, query, _| {
         let input = query.workload.build();
-        measure_observed(&input, query.property, query.spec, limits, obs)
+        measure_certified(&input, query.property, query.spec, limits, obs, certify)
     })
 }
 
@@ -340,6 +386,33 @@ mod tests {
             );
             assert!(!m2.outcome.is_unknown(), "×2 escalation must decide");
         }
+    }
+
+    #[test]
+    fn certified_measurement_populates_the_shared_log() {
+        let input = Workload::default().build();
+        let certify = CertifyOptions::enabled();
+        let m = measure_certified(
+            &input,
+            Property::Observability,
+            ResiliencySpec::total(1),
+            &QueryLimits::none(),
+            &Obs::none(),
+            &certify,
+        );
+        assert!(!m.outcome.is_unknown());
+        assert!(m.cert > Duration::ZERO, "certified runs report check time");
+        assert_eq!(certify.log.checks(), 1);
+        assert_eq!(
+            certify.log.failures(),
+            0,
+            "{:?}",
+            certify.log.first_failure()
+        );
+        // Uncertified measurement reports no check time.
+        let plain = measure(&input, Property::Observability, ResiliencySpec::total(1));
+        assert_eq!(plain.cert, Duration::ZERO);
+        assert_eq!(plain.outcome, m.outcome);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! scada-analyzer <config.scada> [options]
+//! scada-analyzer --case-study [options]
 //!
 //! options:
 //!   --property obs|secured|baddata   property to verify (default: from all three)
@@ -16,6 +17,12 @@
 //!   --jobs N         verification worker threads (0 = all cores, default)
 //!   --timeout DUR    wall-clock limit per query, e.g. 150ms, 5s, 2m
 //!   --conflict-budget N  solver conflicts per query (escalating ×2 retry)
+//!   --certify        independently re-check every verdict (DRAT proof
+//!                    replay for unsat, model + budget + semantic
+//!                    re-check for sat)
+//!   --proof-dir DIR  also write each query's DRAT proof to
+//!                    DIR/query-<id>.drat (implies --certify)
+//!   --case-study     analyze the embedded 5-bus case study (no config)
 //!   --trace PATH     write a structured JSONL event trace to PATH
 //!   --stats          print a metrics summary table after the run
 //!   --template       print an example configuration and exit
@@ -30,16 +37,19 @@
 //! `--enumerate`, whose threat space is then reported *undecided* when a
 //! search was cut short. Exit codes: 0 all verified resilient, 1 some
 //! threat found, 2 usage error (including malformed option values),
-//! 3 no threat but at least one query or enumeration undecided.
+//! 3 no threat but at least one query or enumeration undecided, 4 a
+//! `--certify` check failed (takes precedence over every other code —
+//! an uncertified verdict is worse than a threat).
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use scada_analyzer::synthesis::{synthesize_upgrades_observed, SynthesisOptions, SynthesisResult};
+use scada_analyzer::synthesis::{synthesize_upgrades_certified, SynthesisOptions, SynthesisResult};
 use scada_analyzer::{
-    enumerate_threats_with_limited, par_max_resiliency_observed, parse_duration,
-    verify_batch_observed, AnalysisInput, Analyzer, BudgetAxis, JsonlTracer, MetricsRegistry, Obs,
-    Property, QueryLimits, ResiliencySpec, RetryPolicy, Verdict,
+    enumerate_threats_with_limited, par_max_resiliency_certified, parse_duration,
+    verify_batch_certified, AnalysisInput, Analyzer, BudgetAxis, CertFault, Certificate,
+    CertifyOptions, JsonlTracer, MetricsRegistry, Obs, Property, QueryLimits, ResiliencySpec,
+    RetryPolicy, Verdict,
 };
 use scadasim::parse_config;
 
@@ -118,32 +128,35 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         print!("{TEMPLATE}");
         return Ok(ExitCode::SUCCESS);
     }
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        return Err(
-            "usage: scada-analyzer <config-file> [options]   (--template for an example)"
-                .to_string(),
-        );
-    };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return Ok(ExitCode::FAILURE);
-        }
-    };
-    let config = match parse_config(&text) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return Ok(ExitCode::FAILURE);
-        }
-    };
-
     let flag = |name: &str| args.iter().any(|a| a == name);
+    let config = if flag("--case-study") {
+        None
+    } else {
+        let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+            return Err("usage: scada-analyzer <config-file> [options]   \
+                        (--template for an example, --case-study for the built-in system)"
+                .to_string());
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+        };
+        match parse_config(&text) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+    };
 
     // Specification: config file values, overridable from the CLI.
-    let (mut k1, mut k2) = config.resilience;
-    let mut r = config.corrupted;
+    let (mut k1, mut k2) = config.as_ref().map_or((1, 1), |c| c.resilience);
+    let mut r = config.as_ref().map_or(1, |c| c.corrupted);
+    let config_link_failures = config.as_ref().map_or(0, |c| c.link_failures);
     let mut spec = if let Some(k) = opt(args, "--k")? {
         ResiliencySpec::total(k)
     } else {
@@ -159,7 +172,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         r = v;
     }
     spec = spec.with_corrupted(r);
-    spec = spec.with_link_failures(opt(args, "--links")?.unwrap_or(config.link_failures));
+    spec = spec.with_link_failures(opt(args, "--links")?.unwrap_or(config_link_failures));
     let jobs = opt(args, "--jobs")?.unwrap_or(0);
 
     // Resource limits: a bounded query degrades to UNKNOWN, never hangs.
@@ -174,6 +187,30 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         limits = limits
             .with_conflict_budget(budget)
             .with_retry(RetryPolicy::escalating(4));
+    }
+
+    // Certification: every verdict re-checked by the independent
+    // model/proof checkers; failures flip the exit code to 4.
+    let mut certify = CertifyOptions {
+        enabled: flag("--certify"),
+        ..CertifyOptions::default()
+    };
+    if let Some(dir) = raw(args, "--proof-dir")? {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create proof dir {}: {e}", dir.display()))?;
+        certify.proof_dir = Some(dir);
+        certify.enabled = true;
+    }
+    // Test hook: deliberately corrupt artifacts before checking, to
+    // prove the checkers are not vacuous (see tests/degradation.rs).
+    match std::env::var("SCADA_CERTIFY_FAULT").ok().as_deref() {
+        Some("proof") => certify.fault = Some(CertFault::CorruptProof),
+        Some("model") => certify.fault = Some(CertFault::CorruptModel),
+        Some(other) if !other.is_empty() => {
+            return Err(format!("bad SCADA_CERTIFY_FAULT `{other}` (proof|model)"));
+        }
+        _ => {}
     }
 
     // Observability: a JSONL trace sink and/or an in-memory metrics
@@ -208,7 +245,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         ],
     };
 
-    let input = AnalysisInput::from(config);
+    let input = match config {
+        Some(config) => AnalysisInput::from(config),
+        None => scada_analyzer::casestudy::five_bus_case_study(),
+    };
     println!(
         "system: {} buses, {} measurements; {} IEDs, {} RTUs, {} links; spec: {spec}",
         input.measurements.num_states(),
@@ -221,7 +261,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut any_threat = false;
     let mut any_unknown = false;
     let queries: Vec<(Property, ResiliencySpec)> = properties.iter().map(|&p| (p, spec)).collect();
-    let reports = verify_batch_observed(&input, &queries, jobs, &limits, &obs);
+    let reports = verify_batch_certified(&input, &queries, jobs, &limits, &obs, &certify);
     for (&property, report) in properties.iter().zip(&reports) {
         match &report.verdict {
             Verdict::Resilient => {
@@ -240,12 +280,33 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 );
             }
         }
+        match &report.certificate {
+            Some(Certificate::Proof {
+                steps,
+                propagations,
+                elapsed,
+            }) => println!(
+                "  certificate: unsat proof checked \
+                 ({steps} steps, {propagations} propagations, {elapsed:?})"
+            ),
+            Some(Certificate::Threat { steps, elapsed }) => println!(
+                "  certificate: model + budget + violation re-checked \
+                 ({steps} proof steps replayed, {elapsed:?})"
+            ),
+            Some(Certificate::Unchecked) => {
+                println!("  certificate: none (unknown verdicts certify nothing)")
+            }
+            Some(Certificate::Failed { reason }) => {
+                println!("  certificate: FAILED — {reason}")
+            }
+            None => {}
+        }
 
         if flag("--enumerate") || flag("--rank") {
             // Enumeration honours the same limits as verification: a
             // bounded run terminates and reports an undecided space
             // instead of hanging.
-            let mut enum_analyzer = Analyzer::with_obs(&input, obs.clone());
+            let mut enum_analyzer = Analyzer::with_options(&input, obs.clone(), certify.clone());
             let space =
                 enumerate_threats_with_limited(&mut enum_analyzer, property, spec, 1000, &limits);
             if space.undecided {
@@ -278,7 +339,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
         if flag("--max-resiliency") {
             let fmt = |m: Option<usize>| m.map_or("none".to_string(), |k| k.to_string());
-            let ied = par_max_resiliency_observed(
+            let ied = par_max_resiliency_certified(
                 &input,
                 property,
                 BudgetAxis::IedsOnly,
@@ -286,8 +347,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 jobs,
                 &limits,
                 &obs,
+                &certify,
             );
-            let rtu = par_max_resiliency_observed(
+            let rtu = par_max_resiliency_certified(
                 &input,
                 property,
                 BudgetAxis::RtusOnly,
@@ -295,8 +357,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 jobs,
                 &limits,
                 &obs,
+                &certify,
             );
-            let total = par_max_resiliency_observed(
+            let total = par_max_resiliency_certified(
                 &input,
                 property,
                 BudgetAxis::Total,
@@ -304,6 +367,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 jobs,
                 &limits,
                 &obs,
+                &certify,
             );
             println!(
                 "  max resiliency: IEDs-only {}, RTUs-only {}, total {}",
@@ -314,12 +378,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
 
         if flag("--repair") && property != Property::Observability {
-            match synthesize_upgrades_observed(
+            match synthesize_upgrades_certified(
                 &input,
                 property,
                 spec,
                 &SynthesisOptions::default(),
                 &obs,
+                &certify,
             ) {
                 SynthesisResult::AlreadyResilient => {
                     println!("  repair: nothing to do");
@@ -353,7 +418,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         print!("{}", metrics.render());
     }
 
-    Ok(if any_threat {
+    if certify.enabled {
+        println!(
+            "certification: {} verdict(s) checked, {} failure(s)",
+            certify.log.checks(),
+            certify.log.failures()
+        );
+    }
+    Ok(if certify.log.failures() > 0 {
+        // An uncertified verdict outranks every other outcome: the
+        // pipeline's own answer could not be validated.
+        if let Some(reason) = certify.log.first_failure() {
+            eprintln!("error: certification failed: {reason}");
+        }
+        ExitCode::from(4)
+    } else if any_threat {
         ExitCode::FAILURE
     } else if any_unknown {
         // No threat found, but not everything was decided either.

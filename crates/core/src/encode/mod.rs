@@ -21,7 +21,7 @@ mod resilience;
 use std::collections::HashMap;
 
 use boolexpr::{Encoder, ExprPool, NodeRef, UnaryCounter};
-use satcore::{Lit, SolveResult, Solver};
+use satcore::{Lit, ProofBuffer, SolveResult, Solver};
 use scadasim::{DeviceId, DeviceKind};
 
 use crate::input::AnalysisInput;
@@ -107,14 +107,38 @@ pub struct ModelEncoder {
     not_detectable_cache: HashMap<usize, Lit>,
     /// Cached per-IED path sets (shared by plain/secured/baddata).
     paths: Vec<delivery::IedPaths>,
+    /// Assumptions of the most recent [`ModelEncoder::find_violation`]
+    /// query, kept for verdict certification (an unsat certificate must
+    /// refute exactly these).
+    last_assumptions: Vec<Lit>,
 }
 
 impl ModelEncoder {
     /// Builds the base encoding: availability variables and failure
     /// counters. Property chains are added on first use.
     pub fn new(input: &AnalysisInput) -> ModelEncoder {
+        ModelEncoder::new_certified(input, false).0
+    }
+
+    /// Like [`ModelEncoder::new`], but when `certify` is set the solver
+    /// is armed for certification *before* the first variable or clause
+    /// exists: every original clause is mirrored, and every learnt
+    /// clause, simplification, and deletion streams into the returned
+    /// [`ProofBuffer`].
+    pub(crate) fn new_certified(
+        input: &AnalysisInput,
+        certify: bool,
+    ) -> (ModelEncoder, Option<ProofBuffer>) {
         use satcore::CnfSink;
         let mut solver = Solver::new();
+        let buffer = if certify {
+            let buffer = ProofBuffer::new();
+            solver.set_proof_sink(Some(Box::new(buffer.clone())));
+            solver.set_clause_mirror(true);
+            Some(buffer)
+        } else {
+            None
+        };
         let node: Vec<Lit> = input
             .topology
             .devices()
@@ -154,7 +178,7 @@ impl ModelEncoder {
             .map(|_| solver.new_var().positive())
             .collect();
         let paths = delivery::enumerate_paths(input);
-        ModelEncoder {
+        let encoder = ModelEncoder {
             solver,
             pool: ExprPool::new(),
             enc: Encoder::new(),
@@ -167,7 +191,9 @@ impl ModelEncoder {
             baddata: None,
             not_detectable_cache: HashMap::new(),
             paths,
-        }
+            last_assumptions: Vec::new(),
+        };
+        (encoder, buffer)
     }
 
     /// The availability literal of a device.
@@ -188,6 +214,16 @@ impl ModelEncoder {
     /// during threat enumeration).
     pub fn solver_mut(&mut self) -> &mut Solver {
         &mut self.solver
+    }
+
+    /// Shared access to the underlying solver (mirror, model values).
+    pub(crate) fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Assumptions of the most recent [`ModelEncoder::find_violation`].
+    pub(crate) fn last_assumptions(&self) -> &[Lit] {
+        &self.last_assumptions
     }
 
     fn per_ied_exprs(&mut self, input: &AnalysisInput, secured: bool) -> Vec<NodeRef> {
@@ -309,7 +345,9 @@ impl ModelEncoder {
         let violation = self.violation_lit(input, property, spec.corrupted);
         let mut assumptions = self.budget_assumptions(spec);
         assumptions.push(violation);
-        match self.solver.solve_with_assumptions(&assumptions) {
+        let result = self.solver.solve_with_assumptions(&assumptions);
+        self.last_assumptions = assumptions;
+        match result {
             SolveResult::Sat => {
                 let devices = self
                     .counters

@@ -22,7 +22,7 @@ use crate::input::AnalysisInput;
 use crate::obs::{next_query_id, TraceEvent};
 use crate::spec::{Property, QueryLimits, ResiliencySpec};
 use crate::threat::ThreatVector;
-use crate::verify::Analyzer;
+use crate::verify::{Analyzer, Verdict};
 
 /// Result of an enumeration run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -190,7 +190,12 @@ pub fn enumerate_threats_with_limited(
         };
         let violation = match violation {
             Some(v) => v,
-            None => return finish(analyzer, vectors, false, false),
+            None => {
+                // The closing `unsat` is what certifies exhaustiveness:
+                // its proof must refute the final query's assumptions.
+                analyzer.certify_verdict(query, property, spec, &Verdict::Resilient, None);
+                return finish(analyzer, vectors, false, false);
+            }
         };
         let failed: HashSet<_> = violation.devices.into_iter().collect();
         let failed_link_idx: Vec<usize> = violation.links.clone();
@@ -199,6 +204,16 @@ pub fn enumerate_threats_with_limited(
             analyzer
                 .evaluator()
                 .minimize_full(property, spec.corrupted, &failed, &failed_links);
+        // Certify the sat verdict *before* the blocking clause lands:
+        // the model check must read the model of this solve, against the
+        // formula as it was when the solve ran.
+        analyzer.certify_verdict(
+            query,
+            property,
+            spec,
+            &Verdict::Threat(minimal.clone()),
+            Some((&failed, &failed_links)),
+        );
         // Block all supersets of the minimal vector (its devices and the
         // surviving minimal links).
         let minimal_links: Vec<usize> = failed_link_idx

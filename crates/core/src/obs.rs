@@ -133,6 +133,20 @@ pub enum TraceEvent {
         /// Wall-clock time of the whole query.
         elapsed: Duration,
     },
+    /// A verdict was certified (or failed to certify) by the
+    /// independent checkers; see [`crate::certify`].
+    Certified {
+        /// Query id.
+        query: u64,
+        /// `"threat"`, `"proof"`, `"unchecked"`, or `"failed"`.
+        kind: &'static str,
+        /// Whether certification succeeded.
+        ok: bool,
+        /// DRAT proof steps drained and replayed for this query.
+        steps: u64,
+        /// Wall-clock time spent certifying.
+        elapsed: Duration,
+    },
     /// A parallel fleet started.
     FleetStart {
         /// What the fleet computes (e.g. `"verify_batch"`).
@@ -212,6 +226,7 @@ impl TraceEvent {
             TraceEvent::Retry { .. } => "retry",
             TraceEvent::Minimize { .. } => "minimize",
             TraceEvent::QueryDone { .. } => "query_done",
+            TraceEvent::Certified { .. } => "certified",
             TraceEvent::FleetStart { .. } => "fleet_start",
             TraceEvent::WorkerDone { .. } => "worker_done",
             TraceEvent::CancelCut { .. } => "cancel_cut",
@@ -303,6 +318,19 @@ impl TraceEvent {
                 w.str("verdict", verdict);
                 w.num("attempts", u64::from(attempts));
                 w.num("conflicts", conflicts);
+                w.num("elapsed_us", elapsed.as_micros() as u64);
+            }
+            TraceEvent::Certified {
+                query,
+                kind,
+                ok,
+                steps,
+                elapsed,
+            } => {
+                w.num("query", query);
+                w.str("kind", kind);
+                w.bool("ok", ok);
+                w.num("steps", steps);
                 w.num("elapsed_us", elapsed.as_micros() as u64);
             }
             TraceEvent::FleetStart { label, jobs, items } => {
@@ -868,6 +896,18 @@ mod tests {
              \"attempt\":1,\"outcome\":\"unsat\",\"conflicts\":12,\
              \"decisions\":30,\"propagations\":400,\"restarts\":0,\
              \"elapsed_us\":1500}"
+        );
+        let e = TraceEvent::Certified {
+            query: 7,
+            kind: "proof",
+            ok: true,
+            steps: 42,
+            elapsed: Duration::from_micros(250),
+        };
+        assert_eq!(
+            e.to_json(4, 1000),
+            "{\"seq\":4,\"t_us\":1000,\"ev\":\"certified\",\"query\":7,\
+             \"kind\":\"proof\",\"ok\":true,\"steps\":42,\"elapsed_us\":250}"
         );
     }
 

@@ -57,6 +57,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::mpsc;
 use std::sync::Arc;
 
+use crate::certify::CertifyOptions;
 use crate::input::AnalysisInput;
 use crate::maxres::BudgetAxis;
 use crate::obs::{Obs, TraceEvent};
@@ -202,6 +203,28 @@ pub fn verify_batch_observed(
     limits: &QueryLimits,
     obs: &Obs,
 ) -> Vec<VerificationReport> {
+    verify_batch_certified(
+        input,
+        queries,
+        jobs,
+        limits,
+        obs,
+        &CertifyOptions::default(),
+    )
+}
+
+/// [`verify_batch_observed`] with verdict certification: every worker's
+/// analyzer independently re-checks its verdicts (see [`crate::certify`])
+/// and the certificates land on the returned reports and in
+/// `certify.log` (shared across the fleet — workers tally into one log).
+pub fn verify_batch_certified(
+    input: &AnalysisInput,
+    queries: &[(Property, ResiliencySpec)],
+    jobs: usize,
+    limits: &QueryLimits,
+    obs: &Obs,
+    certify: &CertifyOptions,
+) -> Vec<VerificationReport> {
     obs.trace(|| TraceEvent::FleetStart {
         label: "verify_batch",
         jobs: effective_jobs(jobs),
@@ -209,7 +232,7 @@ pub fn verify_batch_observed(
     });
     par_map_observed(queries, jobs, obs, |_, &(property, spec), cancel| {
         let per_query = fleet_limits(limits, cancel);
-        Analyzer::with_obs(input, obs.clone())
+        Analyzer::with_options(input, obs.clone(), certify.clone())
             .verify_with_report_limited(property, spec, &per_query)
     })
 }
@@ -263,6 +286,32 @@ pub fn par_max_resiliency_observed(
     limits: &QueryLimits,
     obs: &Obs,
 ) -> Option<usize> {
+    par_max_resiliency_certified(
+        input,
+        property,
+        axis,
+        r,
+        jobs,
+        limits,
+        obs,
+        &CertifyOptions::default(),
+    )
+}
+
+/// [`par_max_resiliency_observed`] with verdict certification: every
+/// worker runs a certifying analyzer; certificates tally into
+/// `certify.log`.
+#[allow(clippy::too_many_arguments)]
+pub fn par_max_resiliency_certified(
+    input: &AnalysisInput,
+    property: Property,
+    axis: BudgetAxis,
+    r: usize,
+    jobs: usize,
+    limits: &QueryLimits,
+    obs: &Obs,
+    certify: &CertifyOptions,
+) -> Option<usize> {
     let jobs = effective_jobs(jobs);
     let limit = axis.limit(input);
     obs.trace(|| TraceEvent::FleetStart {
@@ -275,7 +324,7 @@ pub fn par_max_resiliency_observed(
     let guard = FleetGuard::new();
     let cancel = guard.cancel_flag();
     run_workers_guarded(jobs, &guard, |worker| {
-        let mut analyzer = Analyzer::with_obs(input, obs.clone());
+        let mut analyzer = Analyzer::with_options(input, obs.clone(), certify.clone());
         let mut ran: u64 = 0;
         let mut skipped: u64 = 0;
         while let Some(k) = injector.steal() {
@@ -360,6 +409,30 @@ pub fn par_resiliency_frontier_observed(
     limits: &QueryLimits,
     obs: &Obs,
 ) -> Vec<(usize, Option<usize>)> {
+    par_resiliency_frontier_certified(
+        input,
+        property,
+        r,
+        jobs,
+        limits,
+        obs,
+        &CertifyOptions::default(),
+    )
+}
+
+/// [`par_resiliency_frontier_observed`] with verdict certification:
+/// every worker runs a certifying analyzer; certificates tally into
+/// `certify.log`.
+#[allow(clippy::too_many_arguments)]
+pub fn par_resiliency_frontier_certified(
+    input: &AnalysisInput,
+    property: Property,
+    r: usize,
+    jobs: usize,
+    limits: &QueryLimits,
+    obs: &Obs,
+    certify: &CertifyOptions,
+) -> Vec<(usize, Option<usize>)> {
     let jobs = effective_jobs(jobs);
     let max_ieds = input.topology.ieds().count();
     let max_rtus = input.topology.rtus().count();
@@ -377,7 +450,7 @@ pub fn par_resiliency_frontier_observed(
     let (sender, receiver) = mpsc::channel::<(usize, Option<usize>)>();
     run_workers_guarded(jobs, &guard, |worker| {
         let sender = sender.clone();
-        let mut analyzer = Analyzer::with_obs(input, obs.clone());
+        let mut analyzer = Analyzer::with_options(input, obs.clone(), certify.clone());
         let mut ran: u64 = 0;
         let mut skipped: u64 = 0;
         while let Some(k1) = injector.steal() {

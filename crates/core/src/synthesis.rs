@@ -19,6 +19,7 @@
 use scadasim::paths::forwarding_paths;
 use scadasim::{CryptoAlgorithm, CryptoProfile, DeviceId, DeviceKind};
 
+use crate::certify::CertifyOptions;
 use crate::input::AnalysisInput;
 use crate::obs::{Obs, TraceEvent};
 use crate::spec::{Property, ResiliencySpec};
@@ -153,7 +154,30 @@ pub fn synthesize_upgrades_observed(
     options: &SynthesisOptions,
     obs: &Obs,
 ) -> SynthesisResult {
-    let result = synthesize_inner(input, property, spec, options, obs);
+    synthesize_upgrades_certified(
+        input,
+        property,
+        spec,
+        options,
+        obs,
+        &CertifyOptions::default(),
+    )
+}
+
+/// [`synthesize_upgrades_observed`] with verdict certification: every
+/// verification query underneath the search — the initial resiliency
+/// check and each candidate's — runs on a certifying analyzer, so the
+/// repaired verdict synthesis returns carries an independently checked
+/// proof (see [`crate::certify`]).
+pub fn synthesize_upgrades_certified(
+    input: &AnalysisInput,
+    property: Property,
+    spec: ResiliencySpec,
+    options: &SynthesisOptions,
+    obs: &Obs,
+    certify: &CertifyOptions,
+) -> SynthesisResult {
+    let result = synthesize_inner(input, property, spec, options, obs, certify);
     obs.trace(|| TraceEvent::SynthDone {
         result: match &result {
             SynthesisResult::AlreadyResilient => "already_resilient",
@@ -174,6 +198,7 @@ fn synthesize_inner(
     spec: ResiliencySpec,
     options: &SynthesisOptions,
     obs: &Obs,
+    certify: &CertifyOptions,
 ) -> SynthesisResult {
     assert_ne!(
         property,
@@ -181,7 +206,7 @@ fn synthesize_inner(
         "plain observability is security-independent; upgrades cannot help"
     );
     // Already resilient?
-    let mut analyzer = Analyzer::with_obs(input, obs.clone());
+    let mut analyzer = Analyzer::with_options(input, obs.clone(), certify.clone());
     let mut counterexamples: Vec<Vec<DeviceId>> = Vec::new();
     match analyzer.verify(property, spec) {
         Verdict::Resilient => return SynthesisResult::AlreadyResilient,
@@ -212,6 +237,7 @@ fn synthesize_inner(
                 options,
                 &mut counterexamples,
                 obs,
+                certify,
             ) {
                 return result;
             }
@@ -250,6 +276,7 @@ fn try_candidate(
     options: &SynthesisOptions,
     counterexamples: &mut Vec<Vec<DeviceId>>,
     obs: &Obs,
+    certify: &CertifyOptions,
 ) -> Option<SynthesisResult> {
     let size = candidate.len();
     obs.count("synth_candidates", 1);
@@ -270,7 +297,7 @@ fn try_candidate(
         }
     }
     // Full verification of the candidate.
-    let mut analyzer = Analyzer::with_obs(&upgraded, obs.clone());
+    let mut analyzer = Analyzer::with_options(&upgraded, obs.clone(), certify.clone());
     let (outcome, result) = match analyzer.verify(property, spec) {
         Verdict::Resilient => (
             "repaired",

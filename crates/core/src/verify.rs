@@ -16,7 +16,10 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
+use scadasim::DeviceId;
+
 use crate::bruteforce::DirectEvaluator;
+use crate::certify::{CertSession, Certificate, CertifyOptions};
 use crate::encode::{EncodingStats, ModelEncoder, SearchOutcome};
 use crate::input::AnalysisInput;
 use crate::obs::{next_query_id, Obs, TraceEvent};
@@ -73,6 +76,9 @@ pub struct VerificationReport {
     /// Solve attempts performed (> 1 when the retry policy escalated an
     /// exhausted conflict budget).
     pub attempts: u32,
+    /// Independent certificate for the verdict; `None` when the analyzer
+    /// was built without certification (see [`Analyzer::with_options`]).
+    pub certificate: Option<Certificate>,
 }
 
 /// The SCADA resiliency analyzer.
@@ -115,6 +121,8 @@ pub struct Analyzer<'a> {
     encoder: ModelEncoder,
     evaluator: DirectEvaluator<'a>,
     obs: Obs,
+    certify: CertifyOptions,
+    cert: Option<CertSession>,
 }
 
 impl<'a> Analyzer<'a> {
@@ -127,11 +135,28 @@ impl<'a> Analyzer<'a> {
     /// through this analyzer emits trace events and metrics through
     /// `obs`. [`Obs::none`] makes this identical to [`Analyzer::new`].
     pub fn with_obs(input: &'a AnalysisInput, obs: Obs) -> Analyzer<'a> {
+        Analyzer::with_options(input, obs, CertifyOptions::default())
+    }
+
+    /// Builds the analyzer with observability *and* certification. With
+    /// `certify.enabled`, the solver mirrors every original clause and
+    /// streams a DRAT proof, and each verdict is independently
+    /// re-checked ([`crate::certify`]); the certificate lands on the
+    /// [`VerificationReport`] and in `certify.log`.
+    pub fn with_options(
+        input: &'a AnalysisInput,
+        obs: Obs,
+        certify: CertifyOptions,
+    ) -> Analyzer<'a> {
+        let (encoder, buffer) = ModelEncoder::new_certified(input, certify.enabled);
+        let cert = buffer.map(|b| CertSession::new(b, certify.clone()));
         Analyzer {
-            encoder: ModelEncoder::new(input),
+            encoder,
             evaluator: DirectEvaluator::new(input),
             input,
             obs,
+            certify,
+            cert,
         }
     }
 
@@ -155,6 +180,38 @@ impl<'a> Analyzer<'a> {
     /// blocking clauses through this).
     pub(crate) fn encoder_mut(&mut self) -> &mut ModelEncoder {
         &mut self.encoder
+    }
+
+    /// Whether this query needs a globally unique id (trace correlation
+    /// or per-query proof files).
+    pub(crate) fn wants_query_ids(&self) -> bool {
+        self.obs.has_tracer() || self.certify.wants_query_ids()
+    }
+
+    /// Certifies the verdict of the query that just finished, draining
+    /// the mirror/proof deltas. Returns `None` when certification is
+    /// disabled. `violation` carries the *full* (pre-minimization)
+    /// failure sets extracted from the solver model on `sat` verdicts.
+    pub(crate) fn certify_verdict(
+        &mut self,
+        query: u64,
+        property: Property,
+        spec: ResiliencySpec,
+        verdict: &Verdict,
+        violation: Option<(&HashSet<DeviceId>, &HashSet<usize>)>,
+    ) -> Option<Certificate> {
+        let session = self.cert.as_mut()?;
+        Some(session.certify(
+            &self.encoder,
+            &self.evaluator,
+            self.input,
+            query,
+            property,
+            spec,
+            verdict,
+            violation,
+            &self.obs,
+        ))
     }
 
     /// Verifies a property against a specification, running to a
@@ -203,9 +260,13 @@ impl<'a> Analyzer<'a> {
         let limits = limits.anchored(start);
         let conflicts_before = self.encoder.solver_stats().conflicts;
         let obs = self.obs.clone();
-        // Query ids exist to correlate trace events; without a sink the
-        // counter is never touched.
-        let query = if obs.has_tracer() { next_query_id() } else { 0 };
+        // Query ids exist to correlate trace events and name per-query
+        // proof files; otherwise the counter is never touched.
+        let query = if self.wants_query_ids() {
+            next_query_id()
+        } else {
+            0
+        };
         obs.trace(|| TraceEvent::QueryStart {
             query,
             property,
@@ -228,6 +289,9 @@ impl<'a> Analyzer<'a> {
                 })));
         }
         let mut attempts: u32 = 0;
+        // The full (pre-minimization) failure sets of a sat verdict,
+        // kept for certification.
+        let mut full_violation: Option<(HashSet<DeviceId>, HashSet<usize>)> = None;
         let verdict = loop {
             limits.arm(self.encoder.solver_mut(), attempts);
             let attempt_start = Instant::now();
@@ -286,6 +350,7 @@ impl<'a> Analyzer<'a> {
                         from: failed.len() + failed_links.len(),
                         to: minimal.len(),
                     });
+                    full_violation = Some((failed, failed_links));
                     break Verdict::Threat(minimal);
                 }
                 SearchOutcome::Unknown => {
@@ -317,6 +382,13 @@ impl<'a> Analyzer<'a> {
         if obs.has_tracer() {
             self.encoder.solver_mut().set_progress_hook(None);
         }
+        let certificate = self.certify_verdict(
+            query,
+            property,
+            spec,
+            &verdict,
+            full_violation.as_ref().map(|(d, l)| (d, l)),
+        );
         let total_conflicts = self.encoder.solver_stats().conflicts - conflicts_before;
         obs.trace(|| TraceEvent::QueryDone {
             query,
@@ -348,6 +420,7 @@ impl<'a> Analyzer<'a> {
             encoding: self.encoder.stats(),
             conflicts: self.encoder.solver_stats().conflicts - conflicts_before,
             attempts,
+            certificate,
         }
     }
 }

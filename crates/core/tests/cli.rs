@@ -162,6 +162,94 @@ fn trace_writes_valid_monotone_jsonl() {
 }
 
 #[test]
+fn certified_run_reports_checked_verdicts_and_keeps_exit_code() {
+    let config = template_config("certify-basic");
+    let out = run(&config, &["--property", "obs", "--certify"]);
+    // Certification must not change the verdict-derived exit code when
+    // every check passes.
+    assert_eq!(exit_code(&out), 1, "stderr: {}", text(&out.stderr));
+    let stdout = text(&out.stdout);
+    assert!(
+        stdout.contains("certificate:"),
+        "per-verdict certificate line"
+    );
+    assert!(
+        stdout.contains("verdict(s) checked, 0 failure(s)"),
+        "summary line: {stdout}"
+    );
+}
+
+#[test]
+fn concurrent_certified_fleet_writes_one_clean_proof_per_query() {
+    let config = template_config("certify-jobs");
+    let dir =
+        std::env::temp_dir().join(format!("scada-analyzer-cli-{}-proofs", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    // All three properties verified by a 4-worker fleet, every verdict
+    // certified, every query's DRAT proof written to its own file.
+    let out = run(
+        &config,
+        &[
+            "--jobs",
+            "4",
+            "--certify",
+            "--proof-dir",
+            dir.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(exit_code(&out), 1, "stderr: {}", text(&out.stderr));
+    assert!(text(&out.stdout).contains("0 failure(s)"));
+
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("proof dir exists")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 3,
+        "one proof file per certified query, got {names:?}"
+    );
+    let mut query_ids = std::collections::HashSet::new();
+    for name in &names {
+        // Naming scheme: query-<id>-<seq>.drat with fixed-width fields.
+        let rest = name
+            .strip_prefix("query-")
+            .and_then(|r| r.strip_suffix(".drat"))
+            .unwrap_or_else(|| panic!("unexpected proof file name {name}"));
+        let (id, seq) = rest.split_once('-').expect("id-seq name");
+        assert!(id.len() == 5 && id.bytes().all(|b| b.is_ascii_digit()));
+        assert!(seq.len() == 4 && seq.bytes().all(|b| b.is_ascii_digit()));
+        query_ids.insert(id.to_owned());
+
+        // Each file must be well-formed DRAT on its own: concurrent
+        // workers interleaving bytes into a shared file would break
+        // this line grammar immediately.
+        let content = std::fs::read_to_string(dir.join(name)).expect("proof file readable");
+        for (i, line) in content.lines().enumerate() {
+            let body = line.strip_prefix("d ").unwrap_or(line);
+            let mut terms = body.split(' ').peekable();
+            let mut saw_zero = false;
+            while let Some(term) = terms.next() {
+                assert!(
+                    term.parse::<i64>().is_ok(),
+                    "{name}:{i}: non-integer token {term:?} in {line:?}"
+                );
+                if terms.peek().is_none() {
+                    saw_zero = term == "0";
+                }
+            }
+            assert!(saw_zero, "{name}:{i}: line not 0-terminated: {line:?}");
+        }
+    }
+    assert_eq!(
+        query_ids.len(),
+        names.len(),
+        "query ids must be globally unique across the fleet: {names:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn no_trace_flag_writes_no_file() {
     let config = template_config("no-trace");
     let out = run(&config, &["--property", "obs"]);

@@ -1,8 +1,10 @@
 //! Degradation and failure-isolation semantics of the verification
 //! layer: resource-bounded queries return `Unknown` (never a panic,
 //! never a false `Resilient`), escalating retry recovers definite
-//! verdicts, and a panicking job inside a parallel fleet surfaces its
-//! original message without deadlocking or corrupting siblings.
+//! verdicts, a panicking job inside a parallel fleet surfaces its
+//! original message without deadlocking or corrupting siblings, and
+//! deliberately corrupted certification artifacts are rejected end to
+//! end (the mutation tests at the bottom).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -190,6 +192,87 @@ fn fleet_panic_is_stable_across_repeats() {
             .expect("formatted payload");
         assert_eq!(message, "fault 3", "only the injected fault may surface");
     }
+}
+
+/// Runs the `scada-analyzer` binary on its own `--template` config with
+/// `SCADA_CERTIFY_FAULT` set, for the CLI-level mutation tests below.
+fn certified_cli_with_fault(test: &str, fault: &str, args: &[&str]) -> std::process::Output {
+    use std::process::Command;
+    let template = Command::new(env!("CARGO_BIN_EXE_scada-analyzer"))
+        .arg("--template")
+        .output()
+        .expect("run --template");
+    assert!(template.status.success());
+    let config = std::env::temp_dir().join(format!(
+        "scada-analyzer-degradation-{}-{test}.scada",
+        std::process::id()
+    ));
+    std::fs::write(&config, &template.stdout).expect("write template config");
+    Command::new(env!("CARGO_BIN_EXE_scada-analyzer"))
+        .arg(&config)
+        .args(args)
+        .arg("--certify")
+        .env("SCADA_CERTIFY_FAULT", fault)
+        .output()
+        .expect("spawn scada-analyzer")
+}
+
+/// Mutation test: a deliberately corrupted DRAT proof must be rejected
+/// by the independent checker, flipping the exit code to 4 even though
+/// the verdict itself (RESILIENT, normally exit 0) is fine. This is the
+/// end-to-end proof that proof checking is not vacuous.
+#[test]
+fn corrupted_proof_is_rejected_with_exit_4() {
+    let out = certified_cli_with_fault(
+        "proof",
+        "proof",
+        &["--property", "obs", "--k", "0", "--r", "0"],
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "certification failure outranks exit 0"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("certification failed"),
+        "stderr must name the failure: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("failure(s)"), "summary line: {stdout}");
+    assert!(
+        !stdout.contains(" 0 failure(s)"),
+        "at least one failure: {stdout}"
+    );
+}
+
+/// Mutation test: a deliberately corrupted sat model must be rejected
+/// by the model checker, flipping the exit code to 4 even though the
+/// verdict itself (THREAT, normally exit 1) is fine.
+#[test]
+fn corrupted_model_is_rejected_with_exit_4() {
+    let out = certified_cli_with_fault("model", "model", &["--property", "obs", "--k", "5"]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "certification failure outranks exit 1"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("certification failed"),
+        "stderr must name the failure: {stderr}"
+    );
+}
+
+/// An unrecognised fault name is a usage error, not a silent no-op —
+/// a typo in the fault hook must never run an unfaulted "mutation"
+/// test that vacuously passes.
+#[test]
+fn unknown_fault_name_is_a_usage_error() {
+    let out = certified_cli_with_fault("badfault", "chaos", &["--property", "obs"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("SCADA_CERTIFY_FAULT"), "stderr: {stderr}");
 }
 
 /// A panicking verification job inside `verify_batch` does not corrupt

@@ -3,19 +3,21 @@
 //! SAT and 20 for UNSAT).
 //!
 //! ```text
-//! satcore [file.cnf] [--timeout DUR] [--conflict-budget N]
+//! satcore [file.cnf] [--timeout DUR] [--conflict-budget N] [--proof PATH]
 //!                           # stdin when no file is given
 //! ```
 //!
 //! `--timeout` accepts `500ms`, `5s`, `2m`, or plain seconds; when either
 //! limit is exhausted the solver prints `s UNKNOWN` and exits 30 instead
-//! of hanging.
+//! of hanging. `--proof PATH` streams a textual DRAT proof to `PATH`
+//! (flushed even on `s UNKNOWN`, so the file is always well-formed and
+//! checkable, e.g. with `drat-trim`).
 
 use std::io::{BufRead, BufReader};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use satcore::{parse_dimacs, SolveResult, Solver};
+use satcore::{parse_dimacs, DratWriter, SolveResult, Solver};
 
 /// Parses `500ms` / `5s` / `2m` / bare seconds.
 fn parse_duration(text: &str) -> Option<Duration> {
@@ -60,10 +62,14 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    let proof_path = opt("--proof").map(str::to_owned);
     let arg = args.iter().find(|a| !a.starts_with("--")).filter(|a| {
         // A flag's value is not the input file.
         let i = args.iter().position(|b| b == *a).unwrap_or(0);
-        i == 0 || (args[i - 1] != "--timeout" && args[i - 1] != "--conflict-budget")
+        i == 0
+            || (args[i - 1] != "--timeout"
+                && args[i - 1] != "--conflict-budget"
+                && args[i - 1] != "--proof")
     });
     let cnf = match arg.map(String::as_str) {
         Some(path) => {
@@ -95,6 +101,15 @@ fn main() -> ExitCode {
         cnf.clauses.len()
     );
     let mut solver = Solver::new();
+    if let Some(path) = &proof_path {
+        match DratWriter::create(path) {
+            Ok(writer) => solver.set_proof_sink(Some(Box::new(writer))),
+            Err(e) => {
+                eprintln!("c error creating proof file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let vars = cnf.load_into(&mut solver);
     solver.set_conflict_budget(conflict_budget);
     solver.set_deadline(timeout.map(|t| Instant::now() + t));

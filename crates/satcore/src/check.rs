@@ -1,0 +1,669 @@
+//! Independent verdict checking: model validation and RUP/DRAT proof
+//! replay.
+//!
+//! This module is the trust anchor for the whole pipeline. It shares
+//! **no code** with the solver's propagation: where the CDCL loop uses
+//! an arena-backed watched scheme with blocker literals, phase saving
+//! and conflict analysis woven through it, the checker re-implements
+//! watched unit propagation from scratch over plain `Vec`-of-`Vec`
+//! storage — a deliberately small engine (no blockers, no arena, no
+//! learning) whose entire propagation loop fits on one screen. A
+//! verdict accepted by both engines was derived by two independent
+//! implementations, so a bookkeeping bug in one cannot silently
+//! confirm itself.
+//!
+//! * [`check_model`] validates `sat` verdicts: every original clause
+//!   must contain a literal the model makes true.
+//! * [`RupChecker`] validates `unsat` verdicts by replaying a DRAT
+//!   proof: every clause addition must be RUP (its negation leads to a
+//!   conflict by unit propagation over the formula plus earlier
+//!   lemmas), and the final state must refute the query's assumptions.
+//!   The checker is *incremental*: axioms and proof steps can be fed
+//!   across many solver queries, matching the incremental CDCL solver
+//!   it audits, with no re-checking of already-validated prefixes.
+//!
+//! The RUP fragment checked here is exactly what a CDCL solver without
+//! inprocessing emits — every learned clause follows from its reason
+//! clauses by input resolution, which unit propagation re-derives.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::dimacs::Cnf;
+use crate::lit::{LBool, Lit};
+use crate::proof::ProofStep;
+
+/// Why a certification check failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The model leaves original clause `index` without a true literal.
+    FalsifiedClause {
+        /// Index of the falsified clause in the original formula.
+        index: usize,
+    },
+    /// Proof step `step` (0-based, counting only this batch) added a
+    /// clause that is not RUP with respect to the current clause set.
+    NotRup {
+        /// Index of the offending step in the applied sequence.
+        step: usize,
+    },
+    /// The proof replayed cleanly but propagation under the query's
+    /// assumptions does not yield a conflict — the proof does not
+    /// actually refute this query.
+    NotRefuted,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::FalsifiedClause { index } => {
+                write!(f, "model falsifies original clause {index}")
+            }
+            CheckError::NotRup { step } => {
+                write!(f, "proof step {step} is not RUP")
+            }
+            CheckError::NotRefuted => {
+                write!(f, "proof does not refute the query's assumptions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Work counters from a checking run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Proof steps applied so far.
+    pub steps: u64,
+    /// Literals propagated (persistent and temporary).
+    pub propagations: u64,
+}
+
+/// Checks that `model` satisfies every clause of `cnf`.
+///
+/// `model` is indexed by variable; variables beyond its length count as
+/// unassigned, and an unassigned variable satisfies nothing — a partial
+/// model is accepted only if every clause is satisfied by the assigned
+/// part.
+pub fn check_model(cnf: &Cnf, model: &[LBool]) -> Result<(), CheckError> {
+    for (index, clause) in cnf.clauses.iter().enumerate() {
+        let satisfied = clause.iter().any(|&l| {
+            let v = model.get(l.var().index()).copied().unwrap_or(LBool::Undef);
+            v == LBool::from_bool(l.is_positive())
+        });
+        if !satisfied {
+            return Err(CheckError::FalsifiedClause { index });
+        }
+    }
+    Ok(())
+}
+
+/// SplitMix64 finalizer: decorrelates literal codes before summing.
+fn mix(code: u64) -> u64 {
+    let mut z = code.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-independent hash of a clause's literal set (duplicates
+/// ignored), used to index the deletion lookup. Candidates sharing a
+/// hash are confirmed with [`same_clause`] — the hash only narrows the
+/// search, it never decides a match. Summing mixed codes keeps the key
+/// allocation-free on the insert path, which runs once per clause of
+/// the formula and proof.
+fn clause_key(lits: &[Lit]) -> u64 {
+    let mut key = 0u64;
+    for (i, &l) in lits.iter().enumerate() {
+        if !lits[..i].contains(&l) {
+            key = key.wrapping_add(mix(l.code() as u64));
+        }
+    }
+    key
+}
+
+/// Set equality of two clauses (duplicate literals ignored).
+fn same_clause(a: &[Lit], b: &[Lit]) -> bool {
+    a.iter().all(|l| b.contains(l)) && b.iter().all(|l| a.contains(l))
+}
+
+/// Pass-through hasher for the deletion index: [`clause_key`] already
+/// mixes its input, so rehashing with SipHash on every clause insert
+/// would be pure overhead.
+#[derive(Default)]
+struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// Marker for "no previous clause with this key" in the deletion chain.
+const NO_CLAUSE: usize = usize::MAX;
+
+/// An incremental RUP/DRAT checker with its own propagation engine.
+///
+/// Feed original clauses with [`add_axiom`], replay solver output with
+/// [`apply`], and validate an unsat answer with [`refutes`]. All state
+/// persists across calls, so one checker audits an entire incremental
+/// solving session step by step.
+///
+/// [`add_axiom`]: RupChecker::add_axiom
+/// [`apply`]: RupChecker::apply
+/// [`refutes`]: RupChecker::refutes
+#[derive(Debug, Default)]
+pub struct RupChecker {
+    /// Clause store; `None` marks a deleted clause. A live clause keeps
+    /// its two watched literals at positions 0 and 1 (clauses that are
+    /// unit, empty, or satisfied at root level are stored unwatched).
+    clauses: Vec<Option<Vec<Lit>>>,
+    /// For each literal code, the clauses currently watching that
+    /// literal. Entries for deleted clauses are dropped lazily the next
+    /// time traversal meets them.
+    watch: Vec<Vec<usize>>,
+    /// Persistent (level-0) assignment, indexed by variable.
+    assign: Vec<LBool>,
+    /// Persistent trail, in propagation order.
+    trail: Vec<Lit>,
+    /// Propagation queue head: trail literals below this index have had
+    /// their watch lists traversed.
+    processed: usize,
+    /// Clauses that forced a persistent literal; deletions of these are
+    /// ignored (the drat-trim convention — every kept clause is one the
+    /// formula already implies, so keeping it is sound).
+    locked: Vec<bool>,
+    /// Deletion lookup: order-independent clause hash → most recent
+    /// clause id with that hash; older same-hash clauses follow via
+    /// `chain`. Collisions are resolved by literal-set comparison.
+    by_key: HashMap<u64, usize, BuildHasherDefault<KeyHasher>>,
+    /// Per clause: previous clause id with the same hash ([`NO_CLAUSE`]
+    /// ends the chain).
+    chain: Vec<usize>,
+    /// Propagation over the formula alone has already hit a conflict —
+    /// every clause (including the empty one) is now implied.
+    root_conflict: bool,
+    stats: CheckStats,
+}
+
+impl RupChecker {
+    /// Creates an empty checker.
+    pub fn new() -> RupChecker {
+        RupChecker::default()
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> CheckStats {
+        self.stats
+    }
+
+    /// Whether the clause set is already refuted outright (propagation
+    /// reaches a conflict with no assumptions).
+    pub fn root_conflict(&self) -> bool {
+        self.root_conflict
+    }
+
+    fn ensure_var(&mut self, l: Lit) {
+        let need = l.var().index() + 1;
+        if self.assign.len() < need {
+            self.assign.resize(need, LBool::Undef);
+        }
+        if self.watch.len() < need * 2 {
+            self.watch.resize(need * 2, Vec::new());
+        }
+    }
+
+    fn value(&self, l: Lit) -> LBool {
+        let v = self
+            .assign
+            .get(l.var().index())
+            .copied()
+            .unwrap_or(LBool::Undef);
+        if l.is_negative() {
+            v.negate()
+        } else {
+            v
+        }
+    }
+
+    /// Asserts `l`; returns `false` on conflict (`l` already false).
+    fn assert_lit(&mut self, l: Lit) -> bool {
+        match self.value(l) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                self.assign[l.var().index()] = LBool::from_bool(l.is_positive());
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation over the unprocessed trail suffix: for each
+    /// newly false literal, traverse the clauses watching it and either
+    /// move the watch to another non-false literal, recognise the
+    /// clause as satisfied, assert its remaining literal as unit, or
+    /// report a conflict (return `false`). Backtracking needs no watch
+    /// repair — a watch moved under a deeper assignment still points at
+    /// a literal that is at worst unassigned once that assignment is
+    /// undone. When `lock` is set, clauses that force a literal are
+    /// marked reason-locked (persistent mode only).
+    fn propagate(&mut self, lock: bool) -> bool {
+        while self.processed < self.trail.len() {
+            let p = self.trail[self.processed];
+            self.processed += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let fcode = false_lit.code();
+            if fcode >= self.watch.len() {
+                continue;
+            }
+            let mut i = 0;
+            while i < self.watch[fcode].len() {
+                let ci = self.watch[fcode][i];
+                // Deleted clauses leave stale watch entries; drop them
+                // on contact. Taking the clause out (a pointer move,
+                // not a copy) lets the scan below borrow freely.
+                let Some(mut clause) = self.clauses[ci].take() else {
+                    self.watch[fcode].swap_remove(i);
+                    continue;
+                };
+                if clause[0] == false_lit {
+                    clause.swap(0, 1);
+                }
+                debug_assert_eq!(clause[1], false_lit, "watched literal mismatch");
+                let other = clause[0];
+                if self.value(other) == LBool::True {
+                    self.clauses[ci] = Some(clause);
+                    i += 1;
+                    continue;
+                }
+                let mut moved = false;
+                for k in 2..clause.len() {
+                    if self.value(clause[k]) != LBool::False {
+                        clause.swap(1, k);
+                        self.watch[clause[1].code()].push(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    self.clauses[ci] = Some(clause);
+                    self.watch[fcode].swap_remove(i);
+                    continue;
+                }
+                self.clauses[ci] = Some(clause);
+                if self.value(other) == LBool::False {
+                    return false;
+                }
+                if lock {
+                    self.locked[ci] = true;
+                }
+                let asserted = self.assert_lit(other);
+                debug_assert!(asserted, "undef literal cannot conflict");
+                i += 1;
+            }
+        }
+        true
+    }
+
+    /// Pops the trail back to `mark`, unassigning everything above it.
+    /// Watches need no attention — that laziness is what makes the
+    /// temporary propagation in [`is_rup`](Self::is_rup) cheap to undo.
+    fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let l = self.trail.pop().expect("trail above mark");
+            self.assign[l.var().index()] = LBool::Undef;
+        }
+        if self.processed > self.trail.len() {
+            self.processed = self.trail.len();
+        }
+    }
+
+    /// Is `lits` RUP: does asserting its negation propagate to conflict?
+    fn is_rup(&mut self, lits: &[Lit]) -> bool {
+        if self.root_conflict {
+            return true;
+        }
+        for &l in lits {
+            self.ensure_var(l);
+        }
+        // A clause with a persistently true literal is already implied;
+        // a tautology always is.
+        for (i, &l) in lits.iter().enumerate() {
+            if self.value(l) == LBool::True || lits[..i].contains(&!l) {
+                return true;
+            }
+        }
+        let mark = self.trail.len();
+        let mut conflict = false;
+        for &l in lits {
+            if !self.assert_lit(!l) {
+                conflict = true;
+                break;
+            }
+        }
+        let result = conflict || !self.propagate(false);
+        self.undo_to(mark);
+        result
+    }
+
+    /// Inserts a clause into the store, picks watches, and settles
+    /// persistent units.
+    ///
+    /// Insertion only ever happens at root level (between RUP checks),
+    /// so the settle logic reads the persistent assignment directly: a
+    /// clause satisfied at root stays satisfied forever and needs no
+    /// watches, a falsified one is an immediate root conflict, a unit
+    /// asserts its literal, and only genuinely open clauses (two or
+    /// more non-false literals) enter the watch lists.
+    fn insert(&mut self, lits: &[Lit]) {
+        // Store with duplicate literals removed, so a clause like
+        // (u ∨ u ∨ f) cannot end up watching the same literal twice.
+        // Deduplication cannot change a clause's semantics.
+        let mut stored: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            if !stored.contains(&l) {
+                stored.push(l);
+            }
+        }
+        for &l in &stored {
+            self.ensure_var(l);
+        }
+        // Settle scan: satisfied at root, or count the non-false
+        // literals, remembering the first two as watch candidates.
+        let mut satisfied = false;
+        let mut open = 0usize;
+        let mut first: Option<usize> = None;
+        let mut second: Option<usize> = None;
+        for (k, &l) in stored.iter().enumerate() {
+            match self.value(l) {
+                LBool::True => {
+                    satisfied = true;
+                    break;
+                }
+                LBool::False => {}
+                LBool::Undef => {
+                    open += 1;
+                    if first.is_none() {
+                        first = Some(k);
+                    } else if second.is_none() {
+                        second = Some(k);
+                    }
+                }
+            }
+        }
+        let watchable = !self.root_conflict && !satisfied && open >= 2;
+        if watchable {
+            // Move the two watch candidates to the front. `a < b`, so
+            // the first swap cannot displace position `b`.
+            let (a, b) = (first.expect("two open"), second.expect("two open"));
+            stored.swap(0, a);
+            stored.swap(1, b);
+        }
+        let ci = self.clauses.len();
+        let prev = self
+            .by_key
+            .insert(clause_key(&stored), ci)
+            .unwrap_or(NO_CLAUSE);
+        self.chain.push(prev);
+        if watchable {
+            self.watch[stored[0].code()].push(ci);
+            self.watch[stored[1].code()].push(ci);
+        }
+        self.clauses.push(Some(stored));
+        self.locked.push(false);
+        if self.root_conflict || satisfied || watchable {
+            return;
+        }
+        match (open, first) {
+            (0, _) => self.root_conflict = true,
+            (1, Some(k)) => {
+                let u = self.clauses[ci].as_ref().expect("just stored")[k];
+                self.locked[ci] = true;
+                let asserted = self.assert_lit(u);
+                debug_assert!(asserted);
+                if !self.propagate(true) {
+                    self.root_conflict = true;
+                }
+            }
+            _ => unreachable!("open >= 2 is watchable"),
+        }
+    }
+
+    /// Adds an original (axiom) clause, no RUP check.
+    pub fn add_axiom(&mut self, lits: &[Lit]) {
+        self.insert(lits);
+    }
+
+    /// Applies one proof step: additions must be RUP, deletions remove
+    /// one matching clause (reason-locked clauses are kept).
+    pub fn apply(&mut self, step: &ProofStep) -> Result<(), CheckError> {
+        let index = self.stats.steps as usize;
+        self.stats.steps += 1;
+        match step {
+            ProofStep::Add(lits) => {
+                if !self.is_rup(lits) {
+                    return Err(CheckError::NotRup { step: index });
+                }
+                self.insert(lits);
+                Ok(())
+            }
+            ProofStep::Delete(lits) => {
+                // Walk the same-hash chain newest-first for a live,
+                // unlocked instance; locked reasons stay, and the hash
+                // only narrows candidates — the literal-set comparison
+                // decides the actual match.
+                let key = clause_key(lits);
+                let mut cur = self.by_key.get(&key).copied().unwrap_or(NO_CLAUSE);
+                while cur != NO_CLAUSE {
+                    if !self.locked[cur]
+                        && self.clauses[cur]
+                            .as_ref()
+                            .is_some_and(|c| same_clause(c, lits))
+                    {
+                        // Watch entries for `cur` go stale here; the
+                        // propagation loop drops them lazily.
+                        self.clauses[cur] = None;
+                        break;
+                    }
+                    cur = self.chain[cur];
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Checks that the current clause set refutes `assumptions`:
+    /// asserting them all and unit-propagating must yield a conflict.
+    /// With no assumptions this demands an outright root conflict (the
+    /// proof must have derived the empty clause's effect).
+    pub fn refutes(&mut self, assumptions: &[Lit]) -> bool {
+        let negated: Vec<Lit> = assumptions.iter().map(|&a| !a).collect();
+        self.is_rup(&negated)
+    }
+}
+
+/// Batch check of a complete unsat proof for `cnf` under `assumptions`.
+///
+/// Convenience wrapper over [`RupChecker`] for one-shot (non-
+/// incremental) use, e.g. checking a proof file from the `satcore`
+/// DIMACS CLI.
+pub fn check_unsat_proof(
+    cnf: &Cnf,
+    proof: &[ProofStep],
+    assumptions: &[Lit],
+) -> Result<CheckStats, CheckError> {
+    let mut checker = RupChecker::new();
+    for clause in &cnf.clauses {
+        checker.add_axiom(clause);
+    }
+    for step in proof {
+        checker.apply(step)?;
+    }
+    if !checker.refutes(assumptions) {
+        return Err(CheckError::NotRefuted);
+    }
+    Ok(checker.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lit(n: i64) -> Lit {
+        Var::from_index((n.unsigned_abs() - 1) as usize).lit(n > 0)
+    }
+
+    fn cnf(clauses: &[&[i64]]) -> Cnf {
+        let mut c = Cnf::default();
+        for clause in clauses {
+            let lits: Vec<Lit> = clause.iter().map(|&n| lit(n)).collect();
+            for &l in &lits {
+                while c.num_vars <= l.var().index() {
+                    c.num_vars += 1;
+                }
+            }
+            c.clauses.push(lits);
+        }
+        c
+    }
+
+    #[test]
+    fn model_checker_accepts_and_rejects() {
+        let f = cnf(&[&[1, 2], &[-1, 2], &[-2, 3]]);
+        let good = [LBool::False, LBool::True, LBool::True];
+        assert_eq!(check_model(&f, &good), Ok(()));
+        let bad = [LBool::True, LBool::False, LBool::True];
+        assert_eq!(
+            check_model(&f, &bad),
+            Err(CheckError::FalsifiedClause { index: 1 })
+        );
+        // Partial model leaving a clause open is rejected too.
+        let partial = [LBool::False];
+        assert_eq!(
+            check_model(&f, &partial),
+            Err(CheckError::FalsifiedClause { index: 0 })
+        );
+    }
+
+    #[test]
+    fn rup_replay_of_a_hand_refutation() {
+        // (1∨2)(1∨¬2)(¬1∨2)(¬1∨¬2) is unsat; lemma (1) is RUP, after
+        // which propagation alone conflicts.
+        let f = cnf(&[&[1, 2], &[1, -2], &[-1, 2], &[-1, -2]]);
+        let proof = [ProofStep::Add(vec![lit(1)]), ProofStep::Add(vec![])];
+        let stats = check_unsat_proof(&f, &proof, &[]).expect("valid proof");
+        assert!(stats.steps == 2 && stats.propagations > 0);
+    }
+
+    #[test]
+    fn non_rup_addition_is_rejected() {
+        let f = cnf(&[&[1, 2]]);
+        // (¬1) does not follow from (1∨2) by unit propagation.
+        let proof = [ProofStep::Add(vec![lit(-1)])];
+        let mut checker = RupChecker::new();
+        for c in &f.clauses {
+            checker.add_axiom(c);
+        }
+        assert_eq!(
+            checker.apply(&proof[0]),
+            Err(CheckError::NotRup { step: 0 })
+        );
+    }
+
+    #[test]
+    fn satisfiable_formula_refutes_nothing() {
+        let f = cnf(&[&[1, 2]]);
+        let err = check_unsat_proof(&f, &[], &[]).unwrap_err();
+        assert_eq!(err, CheckError::NotRefuted);
+    }
+
+    #[test]
+    fn assumption_refutation() {
+        // (¬1∨2)(¬2∨3): under assumptions {1, ¬3} propagation conflicts
+        // with no lemmas at all.
+        let f = cnf(&[&[-1, 2], &[-2, 3]]);
+        let mut checker = RupChecker::new();
+        for c in &f.clauses {
+            checker.add_axiom(c);
+        }
+        assert!(checker.refutes(&[lit(1), lit(-3)]));
+        // But {1} alone is satisfiable.
+        assert!(!checker.refutes(&[lit(1)]));
+        // And the temporary propagation left no residue.
+        assert!(checker.refutes(&[lit(1), lit(-3)]));
+    }
+
+    #[test]
+    fn deletion_of_locked_reasons_is_ignored() {
+        // (1) forces 1, and (¬1∨2) then forces 2 — both are reasons.
+        let f = cnf(&[&[1], &[-1, 2]]);
+        let mut checker = RupChecker::new();
+        for c in &f.clauses {
+            checker.add_axiom(c);
+        }
+        checker
+            .apply(&ProofStep::Delete(vec![lit(-1), lit(2)]))
+            .unwrap();
+        // 2 must still be persistently implied.
+        assert!(checker.refutes(&[lit(-2)]));
+    }
+
+    #[test]
+    fn deletion_removes_unlocked_clauses() {
+        let f = cnf(&[&[1, 2]]);
+        let mut checker = RupChecker::new();
+        for c in &f.clauses {
+            checker.add_axiom(c);
+        }
+        // With (1∨2) present, {¬1, ¬2} is refuted...
+        assert!(checker.refutes(&[lit(-1), lit(-2)]));
+        checker
+            .apply(&ProofStep::Delete(vec![lit(1), lit(2)]))
+            .unwrap();
+        // ...and afterwards it is not.
+        assert!(!checker.refutes(&[lit(-1), lit(-2)]));
+    }
+
+    #[test]
+    fn empty_clause_requires_root_conflict() {
+        let f = cnf(&[&[1, 2]]);
+        let mut checker = RupChecker::new();
+        for c in &f.clauses {
+            checker.add_axiom(c);
+        }
+        assert_eq!(
+            checker.apply(&ProofStep::Add(vec![])),
+            Err(CheckError::NotRup { step: 0 })
+        );
+        assert!(!checker.root_conflict());
+    }
+
+    #[test]
+    fn incremental_axioms_between_proof_steps() {
+        // Mirrors incremental solving: axioms arrive, lemmas arrive,
+        // more axioms arrive, and refutation only holds at the end.
+        let mut checker = RupChecker::new();
+        checker.add_axiom(&[lit(1), lit(2)]);
+        checker.add_axiom(&[lit(1), lit(-2)]);
+        assert!(checker.refutes(&[lit(-1)]));
+        checker.apply(&ProofStep::Add(vec![lit(1)])).unwrap();
+        assert!(!checker.refutes(&[lit(1)]));
+        checker.add_axiom(&[lit(-1)]);
+        assert!(checker.root_conflict() || checker.refutes(&[]));
+        assert!(checker.refutes(&[]));
+    }
+}

@@ -49,11 +49,15 @@ mod lit;
 mod solver;
 
 pub mod bruteforce;
+pub mod check;
 pub mod dimacs;
 pub mod luby;
+pub mod proof;
 
+pub use check::{check_model, check_unsat_proof, CheckError, CheckStats, RupChecker};
 pub use clause::{Clause, ClauseRef};
 pub use dimacs::{parse_dimacs, write_dimacs, Cnf, ParseDimacsError};
 pub use lit::{LBool, Lit, Var};
 pub use luby::luby;
+pub use proof::{parse_drat, write_drat, DratWriter, ProofBuffer, ProofSink, ProofStep};
 pub use solver::{CnfSink, SolveResult, Solver, SolverStats};

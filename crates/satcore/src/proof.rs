@@ -1,0 +1,367 @@
+//! DRAT proof logging.
+//!
+//! A CDCL solver's `unsat` answer is only as trustworthy as the solver
+//! itself. DRAT proof logging makes the answer *checkable*: every
+//! clause the solver learns (and every clause it deletes) is recorded,
+//! and an independent checker can replay the derivation with nothing
+//! but unit propagation. The format emitted here is standard textual
+//! DRAT — one clause per line, literals as signed DIMACS integers,
+//! `0`-terminated, deletions prefixed with `d` — so proofs are also
+//! consumable by external tools such as `drat-trim`.
+//!
+//! Two sinks are provided: [`DratWriter`] streams the proof to a file
+//! (buffered at line boundaries, synced on flush, so an interrupted or
+//! deadline-bounded solve never leaves a torn line behind), and
+//! [`ProofBuffer`] accumulates [`ProofStep`]s in memory for in-process
+//! checking with [`crate::check`].
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::lit::Lit;
+
+/// One step of a DRAT proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProofStep {
+    /// A clause addition (a learned or simplified clause; the empty
+    /// clause terminates an unconditional refutation).
+    Add(Vec<Lit>),
+    /// A clause deletion (`d` line).
+    Delete(Vec<Lit>),
+}
+
+/// A sink for proof steps, hooked into the CDCL loop.
+///
+/// Implementations must tolerate any interleaving of additions and
+/// deletions, and must make the proof durable when [`flush_proof`] is
+/// called — the solver flushes at *every* exit from a solve call,
+/// including deadline/interrupt-bounded `Unknown` exits, so a bounded
+/// run leaves a clean (if incomplete) proof behind.
+///
+/// [`flush_proof`]: ProofSink::flush_proof
+pub trait ProofSink: Send {
+    /// Records the addition of `lits` (empty slice = the empty clause).
+    fn add_clause(&mut self, lits: &[Lit]);
+    /// Records the deletion of `lits`.
+    fn delete_clause(&mut self, lits: &[Lit]);
+    /// Makes everything recorded so far durable.
+    fn flush_proof(&mut self) {}
+}
+
+/// An output target for [`DratWriter`]: a writer that can also be
+/// synced to durable storage.
+pub trait ProofOut: Write + Send {
+    /// Forces buffered bytes to durable storage (no-op by default).
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl ProofOut for File {
+    fn sync(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+}
+
+impl ProofOut for Vec<u8> {}
+
+/// Formats one DRAT line (without the `d` prefix) into `buf`.
+fn push_line(buf: &mut String, lits: &[Lit]) {
+    for &l in lits {
+        let v = (l.var().index() + 1) as i64;
+        let _ = write!(buf, "{} ", if l.is_negative() { -v } else { v });
+    }
+    buf.push_str("0\n");
+}
+
+/// Streams a DRAT proof to a writer, buffering whole lines.
+///
+/// Bytes are handed to the underlying writer only at line boundaries,
+/// so even if the process dies mid-solve the proof file contains only
+/// complete lines. [`flush_proof`](ProofSink::flush_proof) drains the
+/// buffer and syncs the target; the solver calls it on every solve
+/// exit, including bounded `Unknown` ones.
+///
+/// I/O errors are sticky: the first one is kept and reported by
+/// [`DratWriter::take_error`]; later writes become no-ops.
+#[derive(Debug)]
+pub struct DratWriter<W: ProofOut> {
+    out: W,
+    buf: String,
+    error: Option<io::Error>,
+}
+
+/// Buffer this many bytes of complete lines before writing through.
+const FLUSH_THRESHOLD: usize = 64 * 1024;
+
+impl DratWriter<File> {
+    /// Creates a proof writer over a freshly created file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<DratWriter<File>> {
+        Ok(DratWriter::new(File::create(path)?))
+    }
+}
+
+impl<W: ProofOut> DratWriter<W> {
+    /// Wraps an output target.
+    pub fn new(out: W) -> DratWriter<W> {
+        DratWriter {
+            out,
+            buf: String::new(),
+            error: None,
+        }
+    }
+
+    fn drain(&mut self, sync: bool) {
+        if self.error.is_some() {
+            self.buf.clear();
+            return;
+        }
+        let result = (|| {
+            if !self.buf.is_empty() {
+                self.out.write_all(self.buf.as_bytes())?;
+                self.buf.clear();
+            }
+            self.out.flush()?;
+            if sync {
+                self.out.sync()?;
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            self.buf.clear();
+            self.error = Some(e);
+        }
+    }
+
+    /// Takes the first I/O error encountered, if any.
+    pub fn take_error(&mut self) -> Option<io::Error> {
+        self.error.take()
+    }
+
+    /// Consumes the writer, flushing and returning the target (or the
+    /// first error).
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.drain(true);
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.out),
+        }
+    }
+}
+
+impl<W: ProofOut> ProofSink for DratWriter<W> {
+    fn add_clause(&mut self, lits: &[Lit]) {
+        push_line(&mut self.buf, lits);
+        if self.buf.len() >= FLUSH_THRESHOLD {
+            self.drain(false);
+        }
+    }
+
+    fn delete_clause(&mut self, lits: &[Lit]) {
+        self.buf.push_str("d ");
+        push_line(&mut self.buf, lits);
+        if self.buf.len() >= FLUSH_THRESHOLD {
+            self.drain(false);
+        }
+    }
+
+    fn flush_proof(&mut self) {
+        self.drain(true);
+    }
+}
+
+/// An in-memory proof sink shared between the solver and a checker.
+///
+/// Cloning is cheap (the step list is behind an `Arc<Mutex<..>>`), so
+/// the caller can keep one handle and install the other on the solver,
+/// then [`take_steps`](ProofBuffer::take_steps) after each solve to
+/// feed an incremental [`crate::check::RupChecker`].
+#[derive(Debug, Clone, Default)]
+pub struct ProofBuffer {
+    steps: Arc<Mutex<Vec<ProofStep>>>,
+}
+
+impl ProofBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> ProofBuffer {
+        ProofBuffer::default()
+    }
+
+    /// Drains and returns all steps recorded since the last call.
+    pub fn take_steps(&self) -> Vec<ProofStep> {
+        std::mem::take(&mut *self.steps.lock().unwrap())
+    }
+
+    /// The number of steps currently buffered.
+    pub fn len(&self) -> usize {
+        self.steps.lock().unwrap().len()
+    }
+
+    /// Whether no steps are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ProofSink for ProofBuffer {
+    fn add_clause(&mut self, lits: &[Lit]) {
+        self.steps
+            .lock()
+            .unwrap()
+            .push(ProofStep::Add(lits.to_vec()));
+    }
+
+    fn delete_clause(&mut self, lits: &[Lit]) {
+        self.steps
+            .lock()
+            .unwrap()
+            .push(ProofStep::Delete(lits.to_vec()));
+    }
+}
+
+/// Serializes proof steps as textual DRAT.
+pub fn write_drat<W: Write>(steps: &[ProofStep], w: &mut W) -> io::Result<()> {
+    let mut buf = String::new();
+    for step in steps {
+        match step {
+            ProofStep::Add(lits) => push_line(&mut buf, lits),
+            ProofStep::Delete(lits) => {
+                buf.push_str("d ");
+                push_line(&mut buf, lits);
+            }
+        }
+    }
+    w.write_all(buf.as_bytes())
+}
+
+/// Parses a textual DRAT proof.
+///
+/// Strict by design: every line must be a `0`-terminated clause
+/// (optionally `d`-prefixed), and the final line must end in a
+/// newline — an unterminated trailing line means the proof was torn
+/// mid-write and is rejected, which is exactly the signal the
+/// clean-truncation guarantee of [`DratWriter`] is tested against.
+pub fn parse_drat(text: &str) -> Result<Vec<ProofStep>, String> {
+    let mut steps = Vec::new();
+    if !text.is_empty() && !text.ends_with('\n') {
+        return Err("unterminated final line (torn proof?)".into());
+    }
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let (is_delete, rest) = match line.strip_prefix('d') {
+            Some(rest) => (true, rest),
+            None => (false, line),
+        };
+        let mut lits = Vec::new();
+        let mut terminated = false;
+        for tok in rest.split_whitespace() {
+            if terminated {
+                return Err(format!("line {}: literals after 0", lineno + 1));
+            }
+            let n: i64 = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad literal {tok:?}", lineno + 1))?;
+            if n == 0 {
+                terminated = true;
+            } else {
+                let var = crate::lit::Var::from_index((n.unsigned_abs() - 1) as usize);
+                lits.push(var.lit(n > 0));
+            }
+        }
+        if !terminated {
+            return Err(format!("line {}: clause not 0-terminated", lineno + 1));
+        }
+        steps.push(if is_delete {
+            ProofStep::Delete(lits)
+        } else {
+            ProofStep::Add(lits)
+        });
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lit(n: i64) -> Lit {
+        Var::from_index((n.unsigned_abs() - 1) as usize).lit(n > 0)
+    }
+
+    #[test]
+    fn writer_emits_standard_drat() {
+        let mut w = DratWriter::new(Vec::new());
+        w.add_clause(&[lit(1), lit(-2)]);
+        w.delete_clause(&[lit(3)]);
+        w.add_clause(&[]);
+        let bytes = w.into_inner().expect("no io error");
+        assert_eq!(String::from_utf8(bytes).unwrap(), "1 -2 0\nd 3 0\n0\n");
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let steps = vec![
+            ProofStep::Add(vec![lit(1), lit(-2), lit(3)]),
+            ProofStep::Delete(vec![lit(-1), lit(2)]),
+            ProofStep::Add(vec![]),
+        ];
+        let mut text = Vec::new();
+        write_drat(&steps, &mut text).unwrap();
+        let parsed = parse_drat(std::str::from_utf8(&text).unwrap()).unwrap();
+        assert_eq!(parsed, steps);
+    }
+
+    #[test]
+    fn parse_rejects_torn_proofs() {
+        assert!(parse_drat("1 2 0\n-1 ").is_err(), "unterminated line");
+        assert!(parse_drat("1 2\n").is_err(), "missing 0 terminator");
+        assert!(parse_drat("1 0 2 0\n").is_err(), "literals after 0");
+        assert!(parse_drat("1 x 0\n").is_err(), "non-numeric literal");
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let steps = parse_drat("c a comment\n\n1 0\n").unwrap();
+        assert_eq!(steps, vec![ProofStep::Add(vec![lit(1)])]);
+    }
+
+    #[test]
+    fn buffer_drains_incrementally() {
+        let buf = ProofBuffer::new();
+        let mut handle = buf.clone();
+        handle.add_clause(&[lit(1)]);
+        handle.delete_clause(&[lit(1)]);
+        assert_eq!(buf.len(), 2);
+        let steps = buf.take_steps();
+        assert_eq!(
+            steps,
+            vec![
+                ProofStep::Add(vec![lit(1)]),
+                ProofStep::Delete(vec![lit(1)]),
+            ]
+        );
+        assert!(buf.is_empty());
+        handle.add_clause(&[]);
+        assert_eq!(buf.take_steps(), vec![ProofStep::Add(vec![])]);
+    }
+
+    #[test]
+    fn writer_buffers_at_line_boundaries() {
+        // Below the threshold nothing reaches the target; after a flush
+        // everything does, in complete lines.
+        let mut w = DratWriter::new(Vec::new());
+        w.add_clause(&[lit(7)]);
+        assert!(w.buf.ends_with('\n'));
+        w.flush_proof();
+        assert!(w.buf.is_empty());
+        let bytes = w.into_inner().unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), "7 0\n");
+    }
+}

@@ -14,8 +14,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::clause::{Clause, ClauseDb, ClauseRef};
+use crate::dimacs::Cnf;
 use crate::heap::VarHeap;
 use crate::lit::{LBool, Lit, Var};
+use crate::proof::ProofSink;
 
 /// The result of a solve call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +79,15 @@ struct ProgressHook(ProgressFn);
 impl std::fmt::Debug for ProgressHook {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("ProgressHook(..)")
+    }
+}
+
+/// A [`ProofSink`] wrapped so [`Solver`] can keep deriving `Debug`.
+struct ProofHook(Box<dyn ProofSink>);
+
+impl std::fmt::Debug for ProofHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProofHook(..)")
     }
 }
 
@@ -166,6 +177,14 @@ pub struct Solver {
     /// Conflicting assumptions from the last unsat solve-with-assumptions.
     conflict_core: Vec<Lit>,
     model: Vec<LBool>,
+    /// Optional DRAT proof sink; every learnt clause, add-time
+    /// simplification, clause deletion, and the final (empty or
+    /// assumption-core) clause is emitted here.
+    proof: Option<ProofHook>,
+    /// Optional verbatim copy of every clause handed to the solver,
+    /// pre-simplification — the formula an independent checker audits
+    /// verdicts against.
+    mirror: Option<Cnf>,
 }
 
 impl Default for Solver {
@@ -206,7 +225,73 @@ impl Solver {
             progress: None,
             conflict_core: Vec::new(),
             model: Vec::new(),
+            proof: None,
+            mirror: None,
         }
+    }
+
+    /// Installs a DRAT proof sink (`None` removes it).
+    ///
+    /// Install it **before adding clauses** so add-time simplifications
+    /// are captured. The sink's [`ProofSink::flush_proof`] is called at
+    /// every exit from a solve call — including deadline, budget, and
+    /// interrupt [`SolveResult::Unknown`] exits — so a bounded solve
+    /// never leaves an unflushed (torn) proof behind.
+    pub fn set_proof_sink(&mut self, sink: Option<Box<dyn ProofSink>>) {
+        self.proof = sink.map(ProofHook);
+    }
+
+    /// Enables (or disables) mirroring: every clause subsequently added
+    /// is also recorded verbatim, pre-simplification. Enable it before
+    /// the first clause for the mirror to define the whole formula.
+    pub fn set_clause_mirror(&mut self, enabled: bool) {
+        if enabled && self.mirror.is_none() {
+            self.mirror = Some(Cnf {
+                num_vars: self.assigns.len(),
+                clauses: Vec::new(),
+            });
+        } else if !enabled {
+            self.mirror = None;
+        }
+    }
+
+    /// The mirrored formula, if mirroring is enabled. Grows
+    /// monotonically, so incremental callers can certify query by query
+    /// from a remembered clause index.
+    pub fn mirror(&self) -> Option<&Cnf> {
+        self.mirror.as_ref()
+    }
+
+    #[inline]
+    fn emit_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.0.add_clause(lits);
+        }
+    }
+
+    #[inline]
+    fn emit_delete(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.0.delete_clause(lits);
+        }
+    }
+
+    /// Marks the instance permanently unsat, emitting the empty clause
+    /// to the proof exactly once (at the `ok` true→false transition).
+    fn set_unsat(&mut self) {
+        if self.ok {
+            self.ok = false;
+            self.emit_add(&[]);
+        }
+    }
+
+    /// Flushes the proof sink and passes `r` through; called on every
+    /// solve exit so even `Unknown` leaves a durable, untorn proof.
+    fn finish(&mut self, r: SolveResult) -> SolveResult {
+        if let Some(p) = self.proof.as_mut() {
+            p.0.flush_proof();
+        }
+        r
     }
 
     /// Number of live clauses (original + learnt).
@@ -324,6 +409,13 @@ impl Solver {
             .collect()
     }
 
+    /// The raw ternary model of the last satisfying solve, indexed by
+    /// variable — the exact shape [`crate::check::check_model`] takes.
+    /// Empty when the last solve was not `Sat`.
+    pub fn model_values(&self) -> &[LBool] {
+        &self.model
+    }
+
     /// After an unsat [`Solver::solve_with_assumptions`], the subset of
     /// assumptions that participated in the refutation (an unsat core).
     pub fn unsat_core(&self) -> &[Lit] {
@@ -361,6 +453,11 @@ impl Solver {
     /// makes the instance unsatisfiable.
     pub fn add_clause_checked(&mut self, lits: &[Lit]) -> bool {
         debug_assert_eq!(self.decision_level(), 0);
+        // Mirror verbatim even when already unsat, so the mirror always
+        // equals the full formula the caller defined.
+        if let Some(mirror) = self.mirror.as_mut() {
+            mirror.clauses.push(lits.to_vec());
+        }
         if !self.ok {
             return false;
         }
@@ -385,15 +482,22 @@ impl Solver {
             }
             prev = Some(l);
         }
+        // A clause shrunk by level-0 simplification no longer matches
+        // what the caller added; emit the shrunk form as a proof step
+        // (it is RUP: the stripped literals are all falsified by units
+        // the checker has already propagated).
+        if out.len() < c.len() && !out.is_empty() {
+            self.emit_add(&out);
+        }
         match out.len() {
             0 => {
-                self.ok = false;
+                self.set_unsat();
                 false
             }
             1 => {
                 self.unchecked_enqueue(out[0], None);
                 if self.propagate().is_some() {
-                    self.ok = false;
+                    self.set_unsat();
                     false
                 } else {
                     true
@@ -663,6 +767,7 @@ impl Solver {
     }
 
     fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        self.emit_add(&learnt);
         self.stats.learnt_clauses = self.db.num_learnt as u64 + 1;
         if learnt.len() == 1 {
             self.unchecked_enqueue(learnt[0], None);
@@ -722,6 +827,10 @@ impl Solver {
         });
         let to_remove = cands.len() / 2;
         for &r in cands.iter().take(to_remove) {
+            if self.proof.is_some() {
+                let lits = self.db.get(r).lits.clone();
+                self.emit_delete(&lits);
+            }
             self.db.delete(r);
         }
         self.learnts.retain(|&r| !self.db.get(r).deleted);
@@ -786,12 +895,12 @@ impl Solver {
         self.model.clear();
         self.conflict_core.clear();
         if !self.ok {
-            return SolveResult::Unsat;
+            return self.finish(SolveResult::Unsat);
         }
         self.cancel_until(0);
         if self.propagate().is_some() {
-            self.ok = false;
-            return SolveResult::Unsat;
+            self.set_unsat();
+            return self.finish(SolveResult::Unsat);
         }
 
         self.max_learnts = (self.db.num_original as f64 / 3.0).max(1000.0);
@@ -814,10 +923,10 @@ impl Solver {
                     // A conflict with no decisions refutes the formula
                     // itself (learnt clauses never resolve on assumption
                     // decisions), so the instance is permanently unsat.
-                    self.ok = false;
+                    self.set_unsat();
                     self.conflict_core.clear();
                     self.cancel_until(0);
-                    return SolveResult::Unsat;
+                    return self.finish(SolveResult::Unsat);
                 }
                 let (learnt, bt) = self.analyze(confl);
                 self.cancel_until(bt);
@@ -830,13 +939,13 @@ impl Solver {
                 // outrun the budget or deadline before the next decision.
                 if self.limits_exhausted(budget_start) {
                     self.cancel_until(0);
-                    return SolveResult::Unknown;
+                    return self.finish(SolveResult::Unknown);
                 }
             } else {
                 // No conflict.
                 if self.limits_exhausted(budget_start) {
                     self.cancel_until(0);
-                    return SolveResult::Unknown;
+                    return self.finish(SolveResult::Unknown);
                 }
                 if conflicts_this_restart >= conflicts_until_restart {
                     self.stats.restarts += 1;
@@ -867,8 +976,16 @@ impl Solver {
                         }
                         LBool::False => {
                             self.analyze_final(a);
+                            // The negated core is a RUP lemma (its
+                            // falsification propagates to conflict via
+                            // the same reason clauses the analysis
+                            // walked), making the proof self-contained
+                            // for this assumption query.
+                            let negated: Vec<Lit> =
+                                self.conflict_core.iter().map(|&l| !l).collect();
+                            self.emit_add(&negated);
                             self.cancel_until(0);
-                            return SolveResult::Unsat;
+                            return self.finish(SolveResult::Unsat);
                         }
                         LBool::Undef => {
                             next = Some(a);
@@ -885,7 +1002,7 @@ impl Solver {
                         // All variables assigned: model found.
                         self.model = self.assigns.clone();
                         self.cancel_until(0);
-                        return SolveResult::Sat;
+                        return self.finish(SolveResult::Sat);
                     }
                     Some(l) => {
                         self.stats.decisions += 1;
@@ -916,6 +1033,10 @@ impl Solver {
                 .iter()
                 .any(|&l| self.value_lit(l) == LBool::True);
             if satisfied {
+                if self.proof.is_some() {
+                    let lits = self.db.get(r).lits.clone();
+                    self.emit_delete(&lits);
+                }
                 self.db.delete(r);
             }
         }
@@ -926,6 +1047,9 @@ impl Solver {
 impl CnfSink for Solver {
     fn new_var(&mut self) -> Var {
         let v = Var::from_index(self.assigns.len());
+        if let Some(mirror) = self.mirror.as_mut() {
+            mirror.num_vars = self.assigns.len() + 1;
+        }
         self.assigns.push(LBool::Undef);
         self.var_data.push(VarData {
             reason: None,

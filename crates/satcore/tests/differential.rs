@@ -1,0 +1,207 @@
+//! Differential fuzzing with certification: on random CNFs the CDCL
+//! solver must agree with the exhaustive brute-force reference, *and*
+//! every verdict must carry an independently checked certificate — sat
+//! models re-validated by [`check_model`], unsat runs re-derived by the
+//! RUP checker from the emitted DRAT proof. The DRAT text round-trip
+//! (`DratWriter` → `parse_drat`) is fuzzed on the same instances, so
+//! the on-disk format is pinned by the same cases CI replays.
+
+use proptest::prelude::*;
+use satcore::bruteforce::solve_brute_force;
+use satcore::{
+    check_model, check_unsat_proof, parse_drat, CheckError, Cnf, DratWriter, Lit,
+    ProofBuffer, ProofSink, ProofStep, RupChecker, SolveResult, Solver, Var,
+};
+
+/// Strategy producing a random CNF with up to `max_vars` variables.
+fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    (1..=max_vars).prop_flat_map(move |nv| {
+        let clause = proptest::collection::vec((0..nv, any::<bool>()), 1..=4).prop_map(
+            move |lits| -> Vec<Lit> {
+                lits.into_iter()
+                    .map(|(v, pos)| Var::from_index(v).lit(pos))
+                    .collect()
+            },
+        );
+        proptest::collection::vec(clause, 0..=max_clauses).prop_map(move |clauses| Cnf {
+            num_vars: nv,
+            clauses,
+        })
+    })
+}
+
+/// Solves `cnf` with proof logging and mirroring armed, returning the
+/// verdict plus everything a certifier needs.
+fn solve_certified(cnf: &Cnf) -> (SolveResult, Solver, ProofBuffer) {
+    let mut s = Solver::new();
+    let buffer = ProofBuffer::new();
+    s.set_proof_sink(Some(Box::new(buffer.clone())));
+    s.set_clause_mirror(true);
+    cnf.load_into(&mut s);
+    let r = s.solve();
+    (r, s, buffer)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Every verdict agrees with brute force and certifies: sat models
+    /// pass the independent model checker against the *mirrored*
+    /// formula, unsat proofs replay through the RUP checker.
+    #[test]
+    fn verdicts_agree_and_certify(cnf in arb_cnf(8, 40)) {
+        let reference = solve_brute_force(&cnf);
+        let (verdict, solver, buffer) = solve_certified(&cnf);
+        let mirror = solver.mirror().expect("mirror armed").clone();
+        prop_assert_eq!(&mirror, &cnf, "mirror must reproduce the formula verbatim");
+        match (reference, verdict) {
+            (Some(_), SolveResult::Sat) => {
+                prop_assert_eq!(check_model(&mirror, solver.model_values()), Ok(()));
+            }
+            (None, SolveResult::Unsat) => {
+                let steps = buffer.take_steps();
+                let stats = check_unsat_proof(&mirror, &steps, &[])
+                    .expect("emitted DRAT proof must check");
+                prop_assert!(stats.steps as usize == steps.len());
+            }
+            (r, v) => prop_assert!(false, "mismatch: reference={:?} cdcl={:?}", r.is_some(), v),
+        }
+    }
+
+    /// Incremental certification across assumption queries: one
+    /// persistent RUP checker audits a whole session, draining mirror
+    /// and proof deltas after every query (sat solves learn clauses
+    /// too, so their steps must also replay cleanly).
+    #[test]
+    fn incremental_assumption_queries_certify(
+        cnf in arb_cnf(7, 25),
+        pols in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 2), 3),
+    ) {
+        let mut s = Solver::new();
+        let buffer = ProofBuffer::new();
+        s.set_proof_sink(Some(Box::new(buffer.clone())));
+        s.set_clause_mirror(true);
+        let vars = cnf.load_into(&mut s);
+        let mut checker = RupChecker::new();
+        let mut mirrored = 0usize;
+        for pol in &pols {
+            let assumptions: Vec<Lit> = pol
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i < vars.len())
+                .map(|(i, &p)| vars[i].lit(p))
+                .collect();
+            let verdict = s.solve_with_assumptions(&assumptions);
+            // Drain this query's axiom and proof deltas into the checker.
+            let mirror = s.mirror().expect("mirror armed");
+            for clause in &mirror.clauses[mirrored..] {
+                checker.add_axiom(clause);
+            }
+            mirrored = mirror.clauses.len();
+            for step in buffer.take_steps() {
+                checker.apply(&step).expect("every emitted step is RUP");
+            }
+            match verdict {
+                SolveResult::Sat => {
+                    prop_assert_eq!(check_model(mirror, s.model_values()), Ok(()));
+                }
+                SolveResult::Unsat => {
+                    prop_assert!(
+                        checker.refutes(&assumptions),
+                        "checker must refute the failed assumptions"
+                    );
+                }
+                SolveResult::Unknown => unreachable!("no limits set"),
+            }
+        }
+    }
+
+    /// The textual DRAT round-trip is lossless on real solver output,
+    /// and the streaming [`DratWriter`] emits byte-identical text to
+    /// the batch [`satcore::write_drat`].
+    #[test]
+    fn drat_text_round_trips(cnf in arb_cnf(8, 40)) {
+        let (_verdict, _solver, buffer) = solve_certified(&cnf);
+        let steps: Vec<ProofStep> = buffer.take_steps();
+
+        let mut batch = Vec::new();
+        satcore::write_drat(&steps, &mut batch).unwrap();
+
+        let mut streaming = DratWriter::new(Vec::new());
+        for step in &steps {
+            match step {
+                ProofStep::Add(lits) => streaming.add_clause(lits),
+                ProofStep::Delete(lits) => streaming.delete_clause(lits),
+            }
+        }
+        let streamed = streaming.into_inner().unwrap();
+        prop_assert_eq!(&streamed, &batch);
+
+        let parsed = parse_drat(std::str::from_utf8(&batch).unwrap()).unwrap();
+        prop_assert_eq!(parsed, steps);
+    }
+}
+
+/// A corrupted proof must be rejected: flipping one literal of a lemma
+/// breaks the RUP chain (or the final refutation) on a formula where
+/// the proof is non-trivial.
+#[test]
+fn corrupted_proof_step_is_rejected() {
+    // Pigeonhole 3→2 is unsat and needs real lemmas.
+    let mut cnf = Cnf::default();
+    let (holes, pigeons) = (2usize, 3usize);
+    cnf.num_vars = holes * pigeons;
+    let v = |p: usize, h: usize| Var::from_index(p * holes + h);
+    for p in 0..pigeons {
+        cnf.clauses
+            .push((0..holes).map(|h| v(p, h).positive()).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.clauses
+                    .push(vec![v(p1, h).negative(), v(p2, h).negative()]);
+            }
+        }
+    }
+    let (verdict, _solver, buffer) = solve_certified(&cnf);
+    assert_eq!(verdict, SolveResult::Unsat);
+    let steps = buffer.take_steps();
+    check_unsat_proof(&cnf, &steps, &[]).expect("pristine proof checks");
+
+    // Deterministic corruption: replace the first lemma with a unit
+    // clause over a variable no clause constrains. Nothing propagates
+    // from it, so it cannot be RUP, and the checker must name the
+    // corrupted step.
+    let first_add = steps
+        .iter()
+        .position(|s| matches!(s, ProofStep::Add(lits) if !lits.is_empty()))
+        .expect("a real refutation has lemmas");
+    let mut mutated = steps.clone();
+    let unconstrained = Var::from_index(cnf.num_vars + 5).positive();
+    mutated[first_add] = ProofStep::Add(vec![unconstrained]);
+    assert_eq!(
+        check_unsat_proof(&cnf, &mutated, &[]),
+        Err(CheckError::NotRup { step: first_add })
+    );
+
+    // Literal-flip sweep: mutations may survive by luck on a formula
+    // this dense, but every failure must be a clean rejection, never a
+    // panic or a wrong error kind.
+    for i in 0..steps.len() {
+        let ProofStep::Add(lits) = &steps[i] else {
+            continue;
+        };
+        if lits.is_empty() {
+            continue;
+        }
+        let mut mutated = steps.clone();
+        let mut bad = lits.clone();
+        bad[0] = !bad[0];
+        mutated[i] = ProofStep::Add(bad);
+        match check_unsat_proof(&cnf, &mutated, &[]) {
+            Ok(_) | Err(CheckError::NotRup { .. }) | Err(CheckError::NotRefuted) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+}

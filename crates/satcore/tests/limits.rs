@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use satcore::{CnfSink, SolveResult, Solver, Var};
+use satcore::{check_unsat_proof, parse_drat, Cnf, CnfSink, DratWriter, SolveResult, Solver, Var};
 
 /// Pigeonhole principle: `holes + 1` pigeons into `holes` holes — unsat,
 /// and exponentially hard for resolution, so it reliably outlives small
@@ -117,6 +117,75 @@ fn interrupt_from_another_thread_cancels_inflight_solve() {
     assert_eq!(s.solve(), SolveResult::Unknown);
     canceller.join().expect("canceller thread panicked");
     assert!(flag.load(Ordering::Relaxed));
+}
+
+/// The pigeonhole formula as a standalone [`Cnf`], for tests that need
+/// the axioms independently of the solver.
+fn pigeonhole_cnf(holes: usize) -> Cnf {
+    let pigeons = holes + 1;
+    let mut cnf = Cnf {
+        num_vars: pigeons * holes,
+        clauses: Vec::new(),
+    };
+    let v = |p: usize, h: usize| Var::from_index(p * holes + h);
+    for p in 0..pigeons {
+        cnf.clauses
+            .push((0..holes).map(|h| v(p, h).positive()).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.clauses
+                    .push(vec![v(p1, h).negative(), v(p2, h).negative()]);
+            }
+        }
+    }
+    cnf
+}
+
+#[test]
+fn bounded_unknown_flushes_a_clean_proof() {
+    // Regression: a deadline/budget-bounded solve used to be able to
+    // leave a torn proof (buffered partial line, never flushed). The
+    // DRAT writer must flush at *every* solve exit, so even after an
+    // `Unknown` the file parses — only complete lines — and every lemma
+    // in it replays through the independent checker.
+    let path = std::env::temp_dir().join(format!(
+        "satcore-limits-{}-bounded.drat",
+        std::process::id()
+    ));
+    let cnf = pigeonhole_cnf(7);
+    let mut s = Solver::new();
+    s.set_proof_sink(Some(Box::new(
+        DratWriter::create(&path).expect("create proof file"),
+    )));
+    cnf.load_into(&mut s);
+    s.set_conflict_budget(Some(50));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+
+    let text = std::fs::read_to_string(&path).expect("proof file exists");
+    assert!(!text.is_empty(), "a 50-conflict solve learns clauses");
+    assert!(text.ends_with('\n'), "flushed proof must not be torn");
+    let partial = parse_drat(&text).expect("partial proof parses cleanly");
+    let mut checker = satcore::RupChecker::new();
+    for clause in &cnf.clauses {
+        checker.add_axiom(clause);
+    }
+    for step in &partial {
+        checker
+            .apply(step)
+            .expect("every partial-proof step is RUP");
+    }
+
+    // Finishing the solve appends the rest; the whole file is then a
+    // complete, checkable refutation.
+    s.set_conflict_budget(None);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let text = std::fs::read_to_string(&path).expect("proof file exists");
+    std::fs::remove_file(&path).ok();
+    let full = parse_drat(&text).expect("full proof parses");
+    assert!(full.len() > partial.len(), "second solve appended steps");
+    check_unsat_proof(&cnf, &full, &[]).expect("full proof refutes");
 }
 
 #[test]
