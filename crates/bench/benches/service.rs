@@ -1,0 +1,116 @@
+//! Criterion bench: service-layer latency on the IEEE-30 workload.
+//!
+//! Three series answer the question "what does keeping `scadad` running
+//! buy you": `verify_cold` pays session construction (parse, encode,
+//! analyzer build) plus the solve on every query; `verify_warm` reuses
+//! the warm session's incremental solver state (the cache is disabled
+//! so the solver really runs); `verify_cached` answers the repeated
+//! query from the verdict cache without touching the solver at all.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scada_analyzer::obs::json_escape_into;
+use scada_analyzer::service::{Engine, ServeOptions};
+use scadasim::{generate, write_config, ScadaConfig, ScadaGenConfig};
+use std::hint::black_box;
+
+fn ieee30_config() -> String {
+    let system = powergrid::synthetic::ieee_sized(30, 0);
+    let scada = generate(
+        system,
+        &ScadaGenConfig {
+            measurement_density: 0.7,
+            hierarchy_level: 1,
+            secure_fraction: 0.8,
+            seed: 0,
+            ..Default::default()
+        },
+    );
+    write_config(&ScadaConfig {
+        measurements: scada.measurements,
+        topology: scada.topology,
+        ied_measurements: scada.ied_measurements,
+        resilience: (1, 1),
+        corrupted: 1,
+        link_failures: 0,
+    })
+}
+
+/// Sends one request and asserts the service accepted it.
+fn ok(engine: &Engine, line: &str) -> String {
+    let resp = engine.handle_line(line);
+    assert!(
+        resp.line.contains("\"ok\":true"),
+        "request failed: {} -> {}",
+        &line[..line.len().min(80)],
+        resp.line
+    );
+    resp.line
+}
+
+fn bench_service(c: &mut Criterion) {
+    let config = ieee30_config();
+    let mut load = String::from("{\"op\":\"load\",\"config\":\"");
+    json_escape_into(&config, &mut load);
+    load.push_str("\"}");
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(20);
+
+    // Every cold iteration evicts the session (which also invalidates
+    // the cached verdicts for the model) and rebuilds it from scratch.
+    let cold = Engine::new(ServeOptions::default());
+    let loaded = ok(&cold, &load);
+    let model = loaded
+        .split("\"model\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("model hash")
+        .to_string();
+    let evict = format!("{{\"op\":\"evict\",\"model\":\"{model}\"}}");
+    let verify_k1 = format!(
+        "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"obs\",\
+         \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+    );
+    let verify_k2 = format!(
+        "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"obs\",\
+         \"spec\":{{\"k1\":2,\"k2\":1}}}}"
+    );
+    group.bench_function("verify_cold", |b| {
+        b.iter(|| {
+            ok(&cold, &evict);
+            ok(&cold, &load);
+            black_box(ok(&cold, &verify_k1))
+        })
+    });
+
+    // Warm: the session persists; the cache is disabled so every
+    // iteration reaches the warm incremental solver. The queried k
+    // differs from the one that warmed the session.
+    let warm = Engine::new(ServeOptions {
+        cache: 0,
+        ..ServeOptions::default()
+    });
+    ok(&warm, &load);
+    ok(&warm, &verify_k1);
+    group.bench_function("verify_warm", |b| {
+        b.iter(|| black_box(ok(&warm, &verify_k2)))
+    });
+
+    // Cached: the repeated query answers from the verdict cache.
+    let cached = Engine::new(ServeOptions::default());
+    ok(&cached, &load);
+    ok(&cached, &verify_k1);
+    let primed = ok(&cached, &verify_k1);
+    assert!(
+        primed.contains("\"provenance\":\"cached\""),
+        "cache not primed: {primed}"
+    );
+    group.bench_function("verify_cached", |b| {
+        b.iter(|| black_box(ok(&cached, &verify_k1)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

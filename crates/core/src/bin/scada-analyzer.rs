@@ -26,6 +26,12 @@
 //!   --trace PATH     write a structured JSONL event trace to PATH
 //!   --stats          print a metrics summary table after the run
 //!   --template       print an example configuration and exit
+//!   --connect ADDR   run as a client of a `scadad` service instead of
+//!                    analyzing locally: load the model, then issue the
+//!                    selected queries over the wire (responses carry
+//!                    cold/warm/cached provenance)
+//!   --shutdown       with --connect: ask the service to drain and exit
+//!                    (alone, or after the queries)
 //! ```
 //!
 //! Property verification and the `--max-resiliency` sweeps run on the
@@ -44,6 +50,8 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use scada_analyzer::obs::json_escape_into;
+use scada_analyzer::service::{parse_json, Json};
 use scada_analyzer::synthesis::{synthesize_upgrades_certified, SynthesisOptions, SynthesisResult};
 use scada_analyzer::{
     enumerate_threats_with_limited, par_max_resiliency_certified, parse_duration,
@@ -127,6 +135,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if args.iter().any(|a| a == "--template") {
         print!("{TEMPLATE}");
         return Ok(ExitCode::SUCCESS);
+    }
+    if let Some(addr) = raw(args, "--connect")? {
+        return run_client(addr, args);
     }
     let flag = |name: &str| args.iter().any(|a| a == name);
     let config = if flag("--case-study") {
@@ -231,19 +242,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         obs = obs.with_metrics(registry);
     }
 
-    let properties: Vec<Property> = match raw(args, "--property")?.map(|s| s.as_str()) {
-        Some("obs") | Some("observability") => vec![Property::Observability],
-        Some("secured") => vec![Property::SecuredObservability],
-        Some("baddata") => vec![Property::BadDataDetectability],
-        Some(other) => {
-            return Err(format!("unknown property `{other}` (obs|secured|baddata)"));
-        }
-        None => vec![
-            Property::Observability,
-            Property::SecuredObservability,
-            Property::BadDataDetectability,
-        ],
-    };
+    let properties = parse_properties(args)?;
 
     let input = match config {
         Some(config) => AnalysisInput::from(config),
@@ -440,4 +439,448 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// The properties selected by `--property` (default: all three).
+fn parse_properties(args: &[String]) -> Result<Vec<Property>, String> {
+    match raw(args, "--property")?.map(|s| s.as_str()) {
+        Some("obs") | Some("observability") => Ok(vec![Property::Observability]),
+        Some("secured") => Ok(vec![Property::SecuredObservability]),
+        Some("baddata") => Ok(vec![Property::BadDataDetectability]),
+        Some(other) => Err(format!("unknown property `{other}` (obs|secured|baddata)")),
+        None => Ok(vec![
+            Property::Observability,
+            Property::SecuredObservability,
+            Property::BadDataDetectability,
+        ]),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client mode (--connect): speak the scadad line protocol over TCP
+// ---------------------------------------------------------------------------
+
+/// A line-protocol connection to a `scadad` service.
+struct Conn {
+    reader: std::io::BufReader<std::net::TcpStream>,
+    writer: std::net::TcpStream,
+}
+
+impl Conn {
+    fn connect(addr: &str) -> Result<Conn, String> {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let reader = std::io::BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone connection: {e}"))?,
+        );
+        Ok(Conn {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request line and parses the response, retrying while
+    /// the service reports saturation (`"error":"busy","retry":true`).
+    /// Returns the raw response line alongside the parsed value.
+    fn request(&mut self, line: &str) -> Result<(String, Json), String> {
+        use std::io::{BufRead as _, Write as _};
+        for _ in 0..600 {
+            writeln!(self.writer, "{line}").map_err(|e| format!("send failed: {e}"))?;
+            self.writer
+                .flush()
+                .map_err(|e| format!("send failed: {e}"))?;
+            let mut resp = String::new();
+            let n = self
+                .reader
+                .read_line(&mut resp)
+                .map_err(|e| format!("receive failed: {e}"))?;
+            if n == 0 {
+                return Err("server closed the connection".to_string());
+            }
+            let raw = resp.trim().to_string();
+            let value = parse_json(&raw).map_err(|e| format!("bad response: {e}"))?;
+            let busy = value.get("ok").and_then(Json::as_bool) == Some(false)
+                && value.get("retry").and_then(Json::as_bool) == Some(true);
+            if !busy {
+                return Ok((raw, value));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        Err("service stayed busy for 60s".to_string())
+    }
+}
+
+fn wire_property(property: Property) -> &'static str {
+    match property {
+        Property::Observability => "obs",
+        Property::SecuredObservability => "secured",
+        Property::BadDataDetectability => "baddata",
+    }
+}
+
+/// Renders a wire id array (`[1,3]`) for display.
+fn fmt_ids(ids: Option<&Json>) -> String {
+    let mut out = String::from("[");
+    if let Some(items) = ids.and_then(Json::as_arr) {
+        for (i, id) in items.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match id {
+                Json::Num(n) => out.push_str(&format!("{n}")),
+                other => out.push_str(&format!("{other:?}")),
+            }
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a wire threat object for display.
+fn fmt_threat(threat: &Json) -> String {
+    let mut out = format!(
+        "ieds {} rtus {}",
+        fmt_ids(threat.get("ieds")),
+        fmt_ids(threat.get("rtus"))
+    );
+    if let Some(others) = threat.get("others").and_then(Json::as_arr) {
+        if !others.is_empty() {
+            out.push_str(&format!(" others {}", fmt_ids(threat.get("others"))));
+        }
+    }
+    if let Some(links) = threat.get("links").and_then(Json::as_arr) {
+        if !links.is_empty() {
+            let rendered: Vec<String> = links
+                .iter()
+                .map(|pair| {
+                    let a = pair.as_arr().and_then(|p| p.first()).and_then(Json::as_u64);
+                    let b = pair.as_arr().and_then(|p| p.get(1)).and_then(Json::as_u64);
+                    match (a, b) {
+                        (Some(a), Some(b)) => format!("{a}-{b}"),
+                        _ => "?".to_string(),
+                    }
+                })
+                .collect();
+            out.push_str(&format!(" links [{}]", rendered.join(", ")));
+        }
+    }
+    out
+}
+
+/// Provenance and timing suffix shared by every query printout.
+fn fmt_meta(resp: &Json) -> String {
+    let provenance = resp.get("provenance").and_then(Json::as_str).unwrap_or("?");
+    match resp.get("elapsed_us").and_then(Json::as_u64) {
+        Some(us) => format!("({provenance}, {us} µs)"),
+        None => format!("({provenance})"),
+    }
+}
+
+/// Outcome flags a client run accumulates to compute the exit code.
+#[derive(Default)]
+struct RemoteOutcome {
+    any_threat: bool,
+    any_unknown: bool,
+    any_cert_failed: bool,
+}
+
+impl RemoteOutcome {
+    fn exit_code(&self) -> ExitCode {
+        if self.any_cert_failed {
+            ExitCode::from(4)
+        } else if self.any_threat {
+            ExitCode::FAILURE
+        } else if self.any_unknown {
+            ExitCode::from(3)
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+/// Runs as a client of a `scadad` service: load the model, then issue
+/// the selected queries over the wire. Exit codes mirror local mode.
+fn run_client(addr: &str, args: &[String]) -> Result<ExitCode, String> {
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    for unsupported in ["--rank", "--repair", "--jobs", "--certify", "--proof-dir"] {
+        if flag(unsupported) {
+            return Err(format!(
+                "{unsupported} is not supported with --connect \
+                 (certification and job count are service-side settings)"
+            ));
+        }
+    }
+
+    let config_path = args.first().filter(|a| !a.starts_with("--"));
+    let mut conn = Conn::connect(addr)?;
+
+    if config_path.is_none() && !flag("--case-study") {
+        if flag("--shutdown") {
+            // Shutdown-only invocation: no model needed.
+            let (_, resp) = conn.request("{\"op\":\"shutdown\"}")?;
+            return if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                println!("service draining");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                eprintln!("error: shutdown rejected");
+                Ok(ExitCode::FAILURE)
+            };
+        }
+        return Err(
+            "usage: scada-analyzer --connect ADDR <config-file> [options]   \
+             (or --case-study; --shutdown alone stops the service)"
+                .to_string(),
+        );
+    }
+
+    // Load: ship the raw config text. The spec section is parsed
+    // locally so CLI overrides default to the same values as local
+    // mode (the wire spec is always explicit).
+    let (load_req, (mut k1, mut k2), mut r, config_links) = match config_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            let config = match parse_config(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            };
+            let mut req = String::from("{\"op\":\"load\",\"config\":\"");
+            json_escape_into(&text, &mut req);
+            req.push_str("\"}");
+            (
+                req,
+                config.resilience,
+                config.corrupted,
+                config.link_failures,
+            )
+        }
+        None => {
+            let req = "{\"op\":\"load\",\"case_study\":true}".to_string();
+            (req, (1, 1), 1, 0)
+        }
+    };
+
+    let total_k: Option<usize> = opt(args, "--k")?;
+    if let Some(v) = opt(args, "--k1")? {
+        k1 = v;
+    }
+    if let Some(v) = opt(args, "--k2")? {
+        k2 = v;
+    }
+    if let Some(v) = opt(args, "--r")? {
+        r = v;
+    }
+    let links: usize = opt(args, "--links")?.unwrap_or(config_links);
+    let mut spec = match total_k {
+        Some(k) => ResiliencySpec::total(k),
+        None => ResiliencySpec::split(k1, k2),
+    };
+    spec = spec.with_corrupted(r).with_link_failures(links);
+    let mut spec_wire = match total_k {
+        Some(k) => format!("{{\"k\":{k}"),
+        None => format!("{{\"k1\":{k1},\"k2\":{k2}"),
+    };
+    spec_wire.push_str(&format!(",\"r\":{r},\"links\":{links}}}"));
+
+    let mut limit_fields: Vec<String> = Vec::new();
+    if let Some(v) = raw(args, "--timeout")? {
+        let Some(timeout) = parse_duration(v) else {
+            return Err(format!("bad --timeout `{v}` (use e.g. 150ms, 5s, 2m)"));
+        };
+        limit_fields.push(format!("\"timeout_ms\":{}", timeout.as_millis()));
+    }
+    if let Some(budget) = opt::<u64>(args, "--conflict-budget")? {
+        limit_fields.push(format!("\"conflict_budget\":{budget}"));
+    }
+    let limits_field = if limit_fields.is_empty() {
+        String::new()
+    } else {
+        format!(",\"limits\":{{{}}}", limit_fields.join(","))
+    };
+
+    let properties = parse_properties(args)?;
+
+    let (_, loaded) = conn.request(&load_req)?;
+    if loaded.get("ok").and_then(Json::as_bool) != Some(true) {
+        let msg = loaded.get("error").and_then(Json::as_str).unwrap_or("?");
+        eprintln!("error: {addr}: {msg}");
+        return Ok(ExitCode::FAILURE);
+    }
+    let model = loaded
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or("malformed load response (no model hash)")?
+        .to_string();
+    println!(
+        "connected to {addr}: model {model} ({} session, {} devices, {} measurements)",
+        loaded.get("session").and_then(Json::as_str).unwrap_or("?"),
+        loaded.get("devices").and_then(Json::as_u64).unwrap_or(0),
+        loaded
+            .get("measurements")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+    );
+
+    let mut outcome = RemoteOutcome::default();
+    for &property in &properties {
+        let req = format!(
+            "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"{}\",\
+             \"spec\":{spec_wire}{limits_field}}}",
+            wire_property(property)
+        );
+        let (_, resp) = conn.request(&req)?;
+        print_remote_verify(property, &spec, &resp, &mut outcome)?;
+
+        if flag("--enumerate") {
+            let req = format!(
+                "{{\"op\":\"enumerate\",\"model\":\"{model}\",\"property\":\"{}\",\
+                 \"spec\":{spec_wire},\"cap\":1000{limits_field}}}",
+                wire_property(property)
+            );
+            let (_, resp) = conn.request(&req)?;
+            print_remote_enumerate(&resp, &mut outcome)?;
+        }
+
+        if flag("--max-resiliency") {
+            let mut rendered: Vec<String> = Vec::new();
+            for axis in ["ieds", "rtus", "total"] {
+                let req = format!(
+                    "{{\"op\":\"maxres\",\"model\":\"{model}\",\"property\":\"{}\",\
+                     \"axis\":\"{axis}\",\"r\":{r}{limits_field}}}",
+                    wire_property(property)
+                );
+                let (_, resp) = conn.request(&req)?;
+                if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+                    let msg = resp.get("error").and_then(Json::as_str).unwrap_or("?");
+                    return Err(format!("maxres failed: {msg}"));
+                }
+                let max = resp.get("max").and_then(Json::as_u64);
+                if max.is_none() {
+                    outcome.any_unknown = true;
+                }
+                rendered.push(format!(
+                    "{axis} {} {}",
+                    max.map_or("none".to_string(), |k| k.to_string()),
+                    fmt_meta(&resp)
+                ));
+            }
+            println!("  max resiliency: {}", rendered.join(", "));
+        }
+    }
+
+    if flag("--stats") {
+        let (raw_line, resp) = conn.request("{\"op\":\"stats\"}")?;
+        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err("stats failed".to_string());
+        }
+        // Raw JSON on purpose: scripts grep counters out of this line.
+        println!("stats: {raw_line}");
+    }
+
+    if flag("--shutdown") {
+        let (_, resp) = conn.request("{\"op\":\"shutdown\"}")?;
+        if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+            println!("service draining");
+        } else {
+            eprintln!("error: shutdown rejected");
+        }
+    }
+
+    Ok(outcome.exit_code())
+}
+
+/// Prints one remote verify response and folds it into the outcome.
+fn print_remote_verify(
+    property: Property,
+    spec: &ResiliencySpec,
+    resp: &Json,
+    outcome: &mut RemoteOutcome,
+) -> Result<(), String> {
+    if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+        let msg = resp.get("error").and_then(Json::as_str).unwrap_or("?");
+        return Err(format!("verify failed: {msg}"));
+    }
+    let meta = fmt_meta(resp);
+    match resp.get("verdict").and_then(Json::as_str) {
+        Some("resilient") => {
+            println!("[{property}] RESILIENT at {spec}  {meta}");
+        }
+        Some("threat") => {
+            outcome.any_threat = true;
+            let threat = resp
+                .get("threat")
+                .map(fmt_threat)
+                .unwrap_or_else(|| "?".to_string());
+            println!("[{property}] THREAT {threat} at {spec}  {meta}");
+        }
+        Some("unknown") => {
+            outcome.any_unknown = true;
+            println!(
+                "[{property}] UNKNOWN at {spec}  (limit exhausted after \
+                 {} conflicts, {} attempt(s))  {meta}",
+                resp.get("conflicts").and_then(Json::as_u64).unwrap_or(0),
+                resp.get("attempts").and_then(Json::as_u64).unwrap_or(0),
+            );
+        }
+        other => return Err(format!("malformed verify response (verdict {other:?})")),
+    }
+    match resp.get("certificate").and_then(Json::as_str) {
+        Some("failed") => {
+            outcome.any_cert_failed = true;
+            println!(
+                "  certificate: FAILED — {}",
+                resp.get("certificate_error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+            );
+        }
+        Some(kind) => println!("  certificate: {kind} (checked service-side)"),
+        None => {}
+    }
+    Ok(())
+}
+
+/// Prints one remote enumerate response and folds it into the outcome.
+fn print_remote_enumerate(resp: &Json, outcome: &mut RemoteOutcome) -> Result<(), String> {
+    if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+        let msg = resp.get("error").and_then(Json::as_str).unwrap_or("?");
+        return Err(format!("enumerate failed: {msg}"));
+    }
+    let undecided = resp.get("undecided").and_then(Json::as_bool) == Some(true);
+    let truncated = resp.get("truncated").and_then(Json::as_bool) == Some(true);
+    let vectors = resp.get("vectors").and_then(Json::as_arr).unwrap_or(&[]);
+    if undecided {
+        outcome.any_unknown = true;
+    } else if !vectors.is_empty() {
+        outcome.any_threat = true;
+    }
+    println!(
+        "  threat space: {} minimal vector(s){}  {}",
+        resp.get("count")
+            .and_then(Json::as_u64)
+            .unwrap_or(vectors.len() as u64),
+        if undecided {
+            " (undecided: limit exhausted)"
+        } else if truncated {
+            " (truncated)"
+        } else {
+            ""
+        },
+        fmt_meta(resp)
+    );
+    for vector in vectors {
+        println!("    {}", fmt_threat(vector));
+    }
+    Ok(())
 }

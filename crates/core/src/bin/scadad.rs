@@ -1,0 +1,167 @@
+//! `scadad` — the long-running analysis service.
+//!
+//! ```text
+//! scadad [options]
+//!
+//! options:
+//!   --listen ADDR    serve the line-delimited JSON protocol on a TCP
+//!                    socket (e.g. 127.0.0.1:0 for an ephemeral port);
+//!                    prints `scadad: listening on HOST:PORT` once bound
+//!   --stdio          serve on stdin/stdout (the default)
+//!   --sessions N     warm analyzer sessions kept alive (default 8)
+//!   --cache N        cached verdicts kept (default 1024, 0 disables)
+//!   --max-inflight N concurrent queries admitted (0 = one per core)
+//!   --max-line N     longest accepted request line in bytes (default 1 MiB)
+//!   --certify        independently re-check every verdict (fixed for
+//!                    the service lifetime)
+//!   --proof-dir DIR  also write DRAT proofs to DIR (implies --certify)
+//!   --trace PATH     write a structured JSONL event trace to PATH
+//! ```
+//!
+//! The service keeps an [`Analyzer`](scada_analyzer::Analyzer) warm per
+//! loaded model (so repeat queries reuse learned solver state) and a
+//! verdict cache in front of the sessions (so repeated queries answer
+//! without touching the solver at all). Clients speak one JSON object
+//! per line: `load`, `verify`, `maxres`, `enumerate`, `stats`, `evict`,
+//! `shutdown`. `scada-analyzer --connect ADDR` is a ready-made client.
+//!
+//! On `shutdown` the service drains: in-flight queries finish (flushing
+//! any DRAT proofs when certifying), then the process exits 0.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use scada_analyzer::service::{serve_stdio, serve_tcp, Engine, ServeOptions};
+use scada_analyzer::{CertifyOptions, JsonlTracer, Obs};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(usage) => {
+            eprintln!("error: {usage}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The value following option `name`, if the option is present.
+///
+/// # Errors
+///
+/// The option being present without a value is a usage error.
+fn raw<'a>(args: &'a [String], name: &str) -> Result<Option<&'a String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v)),
+            None => Err(format!("{name} requires a value")),
+        },
+    }
+}
+
+/// A numeric option. Malformed values are usage errors, not silent
+/// fallbacks to the default.
+fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match raw(args, name)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("bad {name} `{v}` (expected a number)")),
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    const TAKES_VALUE: [&str; 7] = [
+        "--listen",
+        "--sessions",
+        "--cache",
+        "--max-inflight",
+        "--max-line",
+        "--proof-dir",
+        "--trace",
+    ];
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if TAKES_VALUE.contains(&arg.as_str()) {
+            i += 2; // the value is consumed by raw()/opt() below
+        } else if arg.starts_with("--") {
+            i += 1;
+        } else {
+            // A bare word is a typo, not a config file: models are
+            // loaded over the protocol, not from the command line.
+            return Err(format!(
+                "unexpected argument `{arg}` (scadad takes options only; \
+                 load models over the protocol)"
+            ));
+        }
+    }
+
+    let mut certify = CertifyOptions {
+        enabled: flag("--certify"),
+        ..CertifyOptions::default()
+    };
+    if let Some(dir) = raw(args, "--proof-dir")? {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create proof dir {}: {e}", dir.display()))?;
+        certify.proof_dir = Some(dir);
+        certify.enabled = true;
+    }
+
+    let mut obs = Obs::none();
+    let mut tracer: Option<Arc<JsonlTracer>> = None;
+    if let Some(trace_path) = raw(args, "--trace")? {
+        let sink = JsonlTracer::to_file(std::path::Path::new(trace_path))
+            .map_err(|e| format!("cannot create trace file {trace_path}: {e}"))?;
+        let sink = Arc::new(sink);
+        tracer = Some(sink.clone());
+        obs = obs.with_tracer(sink);
+    }
+
+    let defaults = ServeOptions::default();
+    let options = ServeOptions {
+        sessions: opt(args, "--sessions")?.unwrap_or(defaults.sessions),
+        cache: opt(args, "--cache")?.unwrap_or(defaults.cache),
+        max_inflight: opt(args, "--max-inflight")?.unwrap_or(defaults.max_inflight),
+        max_line: opt(args, "--max-line")?.unwrap_or(defaults.max_line),
+        obs,
+        certify,
+    };
+
+    let listen = raw(args, "--listen")?.cloned();
+    if listen.is_some() && flag("--stdio") {
+        return Err("--listen and --stdio are mutually exclusive".to_string());
+    }
+
+    let engine = Arc::new(Engine::new(options));
+    let served = match listen {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(&addr)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            let local = listener
+                .local_addr()
+                .map_err(|e| format!("cannot resolve bound address: {e}"))?;
+            // The one line clients (and CI scripts) wait for: with port
+            // 0 this is the only way to learn the real port.
+            println!("scadad: listening on {local}");
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            serve_tcp(engine, listener)
+        }
+        None => serve_stdio(&engine, std::io::stdin(), std::io::stdout()),
+    };
+    if let Err(e) = served {
+        eprintln!("error: transport failed: {e}");
+        return Ok(ExitCode::FAILURE);
+    }
+
+    if let Some(tracer) = &tracer {
+        tracer.flush();
+        eprintln!("trace: {} event(s) written", tracer.events());
+    }
+    Ok(ExitCode::SUCCESS)
+}

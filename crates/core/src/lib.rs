@@ -62,6 +62,7 @@ mod maxres;
 pub mod obs;
 pub mod parallel;
 mod pool;
+pub mod service;
 mod spec;
 pub mod synthesis;
 mod threat;
@@ -82,6 +83,7 @@ pub use parallel::{
     par_resiliency_frontier_limited, par_resiliency_frontier_observed, verify_batch,
     verify_batch_certified, verify_batch_limited, verify_batch_observed,
 };
+pub use service::{model_hash, ModelHash};
 pub use spec::{parse_duration, FailureBudget, Property, QueryLimits, ResiliencySpec, RetryPolicy};
 pub use synthesis::{
     apply_upgrades, synthesize_upgrades, synthesize_upgrades_certified,

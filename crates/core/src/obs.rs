@@ -213,6 +213,28 @@ pub enum TraceEvent {
         /// `"upgrades"`).
         upgrades: usize,
     },
+    /// The analysis service handled one protocol request.
+    ServiceRequest {
+        /// The request op (`"load"`, `"verify"`, …).
+        op: &'static str,
+        /// `"ok"`, `"error"`, or `"busy"`.
+        status: &'static str,
+        /// Where the answer came from (`"cold"`, `"warm"`, `"cached"`);
+        /// `None` for non-query ops.
+        provenance: Option<&'static str>,
+        /// Wall-clock time spent on the request.
+        elapsed: Duration,
+    },
+    /// A warm model session changed state in the analysis service.
+    ServiceSession {
+        /// Low 64 bits of the model hash (full hashes live in the
+        /// protocol; traces only need correlation).
+        model: u64,
+        /// `"created"`, `"touched"`, `"evicted"`, or `"rebuilt"`.
+        event: &'static str,
+        /// Live sessions after the transition.
+        sessions: usize,
+    },
 }
 
 impl TraceEvent {
@@ -235,6 +257,8 @@ impl TraceEvent {
             TraceEvent::EnumDone { .. } => "enum_done",
             TraceEvent::SynthCandidate { .. } => "synth_candidate",
             TraceEvent::SynthDone { .. } => "synth_done",
+            TraceEvent::ServiceRequest { .. } => "service_request",
+            TraceEvent::ServiceSession { .. } => "service_session",
         }
     }
 
@@ -377,6 +401,28 @@ impl TraceEvent {
             TraceEvent::SynthDone { result, upgrades } => {
                 w.str("result", result);
                 w.num("upgrades", upgrades as u64);
+            }
+            TraceEvent::ServiceRequest {
+                op,
+                status,
+                provenance,
+                elapsed,
+            } => {
+                w.str("op", op);
+                w.str("status", status);
+                if let Some(provenance) = provenance {
+                    w.str("provenance", provenance);
+                }
+                w.num("elapsed_us", elapsed.as_micros() as u64);
+            }
+            TraceEvent::ServiceSession {
+                model,
+                event,
+                sessions,
+            } => {
+                w.num("model", model);
+                w.str("event", event);
+                w.num("sessions", sessions as u64);
             }
         }
     }
@@ -670,6 +716,16 @@ impl MetricsRegistry {
             .get(name)
             .copied()
             .unwrap_or_default()
+    }
+
+    /// Snapshot of all counters, name-ordered.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&name, &value)| (name, value))
+            .collect()
     }
 
     /// All metrics as `[metric, count, sum, mean, min, max]` rows

@@ -1,0 +1,242 @@
+//! The verdict cache.
+//!
+//! A verdict for a given `(model, property, spec, limits, certify)` key
+//! is a pure function of the key: the model hash pins the entire input,
+//! and the solver is deterministic for a fixed conflict budget. Replies
+//! are therefore cached and replayed with provenance `cached` — zero
+//! solver work on a hit.
+//!
+//! Two deliberate exclusions keep the cache sound:
+//!
+//! * **undecided outcomes are never cached** (see
+//!   [`QueryReply::is_cacheable`]): an `Unknown` produced under a
+//!   wall-clock deadline is a fact about that machine at that moment,
+//!   not about the model — the next identical request should retry;
+//! * **entries die with their model**: evicting or reloading a session
+//!   invalidates every cached verdict under the same hash via
+//!   [`VerdictCache::invalidate_model`].
+
+use std::collections::HashMap;
+
+use crate::maxres::BudgetAxis;
+use crate::obs::MetricsRegistry;
+use crate::spec::{Property, ResiliencySpec};
+
+use super::hash::ModelHash;
+use super::protocol::{LimitsSpec, QueryReply};
+
+/// Default bound on cached replies.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// The query shape part of a cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryShape {
+    /// A `verify` request.
+    Verify {
+        /// Property verified.
+        property: Property,
+        /// Spec verified against.
+        spec: ResiliencySpec,
+    },
+    /// A `maxres` request.
+    MaxRes {
+        /// Property verified.
+        property: Property,
+        /// Budget axis swept.
+        axis: BudgetAxis,
+        /// Corrupted-measurement tolerance.
+        r: usize,
+    },
+    /// An `enumerate` request.
+    Enumerate {
+        /// Property verified.
+        property: Property,
+        /// Spec verified against.
+        spec: ResiliencySpec,
+        /// Enumeration cap.
+        cap: usize,
+    },
+}
+
+/// Full cache key: everything a reply depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Canonical model content hash.
+    pub model: ModelHash,
+    /// Whether the service certifies verdicts (changes reply payloads).
+    pub certify: bool,
+    /// Per-request resource limits (identical requests under different
+    /// budgets are different keys).
+    pub limits: LimitsSpec,
+    /// The query itself.
+    pub shape: QueryShape,
+}
+
+struct Entry {
+    reply: QueryReply,
+    /// Logical timestamp of the last hit (for LRU eviction).
+    touched: u64,
+}
+
+/// A bounded verdict cache with LRU eviction and per-model
+/// invalidation. Not internally synchronized — the service engine holds
+/// it behind its own lock.
+#[derive(Default)]
+pub struct VerdictCache {
+    entries: HashMap<CacheKey, Entry>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl std::fmt::Debug for VerdictCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerdictCache")
+            .field("entries", &self.entries.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl VerdictCache {
+    /// A cache bounded to `capacity` replies (0 disables caching).
+    pub fn new(capacity: usize) -> VerdictCache {
+        VerdictCache {
+            entries: HashMap::new(),
+            capacity,
+            clock: 0,
+        }
+    }
+
+    /// Cached replies currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a reply, bumping its recency and the hit/miss counters.
+    pub fn lookup(&mut self, key: &CacheKey, metrics: &MetricsRegistry) -> Option<QueryReply> {
+        self.clock += 1;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                entry.touched = self.clock;
+                metrics.add("service_cache_hits", 1);
+                Some(entry.reply.clone())
+            }
+            None => {
+                metrics.add("service_cache_misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts a reply if it is cacheable, evicting the least recently
+    /// used entry when full. Returns whether the reply was stored.
+    pub fn insert(&mut self, key: CacheKey, reply: &QueryReply) -> bool {
+        if self.capacity == 0 || !reply.is_cacheable() {
+            return false;
+        }
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(k, _)| *k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.clock += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                reply: reply.clone(),
+                touched: self.clock,
+            },
+        );
+        true
+    }
+
+    /// Drops every entry for `model` (eviction / reload). Returns how
+    /// many entries were invalidated.
+    pub fn invalidate_model(&mut self, model: ModelHash) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|key, _| key.model != model);
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::Verdict;
+
+    fn key(model: u128, k: usize) -> CacheKey {
+        CacheKey {
+            model: ModelHash(model),
+            certify: false,
+            limits: LimitsSpec::default(),
+            shape: QueryShape::Verify {
+                property: Property::Observability,
+                spec: ResiliencySpec::total(k),
+            },
+        }
+    }
+
+    fn resilient() -> QueryReply {
+        QueryReply::Verify {
+            verdict: Verdict::Resilient,
+            conflicts: 1,
+            attempts: 1,
+            certificate: None,
+        }
+    }
+
+    #[test]
+    fn hit_miss_counters_and_lru() {
+        let metrics = MetricsRegistry::new();
+        let mut cache = VerdictCache::new(2);
+        assert!(cache.lookup(&key(1, 1), &metrics).is_none());
+        assert!(cache.insert(key(1, 1), &resilient()));
+        assert!(cache.insert(key(1, 2), &resilient()));
+        // Touch (1,1) so (1,2) is the LRU victim.
+        assert!(cache.lookup(&key(1, 1), &metrics).is_some());
+        assert!(cache.insert(key(1, 3), &resilient()));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&key(1, 2), &metrics).is_none());
+        assert!(cache.lookup(&key(1, 3), &metrics).is_some());
+        assert_eq!(metrics.counter("service_cache_hits"), 2);
+        assert_eq!(metrics.counter("service_cache_misses"), 2);
+    }
+
+    #[test]
+    fn unknown_replies_are_not_cached() {
+        let mut cache = VerdictCache::new(8);
+        let unknown = QueryReply::Verify {
+            verdict: Verdict::Unknown {
+                conflicts: 9,
+                elapsed: std::time::Duration::from_millis(1),
+            },
+            conflicts: 9,
+            attempts: 2,
+            certificate: None,
+        };
+        assert!(!cache.insert(key(1, 1), &unknown));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn model_invalidation_is_scoped() {
+        let metrics = MetricsRegistry::new();
+        let mut cache = VerdictCache::new(8);
+        cache.insert(key(1, 1), &resilient());
+        cache.insert(key(1, 2), &resilient());
+        cache.insert(key(2, 1), &resilient());
+        assert_eq!(cache.invalidate_model(ModelHash(1)), 2);
+        assert!(cache.lookup(&key(1, 1), &metrics).is_none());
+        assert!(cache.lookup(&key(2, 1), &metrics).is_some());
+    }
+}

@@ -1,0 +1,297 @@
+//! Canonical content hashing of analysis inputs.
+//!
+//! The service keys warm sessions and cached verdicts by *model
+//! content*, not by file name or load order: two [`AnalysisInput`]s that
+//! describe the same system must collide on purpose, and any semantic
+//! difference must separate them. [`model_hash`] therefore hashes a
+//! *canonical* serialization of the input:
+//!
+//! * collections whose order is semantic (the measurement list — ids are
+//!   positional; branches — measurement kinds reference them by index;
+//!   devices — ids are positional) are hashed in order;
+//! * collections whose order is incidental (IED→measurement association
+//!   entries and their inner id lists, explicit pair-security entries and
+//!   their profile lists, policy rules, the link set) are folded with a
+//!   commutative combiner, so re-ordering them cannot change the hash;
+//! * link endpoints and security pairs are normalized `(min, max)`.
+//!
+//! The digest is 128 bits (two independently seeded FNV-1a streams with
+//! a final avalanche), rendered as 32 lowercase hex characters on the
+//! wire. This is a *content key*, not a cryptographic commitment — the
+//! threat model is accidental collision between configurations, not an
+//! adversary crafting one.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::input::AnalysisInput;
+
+/// A 128-bit canonical content hash of an [`AnalysisInput`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelHash(pub u128);
+
+impl fmt::Display for ModelHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Error from parsing a [`ModelHash`] from its hex rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelHashError;
+
+impl fmt::Display for ParseModelHashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("model hash must be 32 lowercase hex characters")
+    }
+}
+
+impl std::error::Error for ParseModelHashError {}
+
+impl FromStr for ModelHash {
+    type Err = ParseModelHashError;
+
+    fn from_str(s: &str) -> Result<ModelHash, ParseModelHashError> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(ParseModelHashError);
+        }
+        u128::from_str_radix(s, 16)
+            .map(ModelHash)
+            .map_err(|_| ParseModelHashError)
+    }
+}
+
+const FNV_PRIME: u64 = 0x100000001b3;
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+/// Seed separating the second stream from the first (golden-ratio bits).
+const STREAM_TWEAK: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Two independently seeded FNV-1a streams over one canonical byte
+/// sequence.
+#[derive(Clone, Copy)]
+struct Mix {
+    a: u64,
+    b: u64,
+}
+
+impl Mix {
+    fn new() -> Mix {
+        Mix {
+            a: FNV_OFFSET,
+            b: FNV_OFFSET ^ STREAM_TWEAK,
+        }
+    }
+
+    fn byte(&mut self, x: u8) {
+        self.a = (self.a ^ u64::from(x)).wrapping_mul(FNV_PRIME);
+        // The second stream sees the complement, so the two states never
+        // track each other even from related seeds.
+        self.b = (self.b ^ u64::from(!x)).wrapping_mul(FNV_PRIME);
+    }
+
+    fn u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.byte(byte);
+        }
+    }
+
+    fn usize(&mut self, x: usize) {
+        self.u64(x as u64);
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    fn bool(&mut self, x: bool) {
+        self.byte(u8::from(x));
+    }
+
+    /// A length-prefixed string (prefixing keeps `("ab","c")` distinct
+    /// from `("a","bc")`).
+    fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        for byte in s.bytes() {
+            self.byte(byte);
+        }
+    }
+
+    /// A section tag, separating the canonical stream's fields.
+    fn tag(&mut self, tag: &str) {
+        self.str(tag);
+    }
+
+    /// Folds an unordered collection: each item is hashed in a fresh
+    /// sub-stream and the finalized sub-digests are combined with a
+    /// commutative sum, so item order cannot influence the result. The
+    /// item count is mixed in ordinarily.
+    fn unordered<T>(&mut self, items: impl IntoIterator<Item = T>, item: impl Fn(&mut Mix, T)) {
+        let mut count: u64 = 0;
+        let (mut sum_a, mut sum_b) = (0u64, 0u64);
+        for it in items {
+            let mut sub = Mix::new();
+            item(&mut sub, it);
+            let (fa, fb) = sub.finish_raw();
+            sum_a = sum_a.wrapping_add(fa);
+            sum_b = sum_b.wrapping_add(fb);
+            count += 1;
+        }
+        self.u64(count);
+        self.u64(sum_a);
+        self.u64(sum_b);
+    }
+
+    fn finish_raw(&self) -> (u64, u64) {
+        (avalanche(self.a), avalanche(self.b))
+    }
+
+    fn finish(&self) -> u128 {
+        let (a, b) = self.finish_raw();
+        (u128::from(a) << 64) | u128::from(b)
+    }
+}
+
+/// SplitMix64-style finalizer: FNV's low bits mix poorly on short
+/// inputs; this spreads every input bit across the whole word.
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Computes the canonical content hash of an analysis input.
+///
+/// Semantically identical inputs — same system, topology, association,
+/// security, policy, and limits, in any representation order — hash
+/// equal; any single-field change separates them (property-tested in
+/// `tests/service.rs`).
+pub fn model_hash(input: &AnalysisInput) -> ModelHash {
+    let mut mix = Mix::new();
+
+    // Power system: bus count and branch list (branch order is semantic —
+    // measurement kinds reference branches positionally).
+    let system = input.measurements.system();
+    mix.tag("system");
+    mix.usize(system.num_buses());
+    mix.usize(system.branches().len());
+    for branch in system.branches() {
+        mix.usize(branch.from.index());
+        mix.usize(branch.to.index());
+        mix.f64(branch.susceptance);
+    }
+
+    // Measurements, in order (ids are positional).
+    mix.tag("measurements");
+    mix.usize(input.measurements.len());
+    for kind in input.measurements.kinds() {
+        mix.str(&format!("{kind:?}"));
+    }
+
+    // Devices, in id order (ids are positional), with their own security
+    // attributes (pair security falls back to device suites).
+    mix.tag("devices");
+    mix.usize(input.topology.num_devices());
+    for device in input.topology.devices() {
+        mix.str(&format!("{:?}", device.kind()));
+        mix.bool(device.requires_crypto());
+        mix.unordered(device.crypto_suites(), |m, p| m.str(&p.to_string()));
+        mix.unordered(device.protocols(), |m, p| m.str(&format!("{p:?}")));
+    }
+
+    // Links: a set of normalized endpoint pairs.
+    mix.tag("links");
+    mix.unordered(input.topology.links(), |m, l| {
+        m.usize(l.a.index().min(l.b.index()));
+        m.usize(l.a.index().max(l.b.index()));
+    });
+
+    // IED→measurement association: entry order and inner list order are
+    // both incidental.
+    mix.tag("ied-measurements");
+    mix.unordered(&input.ied_measurements, |m, (ied, ms)| {
+        m.usize(ied.index());
+        let mut sorted: Vec<usize> = ms.iter().map(|id| id.index()).collect();
+        sorted.sort_unstable();
+        m.usize(sorted.len());
+        for id in sorted {
+            m.usize(id);
+        }
+    });
+
+    // Explicit pair security: an unordered map of normalized pairs to
+    // unordered profile sets.
+    mix.tag("security");
+    mix.unordered(
+        input.topology.pair_security_entries(),
+        |m, (a, b, profiles)| {
+            m.usize(a.index().min(b.index()));
+            m.usize(a.index().max(b.index()));
+            m.unordered(profiles, |mm, p| mm.str(&p.to_string()));
+        },
+    );
+
+    // Policy: rule order is incidental (a hop needs *any* accepted
+    // profile).
+    mix.tag("policy");
+    mix.unordered(input.policy.authentication_rules(), |m, r| {
+        m.str(&format!("{r:?}"));
+    });
+    mix.unordered(input.policy.integrity_rules(), |m, r| {
+        m.str(&format!("{r:?}"));
+    });
+
+    // Analysis parameters.
+    mix.tag("limits");
+    mix.usize(input.path_limits.max_paths);
+    mix.usize(input.path_limits.max_hops);
+    mix.bool(input.routers_can_fail);
+
+    ModelHash(mix.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casestudy::five_bus_case_study;
+
+    #[test]
+    fn hash_is_stable_and_roundtrips_hex() {
+        let input = five_bus_case_study();
+        let h1 = model_hash(&input);
+        let h2 = model_hash(&input);
+        assert_eq!(h1, h2);
+        let rendered = h1.to_string();
+        assert_eq!(rendered.len(), 32);
+        assert_eq!(rendered.parse::<ModelHash>().unwrap(), h1);
+        assert!("xyz".parse::<ModelHash>().is_err());
+        assert!("00".parse::<ModelHash>().is_err());
+    }
+
+    #[test]
+    fn association_order_is_canonicalized() {
+        let base = five_bus_case_study();
+        let mut shuffled = base.clone();
+        shuffled.ied_measurements.reverse();
+        for (_, ms) in &mut shuffled.ied_measurements {
+            ms.reverse();
+        }
+        assert_eq!(model_hash(&base), model_hash(&shuffled));
+    }
+
+    #[test]
+    fn parameter_mutations_separate() {
+        let base = five_bus_case_study();
+        let h = model_hash(&base);
+        let mut flipped = base.clone();
+        flipped.routers_can_fail = true;
+        assert_ne!(model_hash(&flipped), h);
+        let mut limited = base.clone();
+        limited.path_limits.max_hops += 1;
+        assert_ne!(model_hash(&limited), h);
+        let mut no_policy = base.clone();
+        no_policy.policy = scadasim::SecurityPolicy::empty();
+        assert_ne!(model_hash(&no_policy), h);
+    }
+}

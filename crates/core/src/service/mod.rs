@@ -1,0 +1,34 @@
+//! The long-running analysis service behind the `scadad` binary.
+//!
+//! Every `scada-analyzer` invocation re-parses, re-encodes, and
+//! re-learns from zero, discarding the incremental solver state that
+//! [`satcore`] maintains within a process. This module keeps that state
+//! alive across requests:
+//!
+//! * [`session`] — warm [`Analyzer`](crate::Analyzer) instances keyed by
+//!   a canonical content hash of the loaded model, each owned by a
+//!   dedicated worker thread, bounded by an LRU;
+//! * [`cache`] — a verdict cache keyed by `(model, property, spec,
+//!   limits, certify)`, so a repeated query answers without touching the
+//!   solver at all;
+//! * [`protocol`] — a hand-rolled line-delimited JSON protocol (no
+//!   serde) with `load` / `verify` / `maxres` / `enumerate` / `stats` /
+//!   `evict` / `shutdown` requests;
+//! * [`server`] — the request engine plus stdio and TCP-loopback
+//!   transports, with bounded-line reads, admission control, and a
+//!   graceful drain on shutdown.
+//!
+//! The [`hash`] module defines the canonical model hash that both the
+//! session manager and the cache key on.
+
+pub mod cache;
+pub mod hash;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use cache::VerdictCache;
+pub use hash::{model_hash, ModelHash};
+pub use protocol::{parse_json, parse_request, CertStatus, Json, LimitsSpec, QueryReply, Request};
+pub use server::{serve_stdio, serve_tcp, Engine, ServeOptions};
+pub use session::SessionManager;

@@ -1,0 +1,965 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, both single JSON
+//! objects. The parser is hand-rolled (like the rest of the repo's JSON
+//! handling in [`crate::obs`]) — no serde — with a recursion-depth bound
+//! so a hostile line cannot blow the stack. Unknown fields are ignored
+//! so the protocol can grow; unknown *ops* are errors.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"op":"load","config":"<scada config text>"}      load a model
+//! {"op":"load","case_study":true}                   load the paper's 5-bus model
+//! {"op":"verify","model":"<hex>","property":"obs","spec":{"k1":1,"k2":1}}
+//! {"op":"maxres","model":"<hex>","property":"secured","axis":"total","r":1}
+//! {"op":"enumerate","model":"<hex>","property":"obs","spec":{"k":2},"cap":50}
+//! {"op":"stats"}                                    service counters
+//! {"op":"evict","model":"<hex>"}                    drop a warm session
+//! {"op":"shutdown"}                                 drain and exit
+//! ```
+//!
+//! Query requests accept an optional `"limits":{"timeout_ms":N,
+//! "conflict_budget":N}` object. Responses are `{"ok":true,...}` with
+//! per-request `elapsed_us` timing and, for queries, a `provenance`
+//! field (`cold|warm|cached`); failures are `{"ok":false,"error":"..."}`
+//! (plus `"retry":true` when the service is merely saturated).
+
+use std::time::Duration;
+
+use scadasim::DeviceId;
+
+use crate::maxres::BudgetAxis;
+use crate::obs::json_escape_into;
+use crate::spec::{Property, QueryLimits, ResiliencySpec, RetryPolicy};
+use crate::threat::ThreatVector;
+use crate::verify::Verdict;
+
+use super::hash::ModelHash;
+
+/// Maximum JSON nesting depth accepted from the wire.
+const MAX_DEPTH: usize = 16;
+
+/// Retry attempts granted to conflict-budgeted service queries (matches
+/// the CLI's escalation default).
+const SERVICE_RETRY_ATTEMPTS: u32 = 4;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value model + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Public so protocol clients (the `--connect`
+/// CLI mode, tests, scripts) can pick responses apart without their own
+/// parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON numbers are doubles).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, fields in wire order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Field `key` of an object (first occurrence), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize` (see [`Json::as_u64`]).
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("JSON nested deeper than {MAX_DEPTH}"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number().map(Json::Num),
+            Some(other) => Err(format!(
+                "unexpected '{}' at byte {}",
+                char::from(other),
+                self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err("bad low surrogate".to_string());
+                                    }
+                                    0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                                } else {
+                                    return Err("lone high surrogate".to_string());
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| "bad codepoint".to_string())?,
+                            );
+                        }
+                        other => {
+                            return Err(format!("bad escape '\\{}'", char::from(other)));
+                        }
+                    }
+                }
+                Some(b) if b < 0x20 => return Err("raw control byte in string".to_string()),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so boundaries
+                    // are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "bad UTF-8".to_string())?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or("truncated \\u escape")?;
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "bad \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        s.parse::<f64>()
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+}
+
+/// Parses one line into a JSON value, requiring the whole line to be a
+/// single value.
+pub fn parse_json(line: &str) -> Result<Json, String> {
+    let mut p = Parser::new(line);
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------------
+
+/// Per-request resource limits from the wire, also part of the verdict
+/// cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LimitsSpec {
+    /// Wall-clock budget in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Starting conflict budget (escalated ×2 on retry).
+    pub conflict_budget: Option<u64>,
+}
+
+impl LimitsSpec {
+    /// Whether any limit is set.
+    pub fn is_bounded(&self) -> bool {
+        self.timeout_ms.is_some() || self.conflict_budget.is_some()
+    }
+
+    /// Materializes the wire limits into [`QueryLimits`].
+    pub fn to_limits(self) -> QueryLimits {
+        let mut limits = QueryLimits::none();
+        if let Some(ms) = self.timeout_ms {
+            limits = limits.with_timeout(Duration::from_millis(ms));
+        }
+        if let Some(budget) = self.conflict_budget {
+            limits = limits
+                .with_conflict_budget(budget)
+                .with_retry(RetryPolicy::escalating(SERVICE_RETRY_ATTEMPTS));
+        }
+        limits
+    }
+}
+
+/// A decoded service request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Load (or re-touch) a model; exactly one source must be given.
+    Load {
+        /// Config text in the `scadasim` sectioned format.
+        config: Option<String>,
+        /// Load the paper's five-bus case study instead.
+        case_study: bool,
+    },
+    /// Verify a property at a spec on a loaded model.
+    Verify {
+        /// Target model.
+        model: ModelHash,
+        /// Property to verify.
+        property: Property,
+        /// Resiliency spec.
+        spec: ResiliencySpec,
+        /// Per-request limits.
+        limits: LimitsSpec,
+    },
+    /// Maximum resiliency search along one budget axis.
+    MaxRes {
+        /// Target model.
+        model: ModelHash,
+        /// Property to verify.
+        property: Property,
+        /// Budget axis swept.
+        axis: BudgetAxis,
+        /// Tolerated corrupted measurements (bad-data only).
+        r: usize,
+        /// Per-request limits.
+        limits: LimitsSpec,
+    },
+    /// Enumerate minimal threat vectors up to a cap.
+    Enumerate {
+        /// Target model.
+        model: ModelHash,
+        /// Property to verify.
+        property: Property,
+        /// Resiliency spec.
+        spec: ResiliencySpec,
+        /// Maximum number of vectors to return.
+        cap: usize,
+        /// Per-request limits.
+        limits: LimitsSpec,
+    },
+    /// Service counters and cache statistics.
+    Stats,
+    /// Drop a warm session (and its cached verdicts).
+    Evict {
+        /// Target model.
+        model: ModelHash,
+    },
+    /// Drain in-flight queries and exit.
+    Shutdown,
+}
+
+fn parse_model(obj: &Json) -> Result<ModelHash, String> {
+    let s = obj
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or("missing \"model\"")?;
+    s.parse::<ModelHash>().map_err(|e| e.to_string())
+}
+
+fn parse_property(obj: &Json) -> Result<Property, String> {
+    let s = obj
+        .get("property")
+        .and_then(Json::as_str)
+        .ok_or("missing \"property\"")?;
+    match s {
+        "obs" | "observability" => Ok(Property::Observability),
+        "secured" | "secured-observability" => Ok(Property::SecuredObservability),
+        "baddata" | "bad-data-detectability" => Ok(Property::BadDataDetectability),
+        other => Err(format!(
+            "unknown property {other:?} (want obs|secured|baddata)"
+        )),
+    }
+}
+
+fn parse_spec(obj: &Json) -> Result<ResiliencySpec, String> {
+    let spec = obj.get("spec").ok_or("missing \"spec\"")?;
+    let k = spec.get("k").map(|v| v.as_usize().ok_or("bad \"k\""));
+    let k1 = spec.get("k1").map(|v| v.as_usize().ok_or("bad \"k1\""));
+    let k2 = spec.get("k2").map(|v| v.as_usize().ok_or("bad \"k2\""));
+    let mut out = match (k, k1, k2) {
+        (Some(k), None, None) => ResiliencySpec::total(k?),
+        (None, Some(k1), Some(k2)) => ResiliencySpec::split(k1?, k2?),
+        _ => return Err("spec needs either \"k\" or both \"k1\" and \"k2\"".to_string()),
+    };
+    if let Some(r) = spec.get("r") {
+        out = out.with_corrupted(r.as_usize().ok_or("bad \"r\"")?);
+    }
+    if let Some(l) = spec.get("links") {
+        out = out.with_link_failures(l.as_usize().ok_or("bad \"links\"")?);
+    }
+    Ok(out)
+}
+
+fn parse_axis(obj: &Json) -> Result<BudgetAxis, String> {
+    match obj.get("axis").and_then(Json::as_str) {
+        None | Some("total") => Ok(BudgetAxis::Total),
+        Some("ieds") => Ok(BudgetAxis::IedsOnly),
+        Some("rtus") => Ok(BudgetAxis::RtusOnly),
+        Some(other) => Err(format!("unknown axis {other:?} (want ieds|rtus|total)")),
+    }
+}
+
+fn parse_limits(obj: &Json) -> Result<LimitsSpec, String> {
+    let Some(limits) = obj.get("limits") else {
+        return Ok(LimitsSpec::default());
+    };
+    if !matches!(limits, Json::Obj(_)) {
+        return Err("\"limits\" must be an object".to_string());
+    }
+    let timeout_ms = match limits.get("timeout_ms") {
+        Some(v) => Some(v.as_u64().ok_or("bad \"timeout_ms\"")?),
+        None => None,
+    };
+    let conflict_budget = match limits.get("conflict_budget") {
+        Some(v) => Some(v.as_u64().ok_or("bad \"conflict_budget\"")?),
+        None => None,
+    };
+    Ok(LimitsSpec {
+        timeout_ms,
+        conflict_budget,
+    })
+}
+
+/// Parses one request line. Errors are human-readable strings destined
+/// for the `error` field of a `{"ok":false}` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let obj = parse_json(line)?;
+    if !matches!(obj, Json::Obj(_)) {
+        return Err("request must be a JSON object".to_string());
+    }
+    let op = obj
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("missing \"op\"")?;
+    match op {
+        "load" => {
+            let config = obj.get("config").map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or("\"config\" must be a string")
+            });
+            let config = config.transpose()?;
+            let case_study = match obj.get("case_study") {
+                Some(v) => v.as_bool().ok_or("\"case_study\" must be a bool")?,
+                None => false,
+            };
+            if config.is_some() == case_study {
+                return Err("load needs exactly one of \"config\" or \"case_study\"".to_string());
+            }
+            Ok(Request::Load { config, case_study })
+        }
+        "verify" => Ok(Request::Verify {
+            model: parse_model(&obj)?,
+            property: parse_property(&obj)?,
+            spec: parse_spec(&obj)?,
+            limits: parse_limits(&obj)?,
+        }),
+        "maxres" => {
+            let r = match obj.get("r") {
+                Some(v) => v.as_usize().ok_or("bad \"r\"")?,
+                None => 1,
+            };
+            Ok(Request::MaxRes {
+                model: parse_model(&obj)?,
+                property: parse_property(&obj)?,
+                axis: parse_axis(&obj)?,
+                r,
+                limits: parse_limits(&obj)?,
+            })
+        }
+        "enumerate" => {
+            let cap = match obj.get("cap") {
+                Some(v) => v.as_usize().ok_or("bad \"cap\"")?,
+                None => 100,
+            };
+            Ok(Request::Enumerate {
+                model: parse_model(&obj)?,
+                property: parse_property(&obj)?,
+                spec: parse_spec(&obj)?,
+                cap,
+                limits: parse_limits(&obj)?,
+            })
+        }
+        "stats" => Ok(Request::Stats),
+        "evict" => Ok(Request::Evict {
+            model: parse_model(&obj)?,
+        }),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Replies
+// ---------------------------------------------------------------------------
+
+/// Outcome of an independent certification, summarized for the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertStatus {
+    /// Unsat verdict re-derived by proof replay.
+    Proof,
+    /// Sat verdict re-checked against model and budget.
+    Threat,
+    /// Certification was enabled but this verdict kind is unchecked.
+    Unchecked,
+    /// Certification FAILED — the verdict must not be trusted.
+    Failed(String),
+}
+
+impl CertStatus {
+    fn wire_name(&self) -> &'static str {
+        match self {
+            CertStatus::Proof => "proof",
+            CertStatus::Threat => "threat",
+            CertStatus::Unchecked => "unchecked",
+            CertStatus::Failed(_) => "failed",
+        }
+    }
+}
+
+/// The cacheable payload of a query response (everything except
+/// provenance and timing, which are per-request).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryReply {
+    /// Reply to `verify`.
+    Verify {
+        /// The verdict.
+        verdict: Verdict,
+        /// Solver conflicts spent.
+        conflicts: u64,
+        /// Solve attempts performed.
+        attempts: u32,
+        /// Certification outcome, when the service runs certified.
+        certificate: Option<CertStatus>,
+    },
+    /// Reply to `maxres`.
+    MaxRes {
+        /// The maximum budget at which the property still holds; `None`
+        /// when the search was undecided at some step.
+        max: Option<usize>,
+    },
+    /// Reply to `enumerate`.
+    Enumerate {
+        /// Minimal threat vectors found.
+        vectors: Vec<ThreatVector>,
+        /// Whether the cap stopped the enumeration early.
+        truncated: bool,
+        /// Whether a resource limit left the space undecided.
+        undecided: bool,
+    },
+}
+
+impl QueryReply {
+    /// Whether this reply is safe to cache: every sub-result decided.
+    /// Undecided outcomes are retried on the next request instead of
+    /// being replayed from the cache.
+    pub fn is_cacheable(&self) -> bool {
+        match self {
+            QueryReply::Verify {
+                verdict,
+                certificate,
+                ..
+            } => !verdict.is_unknown() && !matches!(certificate, Some(CertStatus::Failed(_))),
+            QueryReply::MaxRes { max } => max.is_some(),
+            QueryReply::Enumerate { undecided, .. } => !undecided,
+        }
+    }
+
+    /// Whether the reply should map to a non-zero client exit code
+    /// (mirrors the CLI: threat → 1, undecided → 3, cert failure → 4).
+    pub fn exit_hint(&self) -> u8 {
+        match self {
+            QueryReply::Verify {
+                certificate: Some(CertStatus::Failed(_)),
+                ..
+            } => 4,
+            QueryReply::Verify { verdict, .. } => match verdict {
+                Verdict::Resilient => 0,
+                Verdict::Threat(_) => 1,
+                Verdict::Unknown { .. } => 3,
+            },
+            QueryReply::MaxRes { max } => {
+                if max.is_some() {
+                    0
+                } else {
+                    3
+                }
+            }
+            QueryReply::Enumerate {
+                vectors, undecided, ..
+            } => {
+                if *undecided {
+                    3
+                } else if !vectors.is_empty() {
+                    1
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response rendering
+// ---------------------------------------------------------------------------
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    json_escape_into(value, out);
+    out.push('"');
+}
+
+fn push_ids(out: &mut String, ids: &[DeviceId]) {
+    out.push('[');
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&id.one_based().to_string());
+    }
+    out.push(']');
+}
+
+fn push_threat(out: &mut String, vector: &ThreatVector) {
+    out.push_str("{\"ieds\":");
+    push_ids(out, &vector.ieds);
+    out.push_str(",\"rtus\":");
+    push_ids(out, &vector.rtus);
+    out.push_str(",\"others\":");
+    push_ids(out, &vector.others);
+    out.push_str(",\"links\":[");
+    for (i, (a, b)) in vector.links.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{},{}]", a.one_based(), b.one_based()));
+    }
+    out.push_str("]}");
+}
+
+/// Renders an error response.
+pub(crate) fn error_line(message: &str) -> String {
+    let mut out = String::from("{\"ok\":false,\"error\":\"");
+    json_escape_into(message, &mut out);
+    out.push_str("\"}");
+    out
+}
+
+/// Renders the saturation response; the client may retry after a delay.
+pub(crate) fn busy_line() -> String {
+    "{\"ok\":false,\"error\":\"busy\",\"retry\":true}".to_string()
+}
+
+/// Renders a successful `load` response.
+pub(crate) fn load_line(
+    model: ModelHash,
+    session: &str,
+    devices: usize,
+    measurements: usize,
+    elapsed_us: u128,
+) -> String {
+    let mut out = String::from("{\"ok\":true,\"op\":\"load\"");
+    push_str_field(&mut out, "model", &model.to_string());
+    push_str_field(&mut out, "session", session);
+    out.push_str(&format!(
+        ",\"devices\":{devices},\"measurements\":{measurements},\"elapsed_us\":{elapsed_us}}}"
+    ));
+    out
+}
+
+/// Renders a successful query response around its cacheable payload.
+pub(crate) fn reply_line(
+    model: ModelHash,
+    reply: &QueryReply,
+    provenance: &str,
+    elapsed_us: u128,
+) -> String {
+    let mut out = String::from("{\"ok\":true");
+    match reply {
+        QueryReply::Verify {
+            verdict,
+            conflicts,
+            attempts,
+            certificate,
+        } => {
+            push_str_field(&mut out, "op", "verify");
+            push_str_field(&mut out, "model", &model.to_string());
+            let name = match verdict {
+                Verdict::Resilient => "resilient",
+                Verdict::Threat(_) => "threat",
+                Verdict::Unknown { .. } => "unknown",
+            };
+            push_str_field(&mut out, "verdict", name);
+            if let Verdict::Threat(vector) = verdict {
+                out.push_str(",\"threat\":");
+                push_threat(&mut out, vector);
+            }
+            out.push_str(&format!(
+                ",\"conflicts\":{conflicts},\"attempts\":{attempts}"
+            ));
+            if let Some(cert) = certificate {
+                push_str_field(&mut out, "certificate", cert.wire_name());
+                if let CertStatus::Failed(reason) = cert {
+                    push_str_field(&mut out, "certificate_error", reason);
+                }
+            }
+        }
+        QueryReply::MaxRes { max } => {
+            push_str_field(&mut out, "op", "maxres");
+            push_str_field(&mut out, "model", &model.to_string());
+            match max {
+                Some(k) => out.push_str(&format!(",\"max\":{k}")),
+                None => out.push_str(",\"max\":null"),
+            }
+        }
+        QueryReply::Enumerate {
+            vectors,
+            truncated,
+            undecided,
+        } => {
+            push_str_field(&mut out, "op", "enumerate");
+            push_str_field(&mut out, "model", &model.to_string());
+            out.push_str(&format!(
+                ",\"count\":{},\"truncated\":{truncated},\"undecided\":{undecided},\"vectors\":[",
+                vectors.len()
+            ));
+            for (i, vector) in vectors.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_threat(&mut out, vector);
+            }
+            out.push(']');
+        }
+    }
+    push_str_field(&mut out, "provenance", provenance);
+    out.push_str(&format!(",\"elapsed_us\":{elapsed_us}}}"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_requests() {
+        assert_eq!(parse_request("{\"op\":\"stats\"}"), Ok(Request::Stats),);
+        assert_eq!(
+            parse_request(" {\"op\":\"shutdown\"} "),
+            Ok(Request::Shutdown)
+        );
+        let req = parse_request(
+            "{\"op\":\"verify\",\"model\":\"000102030405060708090a0b0c0d0e0f\",\
+             \"property\":\"obs\",\"spec\":{\"k1\":1,\"k2\":2},\
+             \"limits\":{\"conflict_budget\":100}}",
+        )
+        .unwrap();
+        match req {
+            Request::Verify {
+                property,
+                spec,
+                limits,
+                ..
+            } => {
+                assert_eq!(property, Property::Observability);
+                assert_eq!(spec, ResiliencySpec::split(1, 2));
+                assert_eq!(limits.conflict_budget, Some(100));
+                assert_eq!(limits.timeout_ms, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("{").is_err());
+        assert!(parse_request("42").is_err());
+        assert!(parse_request("{\"op\":\"nope\"}").is_err());
+        assert!(parse_request("{\"op\":\"verify\"}").is_err());
+        assert!(parse_request("{\"op\":\"load\"}").is_err());
+        assert!(parse_request("{\"op\":\"load\",\"config\":\"x\",\"case_study\":true}").is_err());
+        // Spec must not mix total and split budgets.
+        assert!(parse_request(
+            "{\"op\":\"verify\",\"model\":\"000102030405060708090a0b0c0d0e0f\",\
+             \"property\":\"obs\",\"spec\":{\"k\":1,\"k1\":1,\"k2\":1}}"
+        )
+        .is_err());
+        // Trailing garbage after the object.
+        assert!(parse_request("{\"op\":\"stats\"} {\"op\":\"stats\"}").is_err());
+        // Negative and fractional counts.
+        assert!(parse_request(
+            "{\"op\":\"verify\",\"model\":\"000102030405060708090a0b0c0d0e0f\",\
+             \"property\":\"obs\",\"spec\":{\"k\":-1}}"
+        )
+        .is_err());
+        assert!(parse_request(
+            "{\"op\":\"verify\",\"model\":\"000102030405060708090a0b0c0d0e0f\",\
+             \"property\":\"obs\",\"spec\":{\"k\":1.5}}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let mut deep = String::new();
+        for _ in 0..64 {
+            deep.push('[');
+        }
+        for _ in 0..64 {
+            deep.push(']');
+        }
+        assert!(parse_json(&deep).is_err());
+        // A sane nesting level parses fine.
+        assert!(parse_json("{\"a\":{\"b\":[1,2,{\"c\":null}]}}").is_ok());
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let v = parse_json("\"a\\\"b\\\\c\\n\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nA😀"));
+        assert!(parse_json("\"\\ud83d\"").is_err());
+        assert!(parse_json("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn replies_render_as_single_json_objects() {
+        let model = ModelHash(0xdead_beef);
+        let reply = QueryReply::Verify {
+            verdict: Verdict::Resilient,
+            conflicts: 7,
+            attempts: 1,
+            certificate: Some(CertStatus::Proof),
+        };
+        let line = reply_line(model, &reply, "warm", 1234);
+        let parsed = parse_json(&line).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            parsed.get("provenance").and_then(Json::as_str),
+            Some("warm")
+        );
+        assert_eq!(
+            parsed.get("certificate").and_then(Json::as_str),
+            Some("proof")
+        );
+        assert_eq!(parsed.get("conflicts").and_then(Json::as_u64), Some(7));
+
+        let err = error_line("bad \"quote\"");
+        let parsed = parse_json(&err).unwrap();
+        assert_eq!(parsed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            parsed.get("error").and_then(Json::as_str),
+            Some("bad \"quote\"")
+        );
+    }
+
+    #[test]
+    fn cacheability_excludes_undecided_outcomes() {
+        let unknown = QueryReply::Verify {
+            verdict: Verdict::Unknown {
+                conflicts: 5,
+                elapsed: Duration::from_millis(1),
+            },
+            conflicts: 5,
+            attempts: 1,
+            certificate: None,
+        };
+        assert!(!unknown.is_cacheable());
+        assert_eq!(unknown.exit_hint(), 3);
+        let decided = QueryReply::MaxRes { max: Some(2) };
+        assert!(decided.is_cacheable());
+        assert_eq!(decided.exit_hint(), 0);
+        assert!(!QueryReply::MaxRes { max: None }.is_cacheable());
+        let failed = QueryReply::Verify {
+            verdict: Verdict::Resilient,
+            conflicts: 0,
+            attempts: 1,
+            certificate: Some(CertStatus::Failed("mismatch".to_string())),
+        };
+        assert!(!failed.is_cacheable());
+        assert_eq!(failed.exit_hint(), 4);
+    }
+}

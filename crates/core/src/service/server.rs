@@ -1,0 +1,880 @@
+//! The request engine and its transports.
+//!
+//! [`Engine`] is transport-agnostic: one request line in, one response
+//! line out ([`Engine::handle_line`]). The two transports — stdio
+//! ([`serve_stdio`]) and a TCP loopback listener ([`serve_tcp`]) — only
+//! move lines; every policy decision lives in the engine:
+//!
+//! * **admission control** — at most `max_inflight` queries run at
+//!   once; beyond that the engine answers `busy` (with `"retry":true`)
+//!   instead of queueing unboundedly. Cache hits and control ops
+//!   (`load`, `stats`, `evict`, `shutdown`) bypass admission: they
+//!   never touch a solver;
+//! * **bounded reads** — request lines longer than `max_line` bytes are
+//!   rejected with a structured error and the remainder of the line is
+//!   discarded without ever being buffered, so a hostile client cannot
+//!   balloon memory;
+//! * **graceful drain** — `shutdown` stops admission, lets in-flight
+//!   queries finish (certified queries flush their DRAT proofs as part
+//!   of finishing), joins every session worker, and only then lets the
+//!   process exit 0.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use crate::casestudy::five_bus_case_study;
+use crate::certify::{Certificate, CertifyOptions};
+use crate::enumerate::enumerate_threats_with_limited;
+use crate::input::AnalysisInput;
+use crate::obs::{MetricsRegistry, Obs, TraceEvent};
+use crate::verify::Analyzer;
+
+use super::cache::{CacheKey, QueryShape, VerdictCache, DEFAULT_CACHE_CAPACITY};
+use super::hash::ModelHash;
+use super::protocol::{
+    busy_line, error_line, load_line, parse_request, reply_line, CertStatus, QueryReply, Request,
+};
+use super::session::{SessionManager, SessionQuery, DEFAULT_SESSION_CAPACITY};
+
+/// Default bound on one request line, in bytes (configs travel inline
+/// in `load`, so this is generous).
+pub const DEFAULT_MAX_LINE: usize = 1 << 20;
+
+/// Configuration for an [`Engine`].
+#[derive(Debug)]
+pub struct ServeOptions {
+    /// Warm sessions kept alive (LRU beyond this).
+    pub sessions: usize,
+    /// Cached verdicts kept (LRU beyond this; 0 disables the cache).
+    pub cache: usize,
+    /// Concurrent queries admitted; 0 means one per available core.
+    pub max_inflight: usize,
+    /// Longest accepted request line in bytes.
+    pub max_line: usize,
+    /// Tracing; the engine attaches its own metrics registry.
+    pub obs: Obs,
+    /// Certification policy, fixed for the service lifetime (proof
+    /// mirroring must start at analyzer construction, so it cannot be
+    /// toggled per request — the cache key still records it).
+    pub certify: CertifyOptions,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            sessions: DEFAULT_SESSION_CAPACITY,
+            cache: DEFAULT_CACHE_CAPACITY,
+            max_inflight: 0,
+            max_line: DEFAULT_MAX_LINE,
+            obs: Obs::none(),
+            certify: CertifyOptions::default(),
+        }
+    }
+}
+
+/// One response line plus whether the transport should begin shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The response line (no trailing newline).
+    pub line: String,
+    /// `true` exactly for the `shutdown` acknowledgement.
+    pub shutdown: bool,
+}
+
+impl Response {
+    fn reply(line: String) -> Response {
+        Response {
+            line,
+            shutdown: false,
+        }
+    }
+}
+
+/// Decrements the in-flight count when a query finishes (or panics).
+struct InflightGuard<'a>(&'a Engine);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The transport-agnostic service engine.
+pub struct Engine {
+    sessions: Mutex<SessionManager>,
+    cache: Mutex<VerdictCache>,
+    metrics: Arc<MetricsRegistry>,
+    obs: Obs,
+    certify: CertifyOptions,
+    max_line: usize,
+    max_inflight: usize,
+    inflight: AtomicUsize,
+    draining: AtomicBool,
+    started: Instant,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("max_inflight", &self.max_inflight)
+            .field("inflight", &self.inflight.load(Ordering::SeqCst))
+            .field("draining", &self.draining.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+fn lock<'m, T>(mutex: &'m Mutex<T>) -> std::sync::MutexGuard<'m, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn cert_status(certificate: &Certificate) -> CertStatus {
+    match certificate {
+        Certificate::Proof { .. } => CertStatus::Proof,
+        Certificate::Threat { .. } => CertStatus::Threat,
+        Certificate::Unchecked => CertStatus::Unchecked,
+        Certificate::Failed { reason } => CertStatus::Failed(reason.clone()),
+    }
+}
+
+impl Engine {
+    /// Builds an engine. The engine owns its metrics registry and
+    /// attaches it to the provided `obs` (replacing any registry the
+    /// caller attached), so `stats` always has counters to report.
+    pub fn new(options: ServeOptions) -> Engine {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let obs = options.obs.with_metrics(Arc::clone(&metrics));
+        let sessions = SessionManager::new(options.sessions, obs.clone(), options.certify.clone());
+        Engine {
+            sessions: Mutex::new(sessions),
+            cache: Mutex::new(VerdictCache::new(options.cache)),
+            metrics,
+            obs,
+            certify: options.certify,
+            max_line: options.max_line.max(1),
+            max_inflight: crate::pool::effective_jobs(options.max_inflight),
+            inflight: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+        }
+    }
+
+    /// The engine's metrics registry (`stats` counters and cache
+    /// hit/miss counts).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Longest accepted request line in bytes.
+    pub fn max_line(&self) -> usize {
+        self.max_line
+    }
+
+    /// Whether `shutdown` has been requested.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn admit(&self) -> Option<InflightGuard<'_>> {
+        let mut current = self.inflight.load(Ordering::SeqCst);
+        loop {
+            if current >= self.max_inflight {
+                return None;
+            }
+            match self.inflight.compare_exchange(
+                current,
+                current + 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Some(InflightGuard(self)),
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    fn trace_request(
+        &self,
+        op: &'static str,
+        status: &'static str,
+        provenance: Option<&'static str>,
+        start: Instant,
+    ) {
+        let elapsed = start.elapsed();
+        self.obs.trace(|| TraceEvent::ServiceRequest {
+            op,
+            status,
+            provenance,
+            elapsed,
+        });
+        self.metrics.add("service_requests", 1);
+        if status != "ok" {
+            self.metrics.add("service_errors", 1);
+        }
+        self.metrics
+            .observe("service_request_us", elapsed.as_micros() as u64);
+    }
+
+    /// Handles one request line, returning one response line.
+    pub fn handle_line(&self, line: &str) -> Response {
+        let start = Instant::now();
+        let request = match parse_request(line) {
+            Ok(request) => request,
+            Err(message) => {
+                self.trace_request("invalid", "error", None, start);
+                return Response::reply(error_line(&message));
+            }
+        };
+        if self.is_draining() && request != Request::Shutdown {
+            self.trace_request("draining", "error", None, start);
+            return Response::reply(error_line("service is shutting down"));
+        }
+        match request {
+            Request::Load { config, case_study } => self.handle_load(config, case_study, start),
+            Request::Verify {
+                model,
+                property,
+                spec,
+                limits,
+            } => {
+                let key = CacheKey {
+                    model,
+                    certify: self.certify.enabled,
+                    limits,
+                    shape: QueryShape::Verify { property, spec },
+                };
+                let query_limits = limits.to_limits();
+                let query: SessionQuery = Box::new(move |analyzer, _input| {
+                    let report = analyzer.verify_with_report_limited(property, spec, &query_limits);
+                    QueryReply::Verify {
+                        verdict: report.verdict,
+                        conflicts: report.conflicts,
+                        attempts: report.attempts,
+                        certificate: report.certificate.as_ref().map(cert_status),
+                    }
+                });
+                self.run_query("verify", model, key, query, start)
+            }
+            Request::MaxRes {
+                model,
+                property,
+                axis,
+                r,
+                limits,
+            } => {
+                let key = CacheKey {
+                    model,
+                    certify: self.certify.enabled,
+                    limits,
+                    shape: QueryShape::MaxRes { property, axis, r },
+                };
+                let query_limits = limits.to_limits();
+                let query: SessionQuery = Box::new(move |analyzer, _input| {
+                    let max = analyzer.max_resiliency_limited(property, axis, r, &query_limits);
+                    QueryReply::MaxRes { max }
+                });
+                self.run_query("maxres", model, key, query, start)
+            }
+            Request::Enumerate {
+                model,
+                property,
+                spec,
+                cap,
+                limits,
+            } => {
+                let key = CacheKey {
+                    model,
+                    certify: self.certify.enabled,
+                    limits,
+                    shape: QueryShape::Enumerate {
+                        property,
+                        spec,
+                        cap,
+                    },
+                };
+                let query_limits = limits.to_limits();
+                let obs = self.obs.clone();
+                let certify = self.certify.clone();
+                let query: SessionQuery = Box::new(move |_analyzer, input| {
+                    // Enumeration adds permanent blocking clauses; run it
+                    // on a throwaway analyzer so the warm session's model
+                    // stays an exact encoding of the input.
+                    let mut fresh = Analyzer::with_options(input, obs, certify);
+                    let space = enumerate_threats_with_limited(
+                        &mut fresh,
+                        property,
+                        spec,
+                        cap,
+                        &query_limits,
+                    );
+                    QueryReply::Enumerate {
+                        vectors: space.vectors,
+                        truncated: space.truncated,
+                        undecided: space.undecided,
+                    }
+                });
+                self.run_query("enumerate", model, key, query, start)
+            }
+            Request::Stats => {
+                let line = self.stats_line(start);
+                self.trace_request("stats", "ok", None, start);
+                Response::reply(line)
+            }
+            Request::Evict { model } => {
+                let evicted = lock(&self.sessions).evict(model);
+                let invalidated = lock(&self.cache).invalidate_model(model);
+                self.trace_request("evict", "ok", None, start);
+                Response::reply(format!(
+                    "{{\"ok\":true,\"op\":\"evict\",\"model\":\"{model}\",\
+                     \"evicted\":{evicted},\"invalidated\":{invalidated}}}"
+                ))
+            }
+            Request::Shutdown => {
+                self.draining.store(true, Ordering::SeqCst);
+                self.trace_request("shutdown", "ok", None, start);
+                Response {
+                    line: "{\"ok\":true,\"op\":\"shutdown\",\"draining\":true}".to_string(),
+                    shutdown: true,
+                }
+            }
+        }
+    }
+
+    fn handle_load(&self, config: Option<String>, case_study: bool, start: Instant) -> Response {
+        let input = if case_study {
+            five_bus_case_study()
+        } else {
+            let text = config.expect("parser guarantees one source");
+            match scadasim::parse_config(&text) {
+                Ok(config) => AnalysisInput::from(config),
+                Err(error) => {
+                    self.trace_request("load", "error", None, start);
+                    return Response::reply(error_line(&format!("bad config: {error}")));
+                }
+            }
+        };
+        let devices = input.topology.num_devices();
+        let measurements = input.measurements.len();
+        let (model, created) = lock(&self.sessions).ensure(&input);
+        let session = if created { "cold" } else { "warm" };
+        self.trace_request("load", "ok", None, start);
+        Response::reply(load_line(
+            model,
+            session,
+            devices,
+            measurements,
+            start.elapsed().as_micros(),
+        ))
+    }
+
+    fn run_query(
+        &self,
+        op: &'static str,
+        model: ModelHash,
+        key: CacheKey,
+        query: SessionQuery,
+        start: Instant,
+    ) -> Response {
+        // Cache hits bypass admission entirely: no solver work.
+        if let Some(reply) = lock(&self.cache).lookup(&key, &self.metrics) {
+            self.trace_request(op, "ok", Some("cached"), start);
+            return Response::reply(reply_line(
+                model,
+                &reply,
+                "cached",
+                start.elapsed().as_micros(),
+            ));
+        }
+        let Some(_guard) = self.admit() else {
+            self.metrics.add("service_busy", 1);
+            self.trace_request(op, "busy", None, start);
+            return Response::reply(busy_line());
+        };
+        // Dispatch under the manager lock, wait outside it: a slow query
+        // must not serialize the whole service.
+        let ticket = lock(&self.sessions).dispatch(model, query);
+        let Some(ticket) = ticket else {
+            self.trace_request(op, "error", None, start);
+            return Response::reply(error_line(&format!(
+                "unknown model {model} (load it first)"
+            )));
+        };
+        let provenance = ticket.warmth().as_str();
+        match ticket.wait() {
+            Ok(reply) => {
+                lock(&self.cache).insert(key, &reply);
+                self.trace_request(op, "ok", Some(provenance), start);
+                Response::reply(reply_line(
+                    model,
+                    &reply,
+                    provenance,
+                    start.elapsed().as_micros(),
+                ))
+            }
+            Err(message) => {
+                self.trace_request(op, "error", Some(provenance), start);
+                Response::reply(error_line(&message))
+            }
+        }
+    }
+
+    fn stats_line(&self, start: Instant) -> String {
+        let (sessions, models) = {
+            let mgr = lock(&self.sessions);
+            (mgr.len(), mgr.models())
+        };
+        let cache_entries = lock(&self.cache).len();
+        let mut out = String::from("{\"ok\":true,\"op\":\"stats\"");
+        out.push_str(&format!(
+            ",\"uptime_us\":{},\"sessions\":{sessions},\"models\":[",
+            self.started.elapsed().as_micros()
+        ));
+        for (i, model) in models.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{model}\""));
+        }
+        out.push_str(&format!(
+            "],\"cache_entries\":{cache_entries},\"inflight\":{},\"max_inflight\":{},\
+             \"counters\":{{",
+            self.inflight.load(Ordering::SeqCst),
+            self.max_inflight,
+        ));
+        for (i, (name, value)) in self.metrics.counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{value}"));
+        }
+        out.push_str(&format!(
+            "}},\"elapsed_us\":{}}}",
+            start.elapsed().as_micros()
+        ));
+        out
+    }
+
+    /// Drains the service: stops admitting, waits for in-flight queries
+    /// to finish (certified queries flush their DRAT proofs as part of
+    /// finishing), and joins every session worker. Idempotent; called
+    /// by the transports after their accept/read loops exit.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        while self.inflight.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        lock(&self.sessions).shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded line reading
+// ---------------------------------------------------------------------------
+
+/// Outcome of one poll for a request line.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum LinePoll {
+    /// No complete line yet (non-blocking reader hit its timeout).
+    Pending,
+    /// One complete line (newline stripped).
+    Line(String),
+    /// A line exceeded the byte bound; it was discarded, not buffered.
+    Oversized,
+    /// End of stream.
+    Eof,
+}
+
+/// Reads newline-delimited lines with a hard byte bound per line.
+///
+/// Once a line crosses the bound the reader switches to *discard mode*:
+/// the rest of the line is consumed chunk by chunk straight out of the
+/// `BufRead` buffer without ever being accumulated, so the memory cost
+/// of an oversized line is the `BufRead` buffer, not the line. Partial
+/// lines survive `Pending` polls (read timeouts), which lets the TCP
+/// transport poll the drain flag without losing buffered bytes.
+pub(crate) struct BoundedLineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    discarding: bool,
+    cap: usize,
+}
+
+enum Step {
+    Eof,
+    /// Bytes before a newline, plus how much to consume (incl. the
+    /// newline).
+    Complete(Vec<u8>, usize),
+    /// A newline-free chunk of `len` bytes to append (or discard).
+    Partial(Vec<u8>, usize),
+}
+
+impl<R: BufRead> BoundedLineReader<R> {
+    pub(crate) fn new(inner: R, cap: usize) -> BoundedLineReader<R> {
+        BoundedLineReader {
+            inner,
+            buf: Vec::new(),
+            discarding: false,
+            cap,
+        }
+    }
+
+    pub(crate) fn poll_line(&mut self) -> io::Result<LinePoll> {
+        loop {
+            let step = {
+                let available = match self.inner.fill_buf() {
+                    Ok(available) => available,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        return Ok(LinePoll::Pending)
+                    }
+                    Err(e) => return Err(e),
+                };
+                if available.is_empty() {
+                    Step::Eof
+                } else {
+                    match available.iter().position(|&b| b == b'\n') {
+                        Some(pos) => Step::Complete(available[..pos].to_vec(), pos + 1),
+                        None => {
+                            let chunk =
+                                if self.discarding || self.buf.len() + available.len() > self.cap {
+                                    // Never accumulate beyond the cap.
+                                    Vec::new()
+                                } else {
+                                    available.to_vec()
+                                };
+                            Step::Partial(chunk, available.len())
+                        }
+                    }
+                }
+            };
+            match step {
+                Step::Eof => {
+                    if self.discarding {
+                        self.discarding = false;
+                        self.buf.clear();
+                        return Ok(LinePoll::Oversized);
+                    }
+                    if self.buf.is_empty() {
+                        return Ok(LinePoll::Eof);
+                    }
+                    // Unterminated trailing line: serve it.
+                    let line = self.take_line();
+                    return Ok(LinePoll::Line(line));
+                }
+                Step::Complete(head, consume) => {
+                    let was_discarding = self.discarding;
+                    let overflow = !was_discarding && self.buf.len() + head.len() > self.cap;
+                    if !was_discarding && !overflow {
+                        self.buf.extend_from_slice(&head);
+                    }
+                    self.inner.consume(consume);
+                    if was_discarding || overflow {
+                        self.discarding = false;
+                        self.buf.clear();
+                        return Ok(LinePoll::Oversized);
+                    }
+                    let line = self.take_line();
+                    return Ok(LinePoll::Line(line));
+                }
+                Step::Partial(chunk, consume) => {
+                    if chunk.is_empty() {
+                        self.discarding = true;
+                        self.buf.clear();
+                    } else {
+                        self.buf.extend_from_slice(&chunk);
+                    }
+                    self.inner.consume(consume);
+                }
+            }
+        }
+    }
+
+    fn take_line(&mut self) -> String {
+        if self.buf.last() == Some(&b'\r') {
+            self.buf.pop();
+        }
+        let line = String::from_utf8_lossy(&self.buf).into_owned();
+        self.buf.clear();
+        line
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transports
+// ---------------------------------------------------------------------------
+
+fn oversized_line(cap: usize) -> String {
+    error_line(&format!("request line exceeds {cap} bytes"))
+}
+
+/// Serves the engine over a blocking reader/writer pair (stdio). Runs
+/// until EOF or a `shutdown` request, then drains the engine.
+pub fn serve_stdio(engine: &Engine, input: impl Read, output: impl Write) -> io::Result<()> {
+    let mut reader = BoundedLineReader::new(BufReader::new(input), engine.max_line());
+    let mut out = BufWriter::new(output);
+    loop {
+        match reader.poll_line()? {
+            // A blocking reader never reports Pending; treat it like a
+            // retry to stay correct on exotic readers.
+            LinePoll::Pending => continue,
+            LinePoll::Eof => break,
+            LinePoll::Oversized => {
+                writeln!(out, "{}", oversized_line(engine.max_line()))?;
+                out.flush()?;
+            }
+            LinePoll::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = engine.handle_line(&line);
+                writeln!(out, "{}", response.line)?;
+                out.flush()?;
+                if response.shutdown {
+                    break;
+                }
+            }
+        }
+    }
+    engine.drain();
+    Ok(())
+}
+
+fn serve_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
+    // A short read timeout turns the blocking read into a poll, so the
+    // connection notices a drain started elsewhere within ~100 ms.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BoundedLineReader::new(BufReader::new(stream), engine.max_line());
+    loop {
+        match reader.poll_line() {
+            Ok(LinePoll::Pending) => {
+                if engine.is_draining() {
+                    break;
+                }
+            }
+            Ok(LinePoll::Eof) => break,
+            Ok(LinePoll::Oversized) => {
+                writeln!(writer, "{}", oversized_line(engine.max_line()))?;
+            }
+            Ok(LinePoll::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let response = engine.handle_line(&line);
+                writeln!(writer, "{}", response.line)?;
+                if response.shutdown {
+                    break;
+                }
+            }
+            // A connection-level error (reset, broken pipe) ends this
+            // connection, never the service.
+            Err(_) => break,
+        }
+    }
+    Ok(())
+}
+
+/// Serves the engine over a TCP listener until a `shutdown` request,
+/// then joins every connection and drains the engine. One thread per
+/// connection; requests on a connection are answered in order.
+pub fn serve_tcp(engine: Arc<Engine>, listener: TcpListener) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !engine.is_draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let engine = Arc::clone(&engine);
+                let handle = std::thread::Builder::new()
+                    .name("scadad-conn".to_string())
+                    .spawn(move || {
+                        let _ = serve_connection(&engine, stream);
+                    })
+                    .expect("spawn connection thread");
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+        connections.retain(|handle| !handle.is_finished());
+    }
+    // Drain: every connection notices the flag within its read timeout;
+    // in-flight queries finish first because handle_line blocks until
+    // the session answers.
+    for handle in connections {
+        let _ = handle.join();
+    }
+    engine.drain();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::protocol::parse_json;
+    use std::io::Cursor;
+
+    fn engine() -> Engine {
+        Engine::new(ServeOptions::default())
+    }
+
+    fn field_str(line: &str, key: &str) -> Option<String> {
+        let v = parse_json(line).unwrap();
+        v.get(key).and_then(|j| match j {
+            crate::service::protocol::Json::Str(s) => Some(s.clone()),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn load_verify_cache_roundtrip() {
+        let engine = engine();
+        let load = engine.handle_line("{\"op\":\"load\",\"case_study\":true}");
+        assert!(load.line.contains("\"ok\":true"), "{}", load.line);
+        let model = field_str(&load.line, "model").unwrap();
+        assert_eq!(field_str(&load.line, "session").as_deref(), Some("cold"));
+
+        let verify = format!(
+            "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"obs\",\
+             \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+        );
+        let first = engine.handle_line(&verify);
+        assert_eq!(
+            field_str(&first.line, "verdict").as_deref(),
+            Some("resilient")
+        );
+        assert_eq!(
+            field_str(&first.line, "provenance").as_deref(),
+            Some("cold")
+        );
+
+        let second = engine.handle_line(&verify);
+        assert_eq!(
+            field_str(&second.line, "provenance").as_deref(),
+            Some("cached")
+        );
+        assert_eq!(engine.metrics().counter("service_cache_hits"), 1);
+
+        // A different spec misses the cache but hits the warm session.
+        let other = verify.replace("\"k1\":1", "\"k1\":2");
+        let third = engine.handle_line(&other);
+        assert_eq!(
+            field_str(&third.line, "provenance").as_deref(),
+            Some("warm")
+        );
+        assert_eq!(field_str(&third.line, "verdict").as_deref(), Some("threat"));
+
+        let stats = engine.handle_line("{\"op\":\"stats\"}");
+        assert!(
+            stats.line.contains("\"service_cache_hits\":1"),
+            "{}",
+            stats.line
+        );
+        engine.drain();
+    }
+
+    #[test]
+    fn malformed_and_unknown_model_are_structured_errors() {
+        let engine = engine();
+        let bad = engine.handle_line("{not json");
+        assert!(bad.line.starts_with("{\"ok\":false"), "{}", bad.line);
+        assert!(!bad.shutdown);
+        let unknown = engine.handle_line(
+            "{\"op\":\"verify\",\"model\":\"00000000000000000000000000000000\",\
+             \"property\":\"obs\",\"spec\":{\"k\":1}}",
+        );
+        assert!(unknown.line.contains("unknown model"), "{}", unknown.line);
+        engine.drain();
+    }
+
+    #[test]
+    fn stdio_transport_smoke() {
+        let engine = engine();
+        let script = "{\"op\":\"load\",\"case_study\":true}\n\
+                      {\"op\":\"stats\"}\n\
+                      {\"op\":\"shutdown\"}\n";
+        let mut output = Vec::new();
+        serve_stdio(&engine, Cursor::new(script), &mut output).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].contains("\"op\":\"load\""));
+        assert!(lines[1].contains("\"op\":\"stats\""));
+        assert!(lines[2].contains("\"draining\":true"));
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_without_buffering() {
+        let engine = Engine::new(ServeOptions {
+            max_line: 64,
+            ..ServeOptions::default()
+        });
+        let mut script = String::new();
+        script.push('{');
+        script.push_str(&"x".repeat(1024));
+        script.push('\n');
+        script.push_str("{\"op\":\"stats\"}\n");
+        let mut output = Vec::new();
+        serve_stdio(&engine, Cursor::new(script), &mut output).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().lines().collect();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].contains("exceeds 64 bytes"), "{}", lines[0]);
+        // The stream recovers: the next request still works.
+        assert!(lines[1].contains("\"op\":\"stats\""), "{}", lines[1]);
+    }
+
+    #[test]
+    fn bounded_reader_handles_split_and_oversized_lines() {
+        let data = b"short\nthis-line-is-way-too-long-for-the-cap\nok\nlast";
+        let mut reader = BoundedLineReader::new(Cursor::new(&data[..]), 10);
+        assert_eq!(reader.poll_line().unwrap(), LinePoll::Line("short".into()));
+        assert_eq!(reader.poll_line().unwrap(), LinePoll::Oversized);
+        assert_eq!(reader.poll_line().unwrap(), LinePoll::Line("ok".into()));
+        assert_eq!(reader.poll_line().unwrap(), LinePoll::Line("last".into()));
+        assert_eq!(reader.poll_line().unwrap(), LinePoll::Eof);
+    }
+
+    #[test]
+    fn timed_out_request_does_not_poison_the_warm_session() {
+        let engine = engine();
+        let load = engine.handle_line("{\"op\":\"load\",\"case_study\":true}");
+        let model = field_str(&load.line, "model").unwrap();
+        // A zero-millisecond budget forces Unknown on the warm session…
+        let strangled = format!(
+            "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"obs\",\
+             \"spec\":{{\"k1\":1,\"k2\":1}},\"limits\":{{\"timeout_ms\":0}}}}"
+        );
+        let first = engine.handle_line(&strangled);
+        assert_eq!(
+            field_str(&first.line, "verdict").as_deref(),
+            Some("unknown")
+        );
+        // …and must not be cached…
+        let again = engine.handle_line(&strangled);
+        assert_ne!(
+            field_str(&again.line, "provenance").as_deref(),
+            Some("cached")
+        );
+        // …nor leave its deadline armed for the next, unlimited request.
+        let unlimited = format!(
+            "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"obs\",\
+             \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+        );
+        let second = engine.handle_line(&unlimited);
+        assert_eq!(
+            field_str(&second.line, "verdict").as_deref(),
+            Some("resilient"),
+            "{}",
+            second.line
+        );
+        engine.drain();
+    }
+}

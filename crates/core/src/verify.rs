@@ -182,6 +182,22 @@ impl<'a> Analyzer<'a> {
         &mut self.encoder
     }
 
+    /// Clears every piece of per-query solver state a previous request
+    /// may have left armed: the wall-clock deadline, the conflict
+    /// budget, the cooperative interrupt flag, and the progress hook.
+    ///
+    /// Long-lived analyzers (the `scadad` warm sessions) serve
+    /// independent requests back to back; without this, a timed-out
+    /// request's deadline would still be armed when the next request's
+    /// solve starts and instantly abort it. Query entry points arm and
+    /// disarm limits around each solve, but an *aborted* query — a
+    /// panic unwound past the disarm — must not poison its successor.
+    pub fn reset_for_query(&mut self) {
+        let solver = self.encoder.solver_mut();
+        QueryLimits::disarm(solver);
+        solver.set_progress_hook(None);
+    }
+
     /// Whether this query needs a globally unique id (trace correlation
     /// or per-query proof files).
     pub(crate) fn wants_query_ids(&self) -> bool {

@@ -1,0 +1,415 @@
+//! Integration tests for the analysis service: canonical model-hash
+//! properties, and the `scadad` binary driven over stdio and TCP
+//! (protocol robustness, warm-session reuse, graceful drain).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use scada_analyzer::{model_hash, AnalysisInput};
+use scadasim::{generate, parse_config, write_config, ScadaConfig, ScadaGenConfig};
+
+// ---------------------------------------------------------------------------
+// Canonical model hash
+// ---------------------------------------------------------------------------
+
+/// A small hand-written config exercising every section.
+const BASE_CONFIG: &str = "\
+[buses]
+3
+[lines]
+1 2 10.0
+2 3 5.0
+[measurements]
+flow 1 2
+flow 2 3
+injection 2
+[devices]
+ied 1
+ied 2
+rtu 3
+mtu 4
+[links]
+1 3
+2 3
+3 4
+[ied-measurements]
+1 1 3
+2 2
+[security]
+1 3 chap 64 sha2 128
+2 3 hmac 128
+3 4 rsa 2048 aes 256
+[spec]
+resilience 1 0
+corrupted 1
+";
+
+fn input_from(text: &str) -> AnalysisInput {
+    AnalysisInput::from(parse_config(text).unwrap_or_else(|e| panic!("config: {e}")))
+}
+
+/// Rotates the body lines of one `[section]` by `rot` (a permutation).
+fn rotate_section(text: &str, section: &str, rot: usize) -> String {
+    let header = format!("[{section}]");
+    let mut out: Vec<String> = Vec::new();
+    let mut body: Vec<String> = Vec::new();
+    let mut in_section = false;
+    for line in text.lines() {
+        if line.starts_with('[') {
+            if in_section {
+                let k = rot % body.len().max(1);
+                body.rotate_left(k);
+                out.append(&mut body);
+                in_section = false;
+            }
+            if line == header {
+                in_section = true;
+            }
+            out.push(line.to_string());
+        } else if in_section && !line.trim().is_empty() {
+            body.push(line.to_string());
+        } else {
+            out.push(line.to_string());
+        }
+    }
+    if in_section && !body.is_empty() {
+        let k = rot % body.len();
+        body.rotate_left(k);
+        out.append(&mut body);
+    }
+    out.join("\n") + "\n"
+}
+
+/// A deterministically generated config (richer than the hand-written
+/// one) for the property tests.
+fn generated_config(seed: u64, hierarchy: usize, density: f64) -> String {
+    let system = powergrid::synthetic::synthetic_system("svc-hash", 9, 12, seed);
+    let scada = generate(
+        system,
+        &ScadaGenConfig {
+            measurement_density: density,
+            hierarchy_level: hierarchy,
+            seed,
+            ..Default::default()
+        },
+    );
+    write_config(&ScadaConfig {
+        measurements: scada.measurements,
+        topology: scada.topology,
+        ied_measurements: scada.ied_measurements,
+        resilience: (1, 1),
+        corrupted: 1,
+        link_failures: 0,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Re-ordering the incidental-order sections (links, security
+    /// pairs, IED associations) never changes the canonical hash.
+    #[test]
+    fn hash_ignores_incidental_order(
+        seed in 0u64..1000,
+        hierarchy in 1usize..3,
+        density in 0.4f64..1.0,
+        rot in 1usize..7,
+    ) {
+        let text = generated_config(seed, hierarchy, density);
+        let base = model_hash(&input_from(&text));
+        let mut permuted = text.clone();
+        for section in ["links", "security", "ied-measurements"] {
+            permuted = rotate_section(&permuted, section, rot);
+        }
+        prop_assert_ne!(&permuted, &text, "rotation did not change the text");
+        prop_assert_eq!(model_hash(&input_from(&permuted)), base);
+    }
+
+    /// Mutating one semantic field of the input always changes the
+    /// hash (each mutation index picks a different field).
+    #[test]
+    fn hash_detects_single_field_mutations(
+        seed in 0u64..1000,
+        choice in 0usize..5,
+    ) {
+        let text = generated_config(seed, 1, 0.8);
+        let mut input = input_from(&text);
+        let base = model_hash(&input);
+        match choice {
+            0 => input.routers_can_fail = !input.routers_can_fail,
+            1 => input.path_limits.max_hops += 1,
+            2 => input.path_limits.max_paths += 1,
+            3 => {
+                let dropped = input.ied_measurements.pop();
+                prop_assert!(dropped.is_some(), "generated config has no IEDs");
+            }
+            _ => input.policy = scadasim::SecurityPolicy::empty(),
+        }
+        prop_assert_ne!(model_hash(&input), base, "mutation {} went unnoticed", choice);
+    }
+}
+
+#[test]
+fn hash_ignores_ied_association_entry_order() {
+    let mut input = input_from(BASE_CONFIG);
+    let base = model_hash(&input);
+    input.ied_measurements.reverse();
+    assert_eq!(model_hash(&input), base);
+}
+
+#[test]
+fn hash_detects_textual_single_token_edits() {
+    let base = model_hash(&input_from(BASE_CONFIG));
+    // Each edit changes exactly one token of one section.
+    let edits = [
+        ("1 2 10.0", "1 2 12.5"),                 // line susceptance
+        ("injection 2", "injection 1"),           // measurement location
+        ("2 3 hmac 128", "2 3 hmac 256"),         // crypto strength
+        ("1 3 chap 64 sha2 128", "1 3 sha2 128"), // drop a profile
+        ("1 1 3", "1 1"),                         // IED records one less
+    ];
+    for (from, to) in edits {
+        let text = BASE_CONFIG.replace(from, to);
+        assert_ne!(text, BASE_CONFIG, "edit `{from}` matched nothing");
+        assert_ne!(
+            model_hash(&input_from(&text)),
+            base,
+            "edit `{from}` -> `{to}` went unnoticed"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The scadad binary over stdio
+// ---------------------------------------------------------------------------
+
+fn scadad(args: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_scadad"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn scadad")
+}
+
+/// Sends one line to the child and reads one response line.
+fn roundtrip(stdin: &mut impl Write, stdout: &mut impl BufRead, line: &str) -> String {
+    writeln!(stdin, "{line}").expect("write request");
+    stdin.flush().expect("flush request");
+    let mut resp = String::new();
+    stdout.read_line(&mut resp).expect("read response");
+    assert!(!resp.is_empty(), "service closed stdout after `{line}`");
+    resp.trim().to_string()
+}
+
+#[test]
+fn stdio_session_serves_cold_cached_and_recovers_from_garbage() {
+    let mut child = scadad(&[]);
+    let mut stdin = child.stdin.take().expect("stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+
+    let load = roundtrip(
+        &mut stdin,
+        &mut stdout,
+        "{\"op\":\"load\",\"case_study\":true}",
+    );
+    assert!(load.contains("\"ok\":true"), "load failed: {load}");
+    let model = load
+        .split("\"model\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("model hash in load response")
+        .to_string();
+
+    let verify = format!(
+        "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"obs\",\
+         \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+    );
+    let first = roundtrip(&mut stdin, &mut stdout, &verify);
+    assert!(
+        first.contains("\"verdict\":\"resilient\"") && first.contains("\"provenance\":\"cold\""),
+        "unexpected first verify: {first}"
+    );
+    let second = roundtrip(&mut stdin, &mut stdout, &verify);
+    assert!(
+        second.contains("\"provenance\":\"cached\""),
+        "repeat verify not cached: {second}"
+    );
+
+    // Garbage is a structured error, not a crash; the session lives on.
+    let garbage = roundtrip(&mut stdin, &mut stdout, "{not json");
+    assert!(
+        garbage.contains("\"ok\":false"),
+        "no structured error: {garbage}"
+    );
+
+    // A timed-out query answers unknown but must not poison the warm
+    // session (reset_for_query): the next unlimited query still decides.
+    let starved = roundtrip(
+        &mut stdin,
+        &mut stdout,
+        &format!(
+            "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"secured\",\
+             \"spec\":{{\"k1\":1,\"k2\":1}},\"limits\":{{\"timeout_ms\":0}}}}"
+        ),
+    );
+    assert!(
+        starved.contains("\"verdict\":\"unknown\""),
+        "not starved: {starved}"
+    );
+    let after = roundtrip(
+        &mut stdin,
+        &mut stdout,
+        &format!(
+            "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"secured\",\
+             \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+        ),
+    );
+    // A decided verdict (this property happens to be a threat on the
+    // case study) proves the starved query's deadline was disarmed.
+    assert!(
+        !after.contains("\"verdict\":\"unknown\"") && after.contains("\"provenance\":\"warm\""),
+        "warm session poisoned by the starved query: {after}"
+    );
+
+    let bye = roundtrip(&mut stdin, &mut stdout, "{\"op\":\"shutdown\"}");
+    assert!(bye.contains("\"draining\":true"), "no drain ack: {bye}");
+    let status = child.wait().expect("wait scadad");
+    assert!(status.success(), "scadad exited {status:?}");
+}
+
+#[test]
+fn stdio_rejects_oversized_lines_and_keeps_serving() {
+    let mut child = scadad(&["--max-line", "256"]);
+    let mut stdin = child.stdin.take().expect("stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+
+    let huge = format!("{{\"op\":\"load\",\"config\":\"{}\"}}", "x".repeat(4096));
+    let resp = roundtrip(&mut stdin, &mut stdout, &huge);
+    assert!(
+        resp.contains("\"ok\":false") && resp.contains("exceeds 256 bytes"),
+        "oversized line not rejected: {resp}"
+    );
+
+    // The stream resynchronizes on the next newline.
+    let stats = roundtrip(&mut stdin, &mut stdout, "{\"op\":\"stats\"}");
+    assert!(
+        stats.contains("\"ok\":true"),
+        "stream did not recover: {stats}"
+    );
+
+    roundtrip(&mut stdin, &mut stdout, "{\"op\":\"shutdown\"}");
+    assert!(child.wait().expect("wait").success());
+}
+
+// ---------------------------------------------------------------------------
+// The scadad binary over TCP: shutdown drains in-flight queries
+// ---------------------------------------------------------------------------
+
+struct TcpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl TcpClient {
+    fn connect(addr: &str) -> TcpClient {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        TcpClient {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("recv");
+        assert!(!resp.is_empty(), "connection closed mid-response");
+        resp.trim().to_string()
+    }
+
+    fn request(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+    }
+}
+
+#[test]
+fn tcp_shutdown_drains_inflight_queries() {
+    let mut child = scadad(&["--listen", "127.0.0.1:0"]);
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("scadad: listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    // A model big enough that enumeration takes real time (so the
+    // shutdown below lands while the query is in flight).
+    let system = powergrid::synthetic::ieee_sized(30, 7);
+    let scada = generate(
+        system,
+        &ScadaGenConfig {
+            measurement_density: 0.7,
+            hierarchy_level: 1,
+            secure_fraction: 0.8,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+    let text = write_config(&ScadaConfig {
+        measurements: scada.measurements,
+        topology: scada.topology,
+        ied_measurements: scada.ied_measurements,
+        resilience: (1, 1),
+        corrupted: 1,
+        link_failures: 0,
+    });
+    let mut escaped = String::new();
+    scada_analyzer::obs::json_escape_into(&text, &mut escaped);
+
+    let mut slow = TcpClient::connect(&addr);
+    let load = slow.request(&format!("{{\"op\":\"load\",\"config\":\"{escaped}\"}}"));
+    assert!(load.contains("\"ok\":true"), "load failed: {load}");
+    let model = load
+        .split("\"model\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("model hash")
+        .to_string();
+
+    slow.send(&format!(
+        "{{\"op\":\"enumerate\",\"model\":\"{model}\",\"property\":\"obs\",\
+         \"spec\":{{\"k\":2}},\"cap\":500}}"
+    ));
+    // Let the query reach the session worker, then ask another
+    // connection for shutdown while it is (very likely) in flight.
+    std::thread::sleep(Duration::from_millis(30));
+    let mut ctrl = TcpClient::connect(&addr);
+    let ack = ctrl.request("{\"op\":\"shutdown\"}");
+    assert!(ack.contains("\"draining\":true"), "no drain ack: {ack}");
+
+    // The in-flight enumeration still completes with a real answer.
+    let answer = slow.recv();
+    assert!(
+        answer.contains("\"ok\":true") && answer.contains("\"op\":\"enumerate\""),
+        "in-flight query dropped during drain: {answer}"
+    );
+
+    let status = child.wait().expect("wait scadad");
+    assert!(status.success(), "scadad exited {status:?} after drain");
+}

@@ -9,8 +9,8 @@
 use proptest::prelude::*;
 use satcore::bruteforce::solve_brute_force;
 use satcore::{
-    check_model, check_unsat_proof, parse_drat, CheckError, Cnf, DratWriter, Lit,
-    ProofBuffer, ProofSink, ProofStep, RupChecker, SolveResult, Solver, Var,
+    check_model, check_unsat_proof, parse_drat, CheckError, Cnf, DratWriter, Lit, ProofBuffer,
+    ProofSink, ProofStep, RupChecker, SolveResult, Solver, Var,
 };
 
 /// Strategy producing a random CNF with up to `max_vars` variables.
