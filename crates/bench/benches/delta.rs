@@ -1,0 +1,151 @@
+//! Criterion bench: delta re-verification on the IEEE-30 workload.
+//!
+//! Four series answer the question "what does patching a warm session
+//! buy you over reloading": `verify_cold` rebuilds the session (parse,
+//! encode, analyzer build) for every query; `verify_warm` re-queries
+//! the warm incremental solver; `patch` applies a security-profile
+//! rotation to the warm session (validation, delta encode, re-key —
+//! no solve); `patch_verify` applies the rotation and re-verifies on
+//! the patched model. The target is for `patch_verify` to land within
+//! a small factor of `verify_warm`, nowhere near `verify_cold` — that
+//! ratio is what the CI perf gate enforces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scada_analyzer::obs::json_escape_into;
+use scada_analyzer::service::{Engine, ServeOptions};
+use scadasim::{generate, write_config, ScadaConfig, ScadaGenConfig};
+use std::hint::black_box;
+
+/// The IEEE-30 config text plus the 1-based wire ids of one pair to
+/// rotate security profiles on. The pair is the first link's endpoints,
+/// which carries IED traffic, so the rotation really dirties a secured
+/// delivery cone instead of being a no-op.
+fn ieee30() -> (String, usize, usize) {
+    let system = powergrid::synthetic::ieee_sized(30, 0);
+    let scada = generate(
+        system,
+        &ScadaGenConfig {
+            measurement_density: 0.7,
+            hierarchy_level: 1,
+            secure_fraction: 0.8,
+            seed: 0,
+            ..Default::default()
+        },
+    );
+    let link = &scada.topology.links()[0];
+    let (a, b) = (link.a.one_based(), link.b.one_based());
+    let config = write_config(&ScadaConfig {
+        measurements: scada.measurements,
+        topology: scada.topology,
+        ied_measurements: scada.ied_measurements,
+        resilience: (1, 1),
+        corrupted: 1,
+        link_failures: 0,
+    });
+    (config, a, b)
+}
+
+/// Sends one request and asserts the service accepted it.
+fn ok(engine: &Engine, line: &str) -> String {
+    let resp = engine.handle_line(line);
+    assert!(
+        resp.line.contains("\"ok\":true"),
+        "request failed: {} -> {}",
+        &line[..line.len().min(80)],
+        resp.line
+    );
+    resp.line
+}
+
+/// Extracts the model hash from a load or patch reply.
+fn hash_of(line: &str) -> String {
+    line.split("\"model\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("model hash")
+        .to_string()
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let (config, a, b) = ieee30();
+    let mut load = String::from("{\"op\":\"load\",\"config\":\"");
+    json_escape_into(&config, &mut load);
+    load.push_str("\"}");
+
+    let verify = |model: &str| {
+        format!(
+            "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"secured\",\
+             \"spec\":{{\"k1\":2,\"k2\":1}}}}"
+        )
+    };
+    let patch = |model: &str, toggle: bool| {
+        let profile = if toggle { "aes 256" } else { "rsa 2048" };
+        format!(
+            "{{\"op\":\"patch\",\"model\":\"{model}\",\"patch\":{{\"set_profile\":\
+             {{\"a\":{a},\"b\":{b},\"profiles\":[\"{profile}\"]}}}}}}"
+        )
+    };
+
+    let mut group = c.benchmark_group("delta");
+    group.sample_size(20);
+
+    // Cold: every iteration evicts the session (dropping its cached
+    // verdicts with it) and pays the full rebuild before the solve.
+    let cold = Engine::new(ServeOptions::default());
+    let cold_model = hash_of(&ok(&cold, &load));
+    let evict = format!("{{\"op\":\"evict\",\"model\":\"{cold_model}\"}}");
+    group.bench_function("verify_cold", |bench| {
+        bench.iter(|| {
+            ok(&cold, &evict);
+            ok(&cold, &load);
+            black_box(ok(&cold, &verify(&cold_model)))
+        })
+    });
+
+    // Warm: the reference point the delta path is judged against. The
+    // cache is disabled so the warm incremental solver really answers.
+    let warm = Engine::new(ServeOptions {
+        cache: 0,
+        ..ServeOptions::default()
+    });
+    let warm_model = hash_of(&ok(&warm, &load));
+    ok(&warm, &verify(&warm_model));
+    group.bench_function("verify_warm", |bench| {
+        bench.iter(|| black_box(ok(&warm, &verify(&warm_model))))
+    });
+
+    // Patch alone: rotate the pair's profile back and forth on one warm
+    // session, chasing the lineage hash each reply hands back. After the
+    // first full rotation both delivery cones are hash-consed, so
+    // steady-state iterations measure the true delta-encode cost.
+    let deltas = Engine::new(ServeOptions {
+        cache: 0,
+        ..ServeOptions::default()
+    });
+    let mut model = hash_of(&ok(&deltas, &load));
+    ok(&deltas, &verify(&model));
+    let mut toggle = false;
+    group.bench_function("patch", |bench| {
+        bench.iter(|| {
+            let line = patch(&model, toggle);
+            toggle = !toggle;
+            model = hash_of(&ok(&deltas, &line));
+        })
+    });
+
+    // Patch + re-verify: the headline series the perf gate compares
+    // against `verify_warm`.
+    group.bench_function("patch_verify", |bench| {
+        bench.iter(|| {
+            let line = patch(&model, toggle);
+            toggle = !toggle;
+            model = hash_of(&ok(&deltas, &line));
+            black_box(ok(&deltas, &verify(&model)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_delta);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! CI perf gate over the delta-verification benchmarks.
+//!
+//! ```text
+//! bench_gate <records.jsonl> <report.json> [--max-ratio N]
+//! ```
+//!
+//! Reads the machine-readable records the criterion shim appends under
+//! `BENCH_GATE_JSON` (one JSON object per benchmark: `label`,
+//! `mean_ns`, `min_ns`, `max_ns`, `samples`), computes the cost of a
+//! re-verify on a freshly patched session relative to a plain warm
+//! verify, writes a JSON report, and fails the process when the ratio
+//! exceeds the bound.
+//!
+//! The delta-verify cost is isolated by subtraction: the `delta/patch`
+//! series times the patch op alone (validate, delta-encode, re-key) and
+//! `delta/patch_verify` times patch + re-verify, so their difference is
+//! the verify latency a client observes on a just-patched model. The
+//! gate asserts `(patch_verify - patch) / verify_warm <= max-ratio`
+//! (default 4): a delta re-verify must stay in the warm regime, nowhere
+//! near the cold-rebuild cost.
+//!
+//! Exit codes: 0 gate passed, 1 gate breached, 2 usage or malformed
+//! input.
+
+use std::process::ExitCode;
+
+use scada_analyzer::service::{parse_json, Json};
+
+/// Default bound on `delta_verify / warm_verify`.
+const DEFAULT_MAX_RATIO: f64 = 4.0;
+
+/// One parsed benchmark record.
+struct Record {
+    label: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: u64,
+}
+
+fn parse_records(text: &str) -> Result<Vec<Record>, String> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let field = |name: &str| -> Result<f64, String> {
+            value
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("line {}: missing numeric `{name}`", i + 1))
+        };
+        records.push(Record {
+            label: value
+                .get("label")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("line {}: missing `label`", i + 1))?
+                .to_string(),
+            mean_ns: field("mean_ns")?,
+            min_ns: field("min_ns")?,
+            max_ns: field("max_ns")?,
+            samples: field("samples")? as u64,
+        });
+    }
+    Ok(records)
+}
+
+/// Mean of the named series; the last record wins if a label repeats
+/// (a re-run appends to the same file).
+fn mean_of(records: &[Record], label: &str) -> Result<f64, String> {
+    records
+        .iter()
+        .rev()
+        .find(|r| r.label == label)
+        .map(|r| r.mean_ns)
+        .ok_or_else(|| format!("no `{label}` record in the input (did the bench run?)"))
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut max_ratio = DEFAULT_MAX_RATIO;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--max-ratio" {
+            max_ratio = args
+                .get(i + 1)
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|r| *r > 0.0)
+                .ok_or("--max-ratio requires a positive number")?;
+            i += 2;
+        } else if args[i].starts_with("--") {
+            return Err(format!("unknown option `{}`", args[i]));
+        } else {
+            positional.push(&args[i]);
+            i += 1;
+        }
+    }
+    let [input, output] = positional.as_slice() else {
+        return Err("usage: bench_gate <records.jsonl> <report.json> [--max-ratio N]".to_string());
+    };
+
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let records = parse_records(&text)?;
+    let warm = mean_of(&records, "delta/verify_warm")?;
+    let patch = mean_of(&records, "delta/patch")?;
+    let patch_verify = mean_of(&records, "delta/patch_verify")?;
+    if warm <= 0.0 {
+        return Err("warm verify mean is zero; refusing to divide".to_string());
+    }
+    let delta_verify = (patch_verify - patch).max(0.0);
+    let ratio = delta_verify / warm;
+    let pass = ratio <= max_ratio;
+
+    let mut report = String::from("{");
+    report.push_str(&format!(
+        "\"max_ratio\":{max_ratio},\"warm_ns\":{warm:.1},\"patch_ns\":{patch:.1},\
+         \"patch_verify_ns\":{patch_verify:.1},\"delta_verify_ns\":{delta_verify:.1},\
+         \"ratio\":{ratio:.3},\"pass\":{pass},\"records\":["
+    ));
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            report.push(',');
+        }
+        report.push_str(&format!(
+            "{{\"label\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\
+             \"samples\":{}}}",
+            r.label, r.mean_ns, r.min_ns, r.max_ns, r.samples
+        ));
+    }
+    report.push_str("]}\n");
+    if let Some(dir) = std::path::Path::new(output).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+    }
+    std::fs::write(output, &report).map_err(|e| format!("cannot write {output}: {e}"))?;
+
+    println!(
+        "perf gate: warm {:.1} µs, patch {:.1} µs, patch+verify {:.1} µs -> \
+         delta verify {:.1} µs = {ratio:.2}x warm (bound {max_ratio}x): {}",
+        warm / 1e3,
+        patch / 1e3,
+        patch_verify / 1e3,
+        delta_verify / 1e3,
+        if pass { "PASS" } else { "FAIL" },
+    );
+    Ok(if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(usage) => {
+            eprintln!("error: {usage}");
+            ExitCode::from(2)
+        }
+    }
+}

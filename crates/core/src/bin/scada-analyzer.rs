@@ -30,6 +30,12 @@
 //!                    analyzing locally: load the model, then issue the
 //!                    selected queries over the wire (responses carry
 //!                    cold/warm/cached provenance)
+//!   --patch JSON     with --connect: apply a model patch to the warm
+//!                    session before querying (repeatable, applied in
+//!                    order), e.g. --patch '{"remove_device":7}' or
+//!                    --patch '{"add_device":{"kind":"rtu","peers":[1,4]}}';
+//!                    queries then run against the patched model and
+//!                    carry `delta` provenance
 //!   --shutdown       with --connect: ask the service to drain and exit
 //!                    (alone, or after the queries)
 //! ```
@@ -119,6 +125,28 @@ fn raw<'a>(args: &'a [String], name: &str) -> Result<Option<&'a String>, String>
     }
 }
 
+/// Every value of a repeatable option, in the order given.
+///
+/// # Errors
+///
+/// Any occurrence without a value is a usage error.
+fn raw_all<'a>(args: &'a [String], name: &str) -> Result<Vec<&'a String>, String> {
+    let mut values = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == name {
+            match args.get(i + 1) {
+                Some(v) => values.push(v),
+                None => return Err(format!("{name} requires a value")),
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(values)
+}
+
 /// A numeric option. Malformed values are usage errors, not silent
 /// fallbacks to the default.
 fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
@@ -140,6 +168,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return run_client(addr, args);
     }
     let flag = |name: &str| args.iter().any(|a| a == name);
+    if flag("--patch") {
+        return Err(
+            "--patch requires --connect (patches mutate a warm service session; \
+                    local runs re-encode from the config anyway)"
+                .to_string(),
+        );
+    }
     let config = if flag("--case-study") {
         None
     } else {
@@ -717,7 +752,7 @@ fn run_client(addr: &str, args: &[String]) -> Result<ExitCode, String> {
         eprintln!("error: {addr}: {msg}");
         return Ok(ExitCode::FAILURE);
     }
-    let model = loaded
+    let mut model = loaded
         .get("model")
         .and_then(Json::as_str)
         .ok_or("malformed load response (no model hash)")?
@@ -731,6 +766,44 @@ fn run_client(addr: &str, args: &[String]) -> Result<ExitCode, String> {
             .and_then(Json::as_u64)
             .unwrap_or(0),
     );
+
+    // Patches mutate the warm session in place and re-key it under the
+    // lineage hash, so each reply's `model` becomes the hash every
+    // subsequent request (and patch) must address.
+    for patch in raw_all(args, "--patch")? {
+        if let Err(e) = parse_json(patch) {
+            return Err(format!("bad --patch `{patch}`: {e}"));
+        }
+        let req = format!("{{\"op\":\"patch\",\"model\":\"{model}\",\"patch\":{patch}}}");
+        let (_, resp) = conn.request(&req)?;
+        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+            let msg = resp.get("error").and_then(Json::as_str).unwrap_or("?");
+            eprintln!("error: patch {patch} rejected: {msg}");
+            return Ok(ExitCode::FAILURE);
+        }
+        model = resp
+            .get("model")
+            .and_then(Json::as_str)
+            .ok_or("malformed patch response (no model hash)")?
+            .to_string();
+        println!(
+            "patched to model {model}: +{} device(s), +{} link(s), {} pinned, \
+             dirty plain={} secured={}, {} cached verdict(s) migrated  {}",
+            resp.get("new_devices").and_then(Json::as_u64).unwrap_or(0),
+            resp.get("new_links").and_then(Json::as_u64).unwrap_or(0),
+            resp.get("newly_pinned").and_then(Json::as_u64).unwrap_or(0),
+            resp.get("plain_dirty")
+                .and_then(Json::as_bool)
+                .unwrap_or(true),
+            resp.get("secured_dirty")
+                .and_then(Json::as_bool)
+                .unwrap_or(true),
+            resp.get("cache_migrated")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            fmt_meta(&resp),
+        );
+    }
 
     let mut outcome = RemoteOutcome::default();
     for &property in &properties {

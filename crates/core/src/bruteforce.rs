@@ -19,9 +19,13 @@ use crate::spec::{FailureBudget, Property, ResiliencySpec};
 use crate::threat::ThreatVector;
 
 /// Direct (non-symbolic) evaluator for the three resiliency properties.
+///
+/// Owns a snapshot of its input: a warm session that patches its model
+/// in place ([`crate::Analyzer::apply_patch`]) swaps in a fresh
+/// evaluator without invalidating borrows held elsewhere.
 #[derive(Debug)]
-pub struct DirectEvaluator<'a> {
-    input: &'a AnalysisInput,
+pub struct DirectEvaluator {
+    input: AnalysisInput,
     /// Assured-delivery paths per device index (empty for non-IEDs).
     assured_paths: Vec<Vec<ForwardingPath>>,
     /// The subset of those paths whose every security hop is secured.
@@ -39,9 +43,9 @@ static NO_LINKS_SET: std::sync::LazyLock<HashSet<usize>> = std::sync::LazyLock::
 #[allow(non_upper_case_globals)]
 static NO_LINKS: &std::sync::LazyLock<HashSet<usize>> = &NO_LINKS_SET;
 
-impl<'a> DirectEvaluator<'a> {
-    /// Precomputes paths for every IED.
-    pub fn new(input: &'a AnalysisInput) -> DirectEvaluator<'a> {
+impl DirectEvaluator {
+    /// Precomputes paths for every IED (cloning the input).
+    pub fn new(input: &AnalysisInput) -> DirectEvaluator {
         let n = input.topology.num_devices();
         let mut assured_paths = vec![Vec::new(); n];
         let mut secured_paths = vec![Vec::new(); n];
@@ -67,12 +71,12 @@ impl<'a> DirectEvaluator<'a> {
             secured_paths[idx] = secured;
         }
         DirectEvaluator {
-            input,
+            recorded_by: input.recorded_by(),
+            input: input.clone(),
             assured_paths,
             secured_paths,
             assured_links,
             secured_links,
-            recorded_by: input.recorded_by(),
         }
     }
 

@@ -72,7 +72,7 @@ fn ied(one_based: usize) -> DeviceId {
 
 /// Exhaustive check that the property holds for every failure set within
 /// `(k1, k2)`.
-fn resilient(eval: &DirectEvaluator<'_>, property: Property, k1: usize, k2: usize) -> bool {
+fn resilient(eval: &DirectEvaluator, property: Property, k1: usize, k2: usize) -> bool {
     for_all_budget_sets(k1, k2, |failed| eval.holds(property, 1, failed))
 }
 
@@ -132,7 +132,7 @@ fn subsets_up_to(items: &[DeviceId], k: usize) -> Vec<Vec<DeviceId>> {
 
 /// All *minimal* violating sets within the budget.
 fn minimal_vectors(
-    eval: &DirectEvaluator<'_>,
+    eval: &DirectEvaluator,
     property: Property,
     k1: usize,
     k2: usize,
@@ -156,7 +156,7 @@ fn minimal_vectors(
 }
 
 /// Largest `k` with `(k, 0)` resiliency.
-fn max_ied_only(eval: &DirectEvaluator<'_>, property: Property) -> Option<usize> {
+fn max_ied_only(eval: &DirectEvaluator, property: Property) -> Option<usize> {
     let mut best = None;
     for k in 0..=8 {
         if resilient(eval, property, k, 0) {

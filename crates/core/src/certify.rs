@@ -181,6 +181,8 @@ pub(crate) struct CertSession {
     /// Certifications performed by this session, for unique proof-file
     /// names when several checks share one query id (enumeration spans).
     seq: u64,
+    /// Patch boundaries flushed so far, naming `patch-<n>.drat` files.
+    patches: u64,
     options: CertifyOptions,
 }
 
@@ -191,8 +193,51 @@ impl CertSession {
             buffer,
             mirrored: 0,
             seq: 0,
+            patches: 0,
             options,
         }
+    }
+
+    /// Flushes the certification pipeline at a model-patch boundary.
+    ///
+    /// A patch mutates the encoder (new axioms, pin units) while the
+    /// previous query's proof steps may still sit in the buffer; if the
+    /// patch ran first, those clause additions would interleave into
+    /// the prior query's proof segment and the next `certify` call
+    /// would attribute them to the wrong epoch. So the patch *waits on
+    /// the proof flush*: drain the buffered steps and the mirror delta
+    /// into the session checker now, write them to their own
+    /// `patch-<n>.drat` segment, and only then let the patch touch the
+    /// solver.
+    ///
+    /// Soundness: patches only ever *add* clauses (stale delivery
+    /// definitions are conservative extensions; pin units are new
+    /// axioms), so the single incremental checker remains a sound
+    /// auditor across the boundary.
+    pub(crate) fn flush_patch_boundary(&mut self, encoder: &ModelEncoder) -> Result<(), String> {
+        let steps = self.buffer.take_steps();
+        if let Some(mirror) = encoder.solver().mirror() {
+            for clause in &mirror.clauses[self.mirrored.min(mirror.clauses.len())..] {
+                self.checker.add_axiom(clause);
+            }
+            self.mirrored = mirror.clauses.len();
+        }
+        for step in &steps {
+            if let Err(e) = self.checker.apply(step) {
+                return Err(format!("proof replay failed at patch boundary: {e}"));
+            }
+        }
+        let n = self.patches;
+        self.patches += 1;
+        if let Some(dir) = self.options.proof_dir.as_ref() {
+            let path = dir.join(format!("patch-{n:04}.drat"));
+            let mut bytes = Vec::new();
+            satcore::write_drat(&steps, &mut bytes)
+                .map_err(|e| format!("serializing patch-boundary proof segment: {e}"))?;
+            std::fs::write(&path, bytes)
+                .map_err(|e| format!("writing proof file {}: {e}", path.display()))?;
+        }
+        Ok(())
     }
 
     /// Certifies one query's verdict, draining the mirror/proof deltas
@@ -201,7 +246,7 @@ impl CertSession {
     pub(crate) fn certify(
         &mut self,
         encoder: &ModelEncoder,
-        evaluator: &DirectEvaluator<'_>,
+        evaluator: &DirectEvaluator,
         input: &AnalysisInput,
         query: u64,
         property: Property,
@@ -268,7 +313,7 @@ impl CertSession {
     fn check(
         &mut self,
         encoder: &ModelEncoder,
-        evaluator: &DirectEvaluator<'_>,
+        evaluator: &DirectEvaluator,
         input: &AnalysisInput,
         property: Property,
         spec: ResiliencySpec,

@@ -13,17 +13,27 @@
 use boolexpr::{ExprPool, NodeRef};
 use satcore::Lit;
 use scadasim::paths::{forwarding_paths, links_of_path, path_secured, ForwardingPath};
-use scadasim::{DeviceId, Topology};
+use scadasim::DeviceId;
 
 use crate::input::AnalysisInput;
 
-/// The enumerated paths of one IED, split by security.
-#[derive(Debug, Clone)]
+/// One forwarding path with the link indices it traverses. The link
+/// indices are captured at enumeration time so the incremental encoder
+/// can diff path sets *including* their physical links: a rewire that
+/// swaps which of two parallel links carries a hop changes this pair
+/// even though the device sequence is unchanged.
+pub(crate) type PathWithLinks = (ForwardingPath, Vec<usize>);
+
+/// The enumerated paths of one IED, split by security. `PartialEq` is
+/// the incremental encoder's dirtiness test (see
+/// [`crate::encode::ModelEncoder::apply_delta`]): equal path sets mean
+/// the IED's delivery expressions are unchanged by a model delta.
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct IedPaths {
     /// All forwarding paths (assured delivery).
-    pub all: Vec<ForwardingPath>,
+    pub all: Vec<PathWithLinks>,
     /// Paths whose every security hop is secured (secured delivery).
-    pub secured: Vec<ForwardingPath>,
+    pub secured: Vec<PathWithLinks>,
 }
 
 /// Enumerates paths for every device (non-IEDs get empty entries).
@@ -37,10 +47,17 @@ pub(crate) fn enumerate_paths(input: &AnalysisInput) -> Vec<IedPaths> {
         n
     ];
     for ied in input.topology.ieds() {
-        let all = forwarding_paths(&input.topology, ied.id(), &input.path_limits);
+        let all: Vec<PathWithLinks> =
+            forwarding_paths(&input.topology, ied.id(), &input.path_limits)
+                .into_iter()
+                .map(|p| {
+                    let links = links_of_path(&input.topology, &p);
+                    (p, links)
+                })
+                .collect();
         let secured = all
             .iter()
-            .filter(|p| path_secured(&input.topology, &input.policy, p))
+            .filter(|(p, _)| path_secured(&input.topology, &input.policy, p))
             .cloned()
             .collect();
         out[ied.id().index()] = IedPaths { all, secured };
@@ -51,21 +68,16 @@ pub(crate) fn enumerate_paths(input: &AnalysisInput) -> Vec<IedPaths> {
 /// `∨_paths (∧_{devices on path} Node_d ∧ ∧_{links on path} LinkUp_l)`
 /// over availability literals.
 pub(crate) fn delivery_expr(
-    topology: &Topology,
     pool: &mut ExprPool,
     node: &[Lit],
     link_up: &[Lit],
-    paths: &[ForwardingPath],
+    paths: &[PathWithLinks],
 ) -> NodeRef {
     let path_exprs: Vec<NodeRef> = paths
         .iter()
-        .map(|p| {
+        .map(|(p, links)| {
             let mut lits: Vec<NodeRef> = p.iter().map(|d| pool.lit(node[d.index()])).collect();
-            lits.extend(
-                links_of_path(topology, p)
-                    .into_iter()
-                    .map(|li| pool.lit(link_up[li])),
-            );
+            lits.extend(links.iter().map(|&li| pool.lit(link_up[li])));
             pool.and(lits)
         })
         .collect();

@@ -31,6 +31,58 @@ use baddata::BadDataEncoding;
 use observability::ObservabilityLits;
 use resilience::FailureCounters;
 
+/// Whether a device's availability literal is pinned true: the device
+/// sits outside the failure model (MTU, non-failing router) or has been
+/// retired by a model patch.
+fn pin_device(d: &scadasim::Device, routers_can_fail: bool) -> bool {
+    d.retired()
+        || match d.kind() {
+            DeviceKind::Mtu => true,
+            DeviceKind::Router => !routers_can_fail,
+            DeviceKind::Ied | DeviceKind::Rtu => false,
+        }
+}
+
+/// The failure-budget population: IED ids and RTU ids (extended with
+/// routers when those may fail). Retired devices stay in the population
+/// — their pinned availability contributes zero to every count, exactly
+/// as in a cold build of the patched model.
+fn budget_population(input: &AnalysisInput) -> (Vec<DeviceId>, Vec<DeviceId>) {
+    let ieds: Vec<DeviceId> = input.topology.ieds().map(|d| d.id()).collect();
+    let mut rtus: Vec<DeviceId> = input.topology.rtus().map(|d| d.id()).collect();
+    if input.routers_can_fail {
+        rtus.extend(
+            input
+                .topology
+                .devices_of_kind(DeviceKind::Router)
+                .map(|d| d.id()),
+        );
+        rtus.sort();
+    }
+    (ieds, rtus)
+}
+
+/// What one incremental delta application did to the encoding — the
+/// basis for the service's cache-invalidation decision (a property chain
+/// whose path sets did not move keeps its cached verdicts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Availability variables allocated for newly added devices.
+    pub new_devices: usize,
+    /// Availability variables allocated for newly added links.
+    pub new_links: usize,
+    /// Devices newly pinned available (retired by this delta).
+    pub newly_pinned: usize,
+    /// Some IED's plain path set changed: the plain observability chain
+    /// (and any verdict derived from it) is stale.
+    pub plain_dirty: bool,
+    /// Some IED's secured path set changed: the secured and bad-data
+    /// chains (and their verdicts) are stale.
+    pub secured_dirty: bool,
+    /// The failure counters were rebuilt (the budget population moved).
+    pub counters_rebuilt: bool,
+}
+
 /// Sizes of the encoded model, for the scalability evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EncodingStats {
@@ -96,6 +148,10 @@ pub struct ModelEncoder {
     node: Vec<Lit>,
     /// Availability literal per link (`LinkStatus_l`).
     link_up: Vec<Lit>,
+    /// Which devices carry a pinning unit clause (`pinned[i]` ⇒ the
+    /// clause `node[i]` is in the solver). Pinning is monotone — clauses
+    /// are never removed — so this marks what a delta must not re-add.
+    pinned: Vec<bool>,
     counters: FailureCounters,
     /// Counter over link failures, built on the first query that grants
     /// a link budget.
@@ -145,28 +201,18 @@ impl ModelEncoder {
             .iter()
             .map(|_| solver.new_var().positive())
             .collect();
-        // Pin devices outside the failure model as available.
+        // Pin devices outside the failure model as available. Retired
+        // devices are pinned too: they keep their id slot but carry no
+        // forwarding paths, so whether they "fail" can never matter —
+        // pinning keeps them out of every exhibited threat vector.
+        let mut pinned = vec![false; node.len()];
         for d in input.topology.devices() {
-            let pinned = match d.kind() {
-                DeviceKind::Mtu => true,
-                DeviceKind::Router => !input.routers_can_fail,
-                DeviceKind::Ied | DeviceKind::Rtu => false,
-            };
-            if pinned {
+            if pin_device(d, input.routers_can_fail) {
                 solver.add_clause(&[node[d.id().index()]]);
+                pinned[d.id().index()] = true;
             }
         }
-        let ieds: Vec<DeviceId> = input.topology.ieds().map(|d| d.id()).collect();
-        let mut rtus: Vec<DeviceId> = input.topology.rtus().map(|d| d.id()).collect();
-        if input.routers_can_fail {
-            rtus.extend(
-                input
-                    .topology
-                    .devices_of_kind(DeviceKind::Router)
-                    .map(|d| d.id()),
-            );
-            rtus.sort();
-        }
+        let (ieds, rtus) = budget_population(input);
         let counters = FailureCounters::build(&mut solver, &node, ieds, rtus);
         // One availability variable per link. Links that are statically
         // down never appear on enumerated paths; their variables are
@@ -183,6 +229,7 @@ impl ModelEncoder {
             pool: ExprPool::new(),
             enc: Encoder::new(),
             node,
+            pinned,
             link_up,
             counters,
             link_counter: None,
@@ -199,6 +246,110 @@ impl ModelEncoder {
     /// The availability literal of a device.
     pub fn node_lit(&self, d: DeviceId) -> Lit {
         self.node[d.index()]
+    }
+
+    /// Incrementally re-encodes after a model delta, without rebuilding
+    /// the solver: learned clauses, variable activities, and every
+    /// definitional clause that survives the delta are kept.
+    ///
+    /// `input` must be the *patched* model this encoder was built from —
+    /// the same device/link prefix, mutated only through
+    /// [`ModelPatch::apply`](crate::ModelPatch::apply) (devices and
+    /// links are appended or mutated in place, never re-indexed).
+    ///
+    /// The incremental story, element by element:
+    ///
+    /// * **New devices/links** get fresh availability variables; the
+    ///   existing ones keep theirs, so every clause mentioning them
+    ///   stays meaningful.
+    /// * **Retirement** is a *pinning unit clause* (`node[d]`), the
+    ///   assumption-flip trick made permanent: retirement is monotone,
+    ///   so asserting availability once is equivalent to flipping the
+    ///   device out of every failure scenario, and no clause has to be
+    ///   deleted.
+    /// * **Property chains** are diffed by their per-IED path sets
+    ///   (devices *and* link indices). A chain whose path sets did not
+    ///   move is kept verbatim. A dirty chain is dropped and lazily
+    ///   rebuilt on the next query — and because the expression pool
+    ///   hash-conses and the Tseitin encoder memoizes, the rebuild
+    ///   re-encodes only the *touched cone*: subexpressions whose paths
+    ///   are unchanged resolve to their existing literals and add zero
+    ///   clauses. Stale definitions left behind are conservative
+    ///   extensions (pure biconditional definitions over their own
+    ///   Tseitin variables), so they can never corrupt a verdict — they
+    ///   are simply never assumed again.
+    /// * **Failure counters** are rebuilt only when the budget
+    ///   population changes (a device was added); retirement keeps the
+    ///   population and pins the retired device's contribution to zero,
+    ///   exactly as a cold build of the patched model would.
+    pub fn apply_delta(&mut self, input: &AnalysisInput) -> DeltaStats {
+        use satcore::CnfSink;
+        let mut stats = DeltaStats::default();
+
+        // New devices: fresh availability variables, appended in id order.
+        let n = input.topology.num_devices();
+        assert!(n >= self.node.len(), "deltas never delete device slots");
+        for _ in self.node.len()..n {
+            self.node.push(self.solver.new_var().positive());
+            self.pinned.push(false);
+            stats.new_devices += 1;
+        }
+
+        // Pinning is monotone: emit units only for newly pinned devices.
+        for d in input.topology.devices() {
+            let i = d.id().index();
+            if pin_device(d, input.routers_can_fail) && !self.pinned[i] {
+                self.solver.add_clause(&[self.node[i]]);
+                self.pinned[i] = true;
+                stats.newly_pinned += 1;
+            }
+        }
+
+        // New links: fresh availability variables. A link counter built
+        // over the old link set no longer covers the budget domain, so
+        // it is dropped and lazily rebuilt; rewired links keep their
+        // index and variable, so an existing counter stays valid.
+        let m = input.topology.links().len();
+        assert!(m >= self.link_up.len(), "deltas never delete links");
+        if m > self.link_up.len() {
+            for _ in self.link_up.len()..m {
+                self.link_up.push(self.solver.new_var().positive());
+                stats.new_links += 1;
+            }
+            self.link_counter = None;
+        }
+
+        // Budget population: rebuild the counters only if it moved.
+        let (ieds, rtus) = budget_population(input);
+        if ieds != self.counters.ieds || rtus != self.counters.rtus {
+            self.counters = FailureCounters::build(&mut self.solver, &self.node, ieds, rtus);
+            stats.counters_rebuilt = true;
+        }
+
+        // Diff the per-IED path sets to find the touched cone. Entries
+        // beyond the old length belong to devices added by this delta;
+        // they record no measurements (patches never touch the
+        // association), so no existing chain references them.
+        let paths = delivery::enumerate_paths(input);
+        for (i, new) in paths.iter().enumerate().take(self.paths.len()) {
+            let old = &self.paths[i];
+            if old.all != new.all {
+                stats.plain_dirty = true;
+            }
+            if old.secured != new.secured {
+                stats.secured_dirty = true;
+            }
+        }
+        self.paths = paths;
+        if stats.plain_dirty {
+            self.plain = None;
+        }
+        if stats.secured_dirty {
+            self.secured = None;
+            self.baddata = None;
+            self.not_detectable_cache.clear();
+        }
+        stats
     }
 
     /// Current encoding sizes.
@@ -232,13 +383,8 @@ impl ModelEncoder {
         for ied in input.topology.ieds() {
             let paths = &self.paths[ied.id().index()];
             let set = if secured { &paths.secured } else { &paths.all };
-            out[ied.id().index()] = delivery::delivery_expr(
-                &input.topology,
-                &mut self.pool,
-                &self.node,
-                &self.link_up,
-                set,
-            );
+            out[ied.id().index()] =
+                delivery::delivery_expr(&mut self.pool, &self.node, &self.link_up, set);
         }
         out
     }

@@ -130,7 +130,16 @@ pub fn enumerate_threats_with_limited(
     cap: usize,
     limits: &QueryLimits,
 ) -> ThreatSpace {
-    let input: &AnalysisInput = analyzer.input();
+    // Snapshot the link endpoints up front: the input is borrowed from
+    // the analyzer (it owns it after a patch), so holding a reference
+    // across the `&mut` solve calls below is no longer possible.
+    let link_ends: Vec<(scadasim::DeviceId, scadasim::DeviceId)> = analyzer
+        .input()
+        .topology
+        .links()
+        .iter()
+        .map(|l| (l.a.min(l.b), l.a.max(l.b)))
+        .collect();
     let obs = analyzer.obs().clone();
     let query = if obs.has_tracer() { next_query_id() } else { 0 };
     // One anchored deadline for the whole enumeration: the CLI's
@@ -163,11 +172,7 @@ pub fn enumerate_threats_with_limited(
         // escalating retries, shared deadline.
         let mut attempt: u32 = 0;
         let violation = loop {
-            let outcome = {
-                let encoder = analyzer.encoder_mut();
-                limits.arm(encoder.solver_mut(), attempt);
-                encoder.find_violation(input, property, spec)
-            };
+            let outcome = analyzer.find_violation_armed(&limits, attempt, property, spec);
             attempt += 1;
             match outcome {
                 SearchOutcome::Violation(v) => break Some(v),
@@ -219,13 +224,7 @@ pub fn enumerate_threats_with_limited(
         let minimal_links: Vec<usize> = failed_link_idx
             .iter()
             .copied()
-            .filter(|&li| {
-                let l = input.topology.links()[li];
-                minimal
-                    .links
-                    .binary_search(&(l.a.min(l.b), l.a.max(l.b)))
-                    .is_ok()
-            })
+            .filter(|&li| minimal.links.binary_search(&link_ends[li]).is_ok())
             .collect();
         let mut clause: Vec<satcore::Lit> = Vec::with_capacity(minimal.len());
         {

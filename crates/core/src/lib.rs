@@ -61,6 +61,7 @@ mod input;
 mod maxres;
 pub mod obs;
 pub mod parallel;
+mod patch;
 mod pool;
 pub mod service;
 mod spec;
@@ -69,7 +70,7 @@ mod threat;
 mod verify;
 
 pub use certify::{CertFault, Certificate, CertificationLog, CertifyOptions};
-pub use encode::SearchOutcome;
+pub use encode::{DeltaStats, SearchOutcome};
 pub use enumerate::{
     enumerate_threats, enumerate_threats_limited, enumerate_threats_with,
     enumerate_threats_with_limited, ThreatSpace,
@@ -83,7 +84,8 @@ pub use parallel::{
     par_resiliency_frontier_limited, par_resiliency_frontier_observed, verify_batch,
     verify_batch_certified, verify_batch_limited, verify_batch_observed,
 };
-pub use service::{model_hash, ModelHash};
+pub use patch::{ModelPatch, PatchError};
+pub use service::{advance_model_hash, model_hash, ModelHash};
 pub use spec::{parse_duration, FailureBudget, Property, QueryLimits, ResiliencySpec, RetryPolicy};
 pub use synthesis::{
     apply_upgrades, synthesize_upgrades, synthesize_upgrades_certified,

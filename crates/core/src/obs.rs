@@ -147,6 +147,22 @@ pub enum TraceEvent {
         /// Wall-clock time spent certifying.
         elapsed: Duration,
     },
+    /// A model patch was applied to a warm analyzer in place (see
+    /// [`crate::ModelPatch`] and `Analyzer::apply_patch`).
+    PatchApplied {
+        /// The patch, rendered (e.g. `"remove_device 7"`).
+        patch: String,
+        /// Device slots appended by the delta.
+        new_devices: usize,
+        /// Link slots appended by the delta.
+        new_links: usize,
+        /// Devices newly pinned available (retired or infrastructure).
+        newly_pinned: usize,
+        /// Whether any plain delivery cone must be re-encoded.
+        plain_dirty: bool,
+        /// Whether any secured delivery cone must be re-encoded.
+        secured_dirty: bool,
+    },
     /// A parallel fleet started.
     FleetStart {
         /// What the fleet computes (e.g. `"verify_batch"`).
@@ -230,7 +246,8 @@ pub enum TraceEvent {
         /// Low 64 bits of the model hash (full hashes live in the
         /// protocol; traces only need correlation).
         model: u64,
-        /// `"created"`, `"touched"`, `"evicted"`, or `"rebuilt"`.
+        /// `"created"`, `"touched"`, `"patched"`, `"evicted"`, or
+        /// `"rebuilt"`.
         event: &'static str,
         /// Live sessions after the transition.
         sessions: usize,
@@ -249,6 +266,7 @@ impl TraceEvent {
             TraceEvent::Minimize { .. } => "minimize",
             TraceEvent::QueryDone { .. } => "query_done",
             TraceEvent::Certified { .. } => "certified",
+            TraceEvent::PatchApplied { .. } => "patch_applied",
             TraceEvent::FleetStart { .. } => "fleet_start",
             TraceEvent::WorkerDone { .. } => "worker_done",
             TraceEvent::CancelCut { .. } => "cancel_cut",
@@ -356,6 +374,21 @@ impl TraceEvent {
                 w.bool("ok", ok);
                 w.num("steps", steps);
                 w.num("elapsed_us", elapsed.as_micros() as u64);
+            }
+            TraceEvent::PatchApplied {
+                ref patch,
+                new_devices,
+                new_links,
+                newly_pinned,
+                plain_dirty,
+                secured_dirty,
+            } => {
+                w.str("patch", patch);
+                w.num("new_devices", new_devices as u64);
+                w.num("new_links", new_links as u64);
+                w.num("newly_pinned", newly_pinned as u64);
+                w.bool("plain_dirty", plain_dirty);
+                w.bool("secured_dirty", secured_dirty);
             }
             TraceEvent::FleetStart { label, jobs, items } => {
                 w.str("label", label);

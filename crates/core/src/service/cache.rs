@@ -15,6 +15,12 @@
 //! * **entries die with their model**: evicting or reloading a session
 //!   invalidates every cached verdict under the same hash via
 //!   [`VerdictCache::invalidate_model`].
+//!
+//! Model patches get finer treatment ([`VerdictCache::migrate`]):
+//! when a patch leaves an IED path-set family untouched (the encoder's
+//! dirtiness diff says so), verdicts of the properties that depend
+//! only on that family are *equal by construction* on the patched
+//! model, so their entries move to the new hash instead of dying.
 
 use std::collections::HashMap;
 
@@ -56,6 +62,17 @@ pub enum QueryShape {
         /// Enumeration cap.
         cap: usize,
     },
+}
+
+impl QueryShape {
+    /// The property this query is about.
+    pub fn property(&self) -> Property {
+        match self {
+            QueryShape::Verify { property, .. }
+            | QueryShape::MaxRes { property, .. }
+            | QueryShape::Enumerate { property, .. } => *property,
+        }
+    }
 }
 
 /// Full cache key: everything a reply depends on.
@@ -166,6 +183,48 @@ impl VerdictCache {
         let before = self.entries.len();
         self.entries.retain(|key, _| key.model != model);
         before - self.entries.len()
+    }
+
+    /// Migrates `old`'s entries to `new` after a model patch, keeping
+    /// exactly the verdicts the patch provably did not change and
+    /// dropping the rest. `keep_plain` keeps observability entries
+    /// (every IED's plain path set survived the patch unchanged);
+    /// `keep_secured` keeps secured-observability and bad-data entries
+    /// (every secured path set survived). Equal path sets mean equal
+    /// delivery semantics — retired or added devices are pinned
+    /// available, so extra failure candidates cannot change a verdict —
+    /// hence replaying the old verdict under the new hash is sound.
+    /// Returns how many entries were migrated.
+    pub fn migrate(
+        &mut self,
+        old: ModelHash,
+        new: ModelHash,
+        keep_plain: bool,
+        keep_secured: bool,
+    ) -> usize {
+        let keys: Vec<CacheKey> = self
+            .entries
+            .keys()
+            .filter(|k| k.model == old)
+            .copied()
+            .collect();
+        let mut migrated = 0;
+        for key in keys {
+            let Some(entry) = self.entries.remove(&key) else {
+                continue;
+            };
+            let keep = match key.shape.property() {
+                Property::Observability => keep_plain,
+                Property::SecuredObservability | Property::BadDataDetectability => keep_secured,
+            };
+            if keep && old != new {
+                let mut rekeyed = key;
+                rekeyed.model = new;
+                self.entries.insert(rekeyed, entry);
+                migrated += 1;
+            }
+        }
+        migrated
     }
 }
 

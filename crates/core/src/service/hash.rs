@@ -25,6 +25,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use crate::input::AnalysisInput;
+use crate::patch::ModelPatch;
 
 /// A 128-bit canonical content hash of an [`AnalysisInput`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -195,6 +196,7 @@ pub fn model_hash(input: &AnalysisInput) -> ModelHash {
     mix.usize(input.topology.num_devices());
     for device in input.topology.devices() {
         mix.str(&format!("{:?}", device.kind()));
+        mix.bool(device.retired());
         mix.bool(device.requires_crypto());
         mix.unordered(device.crypto_suites(), |m, p| m.str(&p.to_string()));
         mix.unordered(device.protocols(), |m, p| m.str(&format!("{p:?}")));
@@ -251,6 +253,51 @@ pub fn model_hash(input: &AnalysisInput) -> ModelHash {
     ModelHash(mix.finish())
 }
 
+/// Advances a model hash across a patch: the *lineage* hash of the
+/// patched model.
+///
+/// A patched session's identity is `advance(base, p1, p2, …)` — the
+/// base content hash folded with the canonical bytes of each applied
+/// patch, in order — not a re-computed content hash of the mutated
+/// input. This is deliberate: the advance is O(patch) instead of
+/// O(model), it is deterministic for a given `(base, patch sequence)`
+/// so every client that applies the same deltas derives the same key,
+/// and it can never collide with a content hash that still keys the
+/// *old* model's cached verdicts (patch bytes always shift the digest).
+pub fn advance_model_hash(base: ModelHash, patch: &ModelPatch) -> ModelHash {
+    let mut mix = Mix::new();
+    mix.tag("lineage");
+    mix.u64((base.0 >> 64) as u64);
+    mix.u64(base.0 as u64);
+    match patch {
+        ModelPatch::AddDevice { kind, peers } => {
+            mix.tag("add_device");
+            mix.str(&format!("{kind:?}"));
+            mix.usize(peers.len());
+            for p in peers {
+                mix.usize(p.index());
+            }
+        }
+        ModelPatch::RemoveDevice { id } => {
+            mix.tag("remove_device");
+            mix.usize(id.index());
+        }
+        ModelPatch::SetProfile { a, b, profiles } => {
+            mix.tag("set_profile");
+            mix.usize(a.index().min(b.index()));
+            mix.usize(a.index().max(b.index()));
+            mix.unordered(profiles, |m, p| m.str(&p.to_string()));
+        }
+        ModelPatch::RewireLink { link, a, b } => {
+            mix.tag("rewire_link");
+            mix.usize(*link);
+            mix.usize(a.index().min(b.index()));
+            mix.usize(a.index().max(b.index()));
+        }
+    }
+    ModelHash(mix.finish())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +325,31 @@ mod tests {
             ms.reverse();
         }
         assert_eq!(model_hash(&base), model_hash(&shuffled));
+    }
+
+    #[test]
+    fn lineage_advance_is_deterministic_and_separating() {
+        use crate::patch::ModelPatch;
+        use scadasim::DeviceId;
+        let base = model_hash(&five_bus_case_study());
+        let p1 = ModelPatch::RemoveDevice { id: DeviceId(0) };
+        let p2 = ModelPatch::RemoveDevice { id: DeviceId(1) };
+        assert_eq!(advance_model_hash(base, &p1), advance_model_hash(base, &p1));
+        assert_ne!(advance_model_hash(base, &p1), advance_model_hash(base, &p2));
+        assert_ne!(advance_model_hash(base, &p1), base);
+        // Order matters: lineage is a chain, not a set.
+        let ab = advance_model_hash(advance_model_hash(base, &p1), &p2);
+        let ba = advance_model_hash(advance_model_hash(base, &p2), &p1);
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn retirement_separates_content_hashes() {
+        let base = five_bus_case_study();
+        let mut retired = base.clone();
+        let ied = retired.topology.ieds().next().unwrap().id();
+        retired.topology.retire_device(ied);
+        assert_ne!(model_hash(&base), model_hash(&retired));
     }
 
     #[test]

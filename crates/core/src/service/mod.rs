@@ -12,14 +12,29 @@
 //!   limits, certify)`, so a repeated query answers without touching the
 //!   solver at all;
 //! * [`protocol`] — a hand-rolled line-delimited JSON protocol (no
-//!   serde) with `load` / `verify` / `maxres` / `enumerate` / `stats` /
-//!   `evict` / `shutdown` requests;
+//!   serde) with `load` / `verify` / `maxres` / `enumerate` / `patch` /
+//!   `stats` / `evict` / `shutdown` requests;
 //! * [`server`] — the request engine plus stdio and TCP-loopback
 //!   transports, with bounded-line reads, admission control, and a
 //!   graceful drain on shutdown.
 //!
 //! The [`hash`] module defines the canonical model hash that both the
 //! session manager and the cache key on.
+//!
+//! # Delta re-verification
+//!
+//! The `patch` op mutates a warm session's model *in place* — a
+//! [`ModelPatch`](crate::ModelPatch) is applied to the session's
+//! analyzer ([`Analyzer::apply_patch`](crate::Analyzer::apply_patch)),
+//! which delta-encodes the change instead of rebuilding the solver, so
+//! re-verifying after a small model change costs about a warm query,
+//! not a cold load. The session is re-keyed under
+//! [`advance_model_hash`] — a lineage hash chained from the pre-patch
+//! hash and the patch itself, O(patch) to compute and derivable by any
+//! client that knows both — and cache entries whose path-set family the
+//! patch left untouched migrate to the new key
+//! ([`VerdictCache::migrate`]). Query replies on a patched session
+//! carry `delta` provenance.
 
 pub mod cache;
 pub mod hash;
@@ -28,7 +43,7 @@ pub mod server;
 pub mod session;
 
 pub use cache::VerdictCache;
-pub use hash::{model_hash, ModelHash};
+pub use hash::{advance_model_hash, model_hash, ModelHash};
 pub use protocol::{parse_json, parse_request, CertStatus, Json, LimitsSpec, QueryReply, Request};
 pub use server::{serve_stdio, serve_tcp, Engine, ServeOptions};
 pub use session::SessionManager;

@@ -14,9 +14,22 @@
 //! {"op":"verify","model":"<hex>","property":"obs","spec":{"k1":1,"k2":1}}
 //! {"op":"maxres","model":"<hex>","property":"secured","axis":"total","r":1}
 //! {"op":"enumerate","model":"<hex>","property":"obs","spec":{"k":2},"cap":50}
+//! {"op":"patch","model":"<hex>","patch":{"remove_device":7}}
 //! {"op":"stats"}                                    service counters
 //! {"op":"evict","model":"<hex>"}                    drop a warm session
 //! {"op":"shutdown"}                                 drain and exit
+//! ```
+//!
+//! The `patch` op mutates a warm session's model in place (delta
+//! re-encode, no cold rebuild) and answers with the patched model's new
+//! hash. Exactly one patch kind per request (device ids are 1-based,
+//! matching the rest of the wire):
+//!
+//! ```text
+//! {"patch":{"add_device":{"kind":"rtu","peers":[1,4]}}}
+//! {"patch":{"remove_device":7}}
+//! {"patch":{"set_profile":{"a":2,"b":9,"profiles":["rsa 2048"]}}}
+//! {"patch":{"rewire_link":{"link":3,"a":2,"b":9}}}
 //! ```
 //!
 //! Query requests accept an optional `"limits":{"timeout_ms":N,
@@ -27,10 +40,12 @@
 
 use std::time::Duration;
 
-use scadasim::DeviceId;
+use scadasim::{CryptoProfile, DeviceId, DeviceKind};
 
+use crate::encode::DeltaStats;
 use crate::maxres::BudgetAxis;
 use crate::obs::json_escape_into;
+use crate::patch::ModelPatch;
 use crate::spec::{Property, QueryLimits, ResiliencySpec, RetryPolicy};
 use crate::threat::ThreatVector;
 use crate::verify::Verdict;
@@ -88,6 +103,14 @@ impl Json {
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
             _ => None,
         }
     }
@@ -417,6 +440,13 @@ pub enum Request {
         /// Per-request limits.
         limits: LimitsSpec,
     },
+    /// Apply a model delta to a warm session in place.
+    Patch {
+        /// Target model (the hash *before* the patch).
+        model: ModelHash,
+        /// The mutation to apply.
+        patch: ModelPatch,
+    },
     /// Service counters and cache statistics.
     Stats,
     /// Drop a warm session (and its cached verdicts).
@@ -477,6 +507,72 @@ fn parse_axis(obj: &Json) -> Result<BudgetAxis, String> {
         Some("rtus") => Ok(BudgetAxis::RtusOnly),
         Some(other) => Err(format!("unknown axis {other:?} (want ieds|rtus|total)")),
     }
+}
+
+fn parse_wire_device(v: &Json) -> Result<DeviceId, String> {
+    let n = v.as_usize().ok_or("device ids must be positive integers")?;
+    if n == 0 {
+        return Err("device ids are 1-based".to_string());
+    }
+    Ok(DeviceId(n - 1))
+}
+
+fn parse_patch(obj: &Json) -> Result<ModelPatch, String> {
+    let patch = obj.get("patch").ok_or("missing \"patch\"")?;
+    if !matches!(patch, Json::Obj(_)) {
+        return Err("\"patch\" must be an object".to_string());
+    }
+    if let Some(v) = patch.get("add_device") {
+        let kind = match v.get("kind").and_then(Json::as_str) {
+            Some("ied") => DeviceKind::Ied,
+            Some("rtu") => DeviceKind::Rtu,
+            Some("router") => DeviceKind::Router,
+            Some(other) => {
+                return Err(format!(
+                    "unknown device kind {other:?} (want ied|rtu|router)"
+                ))
+            }
+            None => return Err("add_device needs \"kind\"".to_string()),
+        };
+        let peers = v
+            .get("peers")
+            .and_then(Json::as_arr)
+            .ok_or("add_device needs a \"peers\" array")?
+            .iter()
+            .map(parse_wire_device)
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(ModelPatch::AddDevice { kind, peers });
+    }
+    if let Some(v) = patch.get("remove_device") {
+        return Ok(ModelPatch::RemoveDevice {
+            id: parse_wire_device(v)?,
+        });
+    }
+    if let Some(v) = patch.get("set_profile") {
+        let a = parse_wire_device(v.get("a").ok_or("set_profile needs \"a\"")?)?;
+        let b = parse_wire_device(v.get("b").ok_or("set_profile needs \"b\"")?)?;
+        let profiles = v
+            .get("profiles")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|p| {
+                let s = p.as_str().ok_or("profiles must be strings")?;
+                s.parse::<CryptoProfile>().map_err(|e| e.to_string())
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        return Ok(ModelPatch::SetProfile { a, b, profiles });
+    }
+    if let Some(v) = patch.get("rewire_link") {
+        let link = v
+            .get("link")
+            .and_then(Json::as_usize)
+            .ok_or("rewire_link needs a \"link\" index")?;
+        let a = parse_wire_device(v.get("a").ok_or("rewire_link needs \"a\"")?)?;
+        let b = parse_wire_device(v.get("b").ok_or("rewire_link needs \"b\"")?)?;
+        return Ok(ModelPatch::RewireLink { link, a, b });
+    }
+    Err("patch needs one of add_device|remove_device|set_profile|rewire_link".to_string())
 }
 
 fn parse_limits(obj: &Json) -> Result<LimitsSpec, String> {
@@ -560,6 +656,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 limits: parse_limits(&obj)?,
             })
         }
+        "patch" => Ok(Request::Patch {
+            model: parse_model(&obj)?,
+            patch: parse_patch(&obj)?,
+        }),
         "stats" => Ok(Request::Stats),
         "evict" => Ok(Request::Evict {
             model: parse_model(&obj)?,
@@ -627,6 +727,13 @@ pub enum QueryReply {
         /// Whether a resource limit left the space undecided.
         undecided: bool,
     },
+    /// Reply to `patch` (never cached — the engine rekeys the session
+    /// and renders it through `patch_line`, not `reply_line`).
+    Patched {
+        /// Delta statistics on success, a rejection reason otherwise
+        /// (a rejected patch leaves the session's model untouched).
+        result: Result<DeltaStats, String>,
+    },
 }
 
 impl QueryReply {
@@ -642,6 +749,7 @@ impl QueryReply {
             } => !verdict.is_unknown() && !matches!(certificate, Some(CertStatus::Failed(_))),
             QueryReply::MaxRes { max } => max.is_some(),
             QueryReply::Enumerate { undecided, .. } => !undecided,
+            QueryReply::Patched { .. } => false,
         }
     }
 
@@ -674,6 +782,13 @@ impl QueryReply {
                     1
                 } else {
                     0
+                }
+            }
+            QueryReply::Patched { result } => {
+                if result.is_ok() {
+                    0
+                } else {
+                    2
                 }
             }
         }
@@ -814,8 +929,38 @@ pub(crate) fn reply_line(
             }
             out.push(']');
         }
+        QueryReply::Patched { .. } => {
+            unreachable!("patch replies are rendered by patch_line, never cached or replayed")
+        }
     }
     push_str_field(&mut out, "provenance", provenance);
+    out.push_str(&format!(",\"elapsed_us\":{elapsed_us}}}"));
+    out
+}
+
+/// Renders a successful `patch` response. The `model` field names the
+/// *patched* model — later requests must address it by this hash —
+/// while `patched_from` records the lineage.
+pub(crate) fn patch_line(
+    model: ModelHash,
+    patched_from: ModelHash,
+    stats: &DeltaStats,
+    cache_migrated: usize,
+    elapsed_us: u128,
+) -> String {
+    let mut out = String::from("{\"ok\":true,\"op\":\"patch\"");
+    push_str_field(&mut out, "model", &model.to_string());
+    push_str_field(&mut out, "patched_from", &patched_from.to_string());
+    out.push_str(&format!(
+        ",\"new_devices\":{},\"new_links\":{},\"newly_pinned\":{},\
+         \"plain_dirty\":{},\"secured_dirty\":{},\"cache_migrated\":{cache_migrated}",
+        stats.new_devices,
+        stats.new_links,
+        stats.newly_pinned,
+        stats.plain_dirty,
+        stats.secured_dirty,
+    ));
+    push_str_field(&mut out, "provenance", "delta");
     out.push_str(&format!(",\"elapsed_us\":{elapsed_us}}}"));
     out
 }

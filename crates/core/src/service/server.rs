@@ -30,12 +30,14 @@ use crate::certify::{Certificate, CertifyOptions};
 use crate::enumerate::enumerate_threats_with_limited;
 use crate::input::AnalysisInput;
 use crate::obs::{MetricsRegistry, Obs, TraceEvent};
+use crate::patch::ModelPatch;
 use crate::verify::Analyzer;
 
 use super::cache::{CacheKey, QueryShape, VerdictCache, DEFAULT_CACHE_CAPACITY};
-use super::hash::ModelHash;
+use super::hash::{advance_model_hash, ModelHash};
 use super::protocol::{
-    busy_line, error_line, load_line, parse_request, reply_line, CertStatus, QueryReply, Request,
+    busy_line, error_line, load_line, parse_request, patch_line, reply_line, CertStatus,
+    QueryReply, Request,
 };
 use super::session::{SessionManager, SessionQuery, DEFAULT_SESSION_CAPACITY};
 
@@ -246,7 +248,7 @@ impl Engine {
                     shape: QueryShape::Verify { property, spec },
                 };
                 let query_limits = limits.to_limits();
-                let query: SessionQuery = Box::new(move |analyzer, _input| {
+                let query: SessionQuery = Box::new(move |analyzer| {
                     let report = analyzer.verify_with_report_limited(property, spec, &query_limits);
                     QueryReply::Verify {
                         verdict: report.verdict,
@@ -271,7 +273,7 @@ impl Engine {
                     shape: QueryShape::MaxRes { property, axis, r },
                 };
                 let query_limits = limits.to_limits();
-                let query: SessionQuery = Box::new(move |analyzer, _input| {
+                let query: SessionQuery = Box::new(move |analyzer| {
                     let max = analyzer.max_resiliency_limited(property, axis, r, &query_limits);
                     QueryReply::MaxRes { max }
                 });
@@ -297,11 +299,13 @@ impl Engine {
                 let query_limits = limits.to_limits();
                 let obs = self.obs.clone();
                 let certify = self.certify.clone();
-                let query: SessionQuery = Box::new(move |_analyzer, input| {
+                let query: SessionQuery = Box::new(move |analyzer| {
                     // Enumeration adds permanent blocking clauses; run it
                     // on a throwaway analyzer so the warm session's model
-                    // stays an exact encoding of the input.
-                    let mut fresh = Analyzer::with_options(input, obs, certify);
+                    // stays an exact encoding of the (possibly patched)
+                    // input.
+                    let input = analyzer.input().clone();
+                    let mut fresh = Analyzer::owning(input, obs, certify);
                     let space = enumerate_threats_with_limited(
                         &mut fresh,
                         property,
@@ -317,6 +321,7 @@ impl Engine {
                 });
                 self.run_query("enumerate", model, key, query, start)
             }
+            Request::Patch { model, patch } => self.handle_patch(model, patch, start),
             Request::Stats => {
                 let line = self.stats_line(start);
                 self.trace_request("stats", "ok", None, start);
@@ -367,6 +372,77 @@ impl Engine {
             measurements,
             start.elapsed().as_micros(),
         ))
+    }
+
+    /// Applies a model patch to the warm session for `model`, rekeying
+    /// the session (and migrating its unaffected cache entries) under
+    /// the advanced lineage hash.
+    ///
+    /// Unlike `run_query`, the manager lock is held across the wait:
+    /// rekeying must be atomic with the patch — a request dispatched to
+    /// the old hash between the patch finishing and the rekey would run
+    /// against the patched model but be reported (and cached) under the
+    /// pre-patch hash. Patches are micro- to millisecond work (that is
+    /// the point of the delta path), so the serialization is cheap.
+    fn handle_patch(&self, model: ModelHash, patch: ModelPatch, start: Instant) -> Response {
+        let Some(_guard) = self.admit() else {
+            self.metrics.add("service_busy", 1);
+            self.trace_request("patch", "busy", None, start);
+            return Response::reply(busy_line());
+        };
+        let new_model = advance_model_hash(model, &patch);
+        let job_patch = patch.clone();
+        let query: SessionQuery = Box::new(move |analyzer| QueryReply::Patched {
+            result: analyzer.apply_patch(&job_patch).map_err(|e| e.to_string()),
+        });
+        let mut sessions = lock(&self.sessions);
+        let Some(ticket) = sessions.dispatch(model, query) else {
+            self.trace_request("patch", "error", None, start);
+            return Response::reply(error_line(&format!(
+                "unknown model {model} (load it first)"
+            )));
+        };
+        match ticket.wait() {
+            Ok(QueryReply::Patched { result: Ok(stats) }) => {
+                sessions.rekey(model, new_model);
+                drop(sessions);
+                let migrated = lock(&self.cache).migrate(
+                    model,
+                    new_model,
+                    !stats.plain_dirty,
+                    !stats.secured_dirty,
+                );
+                self.metrics.add("service_delta_patches", 1);
+                self.trace_request("patch", "ok", Some("delta"), start);
+                Response::reply(patch_line(
+                    new_model,
+                    model,
+                    &stats,
+                    migrated,
+                    start.elapsed().as_micros(),
+                ))
+            }
+            Ok(QueryReply::Patched { result: Err(e) }) => {
+                // Rejected patch: the session's model is untouched, so
+                // its key and cache entries stay valid.
+                drop(sessions);
+                self.trace_request("patch", "error", None, start);
+                Response::reply(error_line(&e))
+            }
+            Ok(_) => {
+                drop(sessions);
+                self.trace_request("patch", "error", None, start);
+                Response::reply(error_line("patch query returned a non-patch reply"))
+            }
+            Err(message) => {
+                // The patch panicked; the worker rebuilt from its
+                // current input, which apply_patch only advances after
+                // the delta encode succeeds — key stays valid.
+                drop(sessions);
+                self.trace_request("patch", "error", None, start);
+                Response::reply(error_line(&message))
+            }
+        }
     }
 
     fn run_query(
@@ -840,6 +916,88 @@ mod tests {
         assert_eq!(reader.poll_line().unwrap(), LinePoll::Line("ok".into()));
         assert_eq!(reader.poll_line().unwrap(), LinePoll::Line("last".into()));
         assert_eq!(reader.poll_line().unwrap(), LinePoll::Eof);
+    }
+
+    #[test]
+    fn patch_rekeys_session_and_answers_with_delta_provenance() {
+        let engine = engine();
+        let load = engine.handle_line("{\"op\":\"load\",\"case_study\":true}");
+        let model = field_str(&load.line, "model").unwrap();
+
+        // Verify on the base model, then patch in a new RTU on the MTU
+        // (device 14 in the five-bus case study numbering is irrelevant
+        // here: peers name the MTU via its 1-based id).
+        let verify = format!(
+            "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"obs\",\
+             \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+        );
+        let base = engine.handle_line(&verify);
+        assert_eq!(
+            field_str(&base.line, "verdict").as_deref(),
+            Some("resilient")
+        );
+
+        let mtu_one_based = {
+            let input = five_bus_case_study();
+            input.topology.mtu().one_based()
+        };
+        let patch = format!(
+            "{{\"op\":\"patch\",\"model\":\"{model}\",\
+             \"patch\":{{\"add_device\":{{\"kind\":\"rtu\",\"peers\":[{mtu_one_based}]}}}}}}"
+        );
+        let patched = engine.handle_line(&patch);
+        assert!(patched.line.contains("\"ok\":true"), "{}", patched.line);
+        assert_eq!(
+            field_str(&patched.line, "provenance").as_deref(),
+            Some("delta")
+        );
+        assert_eq!(
+            field_str(&patched.line, "patched_from").as_deref(),
+            Some(model.as_str())
+        );
+        let new_model = field_str(&patched.line, "model").unwrap();
+        assert_ne!(new_model, model);
+
+        // The old hash no longer addresses the session…
+        let stale = engine.handle_line(&verify);
+        assert!(stale.line.contains("unknown model"), "{}", stale.line);
+        // …the leaf RTU disturbed no path set, so the old verdict
+        // migrated to the new hash and replays from the cache…
+        let re_verify = verify.replace(model.as_str(), new_model.as_str());
+        let after = engine.handle_line(&re_verify);
+        assert_eq!(
+            field_str(&after.line, "verdict").as_deref(),
+            Some("resilient"),
+            "{}",
+            after.line
+        );
+        assert_eq!(
+            field_str(&after.line, "provenance").as_deref(),
+            Some("cached")
+        );
+        // …while an uncached query on the patched session answers with
+        // delta provenance.
+        let fresh_spec = re_verify.replace("\"k1\":1", "\"k1\":2");
+        let fresh = engine.handle_line(&fresh_spec);
+        assert_eq!(
+            field_str(&fresh.line, "provenance").as_deref(),
+            Some("delta"),
+            "{}",
+            fresh.line
+        );
+        assert_eq!(field_str(&fresh.line, "verdict").as_deref(), Some("threat"));
+        assert_eq!(engine.metrics().counter("service_delta_patches"), 1);
+
+        // A rejected patch leaves the session addressable and unchanged.
+        let bad = format!(
+            "{{\"op\":\"patch\",\"model\":\"{new_model}\",\
+             \"patch\":{{\"remove_device\":{mtu_one_based}}}}}"
+        );
+        let rejected = engine.handle_line(&bad);
+        assert!(rejected.line.contains("\"ok\":false"), "{}", rejected.line);
+        let still = engine.handle_line(&re_verify);
+        assert!(still.line.contains("\"ok\":true"), "{}", still.line);
+        engine.drain();
     }
 
     #[test]

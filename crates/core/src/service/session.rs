@@ -1,19 +1,22 @@
 //! Warm model sessions.
 //!
-//! [`Analyzer`] borrows its [`AnalysisInput`], so a warm analyzer and
-//! the input it borrows must live together. Each session is therefore a
-//! dedicated worker thread whose stack *owns* the input; the analyzer
-//! borrows it for the thread's lifetime and accumulates solver state
-//! (encoded clauses, learned clauses, VSIDS activity) across every
-//! query dispatched to it. No leaked allocations, no self-referential
-//! structs — eviction drops the job sender and the thread unwinds its
-//! own stack.
+//! Each session is a dedicated worker thread running an
+//! [`Analyzer::owning`] analyzer: the analyzer owns its
+//! [`AnalysisInput`] and accumulates solver state (encoded clauses,
+//! learned clauses, VSIDS activity) across every query dispatched to
+//! it. Ownership matters because sessions are no longer immutable —
+//! the `patch` op mutates the warm model in place
+//! ([`Analyzer::apply_patch`]), after which the session's input is
+//! whatever the patch sequence produced, not what the session was
+//! created with. Eviction drops the job sender and the thread unwinds
+//! its own stack.
 //!
-//! Queries are closures generic over the borrow lifetime, executed
-//! under [`catch_unwind`]: a panicking query reports an error to its
-//! caller and the worker rebuilds a fresh analyzer from its owned input
-//! instead of dying, so one poisoned query cannot take the session (or
-//! the service) down. Before every query the worker calls
+//! Queries are closures over the warm analyzer, executed under
+//! [`catch_unwind`]: a panicking query reports an error to its caller
+//! and the worker rebuilds a fresh analyzer from the analyzer's
+//! *current* input (patches applied so far included) instead of dying,
+//! so one poisoned query cannot take the session (or the service)
+//! down. Before every query the worker calls
 //! [`Analyzer::reset_for_query`], clearing any deadline, conflict
 //! budget, interrupt flag, or progress hook an earlier — possibly
 //! timed-out — request left armed.
@@ -33,12 +36,11 @@ use super::protocol::QueryReply;
 /// Default bound on concurrently warm sessions.
 pub const DEFAULT_SESSION_CAPACITY: usize = 8;
 
-/// A query, generic over the session's borrow lifetime. The closure
-/// gets the warm analyzer plus the owned input (for queries that need a
-/// throwaway analyzer, e.g. enumeration, whose blocking clauses would
-/// poison the warm one).
-pub type SessionQuery =
-    Box<dyn for<'a> FnOnce(&mut Analyzer<'a>, &'a AnalysisInput) -> QueryReply + Send>;
+/// A query over the session's warm analyzer. The analyzer owns its
+/// input; queries that need a throwaway analyzer (e.g. enumeration,
+/// whose blocking clauses would poison the warm one) clone
+/// `analyzer.input()` and build their own.
+pub type SessionQuery = Box<dyn FnOnce(&mut Analyzer<'static>) -> QueryReply + Send>;
 
 struct Job {
     query: SessionQuery,
@@ -51,6 +53,8 @@ struct Session {
     handle: Option<JoinHandle<()>>,
     /// Queries dispatched so far (0 → the next query is `cold`).
     queries: u64,
+    /// Model patches applied so far (> 0 → provenance is `delta`).
+    patches: u64,
     /// Logical timestamp of the last touch (LRU eviction order).
     touched: u64,
 }
@@ -72,18 +76,20 @@ fn run_session(
     certify: CertifyOptions,
     rx: mpsc::Receiver<Job>,
 ) {
-    let mut analyzer = Analyzer::with_options(&input, obs.clone(), certify.clone());
+    let mut analyzer = Analyzer::owning(input, obs.clone(), certify.clone());
     while let Ok(job) = rx.recv() {
         analyzer.reset_for_query();
         let Job { query, reply } = job;
-        let outcome = catch_unwind(AssertUnwindSafe(|| query(&mut analyzer, &input)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| query(&mut analyzer)));
         let result = match outcome {
             Ok(result) => Ok(result),
             Err(payload) => {
                 // The query may have left the analyzer mid-encode or with
-                // limits armed; rebuild from the owned input rather than
-                // trusting half-updated state.
-                analyzer = Analyzer::with_options(&input, obs.clone(), certify.clone());
+                // limits armed; rebuild from the analyzer's *current*
+                // input — the patch sequence applied so far must survive
+                // the rebuild — rather than trusting half-updated state.
+                let current = analyzer.input().clone();
+                analyzer = Analyzer::owning(current, obs.clone(), certify.clone());
                 obs.trace(|| TraceEvent::ServiceSession {
                     model: model.0 as u64,
                     event: "rebuilt",
@@ -104,14 +110,20 @@ pub enum Warmth {
     Cold,
     /// The session had already answered queries.
     Warm,
+    /// The session's model has been patched in place: the answer comes
+    /// from an incrementally delta-encoded model, not a cold build.
+    /// Sticky — once a session is patched, every later query on it is
+    /// `delta`.
+    Delta,
 }
 
 impl Warmth {
-    /// The wire name (`cold` / `warm`).
+    /// The wire name (`cold` / `warm` / `delta`).
     pub fn as_str(self) -> &'static str {
         match self {
             Warmth::Cold => "cold",
             Warmth::Warm => "warm",
+            Warmth::Delta => "delta",
         }
     }
 }
@@ -233,6 +245,7 @@ impl SessionManager {
             tx,
             handle: Some(handle),
             queries: 0,
+            patches: 0,
             touched: self.clock,
         });
         self.obs.trace(|| TraceEvent::ServiceSession {
@@ -252,7 +265,9 @@ impl SessionManager {
         let clock = self.clock;
         let session = self.sessions.iter_mut().find(|s| s.model == model)?;
         session.touched = clock;
-        let warmth = if session.queries == 0 {
+        let warmth = if session.patches > 0 {
+            Warmth::Delta
+        } else if session.queries == 0 {
             Warmth::Cold
         } else {
             Warmth::Warm
@@ -270,6 +285,33 @@ impl SessionManager {
             warmth,
             reply: reply_rx,
         })
+    }
+
+    /// Re-keys the session for `old` under `new` after a patch was
+    /// applied on its worker: later requests address the patched model
+    /// by its advanced lineage hash. If a (stale) session already holds
+    /// the `new` hash it is evicted first, so hashes stay unique keys.
+    /// Returns whether a session was re-keyed.
+    pub fn rekey(&mut self, old: ModelHash, new: ModelHash) -> bool {
+        if old == new || !self.sessions.iter().any(|s| s.model == old) {
+            return false;
+        }
+        if self.sessions.iter().any(|s| s.model == new) {
+            self.evict(new);
+        }
+        let Some(session) = self.sessions.iter_mut().find(|s| s.model == old) else {
+            return false;
+        };
+        session.model = new;
+        session.patches += 1;
+        self.clock += 1;
+        session.touched = self.clock;
+        self.obs.trace(|| TraceEvent::ServiceSession {
+            model: new.0 as u64,
+            event: "patched",
+            sessions: self.sessions.len(),
+        });
+        true
     }
 
     /// Evicts the session for `model`, if warm. The worker finishes any
@@ -328,7 +370,7 @@ mod tests {
     use crate::verify::Verdict;
 
     fn verify_query(spec: ResiliencySpec) -> SessionQuery {
-        Box::new(move |analyzer, _input| {
+        Box::new(move |analyzer| {
             let report = analyzer.verify_with_report(Property::Observability, spec);
             QueryReply::Verify {
                 verdict: report.verdict,
@@ -387,7 +429,7 @@ mod tests {
         let mut mgr = SessionManager::new(2, Obs::none(), CertifyOptions::default());
         let input = five_bus_case_study();
         let (model, _) = mgr.ensure(&input);
-        let boom: SessionQuery = Box::new(|_, _| panic!("injected fault"));
+        let boom: SessionQuery = Box::new(|_| panic!("injected fault"));
         let err = mgr.dispatch(model, boom).unwrap().wait().unwrap_err();
         assert!(err.contains("injected fault"), "got {err:?}");
         // Same session still answers.

@@ -13,6 +13,7 @@
 //! runs out of resources degrades to [`Verdict::Unknown`] — a sound
 //! "could not decide", never misreported as `Resilient`.
 
+use std::borrow::Cow;
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
@@ -20,9 +21,10 @@ use scadasim::DeviceId;
 
 use crate::bruteforce::DirectEvaluator;
 use crate::certify::{CertSession, Certificate, CertifyOptions};
-use crate::encode::{EncodingStats, ModelEncoder, SearchOutcome};
+use crate::encode::{DeltaStats, EncodingStats, ModelEncoder, SearchOutcome};
 use crate::input::AnalysisInput;
 use crate::obs::{next_query_id, Obs, TraceEvent};
+use crate::patch::{ModelPatch, PatchError};
 use crate::spec::{Property, QueryLimits, ResiliencySpec};
 use crate::threat::ThreatVector;
 
@@ -117,12 +119,18 @@ pub struct VerificationReport {
 /// ```
 #[derive(Debug)]
 pub struct Analyzer<'a> {
-    input: &'a AnalysisInput,
+    /// Borrowed for the common "verify this input" flow; promoted to an
+    /// owned value the first time a patch rewrites the model in place
+    /// (see [`Analyzer::apply_patch`]). [`Analyzer::owning`] starts
+    /// owned, for sessions with no caller-side input to borrow from.
+    input: Cow<'a, AnalysisInput>,
     encoder: ModelEncoder,
-    evaluator: DirectEvaluator<'a>,
+    evaluator: DirectEvaluator,
     obs: Obs,
     certify: CertifyOptions,
     cert: Option<CertSession>,
+    /// Model patches applied so far (delta provenance).
+    patches: u64,
 }
 
 impl<'a> Analyzer<'a> {
@@ -148,15 +156,28 @@ impl<'a> Analyzer<'a> {
         obs: Obs,
         certify: CertifyOptions,
     ) -> Analyzer<'a> {
-        let (encoder, buffer) = ModelEncoder::new_certified(input, certify.enabled);
+        Analyzer::build(Cow::Borrowed(input), obs, certify)
+    }
+
+    /// Builds an analyzer that owns its input outright. Long-lived
+    /// sessions that mutate their model via [`Analyzer::apply_patch`]
+    /// have no caller-side input to borrow from, so they start owned
+    /// and the returned analyzer is `'static`.
+    pub fn owning(input: AnalysisInput, obs: Obs, certify: CertifyOptions) -> Analyzer<'static> {
+        Analyzer::build(Cow::Owned(input), obs, certify)
+    }
+
+    fn build(input: Cow<'a, AnalysisInput>, obs: Obs, certify: CertifyOptions) -> Analyzer<'a> {
+        let (encoder, buffer) = ModelEncoder::new_certified(&input, certify.enabled);
         let cert = buffer.map(|b| CertSession::new(b, certify.clone()));
         Analyzer {
             encoder,
-            evaluator: DirectEvaluator::new(input),
+            evaluator: DirectEvaluator::new(&input),
             input,
             obs,
             certify,
             cert,
+            patches: 0,
         }
     }
 
@@ -165,21 +186,82 @@ impl<'a> Analyzer<'a> {
         &self.obs
     }
 
-    /// The input under analysis (with the input's own lifetime, so the
-    /// reference does not hold a borrow of the analyzer).
-    pub fn input(&self) -> &'a AnalysisInput {
-        self.input
+    /// The input under analysis. The reference borrows the analyzer —
+    /// after [`Analyzer::apply_patch`] the input is analyzer-owned, so
+    /// it can no longer be handed out with the caller's lifetime.
+    pub fn input(&self) -> &AnalysisInput {
+        &self.input
     }
 
     /// The direct evaluator (reference semantics).
-    pub fn evaluator(&self) -> &DirectEvaluator<'a> {
+    pub fn evaluator(&self) -> &DirectEvaluator {
         &self.evaluator
+    }
+
+    /// Model patches applied to this analyzer so far.
+    pub fn patches_applied(&self) -> u64 {
+        self.patches
+    }
+
+    /// Applies a model delta to the warm session *in place*: no solver
+    /// rebuild, no full re-encode, learned clauses survive.
+    ///
+    /// The patch is validated against the current input first; a
+    /// rejected patch leaves the analyzer untouched. On success the
+    /// encoder absorbs the delta ([`ModelEncoder::apply_delta`]): new
+    /// model elements get fresh variables, retired devices are pinned
+    /// available by unit clauses, and only the delivery cones whose
+    /// path sets actually changed are re-encoded on the next query.
+    ///
+    /// When certification is active, the previous query's proof steps
+    /// are flushed through the checker and to disk *before* the
+    /// encoder mutates — a patch arriving while a proof is still
+    /// buffered must wait on that flush, or the patch's clause
+    /// additions would interleave into the prior query's proof file.
+    pub fn apply_patch(&mut self, patch: &ModelPatch) -> Result<DeltaStats, PatchError> {
+        let next = patch.apply(&self.input)?;
+        if let Some(cert) = self.cert.as_mut() {
+            cert.flush_patch_boundary(&self.encoder)
+                .map_err(PatchError::internal)?;
+        }
+        // The input is swapped in last: if the delta encode panics, the
+        // analyzer's input still names the model its solver encodes, so
+        // a session worker can rebuild from it consistently.
+        let stats = self.encoder.apply_delta(&next);
+        self.evaluator = DirectEvaluator::new(&next);
+        *self.input.to_mut() = next;
+        self.patches += 1;
+        self.obs.count("patches_applied", 1);
+        self.obs.trace(|| TraceEvent::PatchApplied {
+            patch: patch.to_string(),
+            new_devices: stats.new_devices,
+            new_links: stats.new_links,
+            newly_pinned: stats.newly_pinned,
+            plain_dirty: stats.plain_dirty,
+            secured_dirty: stats.secured_dirty,
+        });
+        Ok(stats)
     }
 
     /// Mutable access to the symbolic model (threat enumeration adds
     /// blocking clauses through this).
     pub(crate) fn encoder_mut(&mut self) -> &mut ModelEncoder {
         &mut self.encoder
+    }
+
+    /// Arms the solver's resource limits for `attempt` and runs one
+    /// violation search against the current input. Enumeration calls
+    /// this instead of borrowing the input and encoder separately (the
+    /// input is analyzer-owned once a patch has been applied).
+    pub(crate) fn find_violation_armed(
+        &mut self,
+        limits: &QueryLimits,
+        attempt: u32,
+        property: Property,
+        spec: ResiliencySpec,
+    ) -> SearchOutcome {
+        limits.arm(self.encoder.solver_mut(), attempt);
+        self.encoder.find_violation(&self.input, property, spec)
     }
 
     /// Clears every piece of per-query solver state a previous request
@@ -220,7 +302,7 @@ impl<'a> Analyzer<'a> {
         Some(session.certify(
             &self.encoder,
             &self.evaluator,
-            self.input,
+            &self.input,
             query,
             property,
             spec,
@@ -312,7 +394,7 @@ impl<'a> Analyzer<'a> {
             limits.arm(self.encoder.solver_mut(), attempts);
             let attempt_start = Instant::now();
             let stats_before = self.encoder.solver_stats();
-            let outcome = self.encoder.find_violation(self.input, property, spec);
+            let outcome = self.encoder.find_violation(&self.input, property, spec);
             attempts += 1;
             let delta = self.encoder.solver_stats().delta_since(&stats_before);
             obs.trace(|| TraceEvent::SolveAttempt {

@@ -93,6 +93,11 @@ pub struct Device {
     /// Management IP address (the paper's `IpAddr_i`); purely
     /// informational for reachability, which is modeled point-to-point.
     ip: Option<std::net::Ipv4Addr>,
+    /// Whether the device has been retired by a model patch. Ids are
+    /// dense positional indices, so devices are never deleted: a retired
+    /// device keeps its slot but carries no forwarding paths and is
+    /// pinned available by the encoder (its failure can never matter).
+    retired: bool,
 }
 
 impl Device {
@@ -105,6 +110,7 @@ impl Device {
             crypto_suites: Vec::new(),
             requires_crypto: false,
             ip: None,
+            retired: false,
         }
     }
 
@@ -160,6 +166,17 @@ impl Device {
     /// Whether the device refuses plaintext.
     pub fn requires_crypto(&self) -> bool {
         self.requires_crypto
+    }
+
+    /// Whether the device has been retired by a model patch.
+    pub fn retired(&self) -> bool {
+        self.retired
+    }
+
+    /// Retires the device: it keeps its id slot but stops participating
+    /// in forwarding paths (see [`crate::paths::forwarding_paths`]).
+    pub fn retire(&mut self) {
+        self.retired = true;
     }
 
     /// Whether the two devices share a communication protocol (the

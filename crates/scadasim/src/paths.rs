@@ -37,12 +37,16 @@ pub type ForwardingPath = Vec<DeviceId>;
 /// Interior nodes must be able to forward (RTU or router); hops must be
 /// protocol- and crypto-compatible (the paper's pairing predicates —
 /// statically incompatible hops can never carry data, so paths through
-/// them are not paths).
+/// them are not paths). Retired devices carry no paths at all: a
+/// retired IED has no paths, and no path traverses a retired device.
 pub fn forwarding_paths(
     topology: &Topology,
     ied: DeviceId,
     limits: &PathLimits,
 ) -> Vec<ForwardingPath> {
+    if topology.device(ied).retired() {
+        return Vec::new();
+    }
     let mtu = topology.mtu();
     let mut paths = Vec::new();
     let mut visited = vec![false; topology.num_devices()];
@@ -83,8 +87,12 @@ fn dfs(
             continue;
         }
         // Interior hops must be forwarders; the terminal hop is the MTU.
-        let kind = topology.device(next).kind();
-        if next != mtu && !kind.can_forward() {
+        // Retired devices never relay.
+        let device = topology.device(next);
+        if device.retired() {
+            continue;
+        }
+        if next != mtu && !device.kind().can_forward() {
             continue;
         }
         if !topology.hop_compatible(here, next) {
@@ -269,6 +277,25 @@ mod tests {
             hops,
             vec![(DeviceId(0), DeviceId(2)), (DeviceId(2), DeviceId(5))]
         );
+    }
+
+    #[test]
+    fn retired_devices_carry_no_paths() {
+        let mut t = mesh();
+        // Retiring RTU 2 removes the paths through it; IED 0 still
+        // reaches the MTU through nothing (its only uplink is RTU 2).
+        t.retire_device(DeviceId(2));
+        assert!(forwarding_paths(&t, DeviceId(0), &PathLimits::default()).is_empty());
+        // IED 1 keeps its RTU-3 path, which no longer detours via RTU 2.
+        let survivors = forwarding_paths(&t, DeviceId(1), &PathLimits::default());
+        assert!(!survivors.is_empty());
+        for p in &survivors {
+            assert!(!p.contains(&DeviceId(2)));
+        }
+        // A retired start IED has no paths at all.
+        let mut t2 = mesh();
+        t2.retire_device(DeviceId(0));
+        assert!(forwarding_paths(&t2, DeviceId(0), &PathLimits::default()).is_empty());
     }
 
     #[test]

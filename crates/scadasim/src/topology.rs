@@ -194,6 +194,77 @@ impl Topology {
         self.pair_security.insert(pair_key(a, b), profiles);
     }
 
+    /// Appends a device (model-patch support). Ids are dense positional
+    /// indices, so the new device must carry id `num_devices()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device id is not the next dense index.
+    pub fn push_device(&mut self, device: Device) -> DeviceId {
+        assert_eq!(
+            device.id().index(),
+            self.devices.len(),
+            "device ids must be dense and ordered"
+        );
+        let id = device.id();
+        self.devices.push(device);
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Appends a link (model-patch support), maintaining adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is unknown.
+    pub fn push_link(&mut self, link: Link) -> usize {
+        assert!(
+            link.a.index() < self.devices.len() && link.b.index() < self.devices.len(),
+            "link endpoint out of range"
+        );
+        let li = self.links.len();
+        self.links.push(link);
+        self.adjacency[link.a.index()].push(li);
+        self.adjacency[link.b.index()].push(li);
+        li
+    }
+
+    /// Re-homes an existing link onto new endpoints (model-patch
+    /// support). The link keeps its index, status, medium, and
+    /// bandwidth — only the endpoints move — so failure-budget
+    /// semantics over link indices are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link index or an endpoint is out of range.
+    pub fn rewire_link(&mut self, index: usize, a: DeviceId, b: DeviceId) {
+        assert!(index < self.links.len(), "link index out of range");
+        assert!(
+            a.index() < self.devices.len() && b.index() < self.devices.len(),
+            "link endpoint out of range"
+        );
+        let old = self.links[index];
+        for end in [old.a, old.b] {
+            self.adjacency[end.index()].retain(|&li| li != index);
+        }
+        self.links[index].a = a;
+        self.links[index].b = b;
+        self.adjacency[a.index()].push(index);
+        if b != a {
+            self.adjacency[b.index()].push(index);
+        }
+    }
+
+    /// Retires a device in place (model-patch support): the slot stays,
+    /// but the device stops participating in forwarding paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn retire_device(&mut self, id: DeviceId) {
+        self.devices[id.index()].retire();
+    }
+
     /// The security profiles of a device pair: the explicit entry if one
     /// exists, otherwise the intersection of the two devices' suites.
     pub fn pair_security(&self, a: DeviceId, b: DeviceId) -> Vec<CryptoProfile> {
@@ -310,7 +381,9 @@ impl Topology {
             }
         }
         if mtus == 1 && errors.is_empty() {
-            for ied in self.ieds() {
+            // Retired IEDs deliberately have no paths; they are not a
+            // structural error (their failure can never matter).
+            for ied in self.ieds().filter(|d| !d.retired()) {
                 if crate::paths::forwarding_paths(self, ied.id(), &Default::default()).is_empty() {
                     errors.push(TopologyError::Unreachable(ied.id()));
                 }
@@ -430,6 +503,39 @@ mod tests {
         assert!(t.pair_security(DeviceId(1), DeviceId(2)).is_empty());
         // An explicit entry implies a successful handshake.
         assert!(t.crypto_pairing(DeviceId(0), DeviceId(1)));
+    }
+
+    #[test]
+    fn push_device_and_link_maintain_adjacency() {
+        let mut t = simple();
+        let id = t.push_device(Device::new(DeviceId(3), DeviceKind::Ied));
+        assert_eq!(id, DeviceId(3));
+        t.push_link(Link::new(DeviceId(3), DeviceId(1)));
+        assert_eq!(t.neighbors(DeviceId(3)), vec![DeviceId(1)]);
+        assert!(t.neighbors(DeviceId(1)).contains(&DeviceId(3)));
+        assert!(t.validate().is_empty());
+    }
+
+    #[test]
+    fn rewire_link_moves_endpoints() {
+        let mut t = simple();
+        t.push_device(Device::new(DeviceId(3), DeviceKind::Rtu));
+        t.push_link(Link::new(DeviceId(3), DeviceId(2)));
+        // Re-home the IED from RTU 1 onto RTU 3.
+        t.rewire_link(0, DeviceId(0), DeviceId(3));
+        assert_eq!(t.neighbors(DeviceId(0)), vec![DeviceId(3)]);
+        assert!(!t.neighbors(DeviceId(1)).contains(&DeviceId(0)));
+        assert!(t.validate().is_empty());
+        assert_eq!(t.links().len(), 3);
+    }
+
+    #[test]
+    fn retired_ied_is_not_unreachable() {
+        let mut t = simple();
+        // Cut the IED off, then retire it: no Unreachable error.
+        t.rewire_link(0, DeviceId(1), DeviceId(2));
+        t.retire_device(DeviceId(0));
+        assert!(t.validate().is_empty());
     }
 
     #[test]

@@ -16,6 +16,15 @@
 //! a bare positional argument filters benchmarks by substring; `--test`
 //! (passed by `cargo test --benches`) runs every benchmark body exactly
 //! once for validation; other criterion flags are accepted and ignored.
+//!
+//! Two environment variables support the CI perf gate:
+//!
+//! * `BENCH_SMOKE=1` caps every benchmark at 3 samples with a reduced
+//!   batch window, trading precision for wall time;
+//! * `BENCH_GATE_JSON=path` appends one JSON line per finished
+//!   benchmark (`{"label":...,"mean_ns":...,"min_ns":...,"max_ns":...,
+//!   "samples":N}`) to `path`, so several bench binaries can feed one
+//!   machine-readable result file for a downstream gate to evaluate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,11 +36,19 @@ use std::time::{Duration, Instant};
 /// Wall-time per iteration target for one sample batch.
 const SAMPLE_TARGET: Duration = Duration::from_millis(10);
 
+/// The smoke-mode batch window (`BENCH_SMOKE=1`).
+const SMOKE_SAMPLE_TARGET: Duration = Duration::from_millis(2);
+
+/// Samples per benchmark in smoke mode.
+const SMOKE_SAMPLES: usize = 3;
+
 /// The benchmark harness.
 pub struct Criterion {
     filter: Option<String>,
     test_mode: bool,
+    smoke_mode: bool,
     default_sample_size: usize,
+    gate_json: Option<std::path::PathBuf>,
 }
 
 impl Default for Criterion {
@@ -45,10 +62,16 @@ impl Default for Criterion {
                 s => filter = Some(s.to_string()),
             }
         }
+        let smoke_mode = std::env::var_os("BENCH_SMOKE").is_some_and(|v| !v.is_empty());
+        let gate_json = std::env::var_os("BENCH_GATE_JSON")
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from);
         Criterion {
             filter,
             test_mode,
+            smoke_mode,
             default_sample_size: 10,
+            gate_json,
         }
     }
 }
@@ -89,8 +112,17 @@ impl Criterion {
             }
         }
         let mut bencher = Bencher {
-            sample_size,
+            sample_size: if self.smoke_mode {
+                sample_size.min(SMOKE_SAMPLES)
+            } else {
+                sample_size
+            },
             test_mode: self.test_mode,
+            sample_target: if self.smoke_mode {
+                SMOKE_SAMPLE_TARGET
+            } else {
+                SAMPLE_TARGET
+            },
             samples_ns: Vec::new(),
         };
         routine(&mut bencher);
@@ -112,6 +144,9 @@ impl Criterion {
             Nanos(mean),
             Nanos(max)
         );
+        if let Some(path) = &self.gate_json {
+            append_gate_record(path, label, mean, min, max, s.len());
+        }
     }
 }
 
@@ -185,10 +220,44 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Appends one machine-readable result line to the `BENCH_GATE_JSON`
+/// file. Labels are ASCII benchmark ids (`group/name`), so a minimal
+/// escape of quotes and backslashes keeps the line valid JSON.
+fn append_gate_record(
+    path: &std::path::Path,
+    label: &str,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+) {
+    use std::io::Write as _;
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"label\":\"{escaped}\",\"mean_ns\":{mean_ns:.1},\"min_ns\":{min_ns:.1},\
+         \"max_ns\":{max_ns:.1},\"samples\":{samples}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
 /// Times closures handed to it by a benchmark routine.
 pub struct Bencher {
     sample_size: usize,
     test_mode: bool,
+    sample_target: Duration,
     samples_ns: Vec<f64>,
 }
 
@@ -207,7 +276,8 @@ impl Bencher {
             black_box(f());
             start.elapsed().max(Duration::from_nanos(1))
         };
-        let iters = (SAMPLE_TARGET.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
+        let iters =
+            (self.sample_target.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u64;
         for _ in 0..self.sample_size {
             let start = Instant::now();
             for _ in 0..iters {
@@ -268,6 +338,7 @@ mod tests {
         let mut b = Bencher {
             sample_size: 5,
             test_mode: false,
+            sample_target: Duration::from_micros(100),
             samples_ns: Vec::new(),
         };
         let mut acc = 0u64;
@@ -284,6 +355,7 @@ mod tests {
         let mut b = Bencher {
             sample_size: 50,
             test_mode: true,
+            sample_target: SAMPLE_TARGET,
             samples_ns: Vec::new(),
         };
         let mut calls = 0u32;
