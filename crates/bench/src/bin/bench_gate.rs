@@ -1,23 +1,32 @@
-//! CI perf gate over the delta-verification benchmarks.
+//! CI perf gate over the service benchmarks.
 //!
 //! ```text
-//! bench_gate <records.jsonl> <report.json> [--max-ratio N]
+//! bench_gate <records.jsonl> <report.json> [--gate delta|service] [--max-ratio N]
 //! ```
 //!
-//! Reads the machine-readable records the criterion shim appends under
-//! `BENCH_GATE_JSON` (one JSON object per benchmark: `label`,
-//! `mean_ns`, `min_ns`, `max_ns`, `samples`), computes the cost of a
-//! re-verify on a freshly patched session relative to a plain warm
-//! verify, writes a JSON report, and fails the process when the ratio
-//! exceeds the bound.
+//! Reads the machine-readable records the criterion shim (and the
+//! `service_load` load generator) append under `BENCH_GATE_JSON` (one
+//! JSON object per benchmark: `label`, `mean_ns`, `min_ns`, `max_ns`,
+//! `samples`, optionally `p50_ns`/`p99_ns`/`throughput_rps`), computes
+//! the gated ratio, writes a JSON report, and fails the process when
+//! the ratio exceeds the bound.
 //!
-//! The delta-verify cost is isolated by subtraction: the `delta/patch`
-//! series times the patch op alone (validate, delta-encode, re-key) and
-//! `delta/patch_verify` times patch + re-verify, so their difference is
-//! the verify latency a client observes on a just-patched model. The
-//! gate asserts `(patch_verify - patch) / verify_warm <= max-ratio`
-//! (default 4): a delta re-verify must stay in the warm regime, nowhere
-//! near the cold-rebuild cost.
+//! Two gates:
+//!
+//! * `--gate delta` (the default) isolates the delta-verify cost by
+//!   subtraction: the `delta/patch` series times the patch op alone
+//!   (validate, delta-encode, re-key) and `delta/patch_verify` times
+//!   patch + re-verify, so their difference is the verify latency a
+//!   client observes on a just-patched model. The gate asserts
+//!   `(patch_verify - patch) / verify_warm <= max-ratio` (default 4): a
+//!   delta re-verify must stay in the warm regime, nowhere near the
+//!   cold-rebuild cost.
+//! * `--gate service` bounds the sharded front-end's tail latency
+//!   against the single-shard baseline under identical closed-loop
+//!   traffic: `p99(service_load/gate_sharded) <=
+//!   max-ratio * p99(service_load/gate_single)` (default 2). Sharding
+//!   buys throughput by splitting locks; this gate refuses the trade if
+//!   it costs the hot path its tail.
 //!
 //! Exit codes: 0 gate passed, 1 gate breached, 2 usage or malformed
 //! input.
@@ -26,8 +35,11 @@ use std::process::ExitCode;
 
 use scada_analyzer::service::{parse_json, Json};
 
-/// Default bound on `delta_verify / warm_verify`.
+/// Default bound on `delta_verify / warm_verify` (`--gate delta`).
 const DEFAULT_MAX_RATIO: f64 = 4.0;
+
+/// Default bound on `sharded_p99 / single_p99` (`--gate service`).
+const DEFAULT_SERVICE_MAX_RATIO: f64 = 2.0;
 
 /// One parsed benchmark record.
 struct Record {
@@ -36,6 +48,8 @@ struct Record {
     min_ns: f64,
     max_ns: f64,
     samples: u64,
+    /// Tail latency, present only in `service_load` records.
+    p99_ns: Option<f64>,
 }
 
 fn parse_records(text: &str) -> Result<Vec<Record>, String> {
@@ -62,33 +76,54 @@ fn parse_records(text: &str) -> Result<Vec<Record>, String> {
             min_ns: field("min_ns")?,
             max_ns: field("max_ns")?,
             samples: field("samples")? as u64,
+            p99_ns: value.get("p99_ns").and_then(Json::as_f64),
         });
     }
     Ok(records)
 }
 
-/// Mean of the named series; the last record wins if a label repeats
-/// (a re-run appends to the same file).
-fn mean_of(records: &[Record], label: &str) -> Result<f64, String> {
+/// The named series' record; the last wins if a label repeats (a
+/// re-run appends to the same file).
+fn record_of<'r>(records: &'r [Record], label: &str) -> Result<&'r Record, String> {
     records
         .iter()
         .rev()
         .find(|r| r.label == label)
-        .map(|r| r.mean_ns)
         .ok_or_else(|| format!("no `{label}` record in the input (did the bench run?)"))
+}
+
+/// Mean of the named series.
+fn mean_of(records: &[Record], label: &str) -> Result<f64, String> {
+    record_of(records, label).map(|r| r.mean_ns)
+}
+
+/// p99 of the named series (only `service_load` records carry one).
+fn p99_of(records: &[Record], label: &str) -> Result<f64, String> {
+    record_of(records, label)?
+        .p99_ns
+        .ok_or_else(|| format!("`{label}` record has no `p99_ns` field"))
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut positional: Vec<&String> = Vec::new();
-    let mut max_ratio = DEFAULT_MAX_RATIO;
+    let mut max_ratio: Option<f64> = None;
+    let mut gate = "delta".to_string();
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--max-ratio" {
-            max_ratio = args
+            max_ratio = Some(
+                args.get(i + 1)
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|r| *r > 0.0)
+                    .ok_or("--max-ratio requires a positive number")?,
+            );
+            i += 2;
+        } else if args[i] == "--gate" {
+            gate = args
                 .get(i + 1)
-                .and_then(|v| v.parse::<f64>().ok())
-                .filter(|r| *r > 0.0)
-                .ok_or("--max-ratio requires a positive number")?;
+                .filter(|g| g.as_str() == "delta" || g.as_str() == "service")
+                .ok_or("--gate requires `delta` or `service`")?
+                .to_string();
             i += 2;
         } else if args[i].starts_with("--") {
             return Err(format!("unknown option `{}`", args[i]));
@@ -98,11 +133,23 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let [input, output] = positional.as_slice() else {
-        return Err("usage: bench_gate <records.jsonl> <report.json> [--max-ratio N]".to_string());
+        return Err(
+            "usage: bench_gate <records.jsonl> <report.json> [--gate delta|service] \
+             [--max-ratio N]"
+                .to_string(),
+        );
     };
 
     let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
     let records = parse_records(&text)?;
+    if gate == "service" {
+        return run_service_gate(
+            &records,
+            output,
+            max_ratio.unwrap_or(DEFAULT_SERVICE_MAX_RATIO),
+        );
+    }
+    let max_ratio = max_ratio.unwrap_or(DEFAULT_MAX_RATIO);
     let warm = mean_of(&records, "delta/verify_warm")?;
     let patch = mean_of(&records, "delta/patch")?;
     let patch_verify = mean_of(&records, "delta/patch_verify")?;
@@ -144,6 +191,54 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         patch / 1e3,
         patch_verify / 1e3,
         delta_verify / 1e3,
+        if pass { "PASS" } else { "FAIL" },
+    );
+    Ok(if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// The `--gate service` arm: sharded p99 bounded against single-shard
+/// p99 under identical traffic.
+fn run_service_gate(records: &[Record], output: &str, max_ratio: f64) -> Result<ExitCode, String> {
+    let single = p99_of(records, "service_load/gate_single")?;
+    let sharded = p99_of(records, "service_load/gate_sharded")?;
+    if single <= 0.0 {
+        return Err("single-shard p99 is zero; refusing to divide".to_string());
+    }
+    let ratio = sharded / single;
+    let pass = ratio <= max_ratio;
+
+    let mut report = String::from("{");
+    report.push_str(&format!(
+        "\"gate\":\"service\",\"max_ratio\":{max_ratio},\"single_p99_ns\":{single:.1},\
+         \"sharded_p99_ns\":{sharded:.1},\"ratio\":{ratio:.3},\"pass\":{pass},\"records\":["
+    ));
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            report.push(',');
+        }
+        report.push_str(&format!(
+            "{{\"label\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\
+             \"samples\":{}}}",
+            r.label, r.mean_ns, r.min_ns, r.max_ns, r.samples
+        ));
+    }
+    report.push_str("]}\n");
+    if let Some(dir) = std::path::Path::new(output).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+    }
+    std::fs::write(output, &report).map_err(|e| format!("cannot write {output}: {e}"))?;
+
+    println!(
+        "perf gate (service): single p99 {:.1} µs, sharded p99 {:.1} µs -> \
+         {ratio:.2}x (bound {max_ratio}x): {}",
+        single / 1e3,
+        sharded / 1e3,
         if pass { "PASS" } else { "FAIL" },
     );
     Ok(if pass {

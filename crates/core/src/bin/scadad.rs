@@ -8,6 +8,12 @@
 //!                    socket (e.g. 127.0.0.1:0 for an ephemeral port);
 //!                    prints `scadad: listening on HOST:PORT` once bound
 //!   --stdio          serve on stdin/stdout (the default)
+//!   --shards N       engine shards; each owns a disjoint slice of the
+//!                    sessions and the verdict cache, routed by model
+//!                    hash (default 1; totals below are divided across
+//!                    shards; >1 also replicates hot verdicts)
+//!   --thread-per-conn with --listen, use the legacy one-thread-per-
+//!                    connection transport instead of the event loop
 //!   --sessions N     warm analyzer sessions kept alive (default 8)
 //!   --cache N        cached verdicts kept (default 1024, 0 disables)
 //!   --max-inflight N concurrent queries admitted (0 = one per core)
@@ -17,6 +23,10 @@
 //!   --proof-dir DIR  also write DRAT proofs to DIR (implies --certify)
 //!   --trace PATH     write a structured JSONL event trace to PATH
 //! ```
+//!
+//! With `--listen`, requests may be pipelined: write many lines without
+//! waiting, optionally tagging each with an `"id"` (echoed on the
+//! reply); replies come back in request order per connection.
 //!
 //! The service keeps an [`Analyzer`](scada_analyzer::Analyzer) warm per
 //! loaded model (so repeat queries reuse learned solver state) and a
@@ -31,7 +41,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use scada_analyzer::service::{serve_stdio, serve_tcp, Engine, ServeOptions};
+use scada_analyzer::service::{serve_stdio, serve_tcp, ServeOptions, ShardedEngine};
 use scada_analyzer::{CertifyOptions, JsonlTracer, Obs};
 
 fn main() -> ExitCode {
@@ -72,10 +82,28 @@ fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, S
     }
 }
 
+/// Serves a bound listener: the readiness event loop where available
+/// (unix), thread-per-connection elsewhere or on request.
+fn serve_listener(
+    engine: Arc<ShardedEngine>,
+    listener: std::net::TcpListener,
+    thread_per_conn: bool,
+) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        if !thread_per_conn {
+            return scada_analyzer::service::serve_event_loop(engine, listener, 0);
+        }
+    }
+    let _ = thread_per_conn;
+    serve_tcp(engine, listener)
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let flag = |name: &str| args.iter().any(|a| a == name);
-    const TAKES_VALUE: [&str; 7] = [
+    const TAKES_VALUE: [&str; 8] = [
         "--listen",
+        "--shards",
         "--sessions",
         "--cache",
         "--max-inflight",
@@ -136,8 +164,16 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     if listen.is_some() && flag("--stdio") {
         return Err("--listen and --stdio are mutually exclusive".to_string());
     }
+    let shards: usize = opt(args, "--shards")?.unwrap_or(1);
+    if shards == 0 {
+        return Err("--shards must be at least 1".to_string());
+    }
+    let thread_per_conn = flag("--thread-per-conn");
+    if thread_per_conn && listen.is_none() {
+        return Err("--thread-per-conn requires --listen".to_string());
+    }
 
-    let engine = Arc::new(Engine::new(options));
+    let engine = Arc::new(ShardedEngine::new(options, shards));
     let served = match listen {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(&addr)
@@ -150,9 +186,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             println!("scadad: listening on {local}");
             use std::io::Write as _;
             std::io::stdout().flush().ok();
-            serve_tcp(engine, listener)
+            serve_listener(engine, listener, thread_per_conn)
         }
-        None => serve_stdio(&engine, std::io::stdin(), std::io::stdout()),
+        None => serve_stdio(&*engine, std::io::stdin(), std::io::stdout()),
     };
     if let Err(e) = served {
         eprintln!("error: transport failed: {e}");

@@ -49,7 +49,10 @@
 //! resources degrades to [`Verdict::Unknown`] instead of hanging — and
 //! `Unknown` is never conflated with `Resilient`.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the service event loop's epoll shim
+// (`service::poll::sys`) is the single module allowed to opt back in
+// for raw syscalls — everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bruteforce;

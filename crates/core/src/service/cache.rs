@@ -202,13 +202,31 @@ impl VerdictCache {
         keep_plain: bool,
         keep_secured: bool,
     ) -> usize {
+        let keepers = self.extract_migrated(old, keep_plain, keep_secured);
+        if old == new {
+            return 0;
+        }
+        self.adopt(new, keepers)
+    }
+
+    /// Removes every entry under `old`, returning (still keyed under
+    /// `old`) exactly those a patch provably preserved — the selection
+    /// rule of [`VerdictCache::migrate`], split out so a cross-shard
+    /// patch can extract from the source shard's cache and adopt into
+    /// the destination's.
+    pub fn extract_migrated(
+        &mut self,
+        old: ModelHash,
+        keep_plain: bool,
+        keep_secured: bool,
+    ) -> Vec<(CacheKey, QueryReply)> {
         let keys: Vec<CacheKey> = self
             .entries
             .keys()
             .filter(|k| k.model == old)
             .copied()
             .collect();
-        let mut migrated = 0;
+        let mut keepers = Vec::new();
         for key in keys {
             let Some(entry) = self.entries.remove(&key) else {
                 continue;
@@ -217,14 +235,25 @@ impl VerdictCache {
                 Property::Observability => keep_plain,
                 Property::SecuredObservability | Property::BadDataDetectability => keep_secured,
             };
-            if keep && old != new {
-                let mut rekeyed = key;
-                rekeyed.model = new;
-                self.entries.insert(rekeyed, entry);
-                migrated += 1;
+            if keep {
+                keepers.push((key, entry.reply));
             }
         }
-        migrated
+        keepers
+    }
+
+    /// Inserts extracted entries under `model` (the post-patch hash).
+    /// Returns how many were stored; insertion respects this cache's
+    /// capacity, so adopting into a smaller shard cache can evict.
+    pub fn adopt(&mut self, model: ModelHash, entries: Vec<(CacheKey, QueryReply)>) -> usize {
+        let mut adopted = 0;
+        for (mut key, reply) in entries {
+            key.model = model;
+            if self.insert(key, &reply) {
+                adopted += 1;
+            }
+        }
+        adopted
     }
 }
 

@@ -16,10 +16,20 @@
 //!   `stats` / `evict` / `shutdown` requests;
 //! * [`server`] — the request engine plus stdio and TCP-loopback
 //!   transports, with bounded-line reads, admission control, and a
-//!   graceful drain on shutdown.
+//!   graceful drain on shutdown;
+//! * [`sharded`] — a model-hash router over N engine shards, each
+//!   owning disjoint sessions and cache entries, so concurrent traffic
+//!   on different models contends on nothing;
+//! * [`replica`] — hot verdict-cache entries replicated read-mostly
+//!   across shards with epoch invalidation on patch/evict;
+//! * [`eventloop`] (unix) — a readiness-driven TCP front-end over
+//!   non-blocking sockets ([`poll`] wraps `epoll` with a portable
+//!   fallback): one thread per core instead of one per connection, with
+//!   request pipelining — requests tagged with an `id` are answered in
+//!   submission order on the same connection.
 //!
-//! The [`hash`] module defines the canonical model hash that both the
-//! session manager and the cache key on.
+//! The [`hash`] module defines the canonical model hash that the
+//! session manager, the cache, and the shard router all key on.
 //!
 //! # Delta re-verification
 //!
@@ -37,13 +47,23 @@
 //! carry `delta` provenance.
 
 pub mod cache;
+#[cfg(unix)]
+pub mod eventloop;
 pub mod hash;
+#[cfg(unix)]
+pub(crate) mod poll;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 pub mod session;
+pub mod sharded;
 
 pub use cache::VerdictCache;
+#[cfg(unix)]
+pub use eventloop::serve_event_loop;
 pub use hash::{advance_model_hash, model_hash, ModelHash};
 pub use protocol::{parse_json, parse_request, CertStatus, Json, LimitsSpec, QueryReply, Request};
-pub use server::{serve_stdio, serve_tcp, Engine, ServeOptions};
+pub use replica::ReplicaCache;
+pub use server::{serve_stdio, serve_tcp, Engine, LineHandler, Response, ServeOptions};
 pub use session::SessionManager;
+pub use sharded::ShardedEngine;

@@ -33,10 +33,15 @@
 //! ```
 //!
 //! Query requests accept an optional `"limits":{"timeout_ms":N,
-//! "conflict_budget":N}` object. Responses are `{"ok":true,...}` with
-//! per-request `elapsed_us` timing and, for queries, a `provenance`
-//! field (`cold|warm|cached`); failures are `{"ok":false,"error":"..."}`
-//! (plus `"retry":true` when the service is merely saturated).
+//! "conflict_budget":N}` object, and any request may carry an `"id"`
+//! (string or integer) that is echoed verbatim on the reply — the
+//! correlation tag for pipelined connections that keep several requests
+//! in flight. Responses are `{"ok":true,...}` with per-request
+//! `elapsed_us` timing and, for queries, a `provenance` field
+//! (`cold|warm|cached`); failures are `{"ok":false,"error":"..."}`.
+//! Two failure shapes carry an explicit retry hint: `busy` (saturated,
+//! `"retry":true` — try again shortly) and `draining` (shutting down,
+//! `"retry":false` — this instance will never admit the request).
 
 use std::time::Duration;
 
@@ -596,10 +601,72 @@ fn parse_limits(obj: &Json) -> Result<LimitsSpec, String> {
     })
 }
 
+/// Longest accepted rendering of a client request `id`, in bytes. The
+/// id is echoed on every reply, so an unbounded id would let one
+/// request inflate every pipelined response.
+const MAX_ID_LEN: usize = 120;
+
+/// Extracts the optional `"id"` correlation tag from a parsed request
+/// object, pre-rendered exactly as it will be echoed on the reply.
+fn render_id(obj: &Json) -> Result<Option<String>, String> {
+    let Some(id) = obj.get("id") else {
+        return Ok(None);
+    };
+    let rendered = match id {
+        Json::Str(s) => {
+            let mut out = String::from('"');
+            json_escape_into(s, &mut out);
+            out.push('"');
+            out
+        }
+        // i64 holds every integer a JSON double can represent exactly.
+        Json::Num(n) if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 => {
+            format!("{}", *n as i64)
+        }
+        _ => return Err("\"id\" must be a string or an integer".to_string()),
+    };
+    if rendered.len() > MAX_ID_LEN {
+        return Err(format!("\"id\" longer than {MAX_ID_LEN} bytes"));
+    }
+    Ok(Some(rendered))
+}
+
+/// Splices a pre-rendered request id into a finished response line, as
+/// a trailing `"id"` field. Every renderer in this module emits a
+/// single JSON object, so the line always ends in `}`.
+pub(crate) fn attach_id(line: &mut String, id: &str) {
+    debug_assert!(line.ends_with('}'));
+    line.pop();
+    line.push_str(",\"id\":");
+    line.push_str(id);
+    line.push('}');
+}
+
+/// Parses one request line into its optional `id` tag and the decoded
+/// request. The id is returned even when the request itself is bad so
+/// the error reply still correlates; it is `None` when the line is not
+/// parseable JSON (nothing to correlate against) or the id itself is
+/// invalid (the error explains why).
+pub(crate) fn parse_line(line: &str) -> (Option<String>, Result<Request, String>) {
+    let obj = match parse_json(line) {
+        Ok(obj) => obj,
+        Err(e) => return (None, Err(e)),
+    };
+    let id = match render_id(&obj) {
+        Ok(id) => id,
+        Err(e) => return (None, Err(e)),
+    };
+    (id, decode_request(&obj))
+}
+
 /// Parses one request line. Errors are human-readable strings destined
 /// for the `error` field of a `{"ok":false}` response.
 pub fn parse_request(line: &str) -> Result<Request, String> {
-    let obj = parse_json(line)?;
+    parse_line(line).1
+}
+
+/// Decodes a request from its parsed JSON object.
+fn decode_request(obj: &Json) -> Result<Request, String> {
     if !matches!(obj, Json::Obj(_)) {
         return Err("request must be a JSON object".to_string());
     }
@@ -625,10 +692,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Load { config, case_study })
         }
         "verify" => Ok(Request::Verify {
-            model: parse_model(&obj)?,
-            property: parse_property(&obj)?,
-            spec: parse_spec(&obj)?,
-            limits: parse_limits(&obj)?,
+            model: parse_model(obj)?,
+            property: parse_property(obj)?,
+            spec: parse_spec(obj)?,
+            limits: parse_limits(obj)?,
         }),
         "maxres" => {
             let r = match obj.get("r") {
@@ -636,11 +703,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 None => 1,
             };
             Ok(Request::MaxRes {
-                model: parse_model(&obj)?,
-                property: parse_property(&obj)?,
-                axis: parse_axis(&obj)?,
+                model: parse_model(obj)?,
+                property: parse_property(obj)?,
+                axis: parse_axis(obj)?,
                 r,
-                limits: parse_limits(&obj)?,
+                limits: parse_limits(obj)?,
             })
         }
         "enumerate" => {
@@ -649,20 +716,20 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 None => 100,
             };
             Ok(Request::Enumerate {
-                model: parse_model(&obj)?,
-                property: parse_property(&obj)?,
-                spec: parse_spec(&obj)?,
+                model: parse_model(obj)?,
+                property: parse_property(obj)?,
+                spec: parse_spec(obj)?,
                 cap,
-                limits: parse_limits(&obj)?,
+                limits: parse_limits(obj)?,
             })
         }
         "patch" => Ok(Request::Patch {
-            model: parse_model(&obj)?,
-            patch: parse_patch(&obj)?,
+            model: parse_model(obj)?,
+            patch: parse_patch(obj)?,
         }),
         "stats" => Ok(Request::Stats),
         "evict" => Ok(Request::Evict {
-            model: parse_model(&obj)?,
+            model: parse_model(obj)?,
         }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
@@ -846,6 +913,13 @@ pub(crate) fn error_line(message: &str) -> String {
 /// Renders the saturation response; the client may retry after a delay.
 pub(crate) fn busy_line() -> String {
     "{\"ok\":false,\"error\":\"busy\",\"retry\":true}".to_string()
+}
+
+/// Renders the drain rejection. Unlike `busy`, the retry hint is
+/// `false`: once shutdown has been requested this instance will never
+/// admit the request, so the client must fail over, not retry.
+pub(crate) fn draining_line() -> String {
+    "{\"ok\":false,\"error\":\"draining\",\"retry\":false}".to_string()
 }
 
 /// Renders a successful `load` response.

@@ -36,9 +36,10 @@ use crate::verify::Analyzer;
 use super::cache::{CacheKey, QueryShape, VerdictCache, DEFAULT_CACHE_CAPACITY};
 use super::hash::{advance_model_hash, ModelHash};
 use super::protocol::{
-    busy_line, error_line, load_line, parse_request, patch_line, reply_line, CertStatus,
-    QueryReply, Request,
+    attach_id, busy_line, draining_line, error_line, load_line, parse_line, patch_line, reply_line,
+    CertStatus, QueryReply, Request,
 };
+use super::replica::ReplicaCache;
 use super::session::{SessionManager, SessionQuery, DEFAULT_SESSION_CAPACITY};
 
 /// Default bound on one request line, in bytes (configs travel inline
@@ -87,7 +88,7 @@ pub struct Response {
 }
 
 impl Response {
-    fn reply(line: String) -> Response {
+    pub(crate) fn reply(line: String) -> Response {
         Response {
             line,
             shutdown: false,
@@ -108,6 +109,9 @@ impl Drop for InflightGuard<'_> {
 pub struct Engine {
     sessions: Mutex<SessionManager>,
     cache: Mutex<VerdictCache>,
+    /// Hot-entry replica shared with sibling shards; disabled (capacity
+    /// 0) on a standalone engine.
+    replica: Arc<ReplicaCache>,
     metrics: Arc<MetricsRegistry>,
     obs: Obs,
     certify: CertifyOptions,
@@ -146,12 +150,19 @@ impl Engine {
     /// attaches it to the provided `obs` (replacing any registry the
     /// caller attached), so `stats` always has counters to report.
     pub fn new(options: ServeOptions) -> Engine {
+        Engine::with_replica(options, Arc::new(ReplicaCache::disabled()))
+    }
+
+    /// Builds an engine sharing a hot-entry [`ReplicaCache`] with its
+    /// sibling shards (see [`ShardedEngine`](super::ShardedEngine)).
+    pub fn with_replica(options: ServeOptions, replica: Arc<ReplicaCache>) -> Engine {
         let metrics = Arc::new(MetricsRegistry::new());
         let obs = options.obs.with_metrics(Arc::clone(&metrics));
         let sessions = SessionManager::new(options.sessions, obs.clone(), options.certify.clone());
         Engine {
             sessions: Mutex::new(sessions),
             cache: Mutex::new(VerdictCache::new(options.cache)),
+            replica,
             metrics,
             obs,
             certify: options.certify,
@@ -197,7 +208,7 @@ impl Engine {
         }
     }
 
-    fn trace_request(
+    pub(crate) fn trace_request(
         &self,
         op: &'static str,
         status: &'static str,
@@ -219,19 +230,44 @@ impl Engine {
             .observe("service_request_us", elapsed.as_micros() as u64);
     }
 
-    /// Handles one request line, returning one response line.
+    /// Handles one request line, returning one response line. A request
+    /// `id`, when present, is echoed on the reply so pipelined clients
+    /// can correlate out-of-order completions with in-order replies.
     pub fn handle_line(&self, line: &str) -> Response {
         let start = Instant::now();
-        let request = match parse_request(line) {
-            Ok(request) => request,
-            Err(message) => {
-                self.trace_request("invalid", "error", None, start);
-                return Response::reply(error_line(&message));
-            }
+        let (id, parsed) = parse_line(line);
+        let mut response = match parsed {
+            Ok(request) => self.handle_request(request, start),
+            Err(message) => self.reply_invalid(&message, start),
         };
+        if let Some(id) = id {
+            attach_id(&mut response.line, &id);
+        }
+        response
+    }
+
+    /// Answers a line that failed to parse as a request.
+    pub(crate) fn reply_invalid(&self, message: &str, start: Instant) -> Response {
+        self.trace_request("invalid", "error", None, start);
+        Response::reply(error_line(message))
+    }
+
+    /// Rejects a request because the service is draining. Unlike
+    /// `busy`, the reply carries `"retry":false`: once `shutdown` has
+    /// been requested this instance will never admit the request, so a
+    /// well-behaved client must fail over instead of retrying.
+    pub(crate) fn reply_draining(&self, op: &'static str, start: Instant) -> Response {
+        self.metrics.add("service_draining_rejects", 1);
+        self.trace_request(op, "draining", None, start);
+        Response::reply(draining_line())
+    }
+
+    /// Handles one decoded request (the transport-independent half of
+    /// [`Engine::handle_line`]; the sharded router calls this directly
+    /// after routing).
+    pub(crate) fn handle_request(&self, request: Request, start: Instant) -> Response {
         if self.is_draining() && request != Request::Shutdown {
-            self.trace_request("draining", "error", None, start);
-            return Response::reply(error_line("service is shutting down"));
+            return self.reply_draining(op_name(&request), start);
         }
         match request {
             Request::Load { config, case_study } => self.handle_load(config, case_study, start),
@@ -330,6 +366,10 @@ impl Engine {
             Request::Evict { model } => {
                 let evicted = lock(&self.sessions).evict(model);
                 let invalidated = lock(&self.cache).invalidate_model(model);
+                // Replica copies die with the model too; the reply
+                // reports the primary count only, so the line is
+                // identical whether or not the engine is sharded.
+                self.replica.invalidate_model(model);
                 self.trace_request("evict", "ok", None, start);
                 Response::reply(format!(
                     "{{\"ok\":true,\"op\":\"evict\",\"model\":\"{model}\",\
@@ -337,7 +377,7 @@ impl Engine {
                 ))
             }
             Request::Shutdown => {
-                self.draining.store(true, Ordering::SeqCst);
+                self.begin_drain();
                 self.trace_request("shutdown", "ok", None, start);
                 Response {
                     line: "{\"ok\":true,\"op\":\"shutdown\",\"draining\":true}".to_string(),
@@ -348,18 +388,16 @@ impl Engine {
     }
 
     fn handle_load(&self, config: Option<String>, case_study: bool, start: Instant) -> Response {
-        let input = if case_study {
-            five_bus_case_study()
-        } else {
-            let text = config.expect("parser guarantees one source");
-            match scadasim::parse_config(&text) {
-                Ok(config) => AnalysisInput::from(config),
-                Err(error) => {
-                    self.trace_request("load", "error", None, start);
-                    return Response::reply(error_line(&format!("bad config: {error}")));
-                }
-            }
-        };
+        match load_input(config, case_study) {
+            Ok(input) => self.handle_load_input(input, start),
+            Err(message) => self.reply_load_error(&message, start),
+        }
+    }
+
+    /// Answers a `load` whose input already parsed (the sharded router
+    /// parses at the router to compute the routing hash, then hands the
+    /// input to the owning shard).
+    pub(crate) fn handle_load_input(&self, input: AnalysisInput, start: Instant) -> Response {
         let devices = input.topology.num_devices();
         let measurements = input.measurements.len();
         let (model, created) = lock(&self.sessions).ensure(&input);
@@ -374,6 +412,12 @@ impl Engine {
         ))
     }
 
+    /// Answers a `load` whose config failed to parse.
+    pub(crate) fn reply_load_error(&self, message: &str, start: Instant) -> Response {
+        self.trace_request("load", "error", None, start);
+        Response::reply(error_line(message))
+    }
+
     /// Applies a model patch to the warm session for `model`, rekeying
     /// the session (and migrating its unaffected cache entries) under
     /// the advanced lineage hash.
@@ -385,22 +429,16 @@ impl Engine {
     /// pre-patch hash. Patches are micro- to millisecond work (that is
     /// the point of the delta path), so the serialization is cheap.
     fn handle_patch(&self, model: ModelHash, patch: ModelPatch, start: Instant) -> Response {
-        let Some(_guard) = self.admit() else {
-            self.metrics.add("service_busy", 1);
-            self.trace_request("patch", "busy", None, start);
-            return Response::reply(busy_line());
+        let _guard = match self.admit_or_reject("patch", start) {
+            Ok(guard) => guard,
+            Err(rejection) => return rejection,
         };
         let new_model = advance_model_hash(model, &patch);
-        let job_patch = patch.clone();
-        let query: SessionQuery = Box::new(move |analyzer| QueryReply::Patched {
-            result: analyzer.apply_patch(&job_patch).map_err(|e| e.to_string()),
-        });
+        let query = patch_query(&patch);
         let mut sessions = lock(&self.sessions);
         let Some(ticket) = sessions.dispatch(model, query) else {
-            self.trace_request("patch", "error", None, start);
-            return Response::reply(error_line(&format!(
-                "unknown model {model} (load it first)"
-            )));
+            drop(sessions);
+            return self.reply_patch_miss(model, start);
         };
         match ticket.wait() {
             Ok(QueryReply::Patched { result: Ok(stats) }) => {
@@ -412,37 +450,163 @@ impl Engine {
                     !stats.plain_dirty,
                     !stats.secured_dirty,
                 );
-                self.metrics.add("service_delta_patches", 1);
-                self.trace_request("patch", "ok", Some("delta"), start);
-                Response::reply(patch_line(
-                    new_model,
-                    model,
-                    &stats,
-                    migrated,
-                    start.elapsed().as_micros(),
-                ))
+                self.finish_patch(model, new_model, &stats, migrated, start)
             }
-            Ok(QueryReply::Patched { result: Err(e) }) => {
-                // Rejected patch: the session's model is untouched, so
-                // its key and cache entries stay valid.
+            outcome => {
                 drop(sessions);
-                self.trace_request("patch", "error", None, start);
-                Response::reply(error_line(&e))
-            }
-            Ok(_) => {
-                drop(sessions);
-                self.trace_request("patch", "error", None, start);
-                Response::reply(error_line("patch query returned a non-patch reply"))
-            }
-            Err(message) => {
-                // The patch panicked; the worker rebuilt from its
-                // current input, which apply_patch only advances after
-                // the delta encode succeeds — key stays valid.
-                drop(sessions);
-                self.trace_request("patch", "error", None, start);
-                Response::reply(error_line(&message))
+                self.reply_patch_failure(outcome, start)
             }
         }
+    }
+
+    /// Applies a patch whose advanced lineage hash routes to a
+    /// *different* shard: the session and its surviving cache entries
+    /// migrate from `self` (which owns `model`) to `dst` (which owns
+    /// the post-patch hash). Falls back to the in-place
+    /// [`Engine::handle_patch`] when the shards coincide.
+    ///
+    /// Both managers stay locked from dispatch through adoption — the
+    /// same atomicity argument as the in-place rekey, extended to two
+    /// shards — with the locks taken in address order so two opposed
+    /// cross-shard patches cannot deadlock.
+    pub(crate) fn patch_into(
+        &self,
+        dst: &Engine,
+        model: ModelHash,
+        patch: ModelPatch,
+        start: Instant,
+    ) -> Response {
+        if std::ptr::eq(self, dst) {
+            return self.handle_patch(model, patch, start);
+        }
+        let _guard = match self.admit_or_reject("patch", start) {
+            Ok(guard) => guard,
+            Err(rejection) => return rejection,
+        };
+        let new_model = advance_model_hash(model, &patch);
+        let query = patch_query(&patch);
+        let (first, second) = if (self as *const Engine) < (dst as *const Engine) {
+            (self, dst)
+        } else {
+            (dst, self)
+        };
+        let mut first_sessions = lock(&first.sessions);
+        let mut second_sessions = lock(&second.sessions);
+        let (src_sessions, dst_sessions) = if std::ptr::eq(first, self) {
+            (&mut *first_sessions, &mut *second_sessions)
+        } else {
+            (&mut *second_sessions, &mut *first_sessions)
+        };
+        let Some(ticket) = src_sessions.dispatch(model, query) else {
+            drop(second_sessions);
+            drop(first_sessions);
+            return self.reply_patch_miss(model, start);
+        };
+        match ticket.wait() {
+            Ok(QueryReply::Patched { result: Ok(stats) }) => {
+                if let Some(handle) = src_sessions.extract(model) {
+                    dst_sessions.adopt(handle, new_model);
+                }
+                drop(second_sessions);
+                drop(first_sessions);
+                let keepers = lock(&self.cache).extract_migrated(
+                    model,
+                    !stats.plain_dirty,
+                    !stats.secured_dirty,
+                );
+                let migrated = lock(&dst.cache).adopt(new_model, keepers);
+                self.finish_patch(model, new_model, &stats, migrated, start)
+            }
+            outcome => {
+                drop(second_sessions);
+                drop(first_sessions);
+                self.reply_patch_failure(outcome, start)
+            }
+        }
+    }
+
+    /// Admission for solver-bound work, drain-aware. A `busy` rejection
+    /// (saturated, `"retry":true`) is only answered while *not*
+    /// draining; once the flag is set the answer is `draining`
+    /// (`"retry":false`) — a drained service never admits again, so
+    /// telling the client to retry would strand it.
+    ///
+    /// The re-check after the increment closes the race with
+    /// [`Engine::drain`]: drain sets the flag and then waits on the
+    /// in-flight count, so (both sides being `SeqCst`) either this
+    /// request observes the flag and is rejected cleanly, or drain
+    /// observes the increment and waits for the request — a `patch`
+    /// that wins admission always completes its rekey before the
+    /// session manager shuts down.
+    fn admit_or_reject(
+        &self,
+        op: &'static str,
+        start: Instant,
+    ) -> Result<InflightGuard<'_>, Response> {
+        let Some(guard) = self.admit() else {
+            if self.is_draining() {
+                return Err(self.reply_draining(op, start));
+            }
+            self.metrics.add("service_busy", 1);
+            self.trace_request(op, "busy", None, start);
+            return Err(Response::reply(busy_line()));
+        };
+        if self.is_draining() {
+            return Err(self.reply_draining(op, start));
+        }
+        Ok(guard)
+    }
+
+    fn reply_patch_miss(&self, model: ModelHash, start: Instant) -> Response {
+        // Dispatch misses during a drain mean the manager already shut
+        // down (or is about to): answer `draining`, not a misleading
+        // `unknown model`, so clients fail over instead of re-loading.
+        if self.is_draining() {
+            return self.reply_draining("patch", start);
+        }
+        self.trace_request("patch", "error", None, start);
+        Response::reply(error_line(&format!(
+            "unknown model {model} (load it first)"
+        )))
+    }
+
+    fn finish_patch(
+        &self,
+        model: ModelHash,
+        new_model: ModelHash,
+        stats: &crate::encode::DeltaStats,
+        migrated: usize,
+        start: Instant,
+    ) -> Response {
+        let dropped = self.replica.invalidate_model(model);
+        if dropped > 0 {
+            self.metrics
+                .add("service_replica_invalidated", dropped as u64);
+        }
+        self.metrics.add("service_delta_patches", 1);
+        self.trace_request("patch", "ok", Some("delta"), start);
+        Response::reply(patch_line(
+            new_model,
+            model,
+            stats,
+            migrated,
+            start.elapsed().as_micros(),
+        ))
+    }
+
+    fn reply_patch_failure(&self, outcome: Result<QueryReply, String>, start: Instant) -> Response {
+        let message = match outcome {
+            // Rejected patch: the session's model is untouched, so its
+            // key and cache entries stay valid.
+            Ok(QueryReply::Patched { result: Err(e) }) => e,
+            Ok(_) => "patch query returned a non-patch reply".to_string(),
+            // The patch panicked; the worker rebuilt from its current
+            // input, which apply_patch only advances after the delta
+            // encode succeeds — key stays valid.
+            Err(message) => message,
+        };
+        self.trace_request("patch", "error", None, start);
+        Response::reply(error_line(&message))
     }
 
     fn run_query(
@@ -453,8 +617,13 @@ impl Engine {
         query: SessionQuery,
         start: Instant,
     ) -> Response {
-        // Cache hits bypass admission entirely: no solver work.
-        if let Some(reply) = lock(&self.cache).lookup(&key, &self.metrics) {
+        // Cache hits bypass admission entirely: no solver work. The
+        // epoch snapshot must precede every cache consultation so a
+        // racing invalidation renders a late publish unservable.
+        let epoch = self.replica.epoch_of(model);
+        if let Some(reply) = self.replica.lookup(&key) {
+            self.metrics.add("service_cache_hits", 1);
+            self.metrics.add("service_replica_hits", 1);
             self.trace_request(op, "ok", Some("cached"), start);
             return Response::reply(reply_line(
                 model,
@@ -463,15 +632,32 @@ impl Engine {
                 start.elapsed().as_micros(),
             ));
         }
-        let Some(_guard) = self.admit() else {
-            self.metrics.add("service_busy", 1);
-            self.trace_request(op, "busy", None, start);
-            return Response::reply(busy_line());
+        if let Some(reply) = lock(&self.cache).lookup(&key, &self.metrics) {
+            // A second hit marks the entry hot: replicate it so sibling
+            // shards' workers replay it under a read lock.
+            self.replica.publish(&key, &reply, epoch);
+            self.trace_request(op, "ok", Some("cached"), start);
+            return Response::reply(reply_line(
+                model,
+                &reply,
+                "cached",
+                start.elapsed().as_micros(),
+            ));
+        }
+        let _guard = match self.admit_or_reject(op, start) {
+            Ok(guard) => guard,
+            Err(rejection) => return rejection,
         };
         // Dispatch under the manager lock, wait outside it: a slow query
         // must not serialize the whole service.
         let ticket = lock(&self.sessions).dispatch(model, query);
         let Some(ticket) = ticket else {
+            // A miss during a drain means the manager already shut
+            // down; `draining` is the honest answer, not `unknown
+            // model`.
+            if self.is_draining() {
+                return self.reply_draining(op, start);
+            }
             self.trace_request(op, "error", None, start);
             return Response::reply(error_line(&format!(
                 "unknown model {model} (load it first)"
@@ -532,16 +718,116 @@ impl Engine {
         out
     }
 
+    /// Stops admission without waiting: every later request (except
+    /// `shutdown`) answers `draining`. Part of [`Engine::drain`]; the
+    /// sharded router also calls it on every shard the moment one
+    /// acknowledges a `shutdown`, so no shard keeps admitting while its
+    /// siblings drain.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
     /// Drains the service: stops admitting, waits for in-flight queries
     /// to finish (certified queries flush their DRAT proofs as part of
     /// finishing), and joins every session worker. Idempotent; called
     /// by the transports after their accept/read loops exit.
     pub fn drain(&self) {
-        self.draining.store(true, Ordering::SeqCst);
+        self.begin_drain();
         while self.inflight.load(Ordering::SeqCst) > 0 {
             std::thread::sleep(Duration::from_millis(5));
         }
         lock(&self.sessions).shutdown();
+    }
+
+    /// Snapshot of the figures an aggregated `stats` line needs:
+    /// `(sessions, models, cache_entries, inflight, max_inflight)`.
+    pub(crate) fn stats_parts(&self) -> (usize, Vec<ModelHash>, usize, usize, usize) {
+        let (sessions, models) = {
+            let mgr = lock(&self.sessions);
+            (mgr.len(), mgr.models())
+        };
+        (
+            sessions,
+            models,
+            lock(&self.cache).len(),
+            self.inflight.load(Ordering::SeqCst),
+            self.max_inflight,
+        )
+    }
+}
+
+/// The wire op name of a request, for traces and counters.
+pub(crate) fn op_name(request: &Request) -> &'static str {
+    match request {
+        Request::Load { .. } => "load",
+        Request::Verify { .. } => "verify",
+        Request::MaxRes { .. } => "maxres",
+        Request::Enumerate { .. } => "enumerate",
+        Request::Patch { .. } => "patch",
+        Request::Stats => "stats",
+        Request::Evict { .. } => "evict",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// Builds the session job for a `patch` request.
+fn patch_query(patch: &ModelPatch) -> SessionQuery {
+    let job_patch = patch.clone();
+    Box::new(move |analyzer| QueryReply::Patched {
+        result: analyzer.apply_patch(&job_patch).map_err(|e| e.to_string()),
+    })
+}
+
+/// Materializes a `load` request's input: inline config text or the
+/// paper's case study. Errors are wire-ready messages.
+pub(crate) fn load_input(
+    config: Option<String>,
+    case_study: bool,
+) -> Result<AnalysisInput, String> {
+    if case_study {
+        return Ok(five_bus_case_study());
+    }
+    let text = config.expect("parser guarantees one source");
+    match scadasim::parse_config(&text) {
+        Ok(config) => Ok(AnalysisInput::from(config)),
+        Err(error) => Err(format!("bad config: {error}")),
+    }
+}
+
+/// What a transport needs from a request engine, implemented by both
+/// [`Engine`] and [`ShardedEngine`](super::ShardedEngine) so every
+/// transport (stdio, thread-per-connection TCP, the event loop) serves
+/// either interchangeably.
+pub trait LineHandler: Send + Sync + 'static {
+    /// Handles one request line, returning one response line.
+    fn handle_line(&self, line: &str) -> Response;
+
+    /// Longest accepted request line in bytes.
+    fn max_line(&self) -> usize;
+
+    /// Whether `shutdown` has been requested.
+    fn is_draining(&self) -> bool;
+
+    /// Drains fully: stops admitting, waits out in-flight work, joins
+    /// session workers.
+    fn drain(&self);
+}
+
+impl LineHandler for Engine {
+    fn handle_line(&self, line: &str) -> Response {
+        Engine::handle_line(self, line)
+    }
+
+    fn max_line(&self) -> usize {
+        Engine::max_line(self)
+    }
+
+    fn is_draining(&self) -> bool {
+        Engine::is_draining(self)
+    }
+
+    fn drain(&self) {
+        Engine::drain(self)
     }
 }
 
@@ -692,7 +978,11 @@ fn oversized_line(cap: usize) -> String {
 
 /// Serves the engine over a blocking reader/writer pair (stdio). Runs
 /// until EOF or a `shutdown` request, then drains the engine.
-pub fn serve_stdio(engine: &Engine, input: impl Read, output: impl Write) -> io::Result<()> {
+pub fn serve_stdio<H: LineHandler>(
+    engine: &H,
+    input: impl Read,
+    output: impl Write,
+) -> io::Result<()> {
     let mut reader = BoundedLineReader::new(BufReader::new(input), engine.max_line());
     let mut out = BufWriter::new(output);
     loop {
@@ -722,7 +1012,7 @@ pub fn serve_stdio(engine: &Engine, input: impl Read, output: impl Write) -> io:
     Ok(())
 }
 
-fn serve_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
+fn serve_connection<H: LineHandler>(engine: &H, stream: TcpStream) -> io::Result<()> {
     // A short read timeout turns the blocking read into a poll, so the
     // connection notices a drain started elsewhere within ~100 ms.
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
@@ -760,7 +1050,7 @@ fn serve_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
 /// Serves the engine over a TCP listener until a `shutdown` request,
 /// then joins every connection and drains the engine. One thread per
 /// connection; requests on a connection are answered in order.
-pub fn serve_tcp(engine: Arc<Engine>, listener: TcpListener) -> io::Result<()> {
+pub fn serve_tcp<H: LineHandler>(engine: Arc<H>, listener: TcpListener) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !engine.is_draining() {
@@ -770,7 +1060,7 @@ pub fn serve_tcp(engine: Arc<Engine>, listener: TcpListener) -> io::Result<()> {
                 let handle = std::thread::Builder::new()
                     .name("scadad-conn".to_string())
                     .spawn(move || {
-                        let _ = serve_connection(&engine, stream);
+                        let _ = serve_connection(&*engine, stream);
                     })
                     .expect("spawn connection thread");
                 connections.push(handle);

@@ -150,6 +150,12 @@ impl DispatchTicket {
     }
 }
 
+/// A warm session in transit between managers (see
+/// [`SessionManager::extract`]). The worker thread keeps running while
+/// the handle is in flight; dropping the handle retires the session
+/// without joining the worker.
+pub struct SessionHandle(Session);
+
 /// Keeps warm [`Analyzer`] sessions keyed by model hash, bounded by an
 /// LRU. Not internally synchronized — the engine holds it behind a
 /// mutex and releases that mutex before waiting on a
@@ -312,6 +318,53 @@ impl SessionManager {
             sessions: self.sessions.len(),
         });
         true
+    }
+
+    /// Extracts the session for `model` from this manager without
+    /// stopping its worker, for adoption by another manager
+    /// ([`SessionManager::adopt`]) — the cross-shard half of a `patch`
+    /// whose advanced lineage hash routes to a different shard. The
+    /// worker thread, its warm analyzer, and its queue keep running;
+    /// only the bookkeeping moves.
+    pub fn extract(&mut self, model: ModelHash) -> Option<SessionHandle> {
+        let pos = self.sessions.iter().position(|s| s.model == model)?;
+        Some(SessionHandle(self.sessions.remove(pos)))
+    }
+
+    /// Adopts an extracted session under `model` (the post-patch
+    /// lineage hash), bumping its patch count so later dispatches carry
+    /// `delta` provenance — the same transition [`SessionManager::rekey`]
+    /// performs in place. A stale session already keyed by `model` is
+    /// evicted first (hashes stay unique keys), and adopting at capacity
+    /// evicts this manager's least recently used session.
+    pub fn adopt(&mut self, handle: SessionHandle, model: ModelHash) {
+        if self.sessions.iter().any(|s| s.model == model) {
+            self.evict(model);
+        }
+        while self.sessions.len() >= self.capacity {
+            let Some(pos) = self
+                .sessions
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.touched)
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let victim = self.sessions.remove(pos);
+            self.retire(victim);
+        }
+        let SessionHandle(mut session) = handle;
+        session.model = model;
+        session.patches += 1;
+        self.clock += 1;
+        session.touched = self.clock;
+        self.sessions.push(session);
+        self.obs.trace(|| TraceEvent::ServiceSession {
+            model: model.0 as u64,
+            event: "adopted",
+            sessions: self.sessions.len(),
+        });
     }
 
     /// Evicts the session for `model`, if warm. The worker finishes any

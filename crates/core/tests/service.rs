@@ -346,9 +346,12 @@ impl TcpClient {
     }
 }
 
-#[test]
-fn tcp_shutdown_drains_inflight_queries() {
-    let mut child = scadad(&["--listen", "127.0.0.1:0"]);
+/// Spawns scadad with `--listen 127.0.0.1:0` plus `extra` options and
+/// returns the child and the bound address from the banner.
+fn scadad_tcp(extra: &[&str]) -> (Child, String) {
+    let mut args = vec!["--listen", "127.0.0.1:0"];
+    args.extend_from_slice(extra);
+    let mut child = scadad(&args);
     let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
     let mut banner = String::new();
     stdout.read_line(&mut banner).expect("banner");
@@ -357,6 +360,12 @@ fn tcp_shutdown_drains_inflight_queries() {
         .strip_prefix("scadad: listening on ")
         .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
         .to_string();
+    (child, addr)
+}
+
+#[test]
+fn tcp_shutdown_drains_inflight_queries() {
+    let (mut child, addr) = scadad_tcp(&[]);
 
     // A model big enough that enumeration takes real time (so the
     // shutdown below lands while the query is in flight).
@@ -412,4 +421,122 @@ fn tcp_shutdown_drains_inflight_queries() {
 
     let status = child.wait().expect("wait scadad");
     assert!(status.success(), "scadad exited {status:?} after drain");
+}
+
+/// Regression for the patch-vs-drain race: a `patch` interleaved with
+/// `shutdown` must either complete its rekey (an `ok` reply naming the
+/// advanced hash) or be rejected cleanly as `draining` with
+/// `"retry":false` — never `busy`, never a torn session. Runs against
+/// the sharded event-loop front-end, the default `--listen` path.
+#[test]
+fn tcp_patch_racing_shutdown_completes_or_rejects_cleanly() {
+    let (mut child, addr) = scadad_tcp(&["--shards", "2"]);
+
+    let mut patcher = TcpClient::connect(&addr);
+    let load = patcher.request("{\"op\":\"load\",\"case_study\":true}");
+    assert!(load.contains("\"ok\":true"), "load failed: {load}");
+    let model = load
+        .split("\"model\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("model hash")
+        .to_string();
+
+    // Fire the patch and the shutdown as close together as two
+    // connections allow; no sleep — the outcome is allowed to go
+    // either way, and the assertion covers both.
+    let mut ctrl = TcpClient::connect(&addr);
+    patcher.send(&format!(
+        "{{\"op\":\"patch\",\"model\":\"{model}\",\
+         \"patch\":{{\"add_device\":{{\"kind\":\"rtu\",\"peers\":[14]}}}}}}"
+    ));
+    ctrl.send("{\"op\":\"shutdown\"}");
+
+    let patched = patcher.recv();
+    let completed = patched.contains("\"ok\":true") && patched.contains("\"patched_from\"");
+    let rejected =
+        patched.contains("\"error\":\"draining\"") && patched.contains("\"retry\":false");
+    assert!(
+        completed || rejected,
+        "patch racing shutdown must complete or reject as draining, got: {patched}"
+    );
+    assert!(
+        !patched.contains("\"error\":\"busy\""),
+        "patch racing shutdown answered busy (retryable against a dying instance): {patched}"
+    );
+
+    let ack = ctrl.recv();
+    assert!(ack.contains("\"draining\":true"), "no drain ack: {ack}");
+    let status = child.wait().expect("wait scadad");
+    assert!(status.success(), "scadad exited {status:?} after the race");
+}
+
+/// The same interleaving, pipelined on one connection so the ordering
+/// is deterministic: the patch is queued *before* the shutdown and must
+/// therefore complete its rekey; replies come back in order.
+#[test]
+fn tcp_patch_pipelined_before_shutdown_always_completes() {
+    let (mut child, addr) = scadad_tcp(&["--shards", "2"]);
+
+    let mut client = TcpClient::connect(&addr);
+    let load = client.request("{\"op\":\"load\",\"case_study\":true}");
+    let model = load
+        .split("\"model\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("model hash")
+        .to_string();
+
+    client.send(&format!(
+        "{{\"op\":\"patch\",\"model\":\"{model}\",\
+         \"patch\":{{\"add_device\":{{\"kind\":\"rtu\",\"peers\":[14]}}}},\"id\":\"p\"}}"
+    ));
+    client.send("{\"op\":\"shutdown\",\"id\":\"s\"}");
+
+    let patched = client.recv();
+    assert!(
+        patched.contains("\"ok\":true")
+            && patched.contains("\"patched_from\"")
+            && patched.contains("\"id\":\"p\""),
+        "pipelined patch before shutdown did not complete: {patched}"
+    );
+    let ack = client.recv();
+    assert!(
+        ack.contains("\"draining\":true") && ack.contains("\"id\":\"s\""),
+        "no ordered drain ack: {ack}"
+    );
+    let status = child.wait().expect("wait scadad");
+    assert!(status.success(), "scadad exited {status:?}");
+}
+
+/// The oversized-line resync regression at the binary level: junk past
+/// `--max-line` and a valid request in one TCP segment must yield the
+/// oversize error and then the valid reply on the legacy
+/// thread-per-connection transport too.
+#[test]
+fn tcp_thread_per_conn_resyncs_after_oversized_write() {
+    let (mut child, addr) = scadad_tcp(&["--thread-per-conn", "--max-line", "256"]);
+
+    let mut client = TcpClient::connect(&addr);
+    let mut payload = vec![b'x'; 4096];
+    payload.push(b'\n');
+    payload.extend_from_slice(b"{\"op\":\"stats\"}\n");
+    client.writer.write_all(&payload).expect("write");
+    client.writer.flush().expect("flush");
+
+    let first = client.recv();
+    assert!(
+        first.contains("exceeds 256 bytes"),
+        "oversized line not rejected: {first}"
+    );
+    let second = client.recv();
+    assert!(
+        second.contains("\"ok\":true") && second.contains("\"op\":\"stats\""),
+        "request after oversized line corrupted: {second}"
+    );
+
+    let ack = client.request("{\"op\":\"shutdown\"}");
+    assert!(ack.contains("\"draining\":true"), "{ack}");
+    let status = child.wait().expect("wait scadad");
+    assert!(status.success(), "scadad exited {status:?}");
 }

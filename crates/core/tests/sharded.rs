@@ -1,0 +1,328 @@
+//! Integration tests for the sharded service front-end: byte
+//! equivalence with the single-engine path, replica epoch invalidation
+//! across `patch`, the draining protocol, and pipelined request `id`
+//! correlation through the event-loop transport.
+
+use std::sync::Arc;
+
+use scada_analyzer::service::{parse_json, Engine, Json, ServeOptions, ShardedEngine};
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let v = parse_json(line).ok()?;
+    v.get(key).and_then(|j| match j {
+        Json::Str(s) => Some(s.clone()),
+        _ => None,
+    })
+}
+
+/// Blanks the timing fields (`elapsed_us`, `uptime_us`) whose values
+/// legitimately differ between two runs, leaving everything else byte
+/// comparable.
+fn strip_timing(line: &str) -> String {
+    let mut out = String::new();
+    let mut rest = line;
+    loop {
+        let hit = ["\"elapsed_us\":", "\"uptime_us\":"]
+            .iter()
+            .filter_map(|k| rest.find(k).map(|i| (i, k.len())))
+            .min();
+        match hit {
+            Some((i, klen)) => {
+                out.push_str(&rest[..i + klen]);
+                out.push('T');
+                let tail = &rest[i + klen..];
+                let skip = tail
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(tail.len());
+                rest = &tail[skip..];
+            }
+            None => {
+                out.push_str(rest);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// The request script both engines replay. `{model}` / `{patched}` are
+/// substituted with the hashes learned from the `load` / `patch`
+/// replies as the script runs.
+const SCRIPT: &[&str] = &[
+    "{\"op\":\"load\",\"case_study\":true}",
+    "{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"obs\",\"spec\":{\"k1\":1,\"k2\":1}}",
+    "{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"obs\",\"spec\":{\"k1\":1,\"k2\":1}}",
+    "{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"secured\",\"spec\":{\"k1\":1,\"k2\":1},\"id\":\"tagged-7\"}",
+    "{\"op\":\"maxres\",\"model\":\"{model}\",\"property\":\"obs\",\"axis\":\"k1\",\"r\":0}",
+    "{\"op\":\"enumerate\",\"model\":\"{model}\",\"property\":\"obs\",\"spec\":{\"k1\":2,\"k2\":2},\"cap\":4}",
+    "{\"op\":\"verify\",\"model\":\"00000000000000000000000000000000\",\"property\":\"obs\",\"spec\":{\"k1\":1,\"k2\":1}}",
+    "this is not json",
+    "{\"op\":\"patch\",\"model\":\"{model}\",\"patch\":{\"add_device\":{\"kind\":\"rtu\",\"peers\":[14]}}}",
+    "{\"op\":\"verify\",\"model\":\"{patched}\",\"property\":\"obs\",\"spec\":{\"k1\":1,\"k2\":1}}",
+    "{\"op\":\"evict\",\"model\":\"{patched}\"}",
+    "{\"op\":\"verify\",\"model\":\"{patched}\",\"property\":\"obs\",\"spec\":{\"k1\":1,\"k2\":1}}",
+    "{\"op\":\"shutdown\"}",
+];
+
+fn run_script(handle: &dyn Fn(&str) -> String) -> Vec<String> {
+    let mut model = String::new();
+    let mut patched = String::new();
+    let mut replies = Vec::new();
+    for template in SCRIPT {
+        let line = template
+            .replace("{model}", &model)
+            .replace("{patched}", &patched);
+        let reply = handle(&line);
+        if let Some(m) = field_str(&reply, "model") {
+            if field_str(&reply, "op").as_deref() == Some("load") {
+                model = m;
+            } else if field_str(&reply, "patched_from").is_some() {
+                patched = m;
+            }
+        }
+        replies.push(strip_timing(&reply));
+    }
+    replies
+}
+
+/// The tentpole equivalence gate: a sharded engine must answer every
+/// request with the same bytes as a standalone engine (timing fields
+/// excluded) — cold, cached, delta, migrated, error, and drain replies
+/// alike.
+#[test]
+fn sharded_replies_are_byte_equivalent_to_single_engine() {
+    let single = Engine::new(ServeOptions::default());
+    let baseline = run_script(&|line| single.handle_line(line).line);
+    single.drain();
+
+    for shards in [1usize, 3] {
+        let sharded = ShardedEngine::new(ServeOptions::default(), shards);
+        let replies = run_script(&|line| sharded.handle_line(line).line);
+        sharded.drain();
+        assert_eq!(
+            replies, baseline,
+            "replies diverged from the single-engine baseline at {shards} shard(s)"
+        );
+    }
+}
+
+/// A hot verdict climbs into the shared replica (primary hit →
+/// publish → replica hit), and a `patch` retires the model's epoch:
+/// the migrated entry must answer under the *new* hash from the
+/// primary cache, while the replica copy under the old hash dies.
+#[test]
+fn migrated_entry_does_not_survive_on_replica_after_patch() {
+    let sharded = ShardedEngine::new(ServeOptions::default(), 2);
+    let load = sharded.handle_line("{\"op\":\"load\",\"case_study\":true}");
+    let model = field_str(&load.line, "model").expect("model hash");
+    let verify = format!(
+        "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"obs\",\
+         \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+    );
+
+    // Cold solve, then a primary-cache hit that publishes to the
+    // replica, then a replica hit.
+    sharded.handle_line(&verify);
+    sharded.handle_line(&verify);
+    assert_eq!(sharded.replica_entries(), 1, "hot entry not replicated");
+    sharded.handle_line(&verify);
+    assert!(
+        sharded.counter("service_replica_hits") >= 1,
+        "third query did not answer from the replica"
+    );
+
+    let patched = sharded.handle_line(&format!(
+        "{{\"op\":\"patch\",\"model\":\"{model}\",\
+         \"patch\":{{\"add_device\":{{\"kind\":\"rtu\",\"peers\":[14]}}}}}}"
+    ));
+    assert!(patched.line.contains("\"ok\":true"), "{}", patched.line);
+    let new_model = field_str(&patched.line, "model").expect("patched hash");
+
+    // The epoch bump emptied the replica of the old model's entries…
+    assert_eq!(
+        sharded.replica_entries(),
+        0,
+        "replicated entry survived the patch epoch invalidation"
+    );
+    // …so a query under the retired hash is an unknown-model error (a
+    // stale replica serve here would be a wrong `ok` answer)…
+    let stale = sharded.handle_line(&verify);
+    assert!(
+        stale.line.contains("unknown model"),
+        "retired hash still answered: {}",
+        stale.line
+    );
+    // …while the migrated primary entry replays under the new hash.
+    let fresh = sharded.handle_line(&verify.replace(model.as_str(), new_model.as_str()));
+    assert_eq!(
+        field_str(&fresh.line, "provenance").as_deref(),
+        Some("cached"),
+        "{}",
+        fresh.line
+    );
+    sharded.drain();
+}
+
+/// Regression for the drain protocol bug: requests arriving after
+/// `shutdown` must be rejected with the dedicated `draining` error and
+/// `"retry":false` — not `busy`/`"retry":true`, which told clients to
+/// retry against an instance that would never admit them.
+#[test]
+fn requests_after_shutdown_get_draining_not_busy() {
+    for sharded in [false, true] {
+        let handle: Box<dyn Fn(&str) -> String> = if sharded {
+            let e = ShardedEngine::new(ServeOptions::default(), 2);
+            Box::new(move |line: &str| e.handle_line(line).line)
+        } else {
+            let e = Engine::new(ServeOptions::default());
+            Box::new(move |line: &str| e.handle_line(line).line)
+        };
+        let load = handle("{\"op\":\"load\",\"case_study\":true}");
+        let model = field_str(&load, "model").expect("model hash");
+        let ack = handle("{\"op\":\"shutdown\"}");
+        assert!(ack.contains("\"draining\":true"), "{ack}");
+
+        for request in [
+            format!(
+                "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"obs\",\
+                 \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+            ),
+            format!(
+                "{{\"op\":\"patch\",\"model\":\"{model}\",\
+                 \"patch\":{{\"add_device\":{{\"kind\":\"rtu\",\"peers\":[14]}}}}}}"
+            ),
+            "{\"op\":\"stats\"}".to_string(),
+            "{\"op\":\"load\",\"case_study\":true}".to_string(),
+        ] {
+            let reply = handle(&request);
+            assert!(
+                reply.contains("\"error\":\"draining\"") && reply.contains("\"retry\":false"),
+                "post-shutdown request (sharded={sharded}) not rejected as draining: {reply}"
+            );
+            assert!(
+                !reply.contains("busy"),
+                "post-shutdown request answered busy (sharded={sharded}): {reply}"
+            );
+        }
+    }
+}
+
+#[cfg(unix)]
+mod eventloop {
+    use super::*;
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn start(options: ServeOptions, shards: usize) -> (std::thread::JoinHandle<()>, String) {
+        let engine = Arc::new(ShardedEngine::new(options, shards));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let handle = std::thread::spawn(move || {
+            scada_analyzer::service::serve_event_loop(engine, listener, 0).expect("event loop");
+        });
+        (handle, addr)
+    }
+
+    /// Pipelining contract: many tagged requests written in one burst
+    /// come back as exactly one reply per request, in submission order,
+    /// each echoing its `id`.
+    #[test]
+    fn pipelined_ids_echo_in_submission_order() {
+        let (server, addr) = start(ServeOptions::default(), 2);
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.set_nodelay(true).ok();
+
+        let mut batch = String::from("{\"op\":\"load\",\"case_study\":true,\"id\":\"ld\"}\n");
+        for i in 0..8 {
+            batch.push_str(&format!("{{\"op\":\"stats\",\"id\":{i}}}\n"));
+        }
+        stream.write_all(batch.as_bytes()).expect("write batch");
+
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("load reply");
+        assert!(
+            line.contains("\"op\":\"load\"") && line.contains("\"id\":\"ld\""),
+            "first reply out of order or untagged: {line}"
+        );
+        for i in 0..8 {
+            line.clear();
+            reader.read_line(&mut line).expect("stats reply");
+            assert!(
+                line.contains(&format!("\"id\":{i}")),
+                "reply {i} out of order: {line}"
+            );
+        }
+
+        writeln!(stream, "{{\"op\":\"shutdown\"}}").expect("shutdown");
+        line.clear();
+        reader.read_line(&mut line).expect("shutdown ack");
+        assert!(line.contains("\"draining\":true"), "{line}");
+        server.join().expect("event loop thread");
+    }
+
+    /// Regression for line-framing resync: an oversized line and a
+    /// valid request in the *same* write must produce the oversize
+    /// error followed by the valid reply — the discard path must not
+    /// swallow bytes of the pipelined request after the newline.
+    #[test]
+    fn oversized_line_then_pipelined_request_in_one_write() {
+        let options = ServeOptions {
+            max_line: 256,
+            ..ServeOptions::default()
+        };
+        let (server, addr) = start(options, 1);
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream.set_nodelay(true).ok();
+
+        let mut payload = vec![b'{'; 1];
+        payload.extend(std::iter::repeat_n(b'x', 4096));
+        payload.push(b'\n');
+        payload.extend_from_slice(b"{\"op\":\"stats\",\"id\":\"after\"}\n");
+        stream.write_all(&payload).expect("write");
+
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("oversize reply");
+        assert!(
+            line.contains("exceeds 256 bytes"),
+            "oversized line not rejected first: {line}"
+        );
+        line.clear();
+        reader.read_line(&mut line).expect("stats reply");
+        assert!(
+            line.contains("\"ok\":true") && line.contains("\"id\":\"after\""),
+            "pipelined request after oversized line was corrupted: {line}"
+        );
+
+        writeln!(stream, "{{\"op\":\"shutdown\"}}").expect("shutdown");
+        line.clear();
+        reader.read_line(&mut line).expect("ack");
+        assert!(line.contains("\"draining\":true"), "{line}");
+        server.join().expect("event loop thread");
+    }
+
+    /// After the shutdown acknowledgement the connection closes; any
+    /// requests pipelined behind `shutdown` on the same connection are
+    /// dropped unanswered (mirroring the thread-per-connection
+    /// transport), and the loop exits cleanly.
+    #[test]
+    fn shutdown_is_the_last_reply_on_its_connection() {
+        let (server, addr) = start(ServeOptions::default(), 1);
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(b"{\"op\":\"stats\",\"id\":1}\n{\"op\":\"shutdown\",\"id\":2}\n{\"op\":\"stats\",\"id\":3}\n")
+            .expect("write");
+        let mut reader = BufReader::new(stream);
+        let mut all = String::new();
+        reader.read_to_string(&mut all).expect("read to close");
+        let lines: Vec<&str> = all.lines().collect();
+        assert_eq!(lines.len(), 2, "expected exactly two replies: {all}");
+        assert!(lines[0].contains("\"id\":1"), "{all}");
+        assert!(
+            lines[1].contains("\"draining\":true") && lines[1].contains("\"id\":2"),
+            "{all}"
+        );
+        server.join().expect("event loop thread");
+    }
+}
