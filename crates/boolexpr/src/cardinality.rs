@@ -80,15 +80,36 @@ pub fn assert_exactly<S: CnfSink>(sink: &mut S, lits: &[Lit], k: usize, enc: Car
     assert_at_least(sink, lits, k, enc);
 }
 
+/// Clause budget above which the pairwise encoding refuses to run.
+const MAX_PAIRWISE_CLAUSES: u128 = 1_000_000;
+
+/// `C(n, r)` if it is at most `cap`, else `None`. Uses the smaller of
+/// `r` and `n - r`, so the running prefix values `C(n, 1) … C(n, r)`
+/// are nondecreasing and the early exit is exact; `checked_mul` catches
+/// the step where the product itself would wrap `u128`.
+fn binomial_capped(n: usize, r: usize, cap: u128) -> Option<u128> {
+    let r = r.min(n - r);
+    let mut value: u128 = 1;
+    for i in 0..r {
+        value = value.checked_mul((n - i) as u128)? / (i as u128 + 1);
+        if value > cap {
+            return None;
+        }
+    }
+    Some(value)
+}
+
 fn pairwise_at_most<S: CnfSink>(sink: &mut S, lits: &[Lit], k: usize) {
     let n = lits.len();
-    let mut combos: u128 = 1;
-    for i in 0..=k {
-        combos = combos * (n - i) as u128 / (i + 1) as u128;
-    }
+    // The clause count C(n, k+1) must be bounded *while* it is computed:
+    // for large (n, k) the full binomial product wraps u128 silently in
+    // release builds, can land back under the budget, and the clause
+    // loop below then effectively hangs.
+    let combos = binomial_capped(n, k + 1, MAX_PAIRWISE_CLAUSES);
     assert!(
-        combos <= 1_000_000,
-        "pairwise at-most-{k} over {n} literals needs {combos} clauses; use another encoding"
+        combos.is_some(),
+        "pairwise at-most-{k} over {n} literals needs more than \
+         {MAX_PAIRWISE_CLAUSES} clauses; use another encoding"
     );
     // Emit one clause per (k+1)-subset: ¬l_{i1} ∨ … ∨ ¬l_{ik+1}.
     let mut idx: Vec<usize> = (0..=k).collect();
@@ -521,6 +542,33 @@ mod tests {
             commander.clauses.len(),
             pairwise.clauses.len()
         );
+    }
+
+    /// C(140, 70) ≈ 2¹³⁶ overflows even u128. The old guard computed
+    /// the full product first (wrapping in release, aborting with a
+    /// bare overflow panic in debug) — the fix must refuse with the
+    /// clean "use another encoding" message instead, before emitting a
+    /// single clause.
+    #[test]
+    #[should_panic(expected = "use another encoding")]
+    fn pairwise_guard_survives_u128_overflow() {
+        use satcore::Cnf;
+        let mut cnf = Cnf::new();
+        let xs: Vec<Lit> = (0..140).map(|_| cnf.new_var().positive()).collect();
+        assert_at_most(&mut cnf, &xs, 69, CardEncoding::Pairwise);
+    }
+
+    /// A large-n, near-n k is fine — C(40, 39) is only 40 clauses — but
+    /// a naive early-exit on the *ascending* prefix C(40, 1..=39) would
+    /// bail at C(40, 20) ≈ 1.4 × 10¹¹. The symmetric computation must
+    /// keep accepting it.
+    #[test]
+    fn pairwise_guard_keeps_symmetric_small_counts() {
+        use satcore::Cnf;
+        let mut cnf = Cnf::new();
+        let xs: Vec<Lit> = (0..40).map(|_| cnf.new_var().positive()).collect();
+        assert_at_most(&mut cnf, &xs, 38, CardEncoding::Pairwise);
+        assert_eq!(cnf.clauses.len(), 40);
     }
 
     #[test]

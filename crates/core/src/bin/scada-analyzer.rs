@@ -13,6 +13,9 @@
 //!   --enumerate      list every minimal threat vector
 //!   --rank           rank devices by threat-vector participation
 //!   --max-resiliency print the maximum tolerated failures per axis
+//!   --security-index print each measurement's security index α (the
+//!                    cost of the sparsest undetectable attack touching
+//!                    it), with a distribution histogram
 //!   --repair         synthesize minimal security upgrades (secured/baddata)
 //!   --jobs N         verification worker threads (0 = all cores, default)
 //!   --timeout DUR    wall-clock limit per query, e.g. 150ms, 5s, 2m
@@ -443,6 +446,41 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
+    if flag("--security-index") {
+        // Property-independent: one cardinality-descent per electrical
+        // component over the measurement set, certified (and
+        // fault-injectable) through the same log as the verdicts above.
+        let mut engine = scada_analyzer::SecurityIndexAnalyzer::with_certification(
+            &input.measurements,
+            &certify,
+        );
+        let distribution = engine.distribution();
+        println!(
+            "security index: min {} / max {} over {} measurement(s)  ({} solve(s){})",
+            distribution.min,
+            distribution.max,
+            distribution.indices.len(),
+            distribution.solves,
+            if certify.enabled {
+                format!(", {} cert failure(s)", distribution.cert_failures)
+            } else {
+                String::new()
+            }
+        );
+        let mut histogram = std::collections::BTreeMap::new();
+        for &index in &distribution.indices {
+            *histogram.entry(index).or_insert(0usize) += 1;
+        }
+        let rendered: Vec<String> = histogram
+            .iter()
+            .map(|(index, count)| format!("α={index} ×{count}"))
+            .collect();
+        println!("  distribution: {}", rendered.join(", "));
+        if let Some(metrics) = &metrics {
+            metrics.add("security_index_solves", distribution.solves as u64);
+        }
+    }
+
     if let Some(tracer) = &tracer {
         tracer.flush();
         eprintln!("trace: {} event(s) written", tracer.events());
@@ -852,6 +890,12 @@ fn run_client(addr: &str, args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
+    if flag("--security-index") {
+        let req = format!("{{\"op\":\"security_index\",\"model\":\"{model}\"}}");
+        let (_, resp) = conn.request(&req)?;
+        print_remote_security_index(&resp, &mut outcome)?;
+    }
+
     if flag("--stats") {
         let (raw_line, resp) = conn.request("{\"op\":\"stats\"}")?;
         if resp.get("ok").and_then(Json::as_bool) != Some(true) {
@@ -921,6 +965,33 @@ fn print_remote_verify(
         Some(kind) => println!("  certificate: {kind} (checked service-side)"),
         None => {}
     }
+    Ok(())
+}
+
+/// Prints one remote security-index response and folds it into the
+/// outcome (service-side certification failures map to exit 4, like
+/// local mode).
+fn print_remote_security_index(resp: &Json, outcome: &mut RemoteOutcome) -> Result<(), String> {
+    if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+        let msg = resp.get("error").and_then(Json::as_str).unwrap_or("?");
+        return Err(format!("security_index failed: {msg}"));
+    }
+    if resp
+        .get("cert_failures")
+        .and_then(Json::as_u64)
+        .unwrap_or(0)
+        > 0
+    {
+        outcome.any_cert_failed = true;
+    }
+    println!(
+        "security index: min {} / max {} over {} measurement(s), {} solve(s)  {}",
+        resp.get("min").and_then(Json::as_u64).unwrap_or(0),
+        resp.get("max").and_then(Json::as_u64).unwrap_or(0),
+        resp.get("count").and_then(Json::as_u64).unwrap_or(0),
+        resp.get("solves").and_then(Json::as_u64).unwrap_or(0),
+        fmt_meta(resp)
+    );
     Ok(())
 }
 

@@ -32,8 +32,8 @@
 //! loaded model (so repeat queries reuse learned solver state) and a
 //! verdict cache in front of the sessions (so repeated queries answer
 //! without touching the solver at all). Clients speak one JSON object
-//! per line: `load`, `verify`, `maxres`, `enumerate`, `stats`, `evict`,
-//! `shutdown`. `scada-analyzer --connect ADDR` is a ready-made client.
+//! per line: `load`, `verify`, `maxres`, `enumerate`, `security_index`,
+//! `stats`, `evict`, `shutdown`. `scada-analyzer --connect ADDR` is a ready-made client.
 //!
 //! On `shutdown` the service drains: in-flight queries finish (flushing
 //! any DRAT proofs when certifying), then the process exits 0.

@@ -126,7 +126,7 @@ impl CertificationLog {
         self.inner.first_failure.lock().unwrap().clone()
     }
 
-    fn record(&self, certificate: &Certificate) {
+    pub(crate) fn record(&self, certificate: &Certificate) {
         self.inner.checks.fetch_add(1, Ordering::Relaxed);
         if let Certificate::Failed { reason } = certificate {
             self.inner.failures.fetch_add(1, Ordering::Relaxed);

@@ -66,6 +66,7 @@ pub mod obs;
 pub mod parallel;
 mod patch;
 mod pool;
+pub mod security_index;
 pub mod service;
 mod spec;
 pub mod synthesis;
@@ -88,6 +89,7 @@ pub use parallel::{
     verify_batch_certified, verify_batch_limited, verify_batch_observed,
 };
 pub use patch::{ModelPatch, PatchError};
+pub use security_index::{SecurityIndexAnalyzer, SecurityIndexDistribution, SecurityIndexReport};
 pub use service::{advance_model_hash, model_hash, ModelHash};
 pub use spec::{parse_duration, FailureBudget, Property, QueryLimits, ResiliencySpec, RetryPolicy};
 pub use synthesis::{

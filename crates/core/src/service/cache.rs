@@ -62,15 +62,20 @@ pub enum QueryShape {
         /// Enumeration cap.
         cap: usize,
     },
+    /// A `security_index` request (the whole distribution — no
+    /// per-measurement parameters, so the shape carries none).
+    SecurityIndex,
 }
 
 impl QueryShape {
-    /// The property this query is about.
-    pub fn property(&self) -> Property {
+    /// The resiliency property this query is about, `None` for queries
+    /// (like `security_index`) that do not verify one.
+    pub fn property(&self) -> Option<Property> {
         match self {
             QueryShape::Verify { property, .. }
             | QueryShape::MaxRes { property, .. }
-            | QueryShape::Enumerate { property, .. } => *property,
+            | QueryShape::Enumerate { property, .. } => Some(*property),
+            QueryShape::SecurityIndex => None,
         }
     }
 }
@@ -232,8 +237,14 @@ impl VerdictCache {
                 continue;
             };
             let keep = match key.shape.property() {
-                Property::Observability => keep_plain,
-                Property::SecuredObservability | Property::BadDataDetectability => keep_secured,
+                Some(Property::Observability) => keep_plain,
+                Some(Property::SecuredObservability | Property::BadDataDetectability) => {
+                    keep_secured
+                }
+                // Property-less queries (security indices) depend only
+                // on the electrical measurement set, which no patch
+                // kind mutates — they migrate unconditionally.
+                None => true,
             };
             if keep {
                 keepers.push((key, entry.reply));
@@ -314,6 +325,37 @@ mod tests {
         };
         assert!(!cache.insert(key(1, 1), &unknown));
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn security_index_entries_survive_every_migration() {
+        let metrics = MetricsRegistry::new();
+        let mut cache = VerdictCache::new(8);
+        let si_key = CacheKey {
+            model: ModelHash(1),
+            certify: false,
+            limits: LimitsSpec::default(),
+            shape: QueryShape::SecurityIndex,
+        };
+        let si_reply = QueryReply::SecurityIndex {
+            indices: vec![2, 2],
+            min: 2,
+            max: 2,
+            solves: 3,
+            cert_failures: 0,
+        };
+        assert!(cache.insert(si_key, &si_reply));
+        cache.insert(key(1, 1), &resilient());
+        // A patch that dirties every path-set family still cannot touch
+        // the electrical measurements: the verdict dies, the index
+        // distribution migrates.
+        assert_eq!(cache.migrate(ModelHash(1), ModelHash(9), false, false), 1);
+        let migrated = CacheKey {
+            model: ModelHash(9),
+            ..si_key
+        };
+        assert_eq!(cache.lookup(&migrated, &metrics), Some(si_reply));
+        assert!(cache.lookup(&key(9, 1), &metrics).is_none());
     }
 
     #[test]

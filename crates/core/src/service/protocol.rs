@@ -14,6 +14,7 @@
 //! {"op":"verify","model":"<hex>","property":"obs","spec":{"k1":1,"k2":1}}
 //! {"op":"maxres","model":"<hex>","property":"secured","axis":"total","r":1}
 //! {"op":"enumerate","model":"<hex>","property":"obs","spec":{"k":2},"cap":50}
+//! {"op":"security_index","model":"<hex>"}          per-measurement attack costs
 //! {"op":"patch","model":"<hex>","patch":{"remove_device":7}}
 //! {"op":"stats"}                                    service counters
 //! {"op":"evict","model":"<hex>"}                    drop a warm session
@@ -141,6 +142,63 @@ impl Json {
             Json::Arr(items) => Some(items),
             _ => None,
         }
+    }
+
+    /// Serializes this value back to wire form. Fails — rather than
+    /// emitting `inf`/`NaN` tokens no JSON parser accepts — if any
+    /// number in the tree is non-finite; such a value can only arise
+    /// from local construction, never from [`parse_json`], and letting
+    /// it onto the wire would poison the peer's whole line.
+    pub fn render(&self) -> Result<String, String> {
+        let mut out = String::new();
+        self.render_into(&mut out)?;
+        Ok(out)
+    }
+
+    fn render_into(&self, out: &mut String) -> Result<(), String> {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    return Err(format!("cannot render non-finite number {n}"));
+                }
+                if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                json_escape_into(s, out);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out)?;
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    json_escape_into(key, out);
+                    out.push_str("\":");
+                    value.render_into(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
     }
 }
 
@@ -334,20 +392,62 @@ impl<'a> Parser<'a> {
         Ok(v)
     }
 
+    fn digits(&mut self) -> usize {
+        let mut count = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            count += 1;
+        }
+        count
+    }
+
+    /// Parses a number under the strict JSON grammar. `f64::parse` alone
+    /// is too permissive — it tolerates `1.`, `01`, `+1`, `inf`, and
+    /// similar forms no conforming peer emits — so the shape is checked
+    /// here and the parse is only the final conversion. Values that
+    /// overflow to ±infinity are rejected too: `Json::Num` must stay
+    /// finite so responses echoing numbers remain renderable.
     fn number(&mut self) -> Result<f64, String> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
+        match self.peek() {
+            // A leading zero stands alone: `0`, `0.5`, but never `01`.
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(format!("leading zero in number at byte {start}"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                self.digits();
+            }
+            _ => return Err(format!("bad number at byte {start}")),
+        }
+        if self.peek() == Some(b'.') {
             self.pos += 1;
+            if self.digits() == 0 {
+                return Err(format!("missing digits after '.' at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(format!("missing exponent digits at byte {start}"));
+            }
         }
         let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        s.parse::<f64>()
-            .map_err(|_| format!("bad number at byte {start}"))
+        let value = s
+            .parse::<f64>()
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        if !value.is_finite() {
+            return Err(format!("number at byte {start} overflows f64"));
+        }
+        Ok(value)
     }
 }
 
@@ -444,6 +544,11 @@ pub enum Request {
         cap: usize,
         /// Per-request limits.
         limits: LimitsSpec,
+    },
+    /// Security-index distribution over a loaded model's measurements.
+    SecurityIndex {
+        /// Target model.
+        model: ModelHash,
     },
     /// Apply a model delta to a warm session in place.
     Patch {
@@ -723,6 +828,9 @@ fn decode_request(obj: &Json) -> Result<Request, String> {
                 limits: parse_limits(obj)?,
             })
         }
+        "security_index" => Ok(Request::SecurityIndex {
+            model: parse_model(obj)?,
+        }),
         "patch" => Ok(Request::Patch {
             model: parse_model(obj)?,
             patch: parse_patch(obj)?,
@@ -794,6 +902,20 @@ pub enum QueryReply {
         /// Whether a resource limit left the space undecided.
         undecided: bool,
     },
+    /// Reply to `security_index`.
+    SecurityIndex {
+        /// Per-measurement indices, in measurement order.
+        indices: Vec<usize>,
+        /// The system's security index (smallest per-measurement index).
+        min: usize,
+        /// The hardest measurement's index.
+        max: usize,
+        /// SAT solver invocations spent on the distribution.
+        solves: usize,
+        /// Per-component certification failures (non-zero only when the
+        /// service runs certified and a verdict fails to check).
+        cert_failures: usize,
+    },
     /// Reply to `patch` (never cached — the engine rekeys the session
     /// and renders it through `patch_line`, not `reply_line`).
     Patched {
@@ -816,6 +938,7 @@ impl QueryReply {
             } => !verdict.is_unknown() && !matches!(certificate, Some(CertStatus::Failed(_))),
             QueryReply::MaxRes { max } => max.is_some(),
             QueryReply::Enumerate { undecided, .. } => !undecided,
+            QueryReply::SecurityIndex { cert_failures, .. } => *cert_failures == 0,
             QueryReply::Patched { .. } => false,
         }
     }
@@ -847,6 +970,13 @@ impl QueryReply {
                     3
                 } else if !vectors.is_empty() {
                     1
+                } else {
+                    0
+                }
+            }
+            QueryReply::SecurityIndex { cert_failures, .. } => {
+                if *cert_failures > 0 {
+                    4
                 } else {
                     0
                 }
@@ -1003,6 +1133,28 @@ pub(crate) fn reply_line(
             }
             out.push(']');
         }
+        QueryReply::SecurityIndex {
+            indices,
+            min,
+            max,
+            solves,
+            cert_failures,
+        } => {
+            push_str_field(&mut out, "op", "security_index");
+            push_str_field(&mut out, "model", &model.to_string());
+            out.push_str(&format!(
+                ",\"count\":{},\"min\":{min},\"max\":{max},\"solves\":{solves},\
+                 \"cert_failures\":{cert_failures},\"indices\":[",
+                indices.len()
+            ));
+            for (i, index) in indices.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&index.to_string());
+            }
+            out.push(']');
+        }
         QueryReply::Patched { .. } => {
             unreachable!("patch replies are rendered by patch_line, never cached or replayed")
         }
@@ -1103,6 +1255,65 @@ mod tests {
     }
 
     #[test]
+    fn numbers_follow_the_json_grammar() {
+        // Forms `f64::parse` tolerates but JSON forbids.
+        assert!(parse_json("1.").is_err());
+        assert!(parse_json("01").is_err());
+        assert!(parse_json("-01").is_err());
+        assert!(parse_json("1e+").is_err());
+        assert!(parse_json("1e").is_err());
+        assert!(parse_json(".5").is_err());
+        assert!(parse_json("+1").is_err());
+        assert!(parse_json("1.e5").is_err());
+        // Overflow to infinity is a parse error, not a silent `inf`.
+        assert!(parse_json("1e999").is_err());
+        assert!(parse_json("-1e999").is_err());
+        // The same laxity must not leak in via request fields.
+        assert!(parse_request(
+            "{\"op\":\"verify\",\"model\":\"000102030405060708090a0b0c0d0e0f\",\
+             \"property\":\"obs\",\"spec\":{\"k\":01}}"
+        )
+        .is_err());
+        // Every valid JSON shape still parses.
+        for (text, want) in [
+            ("0", 0.0),
+            ("-0", 0.0),
+            ("10", 10.0),
+            ("0.5", 0.5),
+            ("-0.5", -0.5),
+            ("1e5", 1e5),
+            ("1E5", 1e5),
+            ("1e+5", 1e5),
+            ("1e-5", 1e-5),
+            ("12.25e2", 1225.0),
+        ] {
+            assert_eq!(parse_json(text), Ok(Json::Num(want)), "on {text:?}");
+        }
+    }
+
+    #[test]
+    fn render_rejects_non_finite_numbers() {
+        assert!(Json::Num(f64::NAN).render().is_err());
+        assert!(Json::Num(f64::INFINITY).render().is_err());
+        assert!(
+            Json::Arr(vec![Json::Num(1.0), Json::Num(f64::NEG_INFINITY)])
+                .render()
+                .is_err()
+        );
+        assert!(Json::Obj(vec![("x".to_string(), Json::Num(f64::NAN))])
+            .render()
+            .is_err());
+        // Finite values round-trip through render → parse.
+        let v = Json::Obj(vec![
+            ("a".to_string(), Json::Num(1.5)),
+            ("b".to_string(), Json::Arr(vec![Json::Num(3.0), Json::Null])),
+            ("c".to_string(), Json::Str("q\"q".to_string())),
+        ]);
+        let line = v.render().unwrap();
+        assert_eq!(parse_json(&line), Ok(v));
+    }
+
+    #[test]
     fn depth_limit_is_enforced() {
         let mut deep = String::new();
         for _ in 0..64 {
@@ -1153,6 +1364,53 @@ mod tests {
             parsed.get("error").and_then(Json::as_str),
             Some("bad \"quote\"")
         );
+    }
+
+    #[test]
+    fn security_index_request_and_reply_round_trip() {
+        let req = parse_request(
+            "{\"op\":\"security_index\",\"model\":\"000102030405060708090a0b0c0d0e0f\"}",
+        )
+        .unwrap();
+        assert!(matches!(req, Request::SecurityIndex { .. }));
+        assert!(parse_request("{\"op\":\"security_index\"}").is_err());
+
+        let reply = QueryReply::SecurityIndex {
+            indices: vec![2, 3, 2],
+            min: 2,
+            max: 3,
+            solves: 9,
+            cert_failures: 0,
+        };
+        assert!(reply.is_cacheable());
+        assert_eq!(reply.exit_hint(), 0);
+        let line = reply_line(ModelHash(1), &reply, "cached", 55);
+        let parsed = parse_json(&line).unwrap();
+        assert_eq!(
+            parsed.get("op").and_then(Json::as_str),
+            Some("security_index")
+        );
+        assert_eq!(parsed.get("min").and_then(Json::as_u64), Some(2));
+        assert_eq!(parsed.get("max").and_then(Json::as_u64), Some(3));
+        assert_eq!(parsed.get("count").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            parsed.get("provenance").and_then(Json::as_str),
+            Some("cached")
+        );
+        assert_eq!(
+            parsed.get("indices").and_then(Json::as_arr).map(<[_]>::len),
+            Some(3)
+        );
+
+        let failed = QueryReply::SecurityIndex {
+            indices: vec![2],
+            min: 2,
+            max: 2,
+            solves: 4,
+            cert_failures: 1,
+        };
+        assert!(!failed.is_cacheable());
+        assert_eq!(failed.exit_hint(), 4);
     }
 
     #[test]

@@ -31,13 +31,14 @@ use crate::enumerate::enumerate_threats_with_limited;
 use crate::input::AnalysisInput;
 use crate::obs::{MetricsRegistry, Obs, TraceEvent};
 use crate::patch::ModelPatch;
+use crate::security_index::SecurityIndexAnalyzer;
 use crate::verify::Analyzer;
 
 use super::cache::{CacheKey, QueryShape, VerdictCache, DEFAULT_CACHE_CAPACITY};
 use super::hash::{advance_model_hash, ModelHash};
 use super::protocol::{
     attach_id, busy_line, draining_line, error_line, load_line, parse_line, patch_line, reply_line,
-    CertStatus, QueryReply, Request,
+    CertStatus, LimitsSpec, QueryReply, Request,
 };
 use super::replica::ReplicaCache;
 use super::session::{SessionManager, SessionQuery, DEFAULT_SESSION_CAPACITY};
@@ -356,6 +357,33 @@ impl Engine {
                     }
                 });
                 self.run_query("enumerate", model, key, query, start)
+            }
+            Request::SecurityIndex { model } => {
+                let key = CacheKey {
+                    model,
+                    certify: self.certify.enabled,
+                    limits: LimitsSpec::default(),
+                    shape: QueryShape::SecurityIndex,
+                };
+                let certify = self.certify.clone();
+                let query: SessionQuery = Box::new(move |analyzer| {
+                    // The index engine keeps its own incremental
+                    // encoding (one counter over the measurement
+                    // literals), separate from the session's resiliency
+                    // model — built per query, amortized by the verdict
+                    // cache.
+                    let ms = analyzer.input().measurements.clone();
+                    let mut engine = SecurityIndexAnalyzer::with_certification(&ms, &certify);
+                    let distribution = engine.distribution();
+                    QueryReply::SecurityIndex {
+                        indices: distribution.indices,
+                        min: distribution.min,
+                        max: distribution.max,
+                        solves: distribution.solves,
+                        cert_failures: distribution.cert_failures,
+                    }
+                });
+                self.run_query("security_index", model, key, query, start)
             }
             Request::Patch { model, patch } => self.handle_patch(model, patch, start),
             Request::Stats => {
@@ -763,6 +791,7 @@ pub(crate) fn op_name(request: &Request) -> &'static str {
         Request::Verify { .. } => "verify",
         Request::MaxRes { .. } => "maxres",
         Request::Enumerate { .. } => "enumerate",
+        Request::SecurityIndex { .. } => "security_index",
         Request::Patch { .. } => "patch",
         Request::Stats => "stats",
         Request::Evict { .. } => "evict",

@@ -179,6 +179,7 @@ impl ShardedEngine {
             Request::Verify { model, .. }
             | Request::MaxRes { model, .. }
             | Request::Enumerate { model, .. }
+            | Request::SecurityIndex { model }
             | Request::Evict { model } => self.shard(model).handle_request(request, start),
         }
     }

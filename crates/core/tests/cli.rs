@@ -111,6 +111,64 @@ fn unbounded_enumeration_still_finds_the_full_space() {
 }
 
 #[test]
+fn security_index_prints_distribution_and_certifies() {
+    let config = template_config("secidx");
+    let out = run(
+        &config,
+        &[
+            "--property",
+            "obs",
+            "--k",
+            "0",
+            "--r",
+            "0",
+            "--security-index",
+            "--certify",
+        ],
+    );
+    assert_eq!(exit_code(&out), 0, "stderr: {}", text(&out.stderr));
+    let stdout = text(&out.stdout);
+    assert!(
+        stdout.contains("security index: min ") && stdout.contains("distribution: α="),
+        "missing index summary: {stdout}"
+    );
+    assert!(
+        stdout.contains("0 cert failure(s)"),
+        "certified run must report its check tally: {stdout}"
+    );
+}
+
+#[test]
+fn security_index_certification_fault_exits_4() {
+    let config = template_config("secidx-fault");
+    for fault in ["proof", "model"] {
+        let out = bin()
+            .arg(&config)
+            .args(["--property", "obs", "--security-index", "--certify"])
+            .env("SCADA_CERTIFY_FAULT", fault)
+            .output()
+            .expect("spawn scada-analyzer");
+        assert_eq!(exit_code(&out), 4, "fault {fault}");
+        assert!(
+            text(&out.stderr).contains("certification failed"),
+            "fault {fault}: {}",
+            text(&out.stderr)
+        );
+        // The index engine's own certificates must catch the fault too —
+        // not just the verification queries sharing the run.
+        let stdout = text(&out.stdout);
+        let index_line = stdout
+            .lines()
+            .find(|l| l.starts_with("security index:"))
+            .unwrap_or_else(|| panic!("no index summary under fault {fault}: {stdout}"));
+        assert!(
+            !index_line.contains(" 0 cert failure(s)"),
+            "fault {fault} not caught by the index engine: {index_line}"
+        );
+    }
+}
+
+#[test]
 fn trace_writes_valid_monotone_jsonl() {
     let config = template_config("trace");
     let trace = std::env::temp_dir().join(format!(

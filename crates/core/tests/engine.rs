@@ -158,6 +158,55 @@ fn max_resiliency_axes_agree_with_bruteforce() {
     );
 }
 
+/// The incrementality claim of `encode/resilience.rs`, checked rather
+/// than asserted in a comment: a `max_resiliency` sweep re-verifies at
+/// every budget `k`, but each rung is an assumption set against one
+/// shared `UnaryCounter` — the clause count must not grow with `k`.
+#[test]
+fn max_resiliency_ladder_keeps_clause_count_flat() {
+    let input = five_bus_case_study();
+    let mut analyzer = Analyzer::new(&input);
+    for (axis, spec_of) in [
+        (
+            BudgetAxis::Total,
+            (|k| ResiliencySpec::total(k).with_corrupted(1)) as fn(usize) -> ResiliencySpec,
+        ),
+        (BudgetAxis::IedsOnly, |k| {
+            ResiliencySpec::split(k, 0).with_corrupted(1)
+        }),
+        (BudgetAxis::RtusOnly, |k| {
+            ResiliencySpec::split(0, k).with_corrupted(1)
+        }),
+    ] {
+        // The k = 0 rung may lazily grow the encoding (first touch of a
+        // chain or counter); every later rung must reuse it untouched.
+        let baseline = analyzer
+            .verify_with_report(Property::Observability, spec_of(0))
+            .encoding;
+        let mut ladder = Vec::new();
+        for k in 1..=4 {
+            let report = analyzer.verify_with_report(Property::Observability, spec_of(k));
+            ladder.push((k, report.encoding.clauses));
+        }
+        assert!(
+            ladder.iter().all(|&(_, c)| c == baseline.clauses),
+            "{axis:?}: clause count moved across the k-ladder \
+             (baseline {}, ladder {ladder:?})",
+            baseline.clauses
+        );
+        // The sweep itself walks the same rungs: running it end to end
+        // must leave the encoding exactly where the ladder left it.
+        analyzer.max_resiliency(Property::Observability, axis, 1);
+        let after = analyzer
+            .verify_with_report(Property::Observability, spec_of(0))
+            .encoding;
+        assert_eq!(
+            after.clauses, baseline.clauses,
+            "{axis:?}: max_resiliency sweep re-encoded its budget bound"
+        );
+    }
+}
+
 #[test]
 fn budget_wider_than_device_count_is_unconstrained() {
     let input = two_rtu_input();

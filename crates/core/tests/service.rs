@@ -240,6 +240,22 @@ fn stdio_session_serves_cold_cached_and_recovers_from_garbage() {
         "repeat verify not cached: {second}"
     );
 
+    // The index distribution is a verdict like any other: computed once
+    // on the (by now warm) session, then replayed from the cache.
+    let secidx = format!("{{\"op\":\"security_index\",\"model\":\"{model}\"}}");
+    let first_idx = roundtrip(&mut stdin, &mut stdout, &secidx);
+    assert!(
+        first_idx.contains("\"op\":\"security_index\"")
+            && first_idx.contains("\"provenance\":\"warm\"")
+            && first_idx.contains("\"indices\":["),
+        "unexpected first security_index: {first_idx}"
+    );
+    let second_idx = roundtrip(&mut stdin, &mut stdout, &secidx);
+    assert!(
+        second_idx.contains("\"provenance\":\"cached\""),
+        "repeat security_index not cached: {second_idx}"
+    );
+
     // Garbage is a structured error, not a crash; the session lives on.
     let garbage = roundtrip(&mut stdin, &mut stdout, "{not json");
     assert!(

@@ -55,10 +55,16 @@ const SCRIPT: &[&str] = &[
     "{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"secured\",\"spec\":{\"k1\":1,\"k2\":1},\"id\":\"tagged-7\"}",
     "{\"op\":\"maxres\",\"model\":\"{model}\",\"property\":\"obs\",\"axis\":\"k1\",\"r\":0}",
     "{\"op\":\"enumerate\",\"model\":\"{model}\",\"property\":\"obs\",\"spec\":{\"k1\":2,\"k2\":2},\"cap\":4}",
+    "{\"op\":\"security_index\",\"model\":\"{model}\"}",
+    "{\"op\":\"security_index\",\"model\":\"{model}\"}",
     "{\"op\":\"verify\",\"model\":\"00000000000000000000000000000000\",\"property\":\"obs\",\"spec\":{\"k1\":1,\"k2\":1}}",
     "this is not json",
     "{\"op\":\"patch\",\"model\":\"{model}\",\"patch\":{\"add_device\":{\"kind\":\"rtu\",\"peers\":[14]}}}",
     "{\"op\":\"verify\",\"model\":\"{patched}\",\"property\":\"obs\",\"spec\":{\"k1\":1,\"k2\":1}}",
+    // Device patches cannot touch the electrical measurement set, so
+    // the index distribution migrates to the patched hash: `cached` on
+    // both the single and the sharded engine (cross-shard adopt).
+    "{\"op\":\"security_index\",\"model\":\"{patched}\"}",
     "{\"op\":\"evict\",\"model\":\"{patched}\"}",
     "{\"op\":\"verify\",\"model\":\"{patched}\",\"property\":\"obs\",\"spec\":{\"k1\":1,\"k2\":1}}",
     "{\"op\":\"shutdown\"}",

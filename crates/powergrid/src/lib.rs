@@ -42,6 +42,7 @@ pub mod jacobian;
 pub mod linalg;
 pub mod measurement;
 pub mod observability;
+pub mod securityindex;
 pub mod synthetic;
 mod system;
 
