@@ -1,0 +1,144 @@
+//! Criterion bench: warm-state recovery replay vs a cold build.
+//!
+//! Recovery's promise is that replaying the journal is *bounded* work:
+//! rebuild each surviving session from its snapshot recipe (one load
+//! plus its folded patch lineage) rather than re-reading an unbounded
+//! op history. This bench pins the cost on the IEEE-30 workload:
+//! `cold_build` runs the scripted session (load + a four-deep patch
+//! lineage) against a fresh engine — the irreducible model-build work —
+//! and `replay` opens the journal the same session left behind and
+//! runs full recovery over a fresh engine. The CI gate asserts the
+//! replay stays within 10× one cold build (journal scan, shadow fold,
+//! and re-routing overhead included).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scada_analyzer::obs::json_escape_into;
+use scada_analyzer::service::{
+    Durability, JournalConfig, JournaledEngine, ServeOptions, ShardedEngine,
+};
+use scadasim::{generate, write_config, ScadaConfig, ScadaGenConfig};
+use std::hint::black_box;
+
+/// The IEEE-30 config text plus the 1-based wire ids of one pair to
+/// rotate security profiles on (same generator settings as the delta
+/// bench, so the numbers are comparable across gates).
+fn ieee30() -> (String, usize, usize) {
+    let system = powergrid::synthetic::ieee_sized(30, 0);
+    let scada = generate(
+        system,
+        &ScadaGenConfig {
+            measurement_density: 0.7,
+            hierarchy_level: 1,
+            secure_fraction: 0.8,
+            seed: 0,
+            ..Default::default()
+        },
+    );
+    let link = &scada.topology.links()[0];
+    let (a, b) = (link.a.one_based(), link.b.one_based());
+    let config = write_config(&ScadaConfig {
+        measurements: scada.measurements,
+        topology: scada.topology,
+        ied_measurements: scada.ied_measurements,
+        resilience: (1, 1),
+        corrupted: 1,
+        link_failures: 0,
+    });
+    (config, a, b)
+}
+
+fn hash_of(line: &str) -> String {
+    line.split("\"model\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("model hash")
+        .to_string()
+}
+
+/// Runs the scripted IEEE-30 session — one load, then a four-deep
+/// security-profile patch lineage — through `handle`, asserting every
+/// op is accepted.
+fn run_session(handle: &dyn Fn(&str) -> String, load: &str, a: usize, b: usize) {
+    let ok = |line: &str| {
+        let reply = handle(line);
+        assert!(
+            reply.contains("\"ok\":true"),
+            "session op failed: {} -> {}",
+            &line[..line.len().min(80)],
+            reply
+        );
+        reply
+    };
+    let mut model = hash_of(&ok(load));
+    for (i, profile) in ["aes 256", "rsa 2048", "aes 256", "hmac 128"]
+        .iter()
+        .enumerate()
+    {
+        let line = format!(
+            "{{\"op\":\"patch\",\"model\":\"{model}\",\"patch\":{{\"set_profile\":\
+             {{\"a\":{a},\"b\":{b},\"profiles\":[\"{profile}\"]}}}}}}"
+        );
+        let reply = ok(&line);
+        model = hash_of(&reply);
+        let _ = i;
+    }
+    black_box(model);
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let (config, a, b) = ieee30();
+    let mut load = String::from("{\"op\":\"load\",\"config\":\"");
+    json_escape_into(&config, &mut load);
+    load.push_str("\"}");
+
+    // Seed the journal once: the scripted session, journaled. Replay
+    // iterations below recover from this directory (opening is
+    // read-only plus tail truncation, so re-opening is idempotent).
+    let dir = std::env::temp_dir().join(format!("scadad-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut jc = JournalConfig::new(&dir);
+        jc.durability = Durability::Off; // journal content, not fsync, is under test
+        let engine = Arc::new(ShardedEngine::new(ServeOptions::default(), 1));
+        let journaled = JournaledEngine::open(engine, jc).expect("seed journal");
+        run_session(&|line| journaled.handle_line(line).line, &load, a, b);
+        use scada_analyzer::service::LineHandler as _;
+        journaled.drain();
+    }
+
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+
+    // The irreducible baseline: the same session built cold against a
+    // fresh engine (engine construction and teardown included — replay
+    // iterations pay both too).
+    group.bench_function("cold_build", |bench| {
+        bench.iter(|| {
+            let engine = ShardedEngine::new(ServeOptions::default(), 1);
+            run_session(&|line| engine.handle_line(line).line, &load, a, b);
+            engine.drain();
+        })
+    });
+
+    // Recovery: open the journal, replay the snapshot recipe into a
+    // fresh engine, verify the lineage hash.
+    group.bench_function("replay", |bench| {
+        bench.iter(|| {
+            let jc = JournalConfig::new(&dir);
+            let engine = Arc::new(ShardedEngine::new(ServeOptions::default(), 1));
+            let journaled = JournaledEngine::open(engine, jc).expect("open journal");
+            assert!(journaled.needs_recovery(), "seed journal lost its models");
+            journaled.recover().expect("recovery replay");
+            use scada_analyzer::service::LineHandler as _;
+            journaled.drain();
+        })
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! CI perf gate over the service benchmarks.
 //!
 //! ```text
-//! bench_gate <records.jsonl> <report.json> [--gate delta|service] [--max-ratio N]
+//! bench_gate <records.jsonl> <report.json> [--gate delta|service|recovery] [--max-ratio N]
 //! ```
 //!
 //! Reads the machine-readable records the criterion shim (and the
@@ -27,6 +27,13 @@
 //!   max-ratio * p99(service_load/gate_single)` (default 2). Sharding
 //!   buys throughput by splitting locks; this gate refuses the trade if
 //!   it costs the hot path its tail.
+//! * `--gate recovery` bounds journal-replay startup cost:
+//!   `mean(recovery/replay) <= max-ratio * mean(recovery/cold_build)`
+//!   (default 10). Recovery re-runs the session's load and patch
+//!   lineage, so it can never be cheaper than one cold build — but the
+//!   journal scan and replay orchestration on top must stay a small
+//!   factor, or crash recovery becomes an availability incident of its
+//!   own.
 //!
 //! Exit codes: 0 gate passed, 1 gate breached, 2 usage or malformed
 //! input.
@@ -40,6 +47,9 @@ const DEFAULT_MAX_RATIO: f64 = 4.0;
 
 /// Default bound on `sharded_p99 / single_p99` (`--gate service`).
 const DEFAULT_SERVICE_MAX_RATIO: f64 = 2.0;
+
+/// Default bound on `replay / cold_build` (`--gate recovery`).
+const DEFAULT_RECOVERY_MAX_RATIO: f64 = 10.0;
 
 /// One parsed benchmark record.
 struct Record {
@@ -121,8 +131,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         } else if args[i] == "--gate" {
             gate = args
                 .get(i + 1)
-                .filter(|g| g.as_str() == "delta" || g.as_str() == "service")
-                .ok_or("--gate requires `delta` or `service`")?
+                .filter(|g| matches!(g.as_str(), "delta" | "service" | "recovery"))
+                .ok_or("--gate requires `delta`, `service`, or `recovery`")?
                 .to_string();
             i += 2;
         } else if args[i].starts_with("--") {
@@ -134,7 +144,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     }
     let [input, output] = positional.as_slice() else {
         return Err(
-            "usage: bench_gate <records.jsonl> <report.json> [--gate delta|service] \
+            "usage: bench_gate <records.jsonl> <report.json> [--gate delta|service|recovery] \
              [--max-ratio N]"
                 .to_string(),
         );
@@ -147,6 +157,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             &records,
             output,
             max_ratio.unwrap_or(DEFAULT_SERVICE_MAX_RATIO),
+        );
+    }
+    if gate == "recovery" {
+        return run_recovery_gate(
+            &records,
+            output,
+            max_ratio.unwrap_or(DEFAULT_RECOVERY_MAX_RATIO),
         );
     }
     let max_ratio = max_ratio.unwrap_or(DEFAULT_MAX_RATIO);
@@ -239,6 +256,54 @@ fn run_service_gate(records: &[Record], output: &str, max_ratio: f64) -> Result<
          {ratio:.2}x (bound {max_ratio}x): {}",
         single / 1e3,
         sharded / 1e3,
+        if pass { "PASS" } else { "FAIL" },
+    );
+    Ok(if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// The `--gate recovery` arm: journal replay bounded against one cold
+/// build of the same scripted session.
+fn run_recovery_gate(records: &[Record], output: &str, max_ratio: f64) -> Result<ExitCode, String> {
+    let cold = mean_of(records, "recovery/cold_build")?;
+    let replay = mean_of(records, "recovery/replay")?;
+    if cold <= 0.0 {
+        return Err("cold-build mean is zero; refusing to divide".to_string());
+    }
+    let ratio = replay / cold;
+    let pass = ratio <= max_ratio;
+
+    let mut report = String::from("{");
+    report.push_str(&format!(
+        "\"gate\":\"recovery\",\"max_ratio\":{max_ratio},\"cold_build_ns\":{cold:.1},\
+         \"replay_ns\":{replay:.1},\"ratio\":{ratio:.3},\"pass\":{pass},\"records\":["
+    ));
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            report.push(',');
+        }
+        report.push_str(&format!(
+            "{{\"label\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\
+             \"samples\":{}}}",
+            r.label, r.mean_ns, r.min_ns, r.max_ns, r.samples
+        ));
+    }
+    report.push_str("]}\n");
+    if let Some(dir) = std::path::Path::new(output).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+    }
+    std::fs::write(output, &report).map_err(|e| format!("cannot write {output}: {e}"))?;
+
+    println!(
+        "perf gate (recovery): cold build {:.1} µs, replay {:.1} µs -> \
+         {ratio:.2}x (bound {max_ratio}x): {}",
+        cold / 1e3,
+        replay / 1e3,
         if pass { "PASS" } else { "FAIL" },
     );
     Ok(if pass {

@@ -41,6 +41,9 @@
 //!                    carry `delta` provenance
 //!   --shutdown       with --connect: ask the service to drain and exit
 //!                    (alone, or after the queries)
+//!   --health         with --connect: print the service's health line —
+//!                    `recovering|ready|draining` plus journal and
+//!                    recovery counters (alone, or after the queries)
 //! ```
 //!
 //! Property verification and the `--max-resiliency` sweeps run on the
@@ -691,6 +694,18 @@ fn run_client(addr: &str, args: &[String]) -> Result<ExitCode, String> {
     let mut conn = Conn::connect(addr)?;
 
     if config_path.is_none() && !flag("--case-study") {
+        if flag("--health") {
+            // Health-only invocation: answered even while the service
+            // is recovering or draining, so no model is needed.
+            let (raw_line, resp) = conn.request("{\"op\":\"health\"}")?;
+            if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err("health failed".to_string());
+            }
+            println!("health: {raw_line}");
+            if !flag("--shutdown") {
+                return Ok(ExitCode::SUCCESS);
+            }
+        }
         if flag("--shutdown") {
             // Shutdown-only invocation: no model needed.
             let (_, resp) = conn.request("{\"op\":\"shutdown\"}")?;
@@ -704,7 +719,8 @@ fn run_client(addr: &str, args: &[String]) -> Result<ExitCode, String> {
         }
         return Err(
             "usage: scada-analyzer --connect ADDR <config-file> [options]   \
-             (or --case-study; --shutdown alone stops the service)"
+             (or --case-study; --shutdown alone stops the service, \
+             --health alone probes it)"
                 .to_string(),
         );
     }
@@ -903,6 +919,14 @@ fn run_client(addr: &str, args: &[String]) -> Result<ExitCode, String> {
         }
         // Raw JSON on purpose: scripts grep counters out of this line.
         println!("stats: {raw_line}");
+    }
+
+    if flag("--health") {
+        let (raw_line, resp) = conn.request("{\"op\":\"health\"}")?;
+        if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+            return Err("health failed".to_string());
+        }
+        println!("health: {raw_line}");
     }
 
     if flag("--shutdown") {

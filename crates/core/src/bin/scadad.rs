@@ -22,6 +22,15 @@
 //!                    the service lifetime)
 //!   --proof-dir DIR  also write DRAT proofs to DIR (implies --certify)
 //!   --trace PATH     write a structured JSONL event trace to PATH
+//!   --journal DIR    write-ahead journal of state-mutating ops (load /
+//!                    patch / evict) under DIR; on restart the warm
+//!                    sessions are rebuilt by replaying the journal
+//!                    (works across a `--shards` change)
+//!   --durability strict|batch|off
+//!                    with --journal: fsync policy (default strict — an
+//!                    op is acknowledged only after its record is on
+//!                    disk; batch syncs every 32 appends; off leaves
+//!                    syncing to the OS)
 //! ```
 //!
 //! With `--listen`, requests may be pipelined: write many lines without
@@ -35,14 +44,30 @@
 //! per line: `load`, `verify`, `maxres`, `enumerate`, `security_index`,
 //! `stats`, `evict`, `shutdown`. `scada-analyzer --connect ADDR` is a ready-made client.
 //!
-//! On `shutdown` the service drains: in-flight queries finish (flushing
-//! any DRAT proofs when certifying), then the process exits 0.
+//! On `shutdown` — or SIGTERM/SIGINT — the service drains: in-flight
+//! queries finish (flushing any DRAT proofs when certifying, and the
+//! journal when one is configured), then the process exits 0.
+//!
+//! With `--journal`, startup replays the journal in the background
+//! while the server answers `{"error":"warming","retry":true}`; the
+//! `health` op reports `recovering` until the replay finishes, then
+//! `ready`. A journal directory that fails validation (truncated
+//! headers, torn records anywhere but the newest segment's tail) or a
+//! replay that cannot reproduce the recorded model lineage exits with
+//! code 5 rather than serving divergent state.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use scada_analyzer::service::{serve_stdio, serve_tcp, ServeOptions, ShardedEngine};
+use scada_analyzer::service::{
+    serve_stdio, serve_tcp, signal, Durability, FaultPlan, JournalConfig, JournaledEngine,
+    LineHandler, ServeOptions, ShardedEngine,
+};
 use scada_analyzer::{CertifyOptions, JsonlTracer, Obs};
+
+/// Exit code for a journal that fails closed: validation at open, or a
+/// replay that cannot reproduce the recorded lineage.
+const EXIT_JOURNAL: u8 = 5;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -82,13 +107,18 @@ fn opt<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, S
     }
 }
 
-/// Serves a bound listener: the readiness event loop where available
-/// (unix), thread-per-connection elsewhere or on request.
-fn serve_listener(
-    engine: Arc<ShardedEngine>,
-    listener: std::net::TcpListener,
+/// Serves the chosen transport, generic over the handler so the bare
+/// sharded engine and the journal wrapper share every code path: a
+/// bound listener runs the readiness event loop where available (unix,
+/// thread-per-connection elsewhere or on request); otherwise stdio.
+fn serve<H: LineHandler>(
+    engine: Arc<H>,
+    listener: Option<std::net::TcpListener>,
     thread_per_conn: bool,
 ) -> std::io::Result<()> {
+    let Some(listener) = listener else {
+        return serve_stdio(&*engine, std::io::stdin(), std::io::stdout());
+    };
     #[cfg(unix)]
     {
         if !thread_per_conn {
@@ -101,7 +131,7 @@ fn serve_listener(
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let flag = |name: &str| args.iter().any(|a| a == name);
-    const TAKES_VALUE: [&str; 8] = [
+    const TAKES_VALUE: [&str; 10] = [
         "--listen",
         "--shards",
         "--sessions",
@@ -110,6 +140,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "--max-line",
         "--proof-dir",
         "--trace",
+        "--journal",
+        "--durability",
     ];
     let mut i = 0;
     while i < args.len() {
@@ -173,22 +205,94 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         return Err("--thread-per-conn requires --listen".to_string());
     }
 
+    let journal_dir = raw(args, "--journal")?.cloned();
+    let durability = match raw(args, "--durability")? {
+        None => Durability::Strict,
+        Some(v) => {
+            if journal_dir.is_none() {
+                return Err("--durability requires --journal".to_string());
+            }
+            v.parse::<Durability>()?
+        }
+    };
+
+    // SIGTERM/SIGINT request the same graceful drain a `shutdown` op
+    // would; on platforms without the raw-syscall backend the signals
+    // simply keep their default disposition.
+    let _ = signal::install();
+
+    let sessions = options.sessions;
     let engine = Arc::new(ShardedEngine::new(options, shards));
-    let served = match listen {
+    let listener = match &listen {
         Some(addr) => {
-            let listener = std::net::TcpListener::bind(&addr)
+            let listener = std::net::TcpListener::bind(addr)
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             let local = listener
                 .local_addr()
                 .map_err(|e| format!("cannot resolve bound address: {e}"))?;
             // The one line clients (and CI scripts) wait for: with port
-            // 0 this is the only way to learn the real port.
+            // 0 this is the only way to learn the real port. Printed
+            // before recovery finishes on purpose — clients may connect
+            // and poll `health` while the service warms.
             println!("scadad: listening on {local}");
             use std::io::Write as _;
             std::io::stdout().flush().ok();
-            serve_listener(engine, listener, thread_per_conn)
+            Some(listener)
         }
-        None => serve_stdio(&*engine, std::io::stdin(), std::io::stdout()),
+        None => None,
+    };
+
+    let served = match journal_dir {
+        Some(dir) => {
+            let mut config = JournalConfig::new(&dir);
+            config.durability = durability;
+            // Retain more recipes than the engine holds sessions so
+            // replay re-runs the engine's own LRU decisions instead of
+            // being clipped by them.
+            config.retain_models = sessions * 2 + 8;
+            if let Ok(v) = std::env::var("SCADAD_JOURNAL_SEGMENT_BYTES") {
+                config.segment_bytes = v
+                    .parse()
+                    .map_err(|_| format!("bad SCADAD_JOURNAL_SEGMENT_BYTES `{v}`"))?;
+            }
+            config.fault = FaultPlan::from_env()?;
+            let journaled = match JournaledEngine::open(engine, config) {
+                Ok(j) => Arc::new(j),
+                Err(e) => {
+                    eprintln!("error: journal {dir}: {e}");
+                    return Ok(ExitCode::from(EXIT_JOURNAL));
+                }
+            };
+            if journaled.needs_recovery() {
+                let stats = journaled.open_stats();
+                eprintln!(
+                    "scadad: recovering {} session(s) from {} journal record(s)",
+                    stats.models, stats.replayed
+                );
+                let worker = Arc::clone(&journaled);
+                std::thread::Builder::new()
+                    .name("scadad-recovery".to_string())
+                    .spawn(move || {
+                        // Test hook: hold the service in `recovering`
+                        // long enough for a client to observe it.
+                        if let Some(ms) = std::env::var("SCADAD_RECOVERY_DELAY_MS")
+                            .ok()
+                            .and_then(|v| v.parse::<u64>().ok())
+                        {
+                            std::thread::sleep(std::time::Duration::from_millis(ms));
+                        }
+                        if let Err(e) = worker.recover() {
+                            eprintln!("error: recovery failed: {e}");
+                            // Fail closed: serving would hand out state
+                            // that disagrees with the journal.
+                            std::process::exit(i32::from(EXIT_JOURNAL));
+                        }
+                    })
+                    .map_err(|e| format!("cannot spawn recovery thread: {e}"))?;
+            }
+            serve(journaled, listener, thread_per_conn)
+        }
+        None => serve(engine, listener, thread_per_conn),
     };
     if let Err(e) = served {
         eprintln!("error: transport failed: {e}");

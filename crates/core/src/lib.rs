@@ -50,8 +50,9 @@
 //! `Unknown` is never conflated with `Resilient`.
 
 // `deny`, not `forbid`: the service event loop's epoll shim
-// (`service::poll::sys`) is the single module allowed to opt back in
-// for raw syscalls — everything else stays safe code.
+// (`service::poll::sys`) and the signal hook (`service::signal::sys`)
+// are the only modules allowed to opt back in for raw syscalls —
+// everything else stays safe code.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 

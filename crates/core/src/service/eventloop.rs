@@ -158,7 +158,10 @@ struct Conn {
     pending: VecDeque<(u64, Pending)>,
     next_seq: u64,
     outbuf: Vec<u8>,
-    interest: Interest,
+    /// What the poller currently watches for this socket; `None` means
+    /// deregistered (pipeline full with nothing to write — completions
+    /// arrive over the wake channel, so no readiness is needed).
+    interest: Option<Interest>,
     /// Peer closed its write side (or drain stops reads): no more
     /// framing, but queued replies still go out.
     read_closed: bool,
@@ -206,6 +209,13 @@ pub fn serve_event_loop<H: LineHandler>(
     executors: usize,
 ) -> io::Result<()> {
     listener.set_nonblocking(true)?;
+
+    // Test hook: shrink accepted sockets' kernel send buffers so the
+    // partial-write path (reply larger than the buffer) is reachable
+    // without megabyte replies. Parsed once; ignored when unset.
+    let sndbuf: Option<i32> = std::env::var("SCADAD_EVENTLOOP_SNDBUF")
+        .ok()
+        .and_then(|v| v.parse().ok());
 
     // Self-wake channel: executors write one byte per completion so the
     // poller returns immediately instead of at the next timeout.
@@ -263,6 +273,11 @@ pub fn serve_event_loop<H: LineHandler>(
     let mut draining_seen = false;
 
     loop {
+        // A signal (SIGTERM/SIGINT) requests the same drain a
+        // `shutdown` op would; the poller timeout bounds the latency.
+        if !draining_seen && super::signal::drain_requested() {
+            engine.begin_drain();
+        }
         // Drain transition: stop accepting and stop reading; everything
         // already queued still gets its (draining) answer.
         if !draining_seen && engine.is_draining() {
@@ -302,6 +317,9 @@ pub fn serve_event_loop<H: LineHandler>(
                                 if stream.set_nonblocking(true).is_err() {
                                     continue;
                                 }
+                                if let Some(bytes) = sndbuf {
+                                    let _ = super::poll::set_send_buffer(&stream, bytes);
+                                }
                                 let token = next_token;
                                 next_token += 1;
                                 if poller.register(&stream, token, Interest::Read).is_err() {
@@ -315,7 +333,7 @@ pub fn serve_event_loop<H: LineHandler>(
                                         pending: VecDeque::new(),
                                         next_seq: 0,
                                         outbuf: Vec::new(),
-                                        interest: Interest::Read,
+                                        interest: Some(Interest::Read),
                                         read_closed: false,
                                         closing: false,
                                     },
@@ -391,14 +409,40 @@ pub fn serve_event_loop<H: LineHandler>(
                 close_conn(&mut conns, &mut poller, token);
                 continue;
             }
-            let wanted = if conn.outbuf.is_empty() {
-                Interest::Read
-            } else {
-                Interest::ReadWrite
+            // Arm exactly the readiness we can act on. Reading while
+            // the pipeline is full (or after EOF) would spin on a
+            // level-triggered poller; write interest with an empty
+            // buffer likewise fires on every tick. With neither side
+            // wanted the socket leaves the poller entirely —
+            // completions arrive over the wake channel, and the next
+            // upkeep pass re-arms it.
+            let want_read = !conn.read_closed && conn.pending.len() < MAX_PIPELINE;
+            let want_write = !conn.outbuf.is_empty();
+            let wanted = match (want_read, want_write) {
+                (true, true) => Some(Interest::ReadWrite),
+                (true, false) => Some(Interest::Read),
+                (false, true) => Some(Interest::Write),
+                (false, false) => None,
             };
             if wanted != conn.interest {
-                conn.interest = wanted;
-                let _ = poller.reregister(&conn.stream, token, wanted);
+                let ok = match (conn.interest, wanted) {
+                    (Some(_), Some(interest)) => {
+                        poller.reregister(&conn.stream, token, interest).is_ok()
+                    }
+                    (None, Some(interest)) => {
+                        poller.register(&conn.stream, token, interest).is_ok()
+                    }
+                    (Some(_), None) => {
+                        let _ = poller.deregister(&conn.stream, token);
+                        true
+                    }
+                    (None, None) => true,
+                };
+                if ok {
+                    conn.interest = wanted;
+                } else {
+                    close_conn(&mut conns, &mut poller, token);
+                }
             }
         }
     }

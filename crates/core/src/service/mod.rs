@@ -26,7 +26,12 @@
 //!   non-blocking sockets ([`poll`] wraps `epoll` with a portable
 //!   fallback): one thread per core instead of one per connection, with
 //!   request pipelining — requests tagged with an `id` are answered in
-//!   submission order on the same connection.
+//!   submission order on the same connection;
+//! * [`journal`] — crash safety: an append-only write-ahead log of
+//!   mutating ops with snapshot compaction, and warm-state recovery
+//!   that replays patch lineage on restart (shard-count independent);
+//!   the `health` op reports `recovering|ready|draining` plus journal
+//!   and recovery counters.
 //!
 //! The [`hash`] module defines the canonical model hash that the
 //! session manager, the cache, and the shard router all key on.
@@ -50,6 +55,7 @@ pub mod cache;
 #[cfg(unix)]
 pub mod eventloop;
 pub mod hash;
+pub mod journal;
 #[cfg(unix)]
 pub(crate) mod poll;
 pub mod protocol;
@@ -57,11 +63,15 @@ pub mod replica;
 pub mod server;
 pub mod session;
 pub mod sharded;
+pub mod signal;
 
 pub use cache::VerdictCache;
 #[cfg(unix)]
 pub use eventloop::serve_event_loop;
 pub use hash::{advance_model_hash, model_hash, ModelHash};
+pub use journal::{
+    Durability, FaultKind, FaultPlan, Journal, JournalConfig, JournalError, JournaledEngine,
+};
 pub use protocol::{parse_json, parse_request, CertStatus, Json, LimitsSpec, QueryReply, Request};
 pub use replica::ReplicaCache;
 pub use server::{serve_stdio, serve_tcp, Engine, LineHandler, Response, ServeOptions};

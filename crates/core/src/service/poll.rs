@@ -27,8 +27,23 @@ pub(crate) type Token = u64;
 pub(crate) enum Interest {
     /// Readable only.
     Read,
+    /// Writable only (read side paused: the connection is at its
+    /// pipeline cap or has seen EOF, but replies are still flushing).
+    Write,
     /// Readable or writable.
     ReadWrite,
+}
+
+impl Interest {
+    /// Whether the read side is watched.
+    pub(crate) fn reads(self) -> bool {
+        matches!(self, Interest::Read | Interest::ReadWrite)
+    }
+
+    /// Whether the write side is watched.
+    pub(crate) fn writes(self) -> bool {
+        matches!(self, Interest::Write | Interest::ReadWrite)
+    }
 }
 
 /// One readiness notification.
@@ -172,8 +187,8 @@ impl Poller {
                 for (token, interest) in &scan.tokens {
                     events.push(Event {
                         token: *token,
-                        readable: true,
-                        writable: matches!(interest, Interest::ReadWrite),
+                        readable: interest.reads(),
+                        writable: interest.writes(),
                     });
                 }
                 Ok(events.len())
@@ -186,6 +201,30 @@ impl Poller {
 #[derive(Default)]
 pub(crate) struct ScanPoller {
     tokens: Vec<(Token, Interest)>,
+}
+
+/// Shrinks a socket's kernel send buffer (`SO_SNDBUF`). Test hook for
+/// the event loop's short-write path: a tiny buffer forces replies to
+/// hit `WouldBlock` mid-line so the buffered-write machinery is
+/// actually exercised. No-op where the raw syscall is unavailable
+/// (the kernel clamps the value to its floor, so the effective buffer
+/// may be larger than requested).
+pub(crate) fn set_send_buffer(socket: &dyn Pollable, bytes: i32) -> io::Result<()> {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    {
+        epoll::set_send_buffer(socket.raw_fd(), bytes)
+    }
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    {
+        let _ = (socket, bytes);
+        Ok(())
+    }
 }
 
 #[cfg(all(
@@ -242,6 +281,7 @@ mod epoll {
         pub(super) const EPOLL_CTL: i64 = 233;
         pub(super) const EPOLL_PWAIT: i64 = 281;
         pub(super) const CLOSE: i64 = 3;
+        pub(super) const SETSOCKOPT: i64 = 54;
     }
 
     #[cfg(target_arch = "aarch64")]
@@ -250,6 +290,23 @@ mod epoll {
         pub(super) const EPOLL_CTL: i64 = 21;
         pub(super) const EPOLL_PWAIT: i64 = 22;
         pub(super) const CLOSE: i64 = 57;
+        pub(super) const SETSOCKOPT: i64 = 208;
+    }
+
+    const SOL_SOCKET: i64 = 1;
+    const SO_SNDBUF: i64 = 7;
+
+    /// `setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, 4)`.
+    pub(super) fn set_send_buffer(fd: i32, bytes: i32) -> io::Result<()> {
+        check(syscall5(
+            nr::SETSOCKOPT,
+            fd as i64,
+            SOL_SOCKET,
+            SO_SNDBUF,
+            std::ptr::from_ref(&bytes) as i64,
+            std::mem::size_of::<i32>() as i64,
+        ))?;
+        Ok(())
     }
 
     /// Issues a raw syscall with up to five arguments. Returns the raw
@@ -333,8 +390,15 @@ mod epoll {
             token: Token,
             interest: Interest,
         ) -> io::Result<()> {
-            let mut events = EPOLLIN | EPOLLRDHUP;
-            if matches!(interest, Interest::ReadWrite) {
+            // Level-triggered epoll makes unwanted interest a busy
+            // loop, so each side is armed only while wanted: no
+            // EPOLLIN while the pipeline is full, no EPOLLRDHUP after
+            // EOF (it would re-fire forever on a half-closed peer).
+            let mut events = 0;
+            if interest.reads() {
+                events |= EPOLLIN | EPOLLRDHUP;
+            }
+            if interest.writes() {
                 events |= EPOLLOUT;
             }
             let event = EpollEvent {

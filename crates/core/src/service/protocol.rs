@@ -564,6 +564,9 @@ pub enum Request {
         /// Target model.
         model: ModelHash,
     },
+    /// Liveness/readiness probe: serving state plus journal and
+    /// recovery counters. Answered even while draining or recovering.
+    Health,
     /// Drain in-flight queries and exit.
     Shutdown,
 }
@@ -629,6 +632,13 @@ fn parse_wire_device(v: &Json) -> Result<DeviceId, String> {
 
 fn parse_patch(obj: &Json) -> Result<ModelPatch, String> {
     let patch = obj.get("patch").ok_or("missing \"patch\"")?;
+    parse_patch_value(patch)
+}
+
+/// Parses a bare patch object (the value of a request's `"patch"`
+/// field, or a journal record's). Wire form round-trips through
+/// [`render_patch`].
+pub(crate) fn parse_patch_value(patch: &Json) -> Result<ModelPatch, String> {
     if !matches!(patch, Json::Obj(_)) {
         return Err("\"patch\" must be an object".to_string());
     }
@@ -839,6 +849,7 @@ fn decode_request(obj: &Json) -> Result<Request, String> {
         "evict" => Ok(Request::Evict {
             model: parse_model(obj)?,
         }),
+        "health" => Ok(Request::Health),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
     }
@@ -1050,6 +1061,97 @@ pub(crate) fn busy_line() -> String {
 /// admit the request, so the client must fail over, not retry.
 pub(crate) fn draining_line() -> String {
     "{\"ok\":false,\"error\":\"draining\",\"retry\":false}".to_string()
+}
+
+/// Renders the warm-up rejection sent while journal recovery is still
+/// replaying. The retry hint is `true`: the same instance will accept
+/// the request once the replay finishes.
+pub(crate) fn warming_line() -> String {
+    "{\"ok\":false,\"error\":\"warming\",\"retry\":true}".to_string()
+}
+
+/// The journal/recovery counters echoed on a `health` reply, in wire
+/// order. Engines without a journal report them all as zero, so the
+/// reply shape is identical across single, sharded, and journaled
+/// deployments.
+pub(crate) const HEALTH_COUNTERS: [&str; 9] = [
+    "service_journal_appends",
+    "service_journal_fsyncs",
+    "service_journal_rotations",
+    "service_journal_snapshots",
+    "service_journal_bytes",
+    "service_recovery_replayed",
+    "service_recovery_sessions",
+    "service_recovery_patches",
+    "service_session_rebuilds",
+];
+
+/// Renders a `health` reply. `counter` resolves each name in
+/// [`HEALTH_COUNTERS`]; the field key is the name with its
+/// `service_` prefix dropped.
+pub(crate) fn health_line(
+    state: &str,
+    journal: bool,
+    sessions: usize,
+    counter: &dyn Fn(&str) -> u64,
+    elapsed_us: u128,
+) -> String {
+    let mut out = String::from("{\"ok\":true,\"op\":\"health\"");
+    push_str_field(&mut out, "state", state);
+    out.push_str(&format!(",\"journal\":{journal},\"sessions\":{sessions}"));
+    for name in HEALTH_COUNTERS {
+        let key = name.strip_prefix("service_").unwrap_or(name);
+        out.push_str(&format!(",\"{key}\":{}", counter(name)));
+    }
+    out.push_str(&format!(",\"elapsed_us\":{elapsed_us}}}"));
+    out
+}
+
+/// Renders a patch in the exact wire form [`parse_patch`] accepts, for
+/// journal records: `render_patch` then `parse_patch` round-trips.
+pub(crate) fn render_patch(patch: &ModelPatch) -> String {
+    match patch {
+        ModelPatch::AddDevice { kind, peers } => {
+            let kind = match kind {
+                DeviceKind::Ied => "ied",
+                DeviceKind::Rtu => "rtu",
+                // The parser rejects "mtu" (one master per model); a
+                // journaled patch can never contain it.
+                DeviceKind::Mtu | DeviceKind::Router => "router",
+            };
+            let mut out = format!("{{\"add_device\":{{\"kind\":\"{kind}\",\"peers\":");
+            push_ids(&mut out, peers);
+            out.push_str("}}");
+            out
+        }
+        ModelPatch::RemoveDevice { id } => {
+            format!("{{\"remove_device\":{}}}", id.one_based())
+        }
+        ModelPatch::SetProfile { a, b, profiles } => {
+            let mut out = format!(
+                "{{\"set_profile\":{{\"a\":{},\"b\":{},\"profiles\":[",
+                a.one_based(),
+                b.one_based()
+            );
+            for (i, profile) in profiles.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                json_escape_into(&profile.to_string(), &mut out);
+                out.push('"');
+            }
+            out.push_str("]}}");
+            out
+        }
+        ModelPatch::RewireLink { link, a, b } => {
+            format!(
+                "{{\"rewire_link\":{{\"link\":{link},\"a\":{},\"b\":{}}}}}",
+                a.one_based(),
+                b.one_based()
+            )
+        }
+    }
 }
 
 /// Renders a successful `load` response.

@@ -37,8 +37,8 @@ use crate::verify::Analyzer;
 use super::cache::{CacheKey, QueryShape, VerdictCache, DEFAULT_CACHE_CAPACITY};
 use super::hash::{advance_model_hash, ModelHash};
 use super::protocol::{
-    attach_id, busy_line, draining_line, error_line, load_line, parse_line, patch_line, reply_line,
-    CertStatus, LimitsSpec, QueryReply, Request,
+    self, attach_id, busy_line, draining_line, error_line, load_line, parse_line, patch_line,
+    reply_line, CertStatus, LimitsSpec, QueryReply, Request,
 };
 use super::replica::ReplicaCache;
 use super::session::{SessionManager, SessionQuery, DEFAULT_SESSION_CAPACITY};
@@ -181,6 +181,12 @@ impl Engine {
         &self.metrics
     }
 
+    /// An owning handle on the metrics registry, for layers (the
+    /// journal) that record counters outside a borrow of the engine.
+    pub(crate) fn metrics_arc(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
     /// Longest accepted request line in bytes.
     pub fn max_line(&self) -> usize {
         self.max_line
@@ -267,7 +273,9 @@ impl Engine {
     /// [`Engine::handle_line`]; the sharded router calls this directly
     /// after routing).
     pub(crate) fn handle_request(&self, request: Request, start: Instant) -> Response {
-        if self.is_draining() && request != Request::Shutdown {
+        // `health` is the liveness probe: it must keep answering (with
+        // `"state":"draining"`) while the drain gate rejects real work.
+        if self.is_draining() && request != Request::Shutdown && request != Request::Health {
             return self.reply_draining(op_name(&request), start);
         }
         match request {
@@ -404,6 +412,11 @@ impl Engine {
                      \"evicted\":{evicted},\"invalidated\":{invalidated}}}"
                 ))
             }
+            Request::Health => {
+                let line = self.health_line(start);
+                self.trace_request("health", "ok", None, start);
+                Response::reply(line)
+            }
             Request::Shutdown => {
                 self.begin_drain();
                 self.trace_request("shutdown", "ok", None, start);
@@ -413,6 +426,24 @@ impl Engine {
                 }
             }
         }
+    }
+
+    /// Renders the `health` reply. A bare engine has no journal, so
+    /// `"journal":false` and the journal/recovery counters read zero;
+    /// the journaled wrapper intercepts `health` before it gets here.
+    pub(crate) fn health_line(&self, start: Instant) -> String {
+        let state = if self.is_draining() {
+            "draining"
+        } else {
+            "ready"
+        };
+        protocol::health_line(
+            state,
+            false,
+            lock(&self.sessions).len(),
+            &|name| self.metrics.counter(name),
+            start.elapsed().as_micros(),
+        )
     }
 
     fn handle_load(&self, config: Option<String>, case_study: bool, start: Instant) -> Response {
@@ -795,6 +826,7 @@ pub(crate) fn op_name(request: &Request) -> &'static str {
         Request::Patch { .. } => "patch",
         Request::Stats => "stats",
         Request::Evict { .. } => "evict",
+        Request::Health => "health",
         Request::Shutdown => "shutdown",
     }
 }
@@ -837,6 +869,12 @@ pub trait LineHandler: Send + Sync + 'static {
     /// Whether `shutdown` has been requested.
     fn is_draining(&self) -> bool;
 
+    /// Requests a drain without blocking: stops admission and flips
+    /// `is_draining`, so every transport winds down on its next poll.
+    /// Signal handlers use this; the transport's exit path then calls
+    /// [`LineHandler::drain`] to finish.
+    fn begin_drain(&self);
+
     /// Drains fully: stops admitting, waits out in-flight work, joins
     /// session workers.
     fn drain(&self);
@@ -853,6 +891,10 @@ impl LineHandler for Engine {
 
     fn is_draining(&self) -> bool {
         Engine::is_draining(self)
+    }
+
+    fn begin_drain(&self) {
+        Engine::begin_drain(self)
     }
 
     fn drain(&self) {
@@ -916,7 +958,14 @@ impl<R: BufRead> BoundedLineReader<R> {
             let step = {
                 let available = match self.inner.fill_buf() {
                     Ok(available) => available,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    // A signal interrupted the read. Surface it as
+                    // Pending instead of retrying blindly so blocking
+                    // transports get a chance to poll the drain flag
+                    // (SIGTERM would otherwise never end a quiescent
+                    // stdio session).
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                        return Ok(LinePoll::Pending)
+                    }
                     Err(e)
                         if matches!(
                             e.kind(),
@@ -1016,9 +1065,17 @@ pub fn serve_stdio<H: LineHandler>(
     let mut out = BufWriter::new(output);
     loop {
         match reader.poll_line()? {
-            // A blocking reader never reports Pending; treat it like a
-            // retry to stay correct on exotic readers.
-            LinePoll::Pending => continue,
+            // Pending on a blocking reader means a signal interrupted
+            // the read: poll the drain flags, then retry.
+            LinePoll::Pending => {
+                if super::signal::drain_requested() {
+                    engine.begin_drain();
+                }
+                if engine.is_draining() {
+                    break;
+                }
+                continue;
+            }
             LinePoll::Eof => break,
             LinePoll::Oversized => {
                 writeln!(out, "{}", oversized_line(engine.max_line()))?;
@@ -1050,6 +1107,9 @@ fn serve_connection<H: LineHandler>(engine: &H, stream: TcpStream) -> io::Result
     loop {
         match reader.poll_line() {
             Ok(LinePoll::Pending) => {
+                if super::signal::drain_requested() {
+                    engine.begin_drain();
+                }
                 if engine.is_draining() {
                     break;
                 }
@@ -1083,6 +1143,10 @@ pub fn serve_tcp<H: LineHandler>(engine: Arc<H>, listener: TcpListener) -> io::R
     listener.set_nonblocking(true)?;
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     while !engine.is_draining() {
+        if super::signal::drain_requested() {
+            engine.begin_drain();
+            break;
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 let engine = Arc::clone(&engine);

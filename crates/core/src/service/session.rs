@@ -90,6 +90,9 @@ fn run_session(
                 // the rebuild — rather than trusting half-updated state.
                 let current = analyzer.input().clone();
                 analyzer = Analyzer::owning(current, obs.clone(), certify.clone());
+                if let Some(metrics) = obs.metrics() {
+                    metrics.add("service_session_rebuilds", 1);
+                }
                 obs.trace(|| TraceEvent::ServiceSession {
                     model: model.0 as u64,
                     event: "rebuilt",

@@ -121,9 +121,33 @@ impl ShardedEngine {
             .sum()
     }
 
+    /// An owning handle on the first shard's metrics registry. The
+    /// journal layer records its counters here; sums across shards
+    /// (`counter`, the aggregated `stats` line) see them regardless of
+    /// which shard carries them.
+    pub(crate) fn metrics_arc(&self) -> Arc<crate::obs::MetricsRegistry> {
+        self.shards[0].metrics_arc()
+    }
+
     /// Replicated hot entries currently held.
     pub fn replica_entries(&self) -> usize {
         self.replica.len()
+    }
+
+    /// Warm sessions currently live across every shard.
+    pub(crate) fn session_count(&self) -> usize {
+        self.shards.iter().map(|shard| shard.stats_parts().0).sum()
+    }
+
+    /// Answers a line that failed to parse (delegated to the first
+    /// shard, which owns the router-level traces).
+    pub(crate) fn reply_invalid(&self, message: &str, start: Instant) -> Response {
+        self.shards[0].reply_invalid(message, start)
+    }
+
+    /// Traces a router-level request against the first shard's metrics.
+    pub(crate) fn trace_request(&self, op: &'static str, status: &'static str, start: Instant) {
+        self.shards[0].trace_request(op, status, None, start);
     }
 
     /// Handles one request line, returning one response line (the
@@ -141,11 +165,12 @@ impl ShardedEngine {
         response
     }
 
-    fn handle_request(&self, request: Request, start: Instant) -> Response {
+    pub(crate) fn handle_request(&self, request: Request, start: Instant) -> Response {
         // The router-level drain check mirrors the engine's: ops the
         // router answers itself (`load` parse errors, `stats`) must
-        // reject the same way a shard would.
-        if self.is_draining() && request != Request::Shutdown {
+        // reject the same way a shard would, and `health` keeps
+        // answering while draining.
+        if self.is_draining() && request != Request::Shutdown && request != Request::Health {
             return self.shards[0].reply_draining(op_name(&request), start);
         }
         match request {
@@ -165,6 +190,11 @@ impl ShardedEngine {
             Request::Stats => {
                 let line = self.stats_line(start);
                 self.shards[0].trace_request("stats", "ok", None, start);
+                Response::reply(line)
+            }
+            Request::Health => {
+                let line = self.health_line(start);
+                self.shards[0].trace_request("health", "ok", None, start);
                 Response::reply(line)
             }
             Request::Shutdown => {
@@ -239,6 +269,31 @@ impl ShardedEngine {
         out
     }
 
+    /// Renders the aggregated `health` reply, byte-identical in shape
+    /// to a standalone engine's.
+    pub(crate) fn health_line(&self, start: Instant) -> String {
+        let state = if self.is_draining() {
+            "draining"
+        } else {
+            "ready"
+        };
+        super::protocol::health_line(
+            state,
+            false,
+            self.session_count(),
+            &|name| self.counter(name),
+            start.elapsed().as_micros(),
+        )
+    }
+
+    /// Stops admission on every shard without blocking (the sharded
+    /// counterpart of [`Engine::begin_drain`]).
+    pub fn begin_drain(&self) {
+        for shard in &self.shards {
+            shard.begin_drain();
+        }
+    }
+
     /// Whether `shutdown` has been requested (shards drain together, so
     /// the first shard's flag speaks for all).
     pub fn is_draining(&self) -> bool {
@@ -253,9 +308,7 @@ impl ShardedEngine {
     /// Drains every shard: stops admission everywhere first, then waits
     /// out each shard's in-flight work and joins its session workers.
     pub fn drain(&self) {
-        for shard in &self.shards {
-            shard.begin_drain();
-        }
+        self.begin_drain();
         for shard in &self.shards {
             shard.drain();
         }
@@ -273,6 +326,10 @@ impl LineHandler for ShardedEngine {
 
     fn is_draining(&self) -> bool {
         ShardedEngine::is_draining(self)
+    }
+
+    fn begin_drain(&self) {
+        ShardedEngine::begin_drain(self)
     }
 
     fn drain(&self) {

@@ -1,0 +1,804 @@
+//! Deterministic crash/recovery chaos harness for the journaled
+//! `scadad` (the ISSUE 9 acceptance gate).
+//!
+//! Each scenario drives a scripted workload of mutating ops against a
+//! real child `scadad --journal … --durability strict`, kills it at a
+//! chosen op boundary — before the journal append, mid-record (torn
+//! write), after the write, after the fsync — via the `SCADAD_FAULT`
+//! injection hook, restarts it over the same journal directory, waits
+//! out recovery, and then asserts:
+//!
+//! * **no acked op is lost**: every op the client saw acknowledged is
+//!   reflected in the recovered state (unacked ops may or may not
+//!   survive — that is the documented unknown-outcome window);
+//! * **byte equivalence**: every post-recovery query answers with
+//!   exactly the bytes (timing fields excluded) of a reference engine
+//!   that applied the expected durable prefix and never crashed —
+//!   including `unknown model` errors for hashes the prefix excludes;
+//! * **lineage**: the recovered lineage hashes are the reference's
+//!   (implied by the byte equivalence of `verify` replies addressed by
+//!   hash).
+//!
+//! The sweep is exhaustive in release builds and on
+//! `SCADA_CRASH_SWEEP=full`; debug builds default to a fixed smoke
+//! subset (same scenarios every run — the matrix is deterministic, not
+//! sampled). Shard-count changes across the restart, evict/patch
+//! interleavings, fsync failures, corrupt journals (exit code 5), and
+//! SIGTERM graceful drain have dedicated tests below.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use scada_analyzer::obs::json_escape_into;
+use scada_analyzer::service::{ServeOptions, ShardedEngine};
+
+// ---------------------------------------------------------------------------
+// Workload script
+// ---------------------------------------------------------------------------
+
+/// A small but representative config (the README template), loaded as
+/// a second model so the journal carries both `case_study` and
+/// `config` load sources.
+const CONFIG: &str = "\
+[buses]
+3
+[lines]
+1 2 10.0
+2 3 5.0
+[measurements]
+flow 1 2
+flow 2 3
+injection 2
+[devices]
+ied 1
+ied 2
+rtu 3
+mtu 4
+[links]
+1 3
+2 3
+3 4
+[ied-measurements]
+1 1 3
+2 2
+[security]
+1 3 chap 64 sha2 128
+2 3 hmac 128
+3 4 rsa 2048 aes 256
+[spec]
+resilience 1 0
+corrupted 1
+";
+
+/// One state-mutating op of the scripted workload. `usize` operands
+/// index into the hash registry built as the script runs (hash 0 = the
+/// first load's model, each load/patch appends one hash).
+#[derive(Clone, Copy)]
+enum Op {
+    LoadCase,
+    LoadConfig,
+    Patch { base: usize, patch: &'static str },
+    Evict { target: usize },
+}
+
+/// The scripted workload: six mutating ops covering both load sources,
+/// a three-deep patch lineage, and an evict. Fault indexes below count
+/// exactly these (queries are deliberately not journaled).
+const WORKLOAD: &[Op] = &[
+    Op::LoadCase, // hash 0
+    Op::Patch {
+        base: 0,
+        patch: "{\"add_device\":{\"kind\":\"rtu\",\"peers\":[14]}}",
+    }, // hash 1
+    Op::LoadConfig, // hash 2
+    Op::Patch {
+        base: 1,
+        patch: "{\"add_device\":{\"kind\":\"rtu\",\"peers\":[2]}}",
+    }, // hash 3
+    Op::Evict { target: 2 },
+    Op::Patch {
+        base: 3,
+        patch: "{\"add_device\":{\"kind\":\"rtu\",\"peers\":[5]}}",
+    }, // hash 4
+];
+
+fn load_config_request() -> String {
+    let mut req = String::from("{\"op\":\"load\",\"config\":\"");
+    json_escape_into(CONFIG, &mut req);
+    req.push_str("\"}");
+    req
+}
+
+/// Renders op `i` of the workload as a request line, given the hashes
+/// learned so far.
+fn render_op(op: Op, hashes: &[String]) -> String {
+    match op {
+        Op::LoadCase => "{\"op\":\"load\",\"case_study\":true}".to_string(),
+        Op::LoadConfig => load_config_request(),
+        Op::Patch { base, patch } => format!(
+            "{{\"op\":\"patch\",\"model\":\"{}\",\"patch\":{patch}}}",
+            hashes[base]
+        ),
+        Op::Evict { target } => {
+            format!("{{\"op\":\"evict\",\"model\":\"{}\"}}", hashes[target])
+        }
+    }
+}
+
+/// Folds op `i`'s reply into the hash registry (loads and patches mint
+/// one hash each).
+fn record_hash(op: Op, reply: &str, hashes: &mut Vec<String>) {
+    if matches!(op, Op::LoadCase | Op::LoadConfig | Op::Patch { .. }) {
+        let model = json_str_field(reply, "model").expect("mutating reply carries a model hash");
+        hashes.push(model);
+    }
+}
+
+/// Every query the equivalence check replays post-recovery: one
+/// `verify` per hash the workload ever minted (present models answer,
+/// absent ones must error identically), plus a `security_index` and a
+/// second — cached — `verify` on the newest hash.
+fn equivalence_queries(hashes: &[String]) -> Vec<String> {
+    let mut queries: Vec<String> = hashes
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"op\":\"verify\",\"model\":\"{h}\",\"property\":\"obs\",\
+                 \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+            )
+        })
+        .collect();
+    if let Some(last) = hashes.last() {
+        queries.push(format!(
+            "{{\"op\":\"security_index\",\"model\":\"{last}\"}}"
+        ));
+        queries.push(format!(
+            "{{\"op\":\"verify\",\"model\":\"{last}\",\"property\":\"obs\",\
+             \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+        ));
+        queries.push(format!(
+            "{{\"op\":\"verify\",\"model\":\"{last}\",\"property\":\"secured\",\
+             \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+        ));
+    }
+    queries
+}
+
+// ---------------------------------------------------------------------------
+// Reference oracle (in-process, never crashes)
+// ---------------------------------------------------------------------------
+
+/// Runs the whole workload on a pristine in-process engine to learn
+/// the deterministic hash registry (content hashes and lineage hashes
+/// do not depend on the process that computes them).
+fn oracle_hashes() -> Vec<String> {
+    let engine = ShardedEngine::new(ServeOptions::default(), 1);
+    let mut hashes = Vec::new();
+    for &op in WORKLOAD {
+        let line = render_op(op, &hashes);
+        let reply = engine.handle_line(&line).line;
+        assert!(
+            reply.starts_with("{\"ok\":true"),
+            "oracle rejected workload op: {reply}"
+        );
+        record_hash(op, &reply, &mut hashes);
+    }
+    engine.drain();
+    hashes
+}
+
+/// The never-crashed reference: applies the first `durable` mutating
+/// ops, then answers the equivalence queries.
+fn reference_replies(durable: usize, hashes: &[String]) -> Vec<String> {
+    let engine = ShardedEngine::new(ServeOptions::default(), 1);
+    let mut seen = Vec::new();
+    for &op in &WORKLOAD[..durable] {
+        let line = render_op(op, &seen);
+        let reply = engine.handle_line(&line).line;
+        assert!(
+            reply.starts_with("{\"ok\":true"),
+            "reference rejected: {reply}"
+        );
+        record_hash(op, &reply, &mut seen);
+    }
+    let replies = equivalence_queries(hashes)
+        .iter()
+        .map(|q| strip_timing(&engine.handle_line(q).line))
+        .collect();
+    engine.drain();
+    replies
+}
+
+// ---------------------------------------------------------------------------
+// Child daemon plumbing
+// ---------------------------------------------------------------------------
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns `scadad --listen 127.0.0.1:0 --journal dir --durability
+    /// strict --shards N` and waits for its listening line.
+    fn start(dir: &Path, shards: usize, env: &[(&str, &str)]) -> Daemon {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_scadad"));
+        cmd.args([
+            "--listen",
+            "127.0.0.1:0",
+            "--journal",
+            dir.to_str().expect("utf-8 journal dir"),
+            "--durability",
+            "strict",
+            "--shards",
+            &shards.to_string(),
+        ])
+        .env_remove("SCADAD_FAULT")
+        .env_remove("SCADAD_RECOVERY_DELAY_MS")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .stdin(Stdio::null());
+        for (key, value) in env {
+            cmd.env(key, value);
+        }
+        let mut child = cmd.spawn().expect("spawn scadad");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut banner = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut banner)
+            .expect("read listening banner");
+        let addr = banner
+            .trim()
+            .strip_prefix("scadad: listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+
+    fn connect(&self) -> Conn {
+        let stream = TcpStream::connect(&self.addr).expect("connect to scadad");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Conn { stream, reader }
+    }
+
+    /// Polls `health` on fresh connections until the service reports
+    /// `ready` (recovery finished).
+    fn wait_ready(&self) {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let mut conn = self.connect();
+            if let Ok(reply) = conn.request("{\"op\":\"health\"}") {
+                if reply.contains("\"state\":\"ready\"") {
+                    return;
+                }
+                assert!(
+                    reply.contains("\"state\":\"recovering\""),
+                    "unexpected health while warming: {reply}"
+                );
+            }
+            assert!(Instant::now() < deadline, "service never became ready");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Waits for the child to exit (it crashed or drained) and returns
+    /// the status.
+    fn wait_exit(&mut self) -> std::process::ExitStatus {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                return status;
+            }
+            assert!(Instant::now() < deadline, "scadad did not exit");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// SIGKILL — the "power loss" crash for scenarios that need no
+    /// injected fault (everything acked in strict mode must survive).
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Conn {
+    /// One request/reply round trip; `Err` means the peer died (the
+    /// injected crash) before answering.
+    fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::ErrorKind::UnexpectedEof.into());
+        }
+        Ok(reply.trim_end().to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("scadad-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create journal dir");
+    dir
+}
+
+/// Extracts a string field from a flat JSON reply without a parser
+/// dependency (the values we need are plain hex hashes).
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let at = line.find(&marker)? + marker.len();
+    let rest = &line[at..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Blanks `elapsed_us`/`uptime_us`, whose values legitimately differ
+/// between runs (same helper contract as tests/sharded.rs).
+fn strip_timing(line: &str) -> String {
+    let mut out = String::new();
+    let mut rest = line;
+    loop {
+        let hit = ["\"elapsed_us\":", "\"uptime_us\":"]
+            .iter()
+            .filter_map(|k| rest.find(k).map(|i| (i, k.len())))
+            .min();
+        match hit {
+            Some((i, klen)) => {
+                out.push_str(&rest[..i + klen]);
+                out.push('T');
+                let tail = &rest[i + klen..];
+                let skip = tail
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(tail.len());
+                rest = &tail[skip..];
+            }
+            None => {
+                out.push_str(rest);
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// How many leading workload ops must be durable after a crash of
+/// `kind` at mutating-append `index`.
+///
+/// * before/mid-append: the record never became whole on disk — the op
+///   (which the client never saw acked) is legitimately lost, ops
+///   `0..index` survive;
+/// * after write/after fsync: the bytes are in the page cache or on
+///   disk and the process abort does not take the kernel with it — op
+///   `index` survives even though its ack never reached the client.
+fn durable_prefix(kind: &str, index: usize) -> usize {
+    match kind {
+        "crash_before_append" | "crash_mid_append" => index,
+        "crash_after_write" | "crash_after_sync" => index + 1,
+        other => panic!("unknown fault kind {other}"),
+    }
+}
+
+/// Drives the workload until the injected crash severs the
+/// connection; returns how many mutating ops were *acked*.
+fn drive_until_crash(daemon: &Daemon, hashes: &[String]) -> usize {
+    let mut conn = daemon.connect();
+    let mut acked = 0;
+    for &op in WORKLOAD {
+        let line = render_op(op, hashes);
+        match conn.request(&line) {
+            Ok(reply) => {
+                assert!(
+                    reply.starts_with("{\"ok\":true"),
+                    "workload op rejected before the fault point: {reply}"
+                );
+                acked += 1;
+                // Interleave a (non-journaled) query so the crash also
+                // lands on a service with warm solver state.
+                if let Op::Patch { .. } = op {
+                    let verify = format!(
+                        "{{\"op\":\"verify\",\"model\":\"{}\",\"property\":\"obs\",\
+                         \"spec\":{{\"k1\":1,\"k2\":1}}}}",
+                        json_str_field(&reply, "model").expect("patch reply model")
+                    );
+                    if conn.request(&verify).is_err() {
+                        break;
+                    }
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    acked
+}
+
+/// Restarts over the journal, waits out recovery, and asserts the
+/// equivalence queries answer byte-identically to the reference.
+fn assert_recovered_equivalent(
+    dir: &Path,
+    shards: usize,
+    durable: usize,
+    hashes: &[String],
+    context: &str,
+) {
+    let daemon = Daemon::start(dir, shards, &[]);
+    daemon.wait_ready();
+    let mut conn = daemon.connect();
+    let expected = reference_replies(durable, hashes);
+    for (query, want) in equivalence_queries(hashes).iter().zip(&expected) {
+        let got = strip_timing(&conn.request(query).expect("post-recovery query"));
+        assert_eq!(&got, want, "{context}: diverged on {query}");
+    }
+    drop(conn);
+}
+
+// ---------------------------------------------------------------------------
+// The kill-point sweep
+// ---------------------------------------------------------------------------
+
+/// Which (kind, index) pairs to sweep. Deterministic: exhaustive in
+/// release builds or with `SCADA_CRASH_SWEEP=full`, a fixed subset in
+/// debug builds (override with `full`), and a minimal fixed subset
+/// with `SCADA_CRASH_SWEEP=smoke`.
+fn sweep_matrix() -> Vec<(&'static str, usize)> {
+    const KINDS: [&str; 4] = [
+        "crash_before_append",
+        "crash_mid_append",
+        "crash_after_write",
+        "crash_after_sync",
+    ];
+    let mode = std::env::var("SCADA_CRASH_SWEEP").unwrap_or_else(|_| {
+        if cfg!(debug_assertions) {
+            "smoke".to_string()
+        } else {
+            "full".to_string()
+        }
+    });
+    let indexes: Vec<usize> = match mode.as_str() {
+        "full" => (0..WORKLOAD.len()).collect(),
+        "smoke" => vec![0, 2, WORKLOAD.len() - 1],
+        other => panic!("bad SCADA_CRASH_SWEEP `{other}` (smoke|full)"),
+    };
+    let mut matrix = Vec::new();
+    for kind in KINDS {
+        for &index in &indexes {
+            matrix.push((kind, index));
+        }
+    }
+    matrix
+}
+
+/// The tentpole acceptance test: for every fault kind at every swept
+/// op boundary, strict mode loses no acked op and the recovered
+/// service answers byte-identically to the never-crashed reference —
+/// on a single-shard and a sharded engine alike.
+#[test]
+fn kill_point_sweep_recovers_every_acked_op() {
+    let hashes = oracle_hashes();
+    for shards in [1usize, 3] {
+        for (kind, index) in sweep_matrix() {
+            let context = format!("{kind}@{index} shards={shards}");
+            let dir = temp_dir(&format!("sweep-{kind}-{index}-{shards}"));
+            let fault = format!("{kind}:{index}");
+            let mut daemon = Daemon::start(&dir, shards, &[("SCADAD_FAULT", fault.as_str())]);
+            daemon.wait_ready();
+            let acked = drive_until_crash(&daemon, &hashes);
+            let status = daemon.wait_exit();
+            assert!(!status.success(), "{context}: child did not crash");
+            drop(daemon);
+
+            let durable = durable_prefix(kind, index);
+            // Strict mode's contract: acked ⇒ durable. (The converse
+            // is allowed — an op can be durable without its ack having
+            // escaped the process.)
+            assert!(
+                acked <= durable,
+                "{context}: {acked} op(s) acked but only {durable} durable"
+            );
+            assert_recovered_equivalent(&dir, shards, durable, &hashes, &context);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases
+// ---------------------------------------------------------------------------
+
+/// A shard-count change across the restart must not change recovered
+/// behavior: the journal is shard-independent, recovery re-routes
+/// through the *new* shard layout.
+#[test]
+fn recovery_survives_shard_count_change() {
+    let hashes = oracle_hashes();
+    for (before, after) in [(1usize, 3usize), (3, 1)] {
+        let dir = temp_dir(&format!("reshape-{before}-{after}"));
+        let mut daemon = Daemon::start(&dir, before, &[]);
+        daemon.wait_ready();
+        let acked = drive_until_crash(&daemon, &hashes);
+        assert_eq!(acked, WORKLOAD.len(), "no-fault drive lost an op");
+        daemon.kill(); // power loss: strict mode has everything on disk
+        drop(daemon);
+        assert_recovered_equivalent(
+            &dir,
+            after,
+            WORKLOAD.len(),
+            &hashes,
+            &format!("reshape {before}->{after}"),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Evict, reload, patch, crash: the shadow must fold the interleaving
+/// so replay materializes exactly the post-patch model — the evicted
+/// incarnation's hash answers `unknown model`, the lineage hash
+/// answers warm.
+#[test]
+fn evict_then_reload_then_patch_then_crash_replays_cleanly() {
+    let dir = temp_dir("evict-reload-patch");
+    let mut daemon = Daemon::start(&dir, 1, &[]);
+    daemon.wait_ready();
+    let mut conn = daemon.connect();
+
+    let load = conn
+        .request("{\"op\":\"load\",\"case_study\":true}")
+        .expect("load");
+    let base = json_str_field(&load, "model").expect("model");
+    let evicted = conn
+        .request(&format!("{{\"op\":\"evict\",\"model\":\"{base}\"}}"))
+        .expect("evict");
+    assert!(evicted.contains("\"evicted\":true"), "{evicted}");
+    conn.request("{\"op\":\"load\",\"case_study\":true}")
+        .expect("reload");
+    let patched = conn
+        .request(&format!(
+            "{{\"op\":\"patch\",\"model\":\"{base}\",\
+             \"patch\":{{\"add_device\":{{\"kind\":\"rtu\",\"peers\":[14]}}}}}}"
+        ))
+        .expect("patch");
+    let lineage = json_str_field(&patched, "model").expect("patched model");
+    drop(conn);
+    daemon.kill();
+    drop(daemon);
+
+    let daemon = Daemon::start(&dir, 1, &[]);
+    daemon.wait_ready();
+    let mut conn = daemon.connect();
+    let warm = conn
+        .request(&format!(
+            "{{\"op\":\"verify\",\"model\":\"{lineage}\",\"property\":\"obs\",\
+             \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+        ))
+        .expect("verify recovered lineage");
+    assert!(warm.starts_with("{\"ok\":true"), "{warm}");
+    let stale = conn
+        .request(&format!(
+            "{{\"op\":\"verify\",\"model\":\"{base}\",\"property\":\"obs\",\
+             \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+        ))
+        .expect("verify pre-patch hash");
+    assert!(stale.contains("unknown model"), "{stale}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An injected fsync failure in strict mode must convert the ack into
+/// an error (acked ⇒ durable admits no exceptions), while the service
+/// keeps running; after a clean drain and restart the op — written
+/// before the failed sync — may legitimately be present.
+#[test]
+fn strict_fsync_failure_is_answered_with_an_error_not_an_ack() {
+    let dir = temp_dir("fsync-error");
+    let mut daemon = Daemon::start(&dir, 1, &[("SCADAD_FAULT", "fsync_error:1")]);
+    daemon.wait_ready();
+    let mut conn = daemon.connect();
+    let load = conn
+        .request("{\"op\":\"load\",\"case_study\":true}")
+        .expect("load");
+    let model = json_str_field(&load, "model").expect("model");
+    let failed = conn
+        .request(&format!(
+            "{{\"op\":\"patch\",\"model\":\"{model}\",\
+             \"patch\":{{\"add_device\":{{\"kind\":\"rtu\",\"peers\":[14]}}}}}}"
+        ))
+        .expect("patch reply (service must survive the fsync failure)");
+    assert!(
+        failed.starts_with("{\"ok\":false") && failed.contains("journal append failed"),
+        "fsync failure was not converted to an error reply: {failed}"
+    );
+    // The service is still alive and ready.
+    let health = conn.request("{\"op\":\"health\"}").expect("health");
+    assert!(health.contains("\"state\":\"ready\""), "{health}");
+    let ack = conn.request("{\"op\":\"shutdown\"}").expect("shutdown");
+    assert!(ack.contains("\"draining\":true"), "{ack}");
+    drop(conn);
+    let status = daemon.wait_exit();
+    assert!(
+        status.success(),
+        "clean drain after fsync failure: {status}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Journal files this process did not write (empty, or with a mangled
+/// header) are external corruption: scadad must refuse to serve and
+/// exit with the dedicated code 5 — never silently start empty.
+#[test]
+fn corrupt_journal_headers_fail_closed_with_exit_code_5() {
+    for (tag, contents) in [
+        ("empty", &b""[..]),
+        ("garbage", &b"not a journal header\n"[..]),
+    ] {
+        let dir = temp_dir(&format!("corrupt-{tag}"));
+        std::fs::write(dir.join("wal-00000000.log"), contents).expect("plant corrupt wal");
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_scadad"));
+        let output = cmd
+            .args([
+                "--listen",
+                "127.0.0.1:0",
+                "--journal",
+                dir.to_str().expect("utf-8 dir"),
+            ])
+            .env_remove("SCADAD_FAULT")
+            .stdin(Stdio::null())
+            .output()
+            .expect("run scadad against corrupt journal");
+        assert_eq!(
+            output.status.code(),
+            Some(5),
+            "{tag}: expected exit 5, got {:?} (stderr: {})",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stderr)
+        );
+        assert!(
+            String::from_utf8_lossy(&output.stderr).contains("journal"),
+            "{tag}: stderr does not name the journal: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A recovering service tells clients to come back (`warming`,
+/// `retry:true`) and reports `recovering` on `health` — then flips to
+/// `ready` and answers.
+#[test]
+fn warming_window_rejects_queries_and_reports_recovering() {
+    let dir = temp_dir("warming");
+    let mut daemon = Daemon::start(&dir, 1, &[]);
+    daemon.wait_ready();
+    let mut conn = daemon.connect();
+    conn.request("{\"op\":\"load\",\"case_study\":true}")
+        .expect("load");
+    drop(conn);
+    daemon.kill();
+    drop(daemon);
+
+    let daemon = Daemon::start(&dir, 1, &[("SCADAD_RECOVERY_DELAY_MS", "600")]);
+    let mut conn = daemon.connect();
+    let health = conn.request("{\"op\":\"health\"}").expect("health");
+    assert!(
+        health.contains("\"state\":\"recovering\"") && health.contains("\"journal\":true"),
+        "{health}"
+    );
+    let early = conn
+        .request("{\"op\":\"load\",\"case_study\":true}")
+        .expect("early request");
+    assert!(
+        early.contains("\"error\":\"warming\"") && early.contains("\"retry\":true"),
+        "{early}"
+    );
+    daemon.wait_ready();
+    let mut conn = daemon.connect();
+    let late = conn
+        .request("{\"op\":\"load\",\"case_study\":true}")
+        .expect("post-recovery load");
+    assert!(late.starts_with("{\"ok\":true"), "{late}");
+    let health = conn.request("{\"op\":\"health\"}").expect("health");
+    assert!(
+        health.contains("\"recovery_sessions\":1"),
+        "recovery counters missing: {health}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// SIGTERM drains gracefully: in-flight state is flushed, the process
+/// exits 0, and the journal it leaves behind recovers the session.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_flushes_the_journal_and_exits_zero() {
+    let dir = temp_dir("sigterm");
+    let mut daemon = Daemon::start(&dir, 1, &[]);
+    daemon.wait_ready();
+    let mut conn = daemon.connect();
+    let load = conn
+        .request("{\"op\":\"load\",\"case_study\":true}")
+        .expect("load");
+    let model = json_str_field(&load, "model").expect("model");
+
+    let status = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success(), "kill -TERM failed");
+    let exit = daemon.wait_exit();
+    assert!(exit.success(), "SIGTERM drain exited nonzero: {exit}");
+    drop(conn);
+    drop(daemon);
+
+    let daemon = Daemon::start(&dir, 1, &[]);
+    daemon.wait_ready();
+    let mut conn = daemon.connect();
+    let warm = conn
+        .request(&format!(
+            "{{\"op\":\"verify\",\"model\":\"{model}\",\"property\":\"obs\",\
+             \"spec\":{{\"k1\":1,\"k2\":1}}}}"
+        ))
+        .expect("verify after drain+restart");
+    assert!(warm.starts_with("{\"ok\":true"), "{warm}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Stdio transport honors SIGTERM too: a scadad blocked on a stdin
+/// read must notice the signal (no SA_RESTART — the read returns
+/// EINTR), drain, and exit 0 without waiting for EOF.
+#[cfg(unix)]
+#[test]
+fn sigterm_interrupts_a_blocking_stdio_read() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_scadad"))
+        .env_remove("SCADAD_FAULT")
+        .stdin(Stdio::piped()) // held open: the read stays blocked
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn stdio scadad");
+    // Give it a moment to install the handler and block on stdin.
+    std::thread::sleep(Duration::from_millis(200));
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success(), "kill -TERM failed");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let exit = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "stdio scadad ignored SIGTERM (blocking read not interrupted)"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(exit.success(), "stdio SIGTERM drain exited nonzero: {exit}");
+    // Drain the pipes so the child's stdout writer can't have blocked.
+    let mut rest = String::new();
+    let _ = child
+        .stdout
+        .take()
+        .expect("stdout")
+        .read_to_string(&mut rest);
+}

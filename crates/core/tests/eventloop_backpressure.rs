@@ -1,0 +1,81 @@
+//! Regression test for the event loop's write side under TCP
+//! backpressure (its own test binary: it sets a process-global env
+//! hook the other integration suites must not see).
+//!
+//! The failure mode being pinned: a reply larger than the socket's
+//! free send-buffer space used to leave the loop with read interest
+//! armed while the pipeline was full and with nothing useful to do on
+//! a level-triggered poller — a busy spin at best, and any mishandling
+//! of the partial `write` return corrupts the byte stream. The test
+//! shrinks the kernel send buffer to its floor (`SCADAD_EVENTLOOP_
+//! SNDBUF=1` — the kernel clamps upward, but to ~4 KiB instead of the
+//! 200+ KiB default), pipelines more requests than [`MAX_PIPELINE`]
+//! while deliberately *not* reading, and only then drains: every reply
+//! must come back intact, in submission order, exactly once.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use scada_analyzer::service::eventloop::MAX_PIPELINE;
+use scada_analyzer::service::{ServeOptions, ShardedEngine};
+
+#[test]
+fn slow_reader_with_tiny_send_buffer_gets_every_reply_in_order() {
+    // Set before the server thread starts; the loop samples it once.
+    std::env::set_var("SCADAD_EVENTLOOP_SNDBUF", "1");
+
+    let engine = Arc::new(ShardedEngine::new(ServeOptions::default(), 1));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let server = std::thread::spawn(move || {
+        scada_analyzer::service::serve_event_loop(engine, listener, 0).expect("event loop");
+    });
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream.set_nodelay(true).ok();
+
+    // More requests than the pipeline admits, so the loop must also
+    // park the connection (stop reading) and resume it as replies
+    // drain; `stats` replies are a few hundred bytes each, so the
+    // total far exceeds the clamped send buffer.
+    let total = MAX_PIPELINE + 72;
+    let mut batch = String::from("{\"op\":\"load\",\"case_study\":true,\"id\":\"ld\"}\n");
+    for i in 0..total {
+        batch.push_str(&format!("{{\"op\":\"stats\",\"id\":{i}}}\n"));
+    }
+    stream.write_all(batch.as_bytes()).expect("write burst");
+
+    // Let the burst pile up server-side: replies must buffer against
+    // the full socket, not be truncated or busy-spin the loop away.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("load reply");
+    assert!(
+        line.contains("\"op\":\"load\"") && line.contains("\"id\":\"ld\""),
+        "first reply wrong: {line}"
+    );
+    for i in 0..total {
+        line.clear();
+        reader.read_line(&mut line).expect("stats reply");
+        assert!(
+            line.contains("\"op\":\"stats\"") && line.ends_with("}\n"),
+            "reply {i} corrupted: {line:?}"
+        );
+        assert!(
+            line.contains(&format!("\"id\":{i}")),
+            "reply {i} out of order or duplicated: {line}"
+        );
+    }
+
+    writeln!(stream, "{{\"op\":\"shutdown\"}}").expect("shutdown");
+    line.clear();
+    reader.read_line(&mut line).expect("ack");
+    assert!(line.contains("\"draining\":true"), "{line}");
+    server.join().expect("event loop thread");
+}

@@ -322,6 +322,54 @@ fn stdio_rejects_oversized_lines_and_keeps_serving() {
     assert!(child.wait().expect("wait").success());
 }
 
+/// The `health` op and the journal/recovery counters it carries, at
+/// the binary level: `journal:true` with `--journal`, appends counted
+/// per acked mutating op, and the same counters aggregated into the
+/// `stats` reply (where `--stats` clients read them).
+#[test]
+fn stdio_health_reports_journal_counters_and_stats_carries_them() {
+    let dir = std::env::temp_dir().join(format!("scadad-journal-stats-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("journal dir");
+    let mut child = scadad(&["--journal", dir.to_str().expect("utf-8 dir")]);
+    let mut stdin = child.stdin.take().expect("stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+
+    let health = roundtrip(&mut stdin, &mut stdout, "{\"op\":\"health\"}");
+    for want in [
+        "\"op\":\"health\"",
+        "\"state\":\"ready\"",
+        "\"journal\":true",
+        "\"journal_appends\":0",
+        "\"recovery_sessions\":0",
+        "\"session_rebuilds\":0",
+    ] {
+        assert!(health.contains(want), "health missing {want}: {health}");
+    }
+
+    let load = roundtrip(
+        &mut stdin,
+        &mut stdout,
+        "{\"op\":\"load\",\"case_study\":true}",
+    );
+    assert!(load.contains("\"ok\":true"), "load failed: {load}");
+
+    let health = roundtrip(&mut stdin, &mut stdout, "{\"op\":\"health\"}");
+    assert!(
+        health.contains("\"journal_appends\":1") && health.contains("\"journal_fsyncs\":1"),
+        "load not journaled under strict durability: {health}"
+    );
+    let stats = roundtrip(&mut stdin, &mut stdout, "{\"op\":\"stats\"}");
+    assert!(
+        stats.contains("\"service_journal_appends\":1"),
+        "journal counters absent from stats: {stats}"
+    );
+
+    roundtrip(&mut stdin, &mut stdout, "{\"op\":\"shutdown\"}");
+    assert!(child.wait().expect("wait").success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 // ---------------------------------------------------------------------------
 // The scadad binary over TCP: shutdown drains in-flight queries
 // ---------------------------------------------------------------------------

@@ -57,6 +57,9 @@ const SCRIPT: &[&str] = &[
     "{\"op\":\"enumerate\",\"model\":\"{model}\",\"property\":\"obs\",\"spec\":{\"k1\":2,\"k2\":2},\"cap\":4}",
     "{\"op\":\"security_index\",\"model\":\"{model}\"}",
     "{\"op\":\"security_index\",\"model\":\"{model}\"}",
+    // `health` must render identically too: state, session count, and
+    // the zero-filled journal/recovery counters (no journal here).
+    "{\"op\":\"health\"}",
     "{\"op\":\"verify\",\"model\":\"00000000000000000000000000000000\",\"property\":\"obs\",\"spec\":{\"k1\":1,\"k2\":1}}",
     "this is not json",
     "{\"op\":\"patch\",\"model\":\"{model}\",\"patch\":{\"add_device\":{\"kind\":\"rtu\",\"peers\":[14]}}}",
@@ -210,6 +213,14 @@ fn requests_after_shutdown_get_draining_not_busy() {
                 "post-shutdown request answered busy (sharded={sharded}): {reply}"
             );
         }
+
+        // `health` is exempt from the drain gate — probes must keep
+        // working while the service winds down, and must say so.
+        let health = handle("{\"op\":\"health\"}");
+        assert!(
+            health.contains("\"ok\":true") && health.contains("\"state\":\"draining\""),
+            "health gated or wrong state during drain (sharded={sharded}): {health}"
+        );
     }
 }
 
