@@ -1,0 +1,72 @@
+//! Criterion bench: delta-deduplicated fleet audit vs cold-per-config.
+//!
+//! The fleet planner's promise is that a portfolio of near-duplicate
+//! configs costs a handful of cold builds plus warm patched verifies,
+//! not one cold session per config. This bench audits the checked-in
+//! example fleet (two IEEE-14/30 similarity clusters, twelve valid
+//! configs) both ways: `cold_per_config` forces every member onto the
+//! cold route — the naive portfolio cost — and `delta_dedup` runs the
+//! planner's chains (2 cold anchors, `set_profile` patch hops, cached
+//! duplicates). The CI gate (`bench_gate --gate fleet`) asserts the
+//! deduplicated audit stays ≤ 0.5× the cold-per-config cost.
+
+use std::path::{Path, PathBuf};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scada_analyzer::fleet::{plan_fleet, run_plan, scan_fleet, FleetPlan, PlanStep};
+use scada_analyzer::service::{Engine, ServeOptions};
+use std::hint::black_box;
+
+fn fleet_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/fleet")
+}
+
+/// The baseline plan: every member cold-loaded into its own session,
+/// as N independent single-config runs would.
+fn all_cold(plan: &FleetPlan) -> FleetPlan {
+    FleetPlan {
+        scan: plan.scan.clone(),
+        clusters: (0..plan.scan.members.len())
+            .map(|member| vec![PlanStep::Cold { member }])
+            .collect(),
+    }
+}
+
+fn audit(plan: &FleetPlan, expected_errors: usize) {
+    let engine = Engine::new(ServeOptions::default());
+    let submit = |line: &str| engine.handle_line(line).line;
+    let outcome = run_plan(plan, 1, &submit);
+    assert_eq!(
+        outcome.failed(),
+        expected_errors,
+        "audit rows changed shape"
+    );
+    black_box(outcome.rows.len());
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let plan = plan_fleet(scan_fleet(&fleet_dir()).expect("example fleet readable"));
+    assert!(
+        plan.scan.members.len() >= 12,
+        "example fleet shrank: {} members",
+        plan.scan.members.len()
+    );
+    let (_, patches, dups) = plan.route_counts();
+    assert!(
+        patches >= 4 && dups >= 2,
+        "plan stopped exercising the delta routes (patch {patches}, dup {dups})"
+    );
+    let errors = plan.scan.errors.len();
+    let cold = all_cold(&plan);
+
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    group.bench_function("cold_per_config", |bench| {
+        bench.iter(|| audit(&cold, errors))
+    });
+    group.bench_function("delta_dedup", |bench| bench.iter(|| audit(&plan, errors)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

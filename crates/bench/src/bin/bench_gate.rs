@@ -1,7 +1,7 @@
 //! CI perf gate over the service benchmarks.
 //!
 //! ```text
-//! bench_gate <records.jsonl> <report.json> [--gate delta|service|recovery] [--max-ratio N]
+//! bench_gate <records.jsonl> <report.json> [--gate delta|service|recovery|fleet] [--max-ratio N]
 //! ```
 //!
 //! Reads the machine-readable records the criterion shim (and the
@@ -34,6 +34,13 @@
 //!   journal scan and replay orchestration on top must stay a small
 //!   factor, or crash recovery becomes an availability incident of its
 //!   own.
+//! * `--gate fleet` bounds the portfolio audit cost:
+//!   `mean(fleet/delta_dedup) <= max-ratio * mean(fleet/cold_per_config)`
+//!   (default 0.5). The fleet planner's whole point is amortizing cold
+//!   builds across near-duplicate configs via patch chains and the
+//!   verdict cache; if the deduplicated audit is not at least 2× cheaper
+//!   than cold-per-config on the example fleet, the planner has stopped
+//!   earning its keep.
 //!
 //! Exit codes: 0 gate passed, 1 gate breached, 2 usage or malformed
 //! input.
@@ -50,6 +57,9 @@ const DEFAULT_SERVICE_MAX_RATIO: f64 = 2.0;
 
 /// Default bound on `replay / cold_build` (`--gate recovery`).
 const DEFAULT_RECOVERY_MAX_RATIO: f64 = 10.0;
+
+/// Default bound on `delta_dedup / cold_per_config` (`--gate fleet`).
+const DEFAULT_FLEET_MAX_RATIO: f64 = 0.5;
 
 /// One parsed benchmark record.
 struct Record {
@@ -131,8 +141,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         } else if args[i] == "--gate" {
             gate = args
                 .get(i + 1)
-                .filter(|g| matches!(g.as_str(), "delta" | "service" | "recovery"))
-                .ok_or("--gate requires `delta`, `service`, or `recovery`")?
+                .filter(|g| matches!(g.as_str(), "delta" | "service" | "recovery" | "fleet"))
+                .ok_or("--gate requires `delta`, `service`, `recovery`, or `fleet`")?
                 .to_string();
             i += 2;
         } else if args[i].starts_with("--") {
@@ -143,11 +153,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let [input, output] = positional.as_slice() else {
-        return Err(
-            "usage: bench_gate <records.jsonl> <report.json> [--gate delta|service|recovery] \
-             [--max-ratio N]"
-                .to_string(),
-        );
+        return Err("usage: bench_gate <records.jsonl> <report.json> \
+             [--gate delta|service|recovery|fleet] [--max-ratio N]"
+            .to_string());
     };
 
     let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
@@ -164,6 +172,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             &records,
             output,
             max_ratio.unwrap_or(DEFAULT_RECOVERY_MAX_RATIO),
+        );
+    }
+    if gate == "fleet" {
+        return run_fleet_gate(
+            &records,
+            output,
+            max_ratio.unwrap_or(DEFAULT_FLEET_MAX_RATIO),
         );
     }
     let max_ratio = max_ratio.unwrap_or(DEFAULT_MAX_RATIO);
@@ -304,6 +319,54 @@ fn run_recovery_gate(records: &[Record], output: &str, max_ratio: f64) -> Result
          {ratio:.2}x (bound {max_ratio}x): {}",
         cold / 1e3,
         replay / 1e3,
+        if pass { "PASS" } else { "FAIL" },
+    );
+    Ok(if pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// The `--gate fleet` arm: the delta-deduplicated portfolio audit
+/// bounded against the cold-per-config audit of the same fleet.
+fn run_fleet_gate(records: &[Record], output: &str, max_ratio: f64) -> Result<ExitCode, String> {
+    let cold = mean_of(records, "fleet/cold_per_config")?;
+    let dedup = mean_of(records, "fleet/delta_dedup")?;
+    if cold <= 0.0 {
+        return Err("cold-per-config mean is zero; refusing to divide".to_string());
+    }
+    let ratio = dedup / cold;
+    let pass = ratio <= max_ratio;
+
+    let mut report = String::from("{");
+    report.push_str(&format!(
+        "\"gate\":\"fleet\",\"max_ratio\":{max_ratio},\"cold_per_config_ns\":{cold:.1},\
+         \"delta_dedup_ns\":{dedup:.1},\"ratio\":{ratio:.3},\"pass\":{pass},\"records\":["
+    ));
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            report.push(',');
+        }
+        report.push_str(&format!(
+            "{{\"label\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\
+             \"samples\":{}}}",
+            r.label, r.mean_ns, r.min_ns, r.max_ns, r.samples
+        ));
+    }
+    report.push_str("]}\n");
+    if let Some(dir) = std::path::Path::new(output).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+        }
+    }
+    std::fs::write(output, &report).map_err(|e| format!("cannot write {output}: {e}"))?;
+
+    println!(
+        "perf gate (fleet): cold-per-config {:.1} ms, delta-dedup {:.1} ms -> \
+         {ratio:.2}x (bound {max_ratio}x): {}",
+        cold / 1e6,
+        dedup / 1e6,
         if pass { "PASS" } else { "FAIL" },
     );
     Ok(if pass {

@@ -29,6 +29,15 @@
 //!   --trace PATH     write a structured JSONL event trace to PATH
 //!   --stats          print a metrics summary table after the run
 //!   --template       print an example configuration and exit
+//!   --batch DIR      audit a whole fleet of channel-directory configs:
+//!                    import every subdirectory of DIR, cluster
+//!                    near-duplicates, reach each variant from its
+//!                    cluster base via model patches (delta/cached
+//!                    provenance instead of cold builds), and print one
+//!                    consolidated report row per config; a malformed
+//!                    config becomes an `error` row, never an abort.
+//!                    With --connect, runs server-side as the `batch` op.
+//!   --format FMT     --batch report format: jsonl (default) or csv
 //!   --connect ADDR   run as a client of a `scadad` service instead of
 //!                    analyzing locally: load the model, then issue the
 //!                    selected queries over the wire (responses carry
@@ -57,7 +66,9 @@
 //! threat found, 2 usage error (including malformed option values),
 //! 3 no threat but at least one query or enumeration undecided, 4 a
 //! `--certify` check failed (takes precedence over every other code —
-//! an uncertified verdict is worse than a threat).
+//! an uncertified verdict is worse than a threat), 6 (`--batch` only)
+//! at least one config failed to import or execute while the rest of
+//! the fleet was audited. Precedence: 4 > 6 > 1 > 3 > 0.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -180,6 +191,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     local runs re-encode from the config anyway)"
                 .to_string(),
         );
+    }
+    if let Some(dir) = raw(args, "--batch")? {
+        return run_batch_local(dir, args);
     }
     let config = if flag("--case-study") {
         None
@@ -517,6 +531,55 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     })
 }
 
+/// Runs `--batch DIR` against an in-process engine: every config under
+/// DIR is imported, clustered, and audited, with near-duplicates
+/// reached via model patches instead of cold builds. One report row
+/// per config goes to stdout (JSONL by default, `--format csv` for
+/// CSV); a summary goes to stderr.
+fn run_batch_local(dir: &str, args: &[String]) -> Result<ExitCode, String> {
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let jobs = opt(args, "--jobs")?.unwrap_or(0);
+    let csv = match raw(args, "--format")?.map(|s| s.as_str()) {
+        None | Some("jsonl") => false,
+        Some("csv") => true,
+        Some(other) => return Err(format!("bad --format `{other}` (jsonl|csv)")),
+    };
+    let certify = scada_analyzer::CertifyOptions {
+        enabled: flag("--certify"),
+        ..scada_analyzer::CertifyOptions::default()
+    };
+    let engine = scada_analyzer::service::Engine::new(scada_analyzer::service::ServeOptions {
+        certify,
+        ..scada_analyzer::service::ServeOptions::default()
+    });
+    let submit = |line: &str| engine.handle_line(line).line;
+    let started = std::time::Instant::now();
+    let outcome = scada_analyzer::fleet::run_batch(std::path::Path::new(dir), jobs, &submit)
+        .map_err(|e| e.to_string())?;
+    if csv {
+        println!("{}", scada_analyzer::fleet::ReportRow::CSV_HEADER);
+        for row in &outcome.rows {
+            println!("{}", row.render_csv());
+        }
+    } else {
+        for row in &outcome.rows {
+            println!("{}", row.render_json());
+        }
+    }
+    eprintln!(
+        "fleet: {} config(s), {} failed; provenance cold {} / warm {} / delta {} / cached {}  \
+         ({:?})",
+        outcome.rows.len(),
+        outcome.failed(),
+        outcome.provenance_count("cold"),
+        outcome.provenance_count("warm"),
+        outcome.provenance_count("delta"),
+        outcome.provenance_count("cached"),
+        started.elapsed(),
+    );
+    Ok(ExitCode::from(outcome.exit_code()))
+}
+
 /// The properties selected by `--property` (default: all three).
 fn parse_properties(args: &[String]) -> Result<Vec<Property>, String> {
     match raw(args, "--property")?.map(|s| s.as_str()) {
@@ -692,6 +755,10 @@ fn run_client(addr: &str, args: &[String]) -> Result<ExitCode, String> {
 
     let config_path = args.first().filter(|a| !a.starts_with("--"));
     let mut conn = Conn::connect(addr)?;
+
+    if let Some(dir) = raw(args, "--batch")? {
+        return run_batch_remote(&mut conn, dir);
+    }
 
     if config_path.is_none() && !flag("--case-study") {
         if flag("--health") {
@@ -939,6 +1006,62 @@ fn run_client(addr: &str, args: &[String]) -> Result<ExitCode, String> {
     }
 
     Ok(outcome.exit_code())
+}
+
+/// Runs `--connect … --batch DIR` as the service's `batch` op: the
+/// server scans and audits the fleet (DIR resolves on *its*
+/// filesystem), and the rows come back in one consolidated reply. One
+/// JSONL row per config goes to stdout, like local mode; the exit code
+/// follows the same ladder (4 > 6 > 1 > 3 > 0).
+fn run_batch_remote(conn: &mut Conn, dir: &str) -> Result<ExitCode, String> {
+    let mut req = String::from("{\"op\":\"batch\",\"dir\":\"");
+    json_escape_into(dir, &mut req);
+    req.push_str("\"}");
+    let (_, resp) = conn.request(&req)?;
+    if resp.get("ok").and_then(Json::as_bool) != Some(true) {
+        let msg = resp.get("error").and_then(Json::as_str).unwrap_or("?");
+        eprintln!("error: batch failed: {msg}");
+        return Ok(ExitCode::FAILURE);
+    }
+    let empty: Vec<Json> = Vec::new();
+    let rows = resp.get("rows").and_then(Json::as_arr).unwrap_or(&empty);
+    let mut cert_failed = false;
+    let mut errored = false;
+    let mut threat = false;
+    let mut unknown = false;
+    for row in rows {
+        println!("{}", row.render()?);
+        cert_failed |= row.get("certificate").and_then(Json::as_str) == Some("failed");
+        errored |= row.get("ok").and_then(Json::as_bool) == Some(false);
+        match row.get("verdict").and_then(Json::as_str) {
+            Some("threat") => threat = true,
+            Some("unknown") => unknown = true,
+            _ => {}
+        }
+        if matches!(row.get("max"), Some(Json::Null)) {
+            unknown = true;
+        }
+    }
+    eprintln!(
+        "fleet: {} config(s), {} failed; provenance cold {} / warm {} / delta {} / cached {}",
+        resp.get("configs").and_then(Json::as_u64).unwrap_or(0),
+        resp.get("failed").and_then(Json::as_u64).unwrap_or(0),
+        resp.get("cold").and_then(Json::as_u64).unwrap_or(0),
+        resp.get("warm").and_then(Json::as_u64).unwrap_or(0),
+        resp.get("delta").and_then(Json::as_u64).unwrap_or(0),
+        resp.get("cached").and_then(Json::as_u64).unwrap_or(0),
+    );
+    Ok(ExitCode::from(if cert_failed {
+        4
+    } else if errored {
+        6
+    } else if threat {
+        1
+    } else if unknown {
+        3
+    } else {
+        0
+    }))
 }
 
 /// Prints one remote verify response and folds it into the outcome.

@@ -42,7 +42,15 @@
 //! verdict cache in front of the sessions (so repeated queries answer
 //! without touching the solver at all). Clients speak one JSON object
 //! per line: `load`, `verify`, `maxres`, `enumerate`, `security_index`,
-//! `stats`, `evict`, `shutdown`. `scada-analyzer --connect ADDR` is a ready-made client.
+//! `patch`, `batch`, `stats`, `evict`, `health`, `shutdown`.
+//! `scada-analyzer --connect ADDR` is a ready-made client.
+//!
+//! The `batch` op (`{"op":"batch","dir":"fleet/","jobs":4}`) audits a
+//! whole directory of channel-directory configs in one request: the
+//! fleet planner dedups near-duplicate configs into patch chains over
+//! this service's warm sessions, and the reply carries one report row
+//! per config. Inner loads and patches go through the normal admission
+//! control and, when configured, the journal.
 //!
 //! On `shutdown` — or SIGTERM/SIGINT — the service drains: in-flight
 //! queries finish (flushing any DRAT proofs when certifying, and the

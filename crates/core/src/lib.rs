@@ -61,6 +61,8 @@ pub mod casestudy;
 pub mod certify;
 pub mod encode;
 pub mod enumerate;
+pub mod fleet;
+pub mod ingest;
 mod input;
 mod maxres;
 pub mod obs;

@@ -1158,6 +1158,16 @@ impl JournaledEngine {
                 self.handle_mutating(request, start)
             }
             Request::Health => self.health(start),
+            Request::Batch { dir, jobs } => {
+                // Route the executor's inner lines back through this
+                // wrapper so every load/patch it issues is journaled —
+                // a crash mid-batch recovers the warm state the audit
+                // had built, like any other acked mutation.
+                let submit = |line: &str| self.handle_line(line).line;
+                let (line, status) = super::server::batch_reply(&dir, jobs, &submit, start);
+                self.inner.trace_request("batch", status, start);
+                Response::reply(line)
+            }
             other => self.inner.handle_request(other, start),
         }
     }

@@ -564,6 +564,17 @@ pub enum Request {
         /// Target model.
         model: ModelHash,
     },
+    /// Batch-audit a fleet directory of channel-directory configs: the
+    /// engine scans, plans, and executes the portfolio internally
+    /// (loads and patches go through the normal mutation path, so they
+    /// are admission-controlled and journaled) and replies with one
+    /// consolidated report.
+    Batch {
+        /// Fleet root directory (resolved on the server's filesystem).
+        dir: String,
+        /// Worker threads to spread independent clusters over.
+        jobs: usize,
+    },
     /// Liveness/readiness probe: serving state plus journal and
     /// recovery counters. Answered even while draining or recovering.
     Health,
@@ -845,6 +856,18 @@ fn decode_request(obj: &Json) -> Result<Request, String> {
             model: parse_model(obj)?,
             patch: parse_patch(obj)?,
         }),
+        "batch" => {
+            let dir = obj
+                .get("dir")
+                .and_then(Json::as_str)
+                .ok_or("batch needs \"dir\"")?
+                .to_string();
+            let jobs = match obj.get("jobs") {
+                Some(v) => v.as_usize().ok_or("bad \"jobs\"")?,
+                None => 1,
+            };
+            Ok(Request::Batch { dir, jobs })
+        }
         "stats" => Ok(Request::Stats),
         "evict" => Ok(Request::Evict {
             model: parse_model(obj)?,

@@ -394,6 +394,15 @@ impl Engine {
                 self.run_query("security_index", model, key, query, start)
             }
             Request::Patch { model, patch } => self.handle_patch(model, patch, start),
+            Request::Batch { dir, jobs } => {
+                // The executor drives this engine's own request path, so
+                // every inner load/patch/query is admission-controlled,
+                // traced, and cached exactly like client-issued ones.
+                let submit = |line: &str| self.handle_line(line).line;
+                let (line, status) = batch_reply(&dir, jobs, &submit, start);
+                self.trace_request("batch", status, None, start);
+                Response::reply(line)
+            }
             Request::Stats => {
                 let line = self.stats_line(start);
                 self.trace_request("stats", "ok", None, start);
@@ -825,6 +834,7 @@ pub(crate) fn op_name(request: &Request) -> &'static str {
         Request::SecurityIndex { .. } => "security_index",
         Request::Patch { .. } => "patch",
         Request::Stats => "stats",
+        Request::Batch { .. } => "batch",
         Request::Evict { .. } => "evict",
         Request::Health => "health",
         Request::Shutdown => "shutdown",
@@ -852,6 +862,24 @@ pub(crate) fn load_input(
     match scadasim::parse_config(&text) {
         Ok(config) => Ok(AnalysisInput::from(config)),
         Err(error) => Err(format!("bad config: {error}")),
+    }
+}
+
+/// Runs the fleet batch executor against `submit` and renders the
+/// consolidated reply. Shared by the bare, sharded, and journaled
+/// engines — each passes its own request path as `submit`, which is
+/// what makes the inner mutations inherit that engine's routing,
+/// admission, and journaling. Returns the reply line and a trace
+/// status.
+pub(crate) fn batch_reply(
+    dir: &str,
+    jobs: usize,
+    submit: &(dyn Fn(&str) -> String + Sync),
+    start: Instant,
+) -> (String, &'static str) {
+    match crate::fleet::run_batch(std::path::Path::new(dir), jobs, submit) {
+        Ok(outcome) => (outcome.render_line(start.elapsed().as_micros()), "ok"),
+        Err(error) => (error_line(&format!("batch: {error}")), "error"),
     }
 }
 

@@ -197,6 +197,15 @@ impl ShardedEngine {
                 self.shards[0].trace_request("health", "ok", None, start);
                 Response::reply(line)
             }
+            Request::Batch { dir, jobs } => {
+                // The executor resubmits through the router, so inner
+                // loads route to their content-hash shard and patches
+                // migrate across shards exactly like client-issued ones.
+                let submit = |line: &str| self.handle_line(line).line;
+                let (line, status) = super::server::batch_reply(&dir, jobs, &submit, start);
+                self.trace_request("batch", status, start);
+                Response::reply(line)
+            }
             Request::Shutdown => {
                 // Flip every shard before acknowledging: a request
                 // racing the shutdown must not be admitted by a shard
