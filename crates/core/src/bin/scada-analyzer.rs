@@ -36,7 +36,11 @@
 //!                    provenance instead of cold builds), and print one
 //!                    consolidated report row per config; a malformed
 //!                    config becomes an `error` row, never an abort.
-//!                    With --connect, runs server-side as the `batch` op.
+//!                    With --connect, runs server-side as the `batch`
+//!                    op: DIR resolves under the service's
+//!                    --fleet-root (relative, no `..`), --jobs is
+//!                    forwarded to the service, and --format is
+//!                    rendered client-side from the returned rows
 //!   --format FMT     --batch report format: jsonl (default) or csv
 //!   --connect ADDR   run as a client of a `scadad` service instead of
 //!                    analyzing locally: load the model, then issue the
@@ -744,6 +748,23 @@ impl RemoteOutcome {
 /// the selected queries over the wire. Exit codes mirror local mode.
 fn run_client(addr: &str, args: &[String]) -> Result<ExitCode, String> {
     let flag = |name: &str| args.iter().any(|a| a == name);
+
+    if let Some(dir) = raw(args, "--batch")? {
+        // Remote batch takes --jobs (forwarded to the service) and
+        // --format (rendered client-side); certification stays a
+        // service-side setting.
+        for unsupported in ["--rank", "--repair", "--certify", "--proof-dir"] {
+            if flag(unsupported) {
+                return Err(format!(
+                    "{unsupported} is not supported with --connect \
+                     (certification is a service-side setting)"
+                ));
+            }
+        }
+        let mut conn = Conn::connect(addr)?;
+        return run_batch_remote(&mut conn, dir, args);
+    }
+
     for unsupported in ["--rank", "--repair", "--jobs", "--certify", "--proof-dir"] {
         if flag(unsupported) {
             return Err(format!(
@@ -755,10 +776,6 @@ fn run_client(addr: &str, args: &[String]) -> Result<ExitCode, String> {
 
     let config_path = args.first().filter(|a| !a.starts_with("--"));
     let mut conn = Conn::connect(addr)?;
-
-    if let Some(dir) = raw(args, "--batch")? {
-        return run_batch_remote(&mut conn, dir);
-    }
 
     if config_path.is_none() && !flag("--case-study") {
         if flag("--health") {
@@ -1009,14 +1026,26 @@ fn run_client(addr: &str, args: &[String]) -> Result<ExitCode, String> {
 }
 
 /// Runs `--connect … --batch DIR` as the service's `batch` op: the
-/// server scans and audits the fleet (DIR resolves on *its*
-/// filesystem), and the rows come back in one consolidated reply. One
-/// JSONL row per config goes to stdout, like local mode; the exit code
-/// follows the same ladder (4 > 6 > 1 > 3 > 0).
-fn run_batch_remote(conn: &mut Conn, dir: &str) -> Result<ExitCode, String> {
+/// server scans and audits the fleet (DIR resolves under *its*
+/// `--fleet-root`), and the rows come back in one consolidated reply.
+/// `--jobs` is forwarded to the service; `--format csv` is rendered
+/// client-side from the returned rows. One report row per config goes
+/// to stdout, like local mode; the exit code follows the same ladder
+/// (4 > 6 > 1 > 3 > 0).
+fn run_batch_remote(conn: &mut Conn, dir: &str, args: &[String]) -> Result<ExitCode, String> {
+    let jobs: Option<usize> = opt(args, "--jobs")?;
+    let csv = match raw(args, "--format")?.map(|s| s.as_str()) {
+        None | Some("jsonl") => false,
+        Some("csv") => true,
+        Some(other) => return Err(format!("bad --format `{other}` (jsonl|csv)")),
+    };
     let mut req = String::from("{\"op\":\"batch\",\"dir\":\"");
     json_escape_into(dir, &mut req);
-    req.push_str("\"}");
+    req.push('"');
+    if let Some(jobs) = jobs {
+        req.push_str(&format!(",\"jobs\":{jobs}"));
+    }
+    req.push('}');
     let (_, resp) = conn.request(&req)?;
     if resp.get("ok").and_then(Json::as_bool) != Some(true) {
         let msg = resp.get("error").and_then(Json::as_str).unwrap_or("?");
@@ -1029,8 +1058,18 @@ fn run_batch_remote(conn: &mut Conn, dir: &str) -> Result<ExitCode, String> {
     let mut errored = false;
     let mut threat = false;
     let mut unknown = false;
+    if csv {
+        println!("{}", scada_analyzer::fleet::ReportRow::CSV_HEADER);
+    }
     for row in rows {
-        println!("{}", row.render()?);
+        if csv {
+            println!(
+                "{}",
+                scada_analyzer::fleet::ReportRow::from_wire(row).render_csv()
+            );
+        } else {
+            println!("{}", row.render()?);
+        }
         cert_failed |= row.get("certificate").and_then(Json::as_str) == Some("failed");
         errored |= row.get("ok").and_then(Json::as_bool) == Some(false);
         match row.get("verdict").and_then(Json::as_str) {

@@ -18,6 +18,10 @@
 //!   --cache N        cached verdicts kept (default 1024, 0 disables)
 //!   --max-inflight N concurrent queries admitted (0 = one per core)
 //!   --max-line N     longest accepted request line in bytes (default 1 MiB)
+//!   --fleet-root DIR enable the `batch` op, restricted to channel
+//!                    directories under DIR; without this flag the op
+//!                    is rejected (a network client must not resolve
+//!                    arbitrary server paths)
 //!   --certify        independently re-check every verdict (fixed for
 //!                    the service lifetime)
 //!   --proof-dir DIR  also write DRAT proofs to DIR (implies --certify)
@@ -50,7 +54,9 @@
 //! fleet planner dedups near-duplicate configs into patch chains over
 //! this service's warm sessions, and the reply carries one report row
 //! per config. Inner loads and patches go through the normal admission
-//! control and, when configured, the journal.
+//! control and, when configured, the journal. The op requires
+//! `--fleet-root`; `dir` is resolved relative to that root and may not
+//! escape it (`.` or an empty `dir` audits the root itself).
 //!
 //! On `shutdown` — or SIGTERM/SIGINT — the service drains: in-flight
 //! queries finish (flushing any DRAT proofs when certifying, and the
@@ -139,13 +145,14 @@ fn serve<H: LineHandler>(
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let flag = |name: &str| args.iter().any(|a| a == name);
-    const TAKES_VALUE: [&str; 10] = [
+    const TAKES_VALUE: [&str; 11] = [
         "--listen",
         "--shards",
         "--sessions",
         "--cache",
         "--max-inflight",
         "--max-line",
+        "--fleet-root",
         "--proof-dir",
         "--trace",
         "--journal",
@@ -190,6 +197,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         obs = obs.with_tracer(sink);
     }
 
+    let fleet_root = match raw(args, "--fleet-root")? {
+        None => None,
+        Some(dir) => {
+            let dir = std::path::PathBuf::from(dir);
+            if !dir.is_dir() {
+                return Err(format!("--fleet-root {} is not a directory", dir.display()));
+            }
+            Some(dir)
+        }
+    };
+
     let defaults = ServeOptions::default();
     let options = ServeOptions {
         sessions: opt(args, "--sessions")?.unwrap_or(defaults.sessions),
@@ -198,6 +216,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         max_line: opt(args, "--max-line")?.unwrap_or(defaults.max_line),
         obs,
         certify,
+        fleet_root,
     };
 
     let listen = raw(args, "--listen")?.cloned();

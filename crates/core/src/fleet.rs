@@ -439,6 +439,54 @@ impl ReportRow {
         out
     }
 
+    /// Rebuilds a row from its wire form (one element of the `batch`
+    /// reply's `rows` array), so a remote client can re-render the
+    /// report in any local format. Unknown or missing fields fall back
+    /// to their empty defaults — the wire object is the one
+    /// [`Self::render_json`] produced, but a newer server may add
+    /// fields.
+    pub fn from_wire(row: &Json) -> ReportRow {
+        let text = |key: &str| row.get(key).and_then(Json::as_str).map(str::to_string);
+        let route = match row.get("route").and_then(Json::as_str) {
+            Some("cold") => Some("cold"),
+            Some("patch") => Some("patch"),
+            Some("dup") => Some("dup"),
+            _ => None,
+        };
+        let max = match row.get("max") {
+            None => None,
+            Some(Json::Null) => Some(None),
+            Some(value) => value.as_u64().map(Some),
+        };
+        let histogram = row
+            .get("histogram")
+            .and_then(Json::as_arr)
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .filter_map(|pair| {
+                        let pair = pair.as_arr()?;
+                        Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        ReportRow {
+            config: text("config").unwrap_or_default(),
+            error: text("error"),
+            route,
+            model: text("model"),
+            property: text("property"),
+            verdict: text("verdict"),
+            certificate: text("certificate"),
+            max,
+            index_floor: row.get("index_floor").and_then(Json::as_u64),
+            histogram,
+            provenance: text("provenance"),
+            elapsed_us: u128::from(row.get("elapsed_us").and_then(Json::as_u64).unwrap_or(0)),
+        }
+    }
+
     /// The CSV report header.
     pub const CSV_HEADER: &'static str =
         "config,ok,route,model,property,verdict,certificate,max,index_floor,histogram,\
@@ -781,13 +829,12 @@ fn run_cluster(
             (PlanStep::Dup { .. }, Some(model)) => Ok(model.to_string()),
             (PlanStep::Patch { patches, .. }, Some(model)) => patch_member(submit, model, patches),
             // Cold steps — and any chained step whose predecessor was
-            // lost to an error — load from the config text.
+            // lost to an error — load from the config text. A Patch/Dup
+            // step re-anchored this way is reported as "cold" so the
+            // route column matches the work actually done (and the
+            // provenance the engine reports for it).
             _ => {
-                row.route = Some(if matches!(step, PlanStep::Cold { .. }) {
-                    "cold"
-                } else {
-                    step.route()
-                });
+                row.route = Some("cold");
                 load_member(submit, member)
             }
         };
@@ -1040,5 +1087,48 @@ mod tests {
         assert_eq!(outcome.failed(), 1);
         assert_eq!(outcome.exit_code(), 6);
         assert!(parse_json(&outcome.render_line(1)).is_ok());
+    }
+
+    /// `from_wire` inverts `render_json`, so a remote client re-renders
+    /// byte-identical CSV from the `batch` reply's rows.
+    #[test]
+    fn wire_roundtrip_preserves_csv_rendering() {
+        let rows = [
+            ReportRow {
+                config: "sub-01".to_string(),
+                error: None,
+                route: Some("patch"),
+                model: Some("ab".repeat(16)),
+                property: Some("secured".to_string()),
+                verdict: Some("resilient".to_string()),
+                certificate: Some("proof".to_string()),
+                max: Some(Some(2)),
+                index_floor: Some(1),
+                histogram: vec![(1, 3), (4, 2)],
+                provenance: Some("delta".to_string()),
+                elapsed_us: 42,
+            },
+            ReportRow {
+                config: "sub-02".to_string(),
+                error: None,
+                route: Some("dup"),
+                model: None,
+                property: Some("obs".to_string()),
+                verdict: Some("unknown".to_string()),
+                certificate: None,
+                max: Some(None),
+                index_floor: None,
+                histogram: Vec::new(),
+                provenance: Some("cached".to_string()),
+                elapsed_us: 7,
+            },
+            ReportRow::error_row("bad, config", "channels.csv:1:2: \"nope\"".to_string(), 9),
+        ];
+        for row in rows {
+            let wire = parse_json(&row.render_json()).unwrap();
+            let rebuilt = ReportRow::from_wire(&wire);
+            assert_eq!(rebuilt.render_csv(), row.render_csv());
+            assert_eq!(rebuilt.render_json(), row.render_json());
+        }
     }
 }

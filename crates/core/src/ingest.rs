@@ -608,8 +608,7 @@ pub fn import_files(
         .ok_or_else(|| err(GRID, 0, 0, "missing grid table"))?;
     let rows = table(GRID, grid, &["element", "a", "b", "susceptance"])?;
     let mut n_buses: Option<usize> = None;
-    let mut branches: Vec<Branch> = Vec::new();
-    let mut line_rows: Vec<(&CsvRecord, usize, usize)> = Vec::new();
+    let mut line_rows: Vec<(&CsvRecord, usize, usize, f64)> = Vec::new();
     for row in &rows {
         let [element_f, a_f, b_f, s_f] = &row.fields[..] else {
             unreachable!("table checked arity");
@@ -650,12 +649,18 @@ pub fn import_files(
                     ));
                 }
                 let susceptance = parse_float(GRID, s_f, "susceptance")?;
-                branches.push(Branch::new(
-                    BusId::from_one_based(a.max(1)),
-                    BusId::from_one_based(b.max(1)),
-                    susceptance,
-                ));
-                line_rows.push((row, a, b));
+                if !(susceptance.is_finite() && susceptance > 0.0) {
+                    return Err(err(
+                        GRID,
+                        s_f.line,
+                        s_f.column,
+                        format!(
+                            "susceptance must be a positive finite number, got `{}`",
+                            s_f.value
+                        ),
+                    ));
+                }
+                line_rows.push((row, a, b, susceptance));
             }
             other => {
                 return Err(err(
@@ -669,7 +674,12 @@ pub fn import_files(
     }
     let n_buses = n_buses.ok_or_else(|| err(GRID, 0, 0, "missing `bus,<n>,,` row"))?;
     let mut seen_lines: BTreeMap<(usize, usize), usize> = BTreeMap::new();
-    for (row, a, b) in &line_rows {
+    // Branches are constructed only after every row has been validated
+    // against the (possibly later-declared) bus count: `Branch::new`
+    // asserts, and an assert on config input would abort a fleet scan
+    // instead of producing an error row.
+    let mut branches: Vec<Branch> = Vec::with_capacity(line_rows.len());
+    for (row, a, b, susceptance) in &line_rows {
         for &bus in &[*a, *b] {
             if bus == 0 || bus > n_buses {
                 return Err(err(
@@ -691,6 +701,11 @@ pub fn import_files(
                 format!("duplicate line between bus {a} and bus {b}"),
             ));
         }
+        branches.push(Branch::new(
+            BusId::from_one_based(*a),
+            BusId::from_one_based(*b),
+            *susceptance,
+        ));
     }
     let system = PowerSystem::new("config", n_buses, branches);
 
@@ -758,6 +773,12 @@ pub fn import_files(
     // --- per-IED channel directories ---------------------------------
     let mut kinds: Vec<MeasurementKind> = Vec::new();
     let mut ied_measurements: Vec<(DeviceId, Vec<MeasurementId>)> = Vec::new();
+    // Every lowered measurement across all mapping tables, so a point
+    // duplicating another point's measurement — within one IED or
+    // across IEDs — fails here with an addressed error instead of
+    // tripping `MeasurementSet::new`'s duplicate assert.
+    let mut seen_kinds: std::collections::HashMap<MeasurementKind, (String, usize)> =
+        std::collections::HashMap::new();
     for (index, channel) in channels.iter().enumerate() {
         let prefix = format!("{}/", channel.name);
         let has_dir_files = files
@@ -890,6 +911,20 @@ pub fn import_files(
                     point_f.line,
                     point_f.column,
                     format!("point `{}` mapped twice", point_f.value),
+                ));
+            }
+            if let Some((first_file, first_line)) =
+                seen_kinds.insert(kind, (map_path.clone(), row.line))
+            {
+                return Err(err(
+                    &map_path,
+                    point_f.line,
+                    point_f.column,
+                    format!(
+                        "point `{}` duplicates measurement `{kind}` \
+                         (first mapped at {first_file}:{first_line})",
+                        point_f.value
+                    ),
                 ));
             }
         }
@@ -1638,6 +1673,90 @@ mod tests {
         let e = import_files("tiny", &files).unwrap_err();
         assert_eq!(e.file, "ied003/mapping_telemetry.csv");
         assert!(e.message.contains("no mapping row"), "{e}");
+    }
+
+    #[test]
+    fn malformed_grid_is_an_error_not_a_panic() {
+        // Zero susceptance must not reach Branch::new's assert.
+        let mut files = tiny_files();
+        files.insert(
+            "grid.csv".to_string(),
+            "element,a,b,susceptance\nbus,2,,\nline,1,2,0\n".to_string(),
+        );
+        let e = import_files("tiny", &files).unwrap_err();
+        assert_eq!((e.file.as_str(), e.line), ("grid.csv", 3));
+        assert!(e.message.contains("susceptance"), "{e}");
+
+        // Negative susceptance likewise.
+        let mut files = tiny_files();
+        files.insert(
+            "grid.csv".to_string(),
+            "element,a,b,susceptance\nbus,2,,\nline,1,2,-16.9\n".to_string(),
+        );
+        let e = import_files("tiny", &files).unwrap_err();
+        assert!(e.message.contains("susceptance"), "{e}");
+
+        // An overflowing literal parses to +inf; parse_float already
+        // rejects it as outside the JSON number grammar.
+        let mut files = tiny_files();
+        files.insert(
+            "grid.csv".to_string(),
+            "element,a,b,susceptance\nbus,2,,\nline,1,2,1e999\n".to_string(),
+        );
+        let e = import_files("tiny", &files).unwrap_err();
+        assert!(e.message.contains("susceptance"), "{e}");
+
+        // Bus 0 must be a range error, not clamped into a self-loop.
+        let mut files = tiny_files();
+        files.insert(
+            "grid.csv".to_string(),
+            "element,a,b,susceptance\nbus,2,,\nline,0,1,16.9\n".to_string(),
+        );
+        let e = import_files("tiny", &files).unwrap_err();
+        assert_eq!((e.file.as_str(), e.line), ("grid.csv", 3));
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_measurements_are_an_error_not_a_panic() {
+        // Two points lowering to the same measurement within one IED
+        // must not reach MeasurementSet::new's duplicate assert.
+        let mut files = tiny_files();
+        files.insert(
+            "ied003/mapping_telemetry.csv".to_string(),
+            "point,kind,a,b\np001,flow,1,2\np002,flow,1,2\np003,injection,2,\n".to_string(),
+        );
+        let e = import_files("tiny", &files).unwrap_err();
+        assert_eq!(e.file, "ied003/mapping_telemetry.csv");
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("duplicates measurement"), "{e}");
+        assert!(e.message.contains("mapping_telemetry.csv:2"), "{e}");
+
+        // The same collision across two IEDs is caught the same way.
+        let mut files = tiny_files();
+        files.insert(
+            "channels.csv".to_string(),
+            "channel,kind,uplink,transport,bandwidth_kbps\n\
+             mtu001,master,,ethernet,10000\n\
+             rtu002,rtu,mtu001,ethernet,10000\n\
+             ied003,ied,rtu002,serial,1200\n\
+             ied004,ied,rtu002,serial,1200\n"
+                .to_string(),
+        );
+        files.insert(
+            "ied004/telemetry.csv".to_string(),
+            "point,description\nq001,same flow\n".to_string(),
+        );
+        files.insert(
+            "ied004/mapping_telemetry.csv".to_string(),
+            "point,kind,a,b\nq001,flow,1,2\n".to_string(),
+        );
+        let e = import_files("tiny", &files).unwrap_err();
+        assert_eq!(e.file, "ied004/mapping_telemetry.csv");
+        assert!(
+            e.message.contains("ied003/mapping_telemetry.csv:2"),
+            "duplicate must name the first site: {e}"
+        );
     }
 
     #[test]

@@ -1164,7 +1164,8 @@ impl JournaledEngine {
                 // a crash mid-batch recovers the warm state the audit
                 // had built, like any other acked mutation.
                 let submit = |line: &str| self.handle_line(line).line;
-                let (line, status) = super::server::batch_reply(&dir, jobs, &submit, start);
+                let (line, status) =
+                    super::server::batch_reply(self.inner.fleet_root(), &dir, jobs, &submit, start);
                 self.inner.trace_request("batch", status, start);
                 Response::reply(line)
             }

@@ -64,6 +64,12 @@ pub struct ServeOptions {
     /// mirroring must start at analyzer construction, so it cannot be
     /// toggled per request — the cache key still records it).
     pub certify: CertifyOptions,
+    /// Root directory the `batch` op may audit. `None` (the default)
+    /// disables the op entirely: a network client must not get to
+    /// resolve arbitrary paths on the server's filesystem. When set,
+    /// the request's `dir` is interpreted relative to this root and
+    /// may not escape it.
+    pub fleet_root: Option<std::path::PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -75,6 +81,7 @@ impl Default for ServeOptions {
             max_line: DEFAULT_MAX_LINE,
             obs: Obs::none(),
             certify: CertifyOptions::default(),
+            fleet_root: None,
         }
     }
 }
@@ -118,6 +125,7 @@ pub struct Engine {
     certify: CertifyOptions,
     max_line: usize,
     max_inflight: usize,
+    fleet_root: Option<std::path::PathBuf>,
     inflight: AtomicUsize,
     draining: AtomicBool,
     started: Instant,
@@ -169,6 +177,7 @@ impl Engine {
             certify: options.certify,
             max_line: options.max_line.max(1),
             max_inflight: crate::pool::effective_jobs(options.max_inflight),
+            fleet_root: options.fleet_root,
             inflight: AtomicUsize::new(0),
             draining: AtomicBool::new(false),
             started: Instant::now(),
@@ -190,6 +199,11 @@ impl Engine {
     /// Longest accepted request line in bytes.
     pub fn max_line(&self) -> usize {
         self.max_line
+    }
+
+    /// The configured `batch` root, if the op is enabled.
+    pub(crate) fn fleet_root(&self) -> Option<&std::path::Path> {
+        self.fleet_root.as_deref()
     }
 
     /// Whether `shutdown` has been requested.
@@ -399,7 +413,7 @@ impl Engine {
                 // every inner load/patch/query is admission-controlled,
                 // traced, and cached exactly like client-issued ones.
                 let submit = |line: &str| self.handle_line(line).line;
-                let (line, status) = batch_reply(&dir, jobs, &submit, start);
+                let (line, status) = batch_reply(self.fleet_root(), &dir, jobs, &submit, start);
                 self.trace_request("batch", status, None, start);
                 Response::reply(line)
             }
@@ -871,15 +885,56 @@ pub(crate) fn load_input(
 /// what makes the inner mutations inherit that engine's routing,
 /// admission, and journaling. Returns the reply line and a trace
 /// status.
+/// Resolves a client-supplied `batch` directory against the configured
+/// fleet root. The `dir` must be relative and may not escape the root
+/// (`..`, absolute paths, and drive/root prefixes are rejected), so a
+/// network client can only audit the trees the operator opted in.
+fn resolve_fleet_dir(
+    root: Option<&std::path::Path>,
+    dir: &str,
+) -> Result<std::path::PathBuf, String> {
+    let Some(root) = root else {
+        return Err("batch is disabled (start scadad with --fleet-root DIR)".to_string());
+    };
+    let mut resolved = root.to_path_buf();
+    for component in std::path::Path::new(dir).components() {
+        match component {
+            std::path::Component::Normal(part) => resolved.push(part),
+            std::path::Component::CurDir => {}
+            _ => {
+                return Err("\"dir\" must be a relative path under the fleet root \
+                     (no `..` or absolute paths)"
+                    .to_string());
+            }
+        }
+    }
+    Ok(resolved)
+}
+
 pub(crate) fn batch_reply(
+    root: Option<&std::path::Path>,
     dir: &str,
     jobs: usize,
     submit: &(dyn Fn(&str) -> String + Sync),
     start: Instant,
 ) -> (String, &'static str) {
-    match crate::fleet::run_batch(std::path::Path::new(dir), jobs, submit) {
-        Ok(outcome) => (outcome.render_line(start.elapsed().as_micros()), "ok"),
-        Err(error) => (error_line(&format!("batch: {error}")), "error"),
+    let resolved = match resolve_fleet_dir(root, dir) {
+        Ok(resolved) => resolved,
+        Err(error) => return (error_line(&format!("batch: {error}")), "error"),
+    };
+    // Defense in depth: the importer returns addressed errors for
+    // malformed configs, but a residual panic anywhere in the audit
+    // must become an error reply, not take down the request thread.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::fleet::run_batch(&resolved, jobs, submit)
+    }));
+    match outcome {
+        Ok(Ok(outcome)) => (outcome.render_line(start.elapsed().as_micros()), "ok"),
+        Ok(Err(error)) => (error_line(&format!("batch: {error}")), "error"),
+        Err(_) => (
+            error_line("batch: internal error (audit panicked; see server log)"),
+            "error",
+        ),
     }
 }
 

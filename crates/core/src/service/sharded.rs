@@ -88,6 +88,7 @@ impl ShardedEngine {
                         max_line: options.max_line,
                         obs: options.obs.clone(),
                         certify: options.certify.clone(),
+                        fleet_root: options.fleet_root.clone(),
                     },
                     Arc::clone(&replica),
                 )
@@ -150,6 +151,12 @@ impl ShardedEngine {
         self.shards[0].trace_request(op, status, None, start);
     }
 
+    /// The configured `batch` root, if the op is enabled (identical on
+    /// every shard).
+    pub(crate) fn fleet_root(&self) -> Option<&std::path::Path> {
+        self.shards[0].fleet_root()
+    }
+
     /// Handles one request line, returning one response line (the
     /// sharded counterpart of [`Engine::handle_line`]).
     pub fn handle_line(&self, line: &str) -> Response {
@@ -202,7 +209,8 @@ impl ShardedEngine {
                 // loads route to their content-hash shard and patches
                 // migrate across shards exactly like client-issued ones.
                 let submit = |line: &str| self.handle_line(line).line;
-                let (line, status) = super::server::batch_reply(&dir, jobs, &submit, start);
+                let (line, status) =
+                    super::server::batch_reply(self.fleet_root(), &dir, jobs, &submit, start);
                 self.trace_request("batch", status, start);
                 Response::reply(line)
             }

@@ -336,29 +336,149 @@ fn strip_timing(line: &str) -> String {
     out
 }
 
+/// Options with the `batch` op enabled on the example-fleet root.
+fn fleet_options() -> ServeOptions {
+    ServeOptions {
+        fleet_root: Some(fleet_dir()),
+        ..ServeOptions::default()
+    }
+}
+
 /// The same portfolio through the `batch` op on a single engine and a
-/// 3-shard router yields byte-equivalent consolidated reports.
+/// 3-shard router yields byte-equivalent consolidated reports. The
+/// `dir` is relative to the configured `--fleet-root` (here `.`, the
+/// root itself).
 #[test]
 fn batch_op_is_byte_equivalent_across_shard_counts() {
-    let dir = fleet_dir();
-    let request = format!(
-        "{{\"op\":\"batch\",\"dir\":\"{}\"}}",
-        dir.display().to_string().replace('\\', "/")
-    );
-    let single = Engine::new(ServeOptions::default());
-    let baseline = strip_timing(&single.handle_line(&request).line);
+    let request = "{\"op\":\"batch\",\"dir\":\".\"}";
+    let single = Engine::new(fleet_options());
+    let baseline = strip_timing(&single.handle_line(request).line);
     assert!(
         baseline.starts_with("{\"ok\":true,\"op\":\"batch\""),
         "{baseline}"
     );
     for shards in [1usize, 3] {
-        let sharded = ShardedEngine::new(ServeOptions::default(), shards);
-        let reply = strip_timing(&sharded.handle_line(&request).line);
+        let sharded = ShardedEngine::new(fleet_options(), shards);
+        let reply = strip_timing(&sharded.handle_line(request).line);
         assert_eq!(
             reply, baseline,
             "batch reply diverged between single engine and {shards} shard(s)"
         );
     }
+}
+
+/// Without `--fleet-root` the `batch` op is rejected outright: a
+/// network client must not get the server to resolve arbitrary paths.
+#[test]
+fn batch_op_is_disabled_without_fleet_root() {
+    let engine = Engine::new(ServeOptions::default());
+    let reply = engine.handle_line("{\"op\":\"batch\",\"dir\":\".\"}").line;
+    assert!(reply.starts_with("{\"ok\":false"), "{reply}");
+    assert!(reply.contains("disabled"), "{reply}");
+}
+
+/// With a fleet root configured, `dir` may not escape it: absolute
+/// paths and `..` components are rejected before touching the
+/// filesystem.
+#[test]
+fn batch_op_rejects_dir_escapes() {
+    let engine = Engine::new(fleet_options());
+    for dir in ["/etc", "../..", "a/../../b"] {
+        let reply = engine
+            .handle_line(&format!("{{\"op\":\"batch\",\"dir\":\"{dir}\"}}"))
+            .line;
+        assert!(reply.starts_with("{\"ok\":false"), "`{dir}`: {reply}");
+        assert!(reply.contains("relative path"), "`{dir}`: {reply}");
+    }
+}
+
+/// A subtree can be audited by naming it relative to the root: with
+/// the root one level up, `"dir":"fleet"` reaches the same portfolio.
+#[test]
+fn batch_op_audits_a_subdirectory_of_the_root() {
+    let engine = Engine::new(ServeOptions {
+        fleet_root: Some(fleet_dir().join("..")),
+        ..ServeOptions::default()
+    });
+    let reply = engine
+        .handle_line("{\"op\":\"batch\",\"dir\":\"fleet\"}")
+        .line;
+    assert!(
+        reply.starts_with("{\"ok\":true,\"op\":\"batch\""),
+        "{reply}"
+    );
+    assert!(reply.contains("\"configs\":13"), "{reply}");
+}
+
+// ---------------------------------------------------------------------------
+// Remote batch: --connect end to end
+// ---------------------------------------------------------------------------
+
+/// `--connect --batch` forwards `--jobs` to the service, renders
+/// `--format csv` client-side from the returned rows, resolves DIR
+/// under the service's `--fleet-root`, and rejects escapes.
+#[test]
+fn batch_remote_forwards_jobs_and_renders_csv() {
+    use std::io::BufRead as _;
+    let mut server = Command::new(env!("CARGO_BIN_EXE_scadad"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--fleet-root",
+            fleet_dir().to_str().unwrap(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut banner = String::new();
+    std::io::BufReader::new(server.stdout.as_mut().unwrap())
+        .read_line(&mut banner)
+        .unwrap();
+    let addr = banner
+        .trim()
+        .strip_prefix("scadad: listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_scada-analyzer"))
+        .args([
+            "--connect",
+            &addr,
+            "--batch",
+            ".",
+            "--jobs",
+            "2",
+            "--format",
+            "csv",
+        ])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    assert_eq!(
+        lines.next(),
+        Some(ReportRow::CSV_HEADER),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(lines.count(), 13, "one CSV record per config:\n{stdout}");
+    // The malformed config is isolated as an error row: exit 6.
+    assert_eq!(out.status.code(), Some(6));
+
+    // A dir escaping the fleet root is rejected by the service.
+    let out = Command::new(env!("CARGO_BIN_EXE_scada-analyzer"))
+        .args(["--connect", &addr, "--batch", "../.."])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("relative path"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = server.kill();
+    let _ = server.wait();
 }
 
 // ---------------------------------------------------------------------------
@@ -532,4 +652,29 @@ fn broken_chain_reanchors_with_cold_load() {
         11
     );
     assert_eq!(outcome.exit_code(), 6);
+    // The member chained after the failed base re-anchors with a cold
+    // load and must be *reported* as cold, not keep its planned
+    // patch/dup label — otherwise the report's dedup rate contradicts
+    // the engine-reported provenance.
+    let (cold, patch, dup) = plan.route_counts();
+    let follow_up = plan
+        .clusters
+        .first()
+        .map_or(0, |c| usize::from(c.len() > 1));
+    assert!(
+        follow_up == 1,
+        "fixture: first cluster must chain ≥ 2 members"
+    );
+    let route_count = |route: &str| {
+        outcome
+            .rows
+            .iter()
+            .filter(|r| r.route == Some(route))
+            .count()
+    };
+    assert_eq!(route_count("cold"), cold + follow_up);
+    assert_eq!(
+        route_count("patch") + route_count("dup"),
+        patch + dup - follow_up
+    );
 }
